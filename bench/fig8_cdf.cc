@@ -1,0 +1,52 @@
+// Figure 8 (§X-B1): latency CDFs of MUSIC vs MSCP, profiles 11 and lUs.
+// Paper shape: for the within-region 11 profile the two curves nearly
+// coincide; for the cross-region lUs profile MUSIC sits ~30% left of MSCP.
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+
+using namespace music;
+using namespace music::bench;
+
+namespace {
+
+wl::Samples collect(const sim::LatencyProfile& profile, core::PutMode mode) {
+  MusicWorld w(33, profile, mode, 3, 1);
+  auto workload =
+      std::make_shared<wl::MusicCsWorkload>(w.client_ptrs(), "cdf", 1, 10);
+  auto r = wl::run_sequential(w.sim, workload, 200);
+  return r.latency;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 8: critical-section latency CDFs, MUSIC vs MSCP\n");
+  std::printf("paper: '11' curves nearly coincide; 'lUs' separates by ~30%%\n");
+  Csv csv("fig8.csv");
+  csv.row("profile,mode,percentile,latency_ms");
+  for (const char* pname : {"11", "lUs"}) {
+    auto profile = std::string(pname) == "11"
+                       ? sim::LatencyProfile::profile_11()
+                       : sim::LatencyProfile::profile_lus();
+    auto music_s = collect(profile, core::PutMode::Quorum);
+    auto mscp_s = collect(profile, core::PutMode::Lwt);
+    hr();
+    std::printf("profile %-5s %14s %14s\n", pname, "MUSIC (ms)", "MSCP (ms)");
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+      std::printf("   p%-9.0f %14.1f %14.1f\n", p, music_s.percentile_ms(p),
+                  mscp_s.percentile_ms(p));
+      csv.row(std::string(pname) + ",MUSIC," + std::to_string(p) + "," +
+              std::to_string(music_s.percentile_ms(p)));
+      csv.row(std::string(pname) + ",MSCP," + std::to_string(p) + "," +
+              std::to_string(mscp_s.percentile_ms(p)));
+    }
+    double sep = mscp_s.percentile_ms(50) / music_s.percentile_ms(50);
+    std::printf("   median separation: %.2fx %s\n", sep,
+                std::string(pname) == "11" ? "(paper: ~1x)"
+                                           : "(paper: ~1.3x)");
+  }
+  hr();
+  return 0;
+}

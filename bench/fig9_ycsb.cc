@@ -1,0 +1,84 @@
+// Figure 9 (§X-B2): YCSB workloads over MUSIC vs MSCP, lUs profile, with
+// lock collisions allowed (Zipfian key choice shared across threads).
+//   R:  100% reads     UR: 50/50 reads/updates     U: 100% updates
+// Paper shape: MUSIC ahead of MSCP by ~6-20% throughput and 0-20% latency
+// (the gap grows with the update fraction: updates are where LWT puts
+// hurt); ~5.5% of operations experience lock collisions.
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+
+using namespace music;
+using namespace music::bench;
+
+namespace {
+
+constexpr uint64_t kSeed = 55;
+constexpr uint64_t kRecords = 1000;
+// One thread per site: aggregate demand stays below the hottest Zipfian
+// key's critical-section capacity, yielding the paper's ~5% collision
+// regime instead of a convoy on the head key.
+constexpr int kClientsPerSite = 2;
+
+struct YcsbResult {
+  double throughput = 0;
+  double mean_ms = 0;
+  double collision_pct = 0;
+};
+
+YcsbResult run(core::PutMode mode, const wl::YcsbMix& mix) {
+  // Average over several seeds: at the paper's ~5% collision regime the
+  // per-run means are dominated by which ops happened to collide.
+  YcsbResult out;
+  constexpr int kSeeds = 4;
+  for (int i = 0; i < kSeeds; ++i) {
+    MusicWorld w(kSeed + static_cast<uint64_t>(i),
+                 sim::LatencyProfile::profile_lus(), mode, 3, kClientsPerSite);
+    auto workload = std::make_shared<wl::YcsbWorkload>(
+        w.client_ptrs(), mix, kRecords, 10, (kSeed + static_cast<uint64_t>(i)) * 97);
+    wl::DriverConfig cfg;
+    cfg.clients = static_cast<int>(w.clients.size());
+    cfg.warmup = sim::sec(5);
+    cfg.measure = sim::sec(500);
+    auto r = wl::run_closed_loop(w.sim, workload, cfg);
+    out.throughput += r.throughput() / kSeeds;
+    out.mean_ms += r.latency.mean_ms() / kSeeds;
+    out.collision_pct +=
+        (workload->operations() > 0
+             ? 100.0 * static_cast<double>(workload->collisions()) /
+                   static_cast<double>(workload->operations())
+             : 0.0) /
+        kSeeds;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 9: YCSB R / UR / U over MUSIC vs MSCP (lUs, Zipfian, "
+              "%d threads)\n", 3 * kClientsPerSite);
+  std::printf("paper: MUSIC +6-20%% throughput, 0-20%% lower latency; ~5.5%% "
+              "lock collisions\n");
+  hr();
+  std::printf("%-4s | %10s %10s %7s | %10s %10s %7s | %8s\n", "load",
+              "MUSIC op/s", "lat ms", "coll%", "MSCP op/s", "lat ms", "coll%",
+              "MU/MSCP");
+  Csv csv("fig9.csv");
+  csv.row("load,mode,ops,latency_ms,collision_pct");
+  for (const auto& mix : {wl::YcsbMix::r(), wl::YcsbMix::ur(), wl::YcsbMix::u()}) {
+    auto mu = run(core::PutMode::Quorum, mix);
+    auto ms = run(core::PutMode::Lwt, mix);
+    std::printf("%-4s | %10.1f %10.1f %6.1f%% | %10.1f %10.1f %6.1f%% | %7.2fx\n",
+                mix.name.c_str(), mu.throughput, mu.mean_ms, mu.collision_pct,
+                ms.throughput, ms.mean_ms, ms.collision_pct,
+                mu.throughput / ms.throughput);
+    csv.row(mix.name + ",MUSIC," + std::to_string(mu.throughput) + "," +
+            std::to_string(mu.mean_ms) + "," + std::to_string(mu.collision_pct));
+    csv.row(mix.name + ",MSCP," + std::to_string(ms.throughput) + "," +
+            std::to_string(ms.mean_ms) + "," + std::to_string(ms.collision_pct));
+  }
+  hr();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared deployment boilerplate for the examples: the Fig. 1 topology (3
+// sites, one store node and one MUSIC replica per site) plus one client per
+// site.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/music.h"
+#include "datastore/store.h"
+#include "lockstore/lockstore.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+struct ExampleWorld {
+  music::sim::Simulation s;
+  music::sim::Network net;
+  music::ds::StoreCluster store;
+  music::ls::LockStore locks;
+  std::vector<std::unique_ptr<music::core::MusicReplica>> replicas;
+  std::vector<std::unique_ptr<music::core::MusicClient>> clients;
+
+  explicit ExampleWorld(uint64_t seed, bool failure_detector = false)
+      : s(seed),
+        net(s,
+            [] {
+              music::sim::NetworkConfig c;
+              c.profile = music::sim::LatencyProfile::profile_lus();
+              return c;
+            }()),
+        store(s, net, music::ds::StoreConfig{}, {0, 1, 2}),
+        locks(store) {
+    music::core::MusicConfig mc;
+    mc.holder_timeout = music::sim::sec(8);
+    mc.fd_interval = music::sim::sec(2);
+    for (int site = 0; site < 3; ++site) {
+      replicas.push_back(std::make_unique<music::core::MusicReplica>(
+          store, locks, mc, site));
+      if (failure_detector) replicas.back()->start_failure_detector();
+    }
+    for (int site = 0; site < 3; ++site) {
+      std::vector<music::core::MusicReplica*> prefs{
+          replicas[static_cast<size_t>(site)].get()};
+      for (int i = 0; i < 3; ++i) {
+        if (i != site) prefs.push_back(replicas[static_cast<size_t>(i)].get());
+      }
+      clients.push_back(std::make_unique<music::core::MusicClient>(
+          s, net, prefs, music::core::ClientConfig{}, site));
+    }
+  }
+};

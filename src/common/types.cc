@@ -1,0 +1,27 @@
+#include "common/types.h"
+
+namespace music {
+
+std::string_view to_string(OpStatus s) {
+  switch (s) {
+    case OpStatus::Ok:
+      return "Ok";
+    case OpStatus::Timeout:
+      return "Timeout";
+    case OpStatus::Nack:
+      return "Nack";
+    case OpStatus::NotLockHolder:
+      return "NotLockHolder";
+    case OpStatus::NotYetHolder:
+      return "NotYetHolder";
+    case OpStatus::CsExpired:
+      return "CsExpired";
+    case OpStatus::NotFound:
+      return "NotFound";
+    case OpStatus::Conflict:
+      return "Conflict";
+  }
+  return "Unknown";
+}
+
+}  // namespace music

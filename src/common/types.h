@@ -1,0 +1,121 @@
+// Core vocabulary types shared by every MUSIC module.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "sim/time.h"
+
+namespace music {
+
+/// A MUSIC key (the data-table primary key of Fig. 2).
+using Key = std::string;
+
+/// A lock reference: the per-key unique, increasing identifier returned by
+/// createLockRef (§III-A).  0 means "none"; real lockRefs start at 1.
+using LockRef = int64_t;
+
+/// Sentinel for "no lock reference".
+inline constexpr LockRef kNoLockRef = 0;
+
+/// A stored value.  `data` carries the semantic payload (what tests assert
+/// on); `logical_size` is the size in bytes the value represents for cost
+/// purposes, so benchmarks can model 256 KB values without allocating them.
+struct Value {
+  std::string data;
+  size_t logical_size = 0;
+
+  Value() = default;
+  /// A value whose cost-relevant size is its contents' size.
+  explicit Value(std::string d) : data(std::move(d)), logical_size(data.size()) {}
+  /// A value with explicit payload size (benchmark values).
+  Value(std::string d, size_t size) : data(std::move(d)), logical_size(size) {}
+
+  /// Size used for network/CPU/disk cost accounting.
+  size_t size() const { return logical_size > data.size() ? logical_size : data.size(); }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data == b.data;
+  }
+};
+
+/// The vector timestamp of §III-B: (lockRef, time), lockRef-major.  `time`
+/// is microseconds since the owning critical section's start (range [0, T)).
+struct VectorTs {
+  LockRef lock_ref = 0;
+  sim::Time time = 0;
+
+  friend constexpr bool operator==(const VectorTs&, const VectorTs&) = default;
+  friend constexpr auto operator<=>(const VectorTs& a, const VectorTs& b) {
+    if (auto c = a.lock_ref <=> b.lock_ref; c != 0) return c;
+    return a.time <=> b.time;
+  }
+};
+
+/// Outcome of a MUSIC or back-end operation.  Domain failures are values,
+/// not exceptions (§III failure semantics: clients retry on Nack/Timeout,
+/// stop on NotLockHolder).
+enum class OpStatus {
+  Ok,
+  /// Back-end quorum could not be assembled in time; retry.
+  Timeout,
+  /// Replica explicitly refused (e.g. overload); retry.
+  Nack,
+  /// The paper's "youAreNoLongerLockHolder": the lock was released or
+  /// preempted; do not retry with this lockRef.
+  NotLockHolder,
+  /// The lockRef is not first in the queue (acquireLock: keep polling).
+  NotYetHolder,
+  /// Critical-section duration exceeded T (§VI); the op was rejected.
+  CsExpired,
+  /// Key not present.
+  NotFound,
+  /// Compare-and-set condition failed / transaction conflict.
+  Conflict,
+};
+
+/// Human-readable status name (logs, test diagnostics).
+std::string_view to_string(OpStatus s);
+
+/// Result of an operation that may carry a T.  ok() implies has_value() for
+/// value-producing operations.
+template <typename T>
+class Result {
+ public:
+  /// Successful result.
+  static Result Ok(T v) { return Result(OpStatus::Ok, std::move(v)); }
+  /// Failed result with a status != Ok.
+  static Result Err(OpStatus s) { return Result(s, std::nullopt); }
+
+  bool ok() const { return status_ == OpStatus::Ok; }
+  OpStatus status() const { return status_; }
+
+  /// The value; requires ok().
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+ private:
+  Result(OpStatus s, std::optional<T> v) : status_(s), value_(std::move(v)) {}
+  OpStatus status_;
+  std::optional<T> value_;
+};
+
+/// Result with no payload.
+class Status {
+ public:
+  static Status Ok() { return Status(OpStatus::Ok); }
+  static Status Err(OpStatus s) { return Status(s); }
+  /// Implicit from OpStatus for terse returns.
+  Status(OpStatus s) : status_(s) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_ == OpStatus::Ok; }
+  OpStatus status() const { return status_; }
+
+ private:
+  OpStatus status_;
+};
+
+}  // namespace music

@@ -1,0 +1,74 @@
+// The vector-to-scalar timestamp mapping of §VI / §X-A2.
+//
+// Cassandra orders writes by a single signed 64-bit timestamp, but MUSIC's
+// data store needs lockRef-major (lockRef, time) vector timestamps.  The
+// paper maps v2s(lockRef, time) = lockRef * T + (time - startTime), where T
+// bounds the duration of a critical section, and proves (§X-A2) that the
+// mapping preserves vector order; §X-A3 bounds lockRef to avoid overflow.
+//
+// Our encoding makes the forcedRelease delta-race (§IV-B) exact: each
+// lockRef owns a scalar span of S = 2*T microseconds.  Writes from within
+// the critical section use time offsets in [0, T); forcedRelease stamps the
+// synchFlag at offset (T - 1) + delta.  With the paper's production delta of
+// 1 us that lands at offset T: strictly above every write of the released
+// lockRef, strictly below every write of the next one — the invariant the
+// paper's delta discussion requires.  delta = 0 ties with the released
+// holder's latest possible write and can lose the race (the ablation bench
+// demonstrates this).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.h"
+#include "sim/time.h"
+
+namespace music {
+
+/// Scalar timestamp used by the data store's last-write-wins ordering.
+using ScalarTs = int64_t;
+
+/// Encodes/decodes vector timestamps into the data store's scalar domain.
+class V2S {
+ public:
+  /// `t_max_cs` is the paper's T: the maximum critical-section duration.
+  /// Must be positive.
+  explicit V2S(sim::Duration t_max_cs) : t_(t_max_cs), span_(2 * t_max_cs) {
+    assert(t_max_cs > 0);
+  }
+
+  /// T: the maximum time a lockholder may remain in a critical section.
+  sim::Duration t_max_cs() const { return t_; }
+
+  /// The scalar span owned by each lockRef (2T; see file comment).
+  int64_t span() const { return span_; }
+
+  /// Maps (lockRef, time-in-critical-section) to a scalar.  `time_in_cs`
+  /// must lie in [0, T); callers enforce the T bound before encoding.
+  ScalarTs encode(LockRef lock_ref, sim::Duration time_in_cs) const {
+    assert(time_in_cs >= 0 && time_in_cs < t_);
+    return lock_ref * span_ + time_in_cs;
+  }
+
+  /// Scalar stamp used by forcedRelease(lockRef) on the synchFlag: offset
+  /// (T-1) + delta within lockRef's span.
+  ScalarTs encode_forced_release(LockRef lock_ref, sim::Duration delta) const {
+    return lock_ref * span_ + (t_ - 1) + delta;
+  }
+
+  /// The lockRef component of a scalar stamp.
+  LockRef lock_ref_of(ScalarTs s) const { return s / span_; }
+
+  /// The time component of a scalar stamp.
+  sim::Duration time_of(ScalarTs s) const { return s % span_; }
+
+  /// §X-A3: the largest lockRef that cannot overflow the signed 64-bit
+  /// scalar domain.
+  LockRef max_lock_ref() const { return (INT64_MAX - (span_ - 1)) / span_; }
+
+ private:
+  sim::Duration t_;
+  int64_t span_;
+};
+
+}  // namespace music

@@ -1,0 +1,212 @@
+#include "core/client.h"
+
+#include <utility>
+
+namespace music::core {
+
+namespace {
+
+/// Replica-side request wrapper: runs the dispatched coroutine and ships
+/// the response back over the network.  Captureless lambda coroutine with
+/// by-value user-ctor parameters (the GCC-12-safe shape).
+sim::Task<void> serve(MusicReplica& rep, Request req, sim::NodeId client,
+                      sim::Promise<Response> reply) {
+  Response resp = co_await execute(rep, std::move(req));
+  size_t bytes = resp.bytes();
+  rep.net_ref().send(rep.node(), client, bytes,
+                     [reply, resp = std::move(resp)] { reply.set_value(resp); });
+}
+
+}  // namespace
+
+sim::Task<Response> execute(MusicReplica& replica, Request req) {
+  switch (req.op) {
+    case Request::Op::CreateLockRef: {
+      auto r = co_await replica.create_lock_ref(req.key);
+      if (!r.ok()) co_return Response(r.status());
+      co_return Response(OpStatus::Ok, r.value(), Value(), {});
+    }
+    case Request::Op::AcquireLock: {
+      auto r = co_await replica.acquire_lock(req.key, req.ref);
+      co_return Response(r.status());
+    }
+    case Request::Op::CriticalPut: {
+      auto r = co_await replica.critical_put(req.key, req.ref, req.value);
+      co_return Response(r.status());
+    }
+    case Request::Op::CriticalGet: {
+      auto r = co_await replica.critical_get(req.key, req.ref);
+      if (!r.ok()) co_return Response(r.status());
+      co_return Response(OpStatus::Ok, req.ref, r.value(), {});
+    }
+    case Request::Op::CriticalDelete: {
+      auto r = co_await replica.critical_delete(req.key, req.ref);
+      co_return Response(r.status());
+    }
+    case Request::Op::ReleaseLock: {
+      auto r = co_await replica.release_lock(req.key, req.ref);
+      co_return Response(r.status());
+    }
+    case Request::Op::ForcedRelease: {
+      auto r = co_await replica.forced_release(req.key, req.ref);
+      co_return Response(r.status());
+    }
+    case Request::Op::PutEventual: {
+      auto r = co_await replica.put_eventual(req.key, req.value);
+      co_return Response(r.status());
+    }
+    case Request::Op::GetEventual: {
+      auto r = co_await replica.get_eventual(req.key);
+      if (!r.ok()) co_return Response(r.status());
+      co_return Response(OpStatus::Ok, req.ref, r.value(), {});
+    }
+    case Request::Op::GetAllKeys: {
+      auto r = co_await replica.get_all_keys(req.key);
+      if (!r.ok()) co_return Response(r.status());
+      co_return Response(OpStatus::Ok, 0, Value(), r.value());
+    }
+  }
+  co_return Response(OpStatus::Nack);
+}
+
+MusicClient::MusicClient(sim::Simulation& sim, sim::Network& net,
+                         std::vector<MusicReplica*> replicas, ClientConfig cfg,
+                         int site)
+    : sim_(sim),
+      net_(net),
+      replicas_(std::move(replicas)),
+      cfg_(cfg),
+      node_(net.add_node(site)) {}
+
+sim::Task<Response> MusicClient::invoke(MusicReplica& rep, Request req) {
+  sim::Promise<Response> reply(sim_);
+  sim::NodeId me = node_;
+  size_t framed = req.bytes() + cfg_.overhead_bytes;
+  MusicReplica* target = &rep;
+  net_.send(me, rep.node(), framed,
+            [target, me, req = std::move(req), reply]() mutable {
+              target->service().submit(
+                  req.bytes(), [target, me, req = std::move(req), reply] {
+                    sim::spawn(target->sim_ref(), serve(*target, req, me, reply));
+                  });
+            });
+  auto got = co_await sim::await_with_timeout<Response>(sim_, reply.future(),
+                                                        cfg_.request_timeout);
+  if (!got) co_return Response(OpStatus::Timeout);
+  co_return *got;
+}
+
+sim::Task<Response> MusicClient::with_retries(Request req) {
+  Response last(OpStatus::Timeout);
+  for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+    MusicReplica& rep =
+        *replicas_[static_cast<size_t>(attempt) % replicas_.size()];
+    if (rep.down()) continue;
+    last = co_await invoke(rep, req);
+    bool retryable =
+        last.status == OpStatus::Nack || last.status == OpStatus::Timeout;
+    if (!retryable) co_return last;
+    co_await sim::sleep_for(sim_, cfg_.retry_backoff);
+  }
+  co_return last;
+}
+
+sim::Task<Result<LockRef>> MusicClient::create_lock_ref(Key key) {
+  // NOTE: a retried createLockRef whose first attempt actually committed
+  // (ack lost) leaves an orphan lockRef in the queue; §IV-B: it is removed
+  // by forcedRelease when it reaches the head.
+  Response r = co_await with_retries(
+      Request(Request::Op::CreateLockRef, std::move(key), 0, Value()));
+  if (r.status != OpStatus::Ok) co_return Result<LockRef>::Err(r.status);
+  co_return Result<LockRef>::Ok(r.ref);
+}
+
+sim::Task<Status> MusicClient::acquire_lock(Key key, LockRef ref) {
+  // A single poll at the preferred replica; NotYetHolder is a normal
+  // outcome, not a failure (acquire_lock_blocking drives the polling).
+  Response r = co_await invoke(
+      *replicas_.front(),
+      Request(Request::Op::AcquireLock, std::move(key), ref, Value()));
+  co_return Status(r.status);
+}
+
+sim::Task<Status> MusicClient::acquire_lock_blocking(Key key, LockRef ref) {
+  // Listing 1: while (acquireLock(key, lockRef) != true) skip;  — with the
+  // paper's "standard back-off mechanisms".
+  OpStatus last = OpStatus::Timeout;
+  for (int attempt = 0; attempt < cfg_.max_poll_attempts; ++attempt) {
+    MusicReplica& rep =
+        *replicas_[static_cast<size_t>(attempt / 8) % replicas_.size()];
+    if (rep.down()) continue;
+    Response r = co_await invoke(
+        rep, Request(Request::Op::AcquireLock, key, ref, Value()));
+    last = r.status;
+    if (last == OpStatus::Ok || last == OpStatus::NotLockHolder ||
+        last == OpStatus::CsExpired) {
+      co_return Status(last);
+    }
+    // NotYetHolder / Nack / Timeout: poll again after a back-off.
+    co_await sim::sleep_for(sim_, cfg_.poll_backoff);
+  }
+  co_return Status(OpStatus::Timeout);
+}
+
+sim::Task<Status> MusicClient::critical_put(Key key, LockRef ref,
+                                            Value value) {
+  Response r = co_await with_retries(Request(
+      Request::Op::CriticalPut, std::move(key), ref, std::move(value)));
+  co_return Status(r.status);
+}
+
+sim::Task<Result<Value>> MusicClient::critical_get(Key key, LockRef ref) {
+  Response r = co_await with_retries(
+      Request(Request::Op::CriticalGet, std::move(key), ref, Value()));
+  if (r.status != OpStatus::Ok) co_return Result<Value>::Err(r.status);
+  co_return Result<Value>::Ok(std::move(r.value));
+}
+
+sim::Task<Status> MusicClient::critical_delete(Key key, LockRef ref) {
+  Response r = co_await with_retries(
+      Request(Request::Op::CriticalDelete, std::move(key), ref, Value()));
+  co_return Status(r.status);
+}
+
+sim::Task<Status> MusicClient::release_lock(Key key, LockRef ref) {
+  Response r = co_await with_retries(
+      Request(Request::Op::ReleaseLock, std::move(key), ref, Value()));
+  co_return Status(r.status);
+}
+
+sim::Task<Status> MusicClient::remove_lock_ref(Key key, LockRef ref) {
+  co_return co_await release_lock(std::move(key), ref);
+}
+
+sim::Task<Status> MusicClient::forced_release(Key key, LockRef ref) {
+  Response r = co_await with_retries(
+      Request(Request::Op::ForcedRelease, std::move(key), ref, Value()));
+  co_return Status(r.status);
+}
+
+sim::Task<Status> MusicClient::put(Key key, Value value) {
+  Response r = co_await with_retries(Request(
+      Request::Op::PutEventual, std::move(key), 0, std::move(value)));
+  co_return Status(r.status);
+}
+
+sim::Task<Result<Value>> MusicClient::get(Key key) {
+  Response r = co_await with_retries(
+      Request(Request::Op::GetEventual, std::move(key), 0, Value()));
+  if (r.status != OpStatus::Ok) co_return Result<Value>::Err(r.status);
+  co_return Result<Value>::Ok(std::move(r.value));
+}
+
+sim::Task<Result<std::vector<Key>>> MusicClient::get_all_keys(Key prefix) {
+  Response r = co_await with_retries(
+      Request(Request::Op::GetAllKeys, std::move(prefix), 0, Value()));
+  if (r.status != OpStatus::Ok) {
+    co_return Result<std::vector<Key>>::Err(r.status);
+  }
+  co_return Result<std::vector<Key>>::Ok(std::move(r.keys));
+}
+
+}  // namespace music::core

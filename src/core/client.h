@@ -1,0 +1,176 @@
+// The MUSIC client library: what a geo-distributed service links against.
+//
+// A client lives at a site and talks to MUSIC replicas over the network
+// (nearest first), implementing the §III failure semantics: operations that
+// fail with Nack/Timeout are retried — usually at a different MUSIC replica
+// — until they succeed, the retry budget is exhausted, or the client is
+// told it is no longer the lockholder.  acquire_lock_blocking implements
+// Listing 1's polling loop with back-off.
+//
+// Client-to-replica calls are shipped as plain Request/Response data (not
+// callables): requests serialize naturally onto the simulated network, and
+// data structs with user-declared constructors are the coroutine-parameter
+// shape GCC 12 compiles correctly (see the note on ds::Cell).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/music.h"
+#include "sim/future.h"
+
+namespace music::core {
+
+/// Client-side tunables.
+struct ClientConfig {
+  /// Give up on a single request to one replica after this long.
+  sim::Duration request_timeout = sim::sec(6);
+  /// Total attempts per operation across replicas before reporting Timeout.
+  int max_attempts = 24;
+  /// Attempts allowed for one acquire_lock_blocking polling loop.
+  int max_poll_attempts = 4096;
+  /// Pause between acquireLock polls (Listing 1's back-off).
+  sim::Duration poll_backoff = sim::ms(2);
+  /// Pause before retrying a Nacked/timed-out operation.
+  sim::Duration retry_backoff = sim::ms(10);
+  /// Request framing size.
+  size_t overhead_bytes = 96;
+};
+
+/// The wire request a client sends to a MUSIC replica (Fig. 1's
+/// client-to-MUSIC hop).
+struct Request {
+  enum class Op {
+    CreateLockRef,
+    AcquireLock,
+    CriticalPut,
+    CriticalGet,
+    CriticalDelete,
+    ReleaseLock,
+    ForcedRelease,
+    PutEventual,
+    GetEventual,
+    GetAllKeys,
+  };
+
+  Op op = Op::GetEventual;
+  Key key;
+  LockRef ref = kNoLockRef;
+  Value value;
+
+  Request() = default;
+  Request(Op o, Key k, LockRef r, Value v)
+      : op(o), key(std::move(k)), ref(r), value(std::move(v)) {}
+
+  /// Payload size for network/CPU cost accounting.
+  size_t bytes() const { return key.size() + value.size() + 24; }
+};
+
+/// The reply.
+struct Response {
+  OpStatus status = OpStatus::Timeout;
+  LockRef ref = kNoLockRef;
+  Value value;
+  std::vector<Key> keys;
+
+  Response() = default;
+  explicit Response(OpStatus s) : status(s) {}
+  Response(OpStatus s, LockRef r, Value v, std::vector<Key> ks)
+      : status(s), ref(r), value(std::move(v)), keys(std::move(ks)) {}
+
+  size_t bytes() const {
+    size_t n = value.size() + 32;
+    for (const auto& k : keys) n += k.size();
+    return n;
+  }
+};
+
+/// Executes a Request against a replica (the replica-side dispatcher used
+/// by MusicClient; also handy for tests driving a replica directly).
+sim::Task<Response> execute(MusicReplica& replica, Request req);
+
+/// A MUSIC client.  Issues non-blocking requests to a MUSIC replica of its
+/// choice (Fig. 1); replicas are tried in the given preference order.
+class MusicClient {
+ public:
+  /// `replicas` in preference (proximity) order; the first is "local".
+  MusicClient(sim::Simulation& sim, sim::Network& net,
+              std::vector<MusicReplica*> replicas, ClientConfig cfg, int site);
+
+  MusicClient(const MusicClient&) = delete;
+  MusicClient& operator=(const MusicClient&) = delete;
+
+  sim::NodeId node() const { return node_; }
+  sim::Simulation& simulation() { return sim_; }
+  const ClientConfig& config() const { return cfg_; }
+
+  // ---- Table I operations with the §III retry discipline. ------------------
+
+  sim::Task<Result<LockRef>> create_lock_ref(Key key);
+
+  /// One acquireLock poll (Ok / NotYetHolder / NotLockHolder / errors).
+  sim::Task<Status> acquire_lock(Key key, LockRef ref);
+
+  /// Polls acquireLock with back-off until granted (Ok), preempted
+  /// (NotLockHolder) or the poll budget is exhausted (Timeout).
+  sim::Task<Status> acquire_lock_blocking(Key key, LockRef ref);
+
+  sim::Task<Status> critical_put(Key key, LockRef ref, Value value);
+  sim::Task<Result<Value>> critical_get(Key key, LockRef ref);
+  sim::Task<Status> critical_delete(Key key, LockRef ref);
+  sim::Task<Status> release_lock(Key key, LockRef ref);
+  /// §VII: evicts a lockRef that was never granted.
+  sim::Task<Status> remove_lock_ref(Key key, LockRef ref);
+  /// Preempts another client's lock (Portal ownership transfer, §VII-b).
+  sim::Task<Status> forced_release(Key key, LockRef ref);
+
+  // ---- Non-ECF conveniences. ------------------------------------------------
+
+  sim::Task<Status> put(Key key, Value value);
+  sim::Task<Result<Value>> get(Key key);
+  sim::Task<Result<std::vector<Key>>> get_all_keys(Key prefix);
+
+  // ---- Composite helper. -----------------------------------------------------
+
+  /// Listing 1 end-to-end: createLockRef, poll acquireLock, run `body`
+  /// (critical ops under the granted ref), releaseLock.  `body` must be a
+  /// named lvalue callable LockRef -> Task<Status> (the F& signature rejects
+  /// temporaries, which GCC 12 miscompiles at coroutine boundaries).
+  template <typename F>
+  sim::Task<Status> with_lock(Key key, F& body) {
+    auto ref = co_await create_lock_ref(key);
+    if (!ref.ok()) co_return ref.status();
+    auto acq = co_await acquire_lock_blocking(key, ref.value());
+    if (!acq.ok()) {
+      // Never granted: evict our reference so it does not clog the queue.
+      if (acq.status() == OpStatus::Timeout) {
+        co_await remove_lock_ref(key, ref.value());
+      }
+      co_return acq;
+    }
+    Status body_status = co_await body(ref.value());
+    if (body_status.status() == OpStatus::NotLockHolder) {
+      // Preempted mid-section: the lock is no longer ours to release.
+      co_return body_status;
+    }
+    co_await release_lock(key, ref.value());
+    co_return body_status;
+  }
+
+ private:
+  /// Sends `req` to `rep` and awaits the Response, with a timeout.
+  sim::Task<Response> invoke(MusicReplica& rep, Request req);
+
+  /// Runs `req` against replicas in preference order with the retry rules:
+  /// Nack/Timeout -> backoff, next replica; anything else is final.
+  sim::Task<Response> with_retries(Request req);
+
+  sim::Simulation& sim_;
+  sim::Network& net_;
+  std::vector<MusicReplica*> replicas_;
+  ClientConfig cfg_;
+  sim::NodeId node_;
+};
+
+}  // namespace music::core

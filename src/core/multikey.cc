@@ -1,0 +1,56 @@
+#include "core/multikey.h"
+
+namespace music::core {
+
+sim::Task<Status> MultiKeySection::acquire_all() {
+  if (held_) co_return Status::Ok();
+  for (const Key& key : keys_) {
+    auto ref = co_await client_.create_lock_ref(key);
+    if (!ref.ok()) {
+      co_await release_all();
+      co_return ref.status();
+    }
+    refs_[key] = ref.value();
+    auto acq = co_await client_.acquire_lock_blocking(key, ref.value());
+    if (!acq.ok()) {
+      // Not granted: evict the reference, then roll everything back.
+      co_await client_.remove_lock_ref(key, ref.value());
+      refs_.erase(key);
+      co_await release_all();
+      co_return acq;
+    }
+  }
+  held_ = true;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MultiKeySection::release_all() {
+  Status worst = Status::Ok();
+  // Reverse lexicographic order (harmless either way for correctness, but
+  // symmetric with the acquisition order).
+  for (auto it = keys_.rbegin(); it != keys_.rend(); ++it) {
+    auto found = refs_.find(*it);
+    if (found == refs_.end()) continue;
+    auto st = co_await client_.release_lock(*it, found->second);
+    if (!st.ok() && worst.ok()) worst = st;
+    refs_.erase(found);
+  }
+  held_ = false;
+  co_return worst;
+}
+
+sim::Task<Status> MultiKeySection::put(const Key& key, Value value) {
+  auto it = refs_.find(key);
+  if (!held_ || it == refs_.end()) co_return OpStatus::NotLockHolder;
+  co_return co_await client_.critical_put(key, it->second, std::move(value));
+}
+
+sim::Task<Result<Value>> MultiKeySection::get(const Key& key) {
+  auto it = refs_.find(key);
+  if (!held_ || it == refs_.end()) {
+    co_return Result<Value>::Err(OpStatus::NotLockHolder);
+  }
+  co_return co_await client_.critical_get(key, it->second);
+}
+
+}  // namespace music::core

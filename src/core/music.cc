@@ -1,0 +1,387 @@
+#include "core/music.h"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <utility>
+
+namespace music::core {
+
+namespace {
+
+/// Tombstone payload written by criticalDelete; reads map it to NotFound.
+const std::string kTombstone = "\x01__music_tombstone__";
+
+bool is_tombstone(const Value& v) { return v.data == kTombstone; }
+
+/// Codec for the !st row: "<ref>:<origin_us>".
+std::string encode_origin(LockRef ref, sim::Time at) {
+  return std::to_string(ref) + ":" + std::to_string(at);
+}
+
+std::optional<std::pair<LockRef, sim::Time>> parse_origin(const std::string& s) {
+  size_t colon = s.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  LockRef ref = 0;
+  sim::Time at = 0;
+  auto r1 = std::from_chars(s.data(), s.data() + colon, ref);
+  auto r2 = std::from_chars(s.data() + colon + 1, s.data() + s.size(), at);
+  if (r1.ec != std::errc{} || r2.ec != std::errc{}) return std::nullopt;
+  return std::make_pair(ref, at);
+}
+
+}  // namespace
+
+MusicReplica::MusicReplica(ds::StoreCluster& store, ls::LockBackend& locks,
+                           MusicConfig cfg, int site)
+    : store_(store),
+      locks_(locks),
+      cfg_(cfg),
+      site_(site),
+      node_(store.network().add_node(site)),
+      service_(store.simulation(), cfg.service),
+      v2s_(cfg.t_max_cs) {}
+
+ds::StoreReplica& MusicReplica::coord() {
+  int n = store_.num_replicas();
+  for (int attempt = 0; attempt < n; ++attempt) {
+    auto& r = store_.replica(static_cast<int>(coord_rr_++ % static_cast<size_t>(n)));
+    if (r.site() == site_ && !r.down()) return r;
+  }
+  return store_.replica_at_site(site_);  // fallback: any live node
+}
+
+sim::Task<Status> MusicReplica::holder_guard(Key key, LockRef ref) {
+  auto peek = co_await locks_.backend_peek(site_, key);
+  if (!peek.ok()) co_return OpStatus::Nack;
+  const auto& head = peek.value().head;
+  if (!head.has_value() || ref > *head) {
+    // lockRef not first yet, or local store not yet updated (§IV).
+    co_return OpStatus::NotYetHolder;
+  }
+  if (ref < *head) {
+    // Lock forcibly released: "youAreNoLongerLockHolder".
+    ++stats_.rejected_not_holder;
+    co_return OpStatus::NotLockHolder;
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<std::optional<sim::Time>> MusicReplica::origin_for(Key key,
+                                                             LockRef ref) {
+  auto it = origin_cache_.find(key);
+  if (it != origin_cache_.end() && it->second.ref == ref) {
+    co_return it->second.at;
+  }
+  // Fall back to the (eventually consistent) !st row written by whichever
+  // replica granted the lock.
+  auto r = co_await coord().get(start_time_key(key), ds::Consistency::One);
+  if (!r.ok()) co_return std::nullopt;
+  auto parsed = parse_origin(r.value().value.data);
+  if (!parsed || parsed->first != ref) co_return std::nullopt;
+  origin_cache_[key] = Origin(ref, parsed->second);
+  co_return parsed->second;
+}
+
+ScalarTs MusicReplica::next_ts(const Key& key, LockRef ref, sim::Duration e) {
+  sim::Duration clamped = std::clamp<sim::Duration>(e, 0, cfg_.t_max_cs - 1);
+  ScalarTs base = v2s_.encode(ref, clamped);
+  ScalarTs& last = last_ts_[key];
+  ScalarTs ts = std::max(base, last + 1);
+  // A same-microsecond burst can bump past the critical-section window only
+  // after ~T consecutive same-instant writes; that would be a model bug.
+  assert(ts < ref * v2s_.span() + v2s_.span());
+  last = ts;
+  return ts;
+}
+
+sim::Task<Result<LockRef>> MusicReplica::create_lock_ref(Key key) {
+  ++stats_.create_lock_ref;
+  watch_key(key);
+  auto r = co_await locks_.backend_generate(site_, key);
+  co_return r;
+}
+
+sim::Task<Status> MusicReplica::acquire_lock(Key key, LockRef ref) {
+  ++stats_.acquire_attempts;
+  watch_key(key);
+  auto guard = co_await holder_guard(key, ref);
+  if (!guard.ok()) co_return guard;
+
+  // Granted path.  Fix the critical section's time origin now, before any
+  // synchronization write, so every stamp of this critical section measures
+  // elapsed time from the same instant (a later criticalPut must always
+  // out-stamp the synchronization re-write).
+  sim::Time origin;
+  auto cached = origin_cache_.find(key);
+  if (cached != origin_cache_.end() && cached->second.ref == ref) {
+    origin = cached->second.at;  // idempotent re-acquire
+  } else {
+    origin = sim().now();
+    origin_cache_[key] = Origin(ref, origin);
+  }
+  auto elapsed = [&] {
+    return std::clamp<sim::Duration>(sim().now() - origin, 0,
+                                     cfg_.t_max_cs - 1);
+  };
+
+  // synchFlag quorum read (the grant's only cost in the failure-free case).
+  auto sf = co_await coord().get(synch_flag_key(key), ds::Consistency::Quorum);
+  if (!sf.ok() && sf.status() != OpStatus::NotFound) {
+    co_return OpStatus::Nack;
+  }
+  bool need_sync = sf.ok() && sf.value().value.data == "1";
+
+  if (need_sync) {
+    // §IV-B: a forced release happened; the data store's state is unknown.
+    // Re-write whatever a quorum read returns under our lockRef (resolving
+    // the paper's non-determinism in the true value), then reset the flag.
+    ++stats_.synchronizations;
+    auto cur = co_await coord().get(data_key(key), ds::Consistency::Quorum);
+    if (!cur.ok() && cur.status() != OpStatus::NotFound) {
+      co_return OpStatus::Nack;
+    }
+    if (cur.ok()) {
+      auto put = co_await coord().put(
+          data_key(key), ds::Cell(cur.value().value, next_ts(key, ref, elapsed())),
+          ds::Consistency::Quorum);
+      if (!put.ok()) co_return OpStatus::Nack;
+    }
+    auto reset = co_await coord().put(
+        synch_flag_key(key),
+        ds::Cell(Value("0"), next_ts(key, ref, elapsed())),
+        ds::Consistency::Quorum);
+    if (!reset.ok()) co_return OpStatus::Nack;
+  }
+
+  // Record the critical section's start (the paper's startTime column,
+  // §VI): an eventual write other replicas converge on.
+  auto st = co_await coord().put(
+      start_time_key(key),
+      ds::Cell(Value(encode_origin(ref, origin)), next_ts(key, ref, elapsed())),
+      ds::Consistency::One);
+  if (!st.ok()) co_return OpStatus::Nack;
+
+  ++stats_.acquire_granted;
+  note_activity(key);
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MusicReplica::critical_put(Key key, LockRef ref,
+                                             Value value) {
+  auto guard = co_await holder_guard(key, ref);
+  if (!guard.ok()) co_return guard;
+  auto origin = co_await origin_for(key, ref);
+  if (!origin) {
+    // The grant's startTime has not reached this replica yet; the client
+    // retries (usually at the replica that granted the lock).
+    co_return OpStatus::Nack;
+  }
+  sim::Duration el = sim().now() - *origin;
+  if (el >= cfg_.t_max_cs) {
+    ++stats_.rejected_expired;
+    co_return OpStatus::CsExpired;
+  }
+  ScalarTs ts = next_ts(key, ref, el);
+
+  if (cfg_.put_mode == PutMode::Quorum) {
+    // MUSIC: one quorum write, stamped with the v2s vector timestamp.
+    auto st = co_await coord().put(data_key(key), ds::Cell(value, ts),
+                                   ds::Consistency::Quorum);
+    if (!st.ok()) co_return st.status();
+  } else {
+    // MSCP: the same write through an LWT (4 round trips).  Trivial-capture
+    // closure bound to a named lvalue (GCC 12; see ds::Cell note): `value`
+    // lives in this frame past the co_await.
+    const Value* vp = &value;
+    ds::LwtUpdate update = [vp, ts](const std::optional<ds::Cell>&) {
+      return ds::LwtDecision(true, *vp, ts);
+    };
+    auto r = co_await coord().lwt(data_key(key), update);
+    if (!r.ok()) co_return r.status();
+  }
+  ++stats_.critical_puts;
+  note_activity(key);
+  co_return Status::Ok();
+}
+
+sim::Task<Result<Value>> MusicReplica::critical_get(Key key, LockRef ref) {
+  auto guard = co_await holder_guard(key, ref);
+  if (!guard.ok()) co_return Result<Value>::Err(guard.status());
+  auto origin = co_await origin_for(key, ref);
+  if (!origin) co_return Result<Value>::Err(OpStatus::Nack);
+  if (sim().now() - *origin >= cfg_.t_max_cs) {
+    ++stats_.rejected_expired;
+    co_return Result<Value>::Err(OpStatus::CsExpired);
+  }
+  auto r = co_await coord().get(data_key(key), ds::Consistency::Quorum);
+  if (!r.ok()) co_return Result<Value>::Err(r.status());
+  if (is_tombstone(r.value().value)) {
+    co_return Result<Value>::Err(OpStatus::NotFound);
+  }
+  ++stats_.critical_gets;
+  note_activity(key);
+  co_return Result<Value>::Ok(r.value().value);
+}
+
+sim::Task<Status> MusicReplica::critical_delete(Key key, LockRef ref) {
+  co_return co_await critical_put(key, ref, Value(kTombstone));
+}
+
+sim::Task<Status> MusicReplica::release_lock(Key key, LockRef ref) {
+  auto peek = co_await locks_.backend_peek(site_, key);
+  if (peek.ok() && peek.value().head.has_value() && ref < *peek.value().head) {
+    co_return Status::Ok();  // lock has been forcibly released (§IV)
+  }
+  auto r = co_await locks_.backend_dequeue(site_, key, ref);
+  if (!r.ok()) co_return r;
+  auto it = origin_cache_.find(key);
+  if (it != origin_cache_.end() && it->second.ref == ref) {
+    origin_cache_.erase(it);
+  }
+  ++stats_.releases;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MusicReplica::forced_release(Key key, LockRef ref) {
+  auto peek = co_await locks_.backend_peek(site_, key);
+  if (peek.ok() && peek.value().head.has_value() && ref < *peek.value().head) {
+    co_return Status::Ok();  // lock was previously released
+  }
+  // Mark the data store dirty, stamped just past everything the preempted
+  // holder can have written (lockRef + delta, §IV-B).  The quorum write
+  // must complete before the dequeue so the next holder's synchFlag read
+  // cannot miss it.
+  auto sf = co_await coord().put(
+      synch_flag_key(key),
+      ds::Cell(Value("1"), v2s_.encode_forced_release(ref, cfg_.delta)),
+      ds::Consistency::Quorum);
+  if (!sf.ok()) co_return OpStatus::Nack;
+  auto dq = co_await locks_.backend_dequeue(site_, key, ref);
+  if (!dq.ok()) co_return dq;
+  fd_observed_.erase(key);
+  ++stats_.forced_releases;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> MusicReplica::put_eventual(Key key, Value value) {
+  // Non-ECF write: stamped strictly inside lockRef 0's window, so any
+  // criticalPut (ref >= 1) outranks it.  Intended for initialization and
+  // lock-free keys.  Uses its own monotonic bump (NOT the critical-path
+  // one, which lives in the current lockRef's window) and saturates at the
+  // window's end rather than ever crossing into lockRef 1's.
+  sim::Duration e = std::min<sim::Duration>(sim().now(), cfg_.t_max_cs - 1);
+  ScalarTs base = v2s_.encode(0, e);
+  ScalarTs& last = last_plain_ts_[key];
+  ScalarTs ts = std::max(base, last + 1);
+  ts = std::min(ts, v2s_.span() - 1);  // never outrank lockRef 1
+  last = ts;
+  co_return co_await coord().put(data_key(key), ds::Cell(value, ts),
+                                 ds::Consistency::One);
+}
+
+sim::Task<Result<Value>> MusicReplica::get_eventual(Key key) {
+  auto r = co_await coord().get(data_key(key), ds::Consistency::One);
+  if (!r.ok()) co_return Result<Value>::Err(r.status());
+  if (is_tombstone(r.value().value)) {
+    co_return Result<Value>::Err(OpStatus::NotFound);
+  }
+  co_return Result<Value>::Ok(r.value().value);
+}
+
+sim::Task<Result<Value>> MusicReplica::get_quorum_unlocked(Key key) {
+  auto r = co_await coord().get(data_key(key), ds::Consistency::Quorum);
+  if (!r.ok()) co_return Result<Value>::Err(r.status());
+  if (is_tombstone(r.value().value)) {
+    co_return Result<Value>::Err(OpStatus::NotFound);
+  }
+  co_return Result<Value>::Ok(r.value().value);
+}
+
+sim::Task<Result<std::vector<Key>>> MusicReplica::get_all_keys(Key prefix) {
+  auto r = co_await coord().scan_local_keys(data_key(prefix));
+  if (!r.ok()) co_return r;
+  std::vector<Key> out;
+  out.reserve(r.value().size());
+  for (const auto& k : r.value()) {
+    out.push_back(k.substr(3));  // strip "!d:"
+  }
+  co_return Result<std::vector<Key>>::Ok(std::move(out));
+}
+
+void MusicReplica::watch_key(const Key& key) { watched_[key] = true; }
+
+void MusicReplica::note_activity(const Key& key) {
+  auto it = fd_observed_.find(key);
+  if (it != fd_observed_.end()) it->second.since = sim().now();
+}
+
+void MusicReplica::start_failure_detector() {
+  if (fd_running_) return;
+  fd_running_ = true;
+  schedule_fd_tick();
+}
+
+void MusicReplica::schedule_fd_tick() {
+  sim().schedule(cfg_.fd_interval, [this] {
+    if (!fd_running_ || down()) return;
+    sim::spawn(sim(), [](MusicReplica& self) -> sim::Task<void> {
+      co_await self.fd_scan();
+    }(*this));
+    schedule_fd_tick();
+  });
+}
+
+void MusicReplica::stop_failure_detector() { fd_running_ = false; }
+
+sim::Task<void> MusicReplica::fd_scan() {
+  // Snapshot: forced releases during the scan may mutate the maps.
+  std::vector<Key> keys;
+  keys.reserve(watched_.size());
+  for (const auto& [k, v] : watched_) {
+    (void)v;
+    keys.push_back(k);
+  }
+  for (const auto& key : keys) {
+    auto peek = co_await locks_.backend_peek(site_, key);
+    if (!peek.ok() || !peek.value().head.has_value()) {
+      fd_observed_.erase(key);
+      continue;
+    }
+    LockRef head = *peek.value().head;
+    auto it = fd_observed_.find(key);
+    if (it == fd_observed_.end() || it->second.head != head) {
+      fd_observed_[key] = HeadObservation(head, sim().now());
+      continue;
+    }
+    // Two preemption rules, per the paper:
+    //   * a GRANTED holder (startTime known) is preempted when its critical
+    //     section exceeds the T bound (§VI's startTime column exists for
+    //     exactly this);
+    //   * a head with NO startTime visible after the inactivity timeout is
+    //     an orphan lockRef — created but never acquired (§IV-B) — and is
+    //     removed.
+    // Either can be wrong under partitions/slowness (false failure
+    // detection, §IV-B), which ECF is designed to survive.
+    auto origin = co_await origin_for(key, head);
+    bool expired = origin && sim().now() - *origin >= cfg_.t_max_cs;
+    bool orphan =
+        !origin && sim().now() - it->second.since >= cfg_.holder_timeout;
+    if (expired || orphan) {
+      co_await forced_release(key, head);
+    }
+  }
+}
+
+void MusicReplica::set_down(bool down) {
+  service_.set_down(down);
+  store_.network().set_node_down(node_, down);
+  if (down) {
+    origin_cache_.clear();
+    last_ts_.clear();
+    fd_observed_.clear();
+    fd_running_ = false;
+  }
+}
+
+}  // namespace music::core

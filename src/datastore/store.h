@@ -1,0 +1,301 @@
+// The eventually-consistent, replicated data store (Cassandra substitute).
+//
+// MUSIC uses Cassandra through four primitives (§III-B, §VI):
+//   * eventual reads/writes at one replica   -> Consistency::One
+//   * quorum reads/writes                    -> Consistency::Quorum
+//   * last-write-wins ordering by a client-supplied scalar timestamp
+//     ("USING TIMESTAMP"), into which MUSIC encodes its vector timestamps
+//   * light-weight transactions: a Paxos-based compare-and-set costing four
+//     round trips (prepare / read / propose / commit)
+//
+// This module implements exactly those primitives over the simulator: every
+// replica is a node on the simulated network with a service-time model;
+// coordinators (any replica) fan writes out to all RF replicas of a key,
+// wait for the consistency level, leave hints for unreachable replicas, and
+// read-repair stale replicas after quorum reads.  Keys are placed on the
+// ring so that, as in the paper's deployments, each key has one replica per
+// site (3 replicas) regardless of cluster size (3, 6, 9 nodes for Fig 4(b)).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "common/v2s.h"
+#include "paxos/paxos.h"
+#include "sim/future.h"
+#include "sim/network.h"
+#include "sim/service.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace music::ds {
+
+/// Cassandra-style consistency levels used by MUSIC.
+enum class Consistency { One, Quorum, All };
+
+/// A versioned value as stored at a replica: payload plus the scalar
+/// timestamp that orders it (MUSIC writes v2s-encoded vector timestamps).
+///
+/// NOTE: user-declared constructors are required, not stylistic.  GCC 12
+/// miscompiles by-value *aggregate* coroutine parameters whose members are
+/// non-trivial (the frame parameter copy is made bitwise, so the original's
+/// string buffer gets double-freed).  Any struct with non-trivial members
+/// that crosses a Task<> coroutine boundary by value must be a
+/// non-aggregate; keep constructors on such types.
+struct Cell {
+  Value value;
+  ScalarTs ts = -1;
+
+  Cell() = default;
+  Cell(Value v, ScalarTs t) : value(std::move(v)), ts(t) {}
+};
+
+/// Outcome of a light-weight transaction.  (User ctors: see Cell note.)
+struct LwtOutcome {
+  /// True if the update's condition held and the new value was committed.
+  bool applied = false;
+  /// The committed value the condition was evaluated against (nullopt if
+  /// the key did not exist).
+  std::optional<Cell> prior;
+
+  LwtOutcome() = default;
+  LwtOutcome(bool a, std::optional<Cell> p) : applied(a), prior(std::move(p)) {}
+};
+
+/// Decision returned by an LwtUpdate: whether to apply, and with what.
+struct LwtDecision {
+  bool apply = false;
+  Value new_value;
+  /// Commit timestamp; if unset the coordinator stamps with the ballot
+  /// (fine for keys written exclusively through LWTs, e.g. lock tables).
+  std::optional<ScalarTs> ts;
+
+  LwtDecision() = default;
+  LwtDecision(bool a, Value v, std::optional<ScalarTs> t)
+      : apply(a), new_value(std::move(v)), ts(t) {}
+};
+
+/// A compare-and-set step: computes the decision from the current committed
+/// cell.  Runs on the coordinator between the LWT's read and propose phases.
+using LwtUpdate = std::function<LwtDecision(const std::optional<Cell>&)>;
+
+/// Tunables for the store.
+struct StoreConfig {
+  /// Replicas per key.  The paper keeps one copy per site.
+  int replication_factor = 3;
+  /// How long a coordinator waits for each phase's quorum before failing
+  /// the operation back to the client (who then retries, §III).
+  sim::Duration op_timeout = sim::ms(1500);
+  /// Repair stale replicas after quorum reads.
+  bool read_repair = true;
+  /// Periodic anti-entropy repair (Cassandra's `nodetool repair` made
+  /// continuous): replicas exchange per-key timestamp digests with a peer
+  /// and push newer cells.  Off by default; enable via
+  /// StoreCluster::start_anti_entropy().
+  sim::Duration anti_entropy_interval = sim::sec(5);
+  /// Store and replay writes for unreachable replicas.
+  bool hinted_handoff = true;
+  sim::Duration hint_replay_interval = sim::ms(250);
+  /// LWT contention handling.
+  int lwt_max_attempts = 32;
+  sim::Duration lwt_retry_backoff = sim::ms(4);
+  /// Per-message framing overhead added to payload sizes.
+  size_t overhead_bytes = 96;
+  /// Compute model for each replica.  The 190us base cost calibrates a
+  /// 3-node cluster's eventual-write capacity to the ~41k op/s the paper
+  /// reports for CassaEV (Fig. 4a), i.e. real Cassandra's per-op overhead.
+  sim::ServiceConfig service{8, 190, 2.0};
+};
+
+class StoreCluster;
+
+/// One storage node: a replica (table + per-key Paxos acceptors) that can
+/// also act as a coordinator for any operation.
+class StoreReplica {
+ public:
+  StoreReplica(StoreCluster& cluster, sim::NodeId node, int site);
+
+  StoreReplica(const StoreReplica&) = delete;
+  StoreReplica& operator=(const StoreReplica&) = delete;
+
+  sim::NodeId node() const { return node_; }
+  int site() const { return site_; }
+  sim::ServiceNode& service() { return service_; }
+
+  // ---- Replica-side handlers (run on this node, after network + queueing).
+
+  /// Last-write-wins apply; returns true if the write was newer and taken.
+  bool apply_write(const Key& key, const Cell& cell);
+
+  /// The replica's local view of a key (may be stale).
+  std::optional<Cell> local_read(const Key& key) const;
+
+  paxos::PrepareReply<Cell> handle_prepare(const Key& key, paxos::Ballot b);
+  paxos::AcceptReply handle_accept(const Key& key,
+                                   paxos::Proposal<Cell> proposal);
+  /// Commit: applies the cell to the table and clears the Paxos slot.
+  void handle_commit(const Key& key, paxos::Ballot b, const Cell& cell);
+
+  // ---- Coordinator-side operations (this node is the Cassandra
+  // ---- coordinator the MUSIC replica or client connected to).
+
+  /// Writes key=cell at the given consistency level.  Fans out to all RF
+  /// replicas; succeeds when `level` many acknowledge.
+  sim::Task<Status> put(Key key, Cell cell, Consistency level);
+
+  /// Reads the key at the given consistency level: returns the
+  /// highest-timestamp cell among the replicas that answered.  NotFound if
+  /// the key exists nowhere (among respondents); Timeout if too few answer.
+  sim::Task<Result<Cell>> get(Key key, Consistency level);
+
+  /// Light-weight transaction (4 round trips).  Runs `update` against the
+  /// committed value; commits its decision under Paxos.  Retries internally
+  /// on ballot contention up to lwt_max_attempts.
+  ///
+  /// `update` MUST be a named lvalue in the calling coroutine's frame, not
+  /// a lambda temporary at the call site (GCC 12 miscompiles callable
+  /// temporaries crossing coroutine boundaries; see the Cell comment).  It
+  /// must stay alive until this task completes — immediate co_await of the
+  /// call satisfies both.
+  sim::Task<Result<LwtOutcome>> lwt(Key key, const LwtUpdate& update);
+
+  /// Keys starting with `prefix` in this coordinator's local table, sorted
+  /// (an eventual scan — may be stale; backs MUSIC's getAllKeys helper).
+  sim::Task<Result<std::vector<Key>>> scan_local_keys(Key prefix);
+
+  /// Crash / restart this replica (table survives; Paxos state survives —
+  /// i.e. crash-recovery with persistent storage, as Cassandra provides).
+  void set_down(bool down);
+  bool down() const;
+
+  /// Raw table size (diagnostics).
+  size_t table_size() const { return table_.size(); }
+
+ private:
+  friend class StoreCluster;
+
+  struct ReadRep {
+    std::optional<Cell> cell;
+    sim::NodeId from;
+  };
+
+  sim::Simulation& sim();
+  const StoreConfig& cfg() const;
+
+  /// Sends `handler` to run on replica `to` and returns the reply future.
+  /// Never fulfilled if the message or reply is lost.
+  template <typename Reply>
+  sim::Future<Reply> call(sim::NodeId to, size_t bytes,
+                          std::function<Reply(StoreReplica&)> handler,
+                          size_t reply_bytes);
+
+  /// Internal quorum/CL read used by both get() and the LWT read phase.
+  sim::Task<Result<Cell>> read_internal(const Key& key, int need,
+                                        const std::vector<sim::NodeId>& targets);
+
+  void leave_hint(sim::NodeId target, const Key& key, const Cell& cell);
+  void replay_hints();
+
+  StoreCluster& cluster_;
+  sim::NodeId node_;
+  int site_;
+  sim::ServiceNode service_;
+  std::unordered_map<Key, Cell> table_;
+  std::unordered_map<Key, paxos::Acceptor<Cell>> acceptors_;
+  int64_t ballot_round_ = 0;
+  struct Hint {
+    sim::NodeId target;
+    Key key;
+    Cell cell;
+  };
+  std::deque<Hint> hints_;
+  bool hint_loop_running_ = false;
+};
+
+/// The cluster: node registry, key placement, and the RPC fabric replicas
+/// use to reach each other.
+class StoreCluster {
+ public:
+  /// Creates one replica per entry of `node_sites` (value = site index).
+  /// For multi-node-per-site clusters, list nodes interleaved by site
+  /// (s0,s1,s2,s0,s1,s2,...) so ring placement puts each key's RF replicas
+  /// on distinct sites, as the paper's deployments do.
+  StoreCluster(sim::Simulation& sim, sim::Network& net, StoreConfig cfg,
+               const std::vector<int>& node_sites);
+
+  sim::Simulation& simulation() { return sim_; }
+  sim::Network& network() { return net_; }
+  const StoreConfig& config() const { return cfg_; }
+
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  StoreReplica& replica(int i) { return *replicas_.at(static_cast<size_t>(i)); }
+
+  /// A replica located at `site` (the one clients at that site talk to).
+  StoreReplica& replica_at_site(int site);
+
+  /// The RF replicas storing `key`, in ring order.
+  std::vector<sim::NodeId> placement(const Key& key) const;
+
+  /// Majority of the replication factor.
+  int quorum() const { return cfg_.replication_factor / 2 + 1; }
+
+  /// Finds the replica object for a node id.
+  StoreReplica& by_node(sim::NodeId n) { return *by_node_.at(n); }
+
+  /// Starts periodic anti-entropy: every interval, each replica exchanges a
+  /// digest with its ring successor and they repair each other (both
+  /// directions).  Heals divergence that hints/read-repair missed (e.g.
+  /// writes fully lost to a partitioned replica).
+  void start_anti_entropy();
+
+ private:
+  void anti_entropy_round(int idx);
+  sim::Simulation& sim_;
+  sim::Network& net_;
+  StoreConfig cfg_;
+  std::vector<std::unique_ptr<StoreReplica>> replicas_;
+  std::unordered_map<sim::NodeId, StoreReplica*> by_node_;
+};
+
+// ---- Template definition (needs StoreCluster complete). -------------------
+
+template <typename Reply>
+sim::Future<Reply> StoreReplica::call(sim::NodeId to, size_t bytes,
+                                      std::function<Reply(StoreReplica&)> handler,
+                                      size_t reply_bytes) {
+  sim::Promise<Reply> p(sim());
+  auto& net = cluster_.network();
+  size_t framed = bytes + cfg().overhead_bytes;
+  size_t reply_framed = reply_bytes + cfg().overhead_bytes;
+  sim::NodeId from = node_;
+  auto deliver = [this, to, framed, reply_framed, from, p,
+                  handler = std::move(handler)]() mutable {
+    StoreReplica& target = cluster_.by_node(to);
+    target.service().submit(framed, [&target, to, from, reply_framed, p,
+                                     handler = std::move(handler)]() mutable {
+      Reply r = handler(target);
+      if (to == from) {
+        p.set_value(std::move(r));  // loopback reply: no network hop
+      } else {
+        target.cluster_.network().send(
+            to, from, reply_framed, [p, r = std::move(r)] { p.set_value(r); });
+      }
+    });
+  };
+  if (to == node_) {
+    // Loopback: skip the network but still pay the service cost.
+    deliver();
+  } else {
+    net.send(from, to, framed, std::move(deliver));
+  }
+  return p.future();
+}
+
+}  // namespace music::ds

@@ -1,0 +1,153 @@
+#include "lockstore/raft_lockstore.h"
+
+#include <utility>
+
+namespace music::ls {
+
+namespace {
+
+/// The Raft client node used for message accounting: RaftLockStore calls
+/// run inside MUSIC replicas, which already paid their hops, so proposals
+/// go straight to the Raft nodes (leader forwarding handled here).
+constexpr int kMaxAttempts = 64;
+
+}  // namespace
+
+sim::Task<raftkv::ProposeOutcome> RaftLockStore::propose(raftkv::Command cmd) {
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    int target = leader_hint_ >= 0 && leader_hint_ < cluster_.num_nodes()
+                     ? leader_hint_
+                     : 0;
+    raftkv::RaftNode& node = cluster_.node(target);
+    if (node.down()) {
+      leader_hint_ = (target + 1) % cluster_.num_nodes();
+      co_await sim::sleep_for(cluster_.simulation(), sim::ms(50));
+      continue;
+    }
+    auto out = co_await node.propose(cmd);
+    if (out.status == OpStatus::Conflict) {
+      int hint = node.leader_hint();
+      leader_hint_ = hint >= 0 ? hint : (target + 1) % cluster_.num_nodes();
+      co_await sim::sleep_for(cluster_.simulation(), sim::ms(10));
+      continue;
+    }
+    if (out.status == OpStatus::Timeout) {
+      leader_hint_ = (target + 1) % cluster_.num_nodes();
+      co_await sim::sleep_for(cluster_.simulation(), sim::ms(50));
+      continue;
+    }
+    co_return out;
+  }
+  co_return raftkv::ProposeOutcome(OpStatus::Timeout, false);
+}
+
+sim::Task<Result<Value>> RaftLockStore::leader_read(Key key) {
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    int target = leader_hint_ >= 0 && leader_hint_ < cluster_.num_nodes()
+                     ? leader_hint_
+                     : 0;
+    raftkv::RaftNode& node = cluster_.node(target);
+    if (node.down()) {
+      leader_hint_ = (target + 1) % cluster_.num_nodes();
+      co_await sim::sleep_for(cluster_.simulation(), sim::ms(50));
+      continue;
+    }
+    auto r = co_await node.read(key);
+    if (!r.ok() && r.status() == OpStatus::Conflict) {
+      int hint = node.leader_hint();
+      leader_hint_ = hint >= 0 ? hint : (target + 1) % cluster_.num_nodes();
+      co_await sim::sleep_for(cluster_.simulation(), sim::ms(10));
+      continue;
+    }
+    co_return r;
+  }
+  co_return Result<Value>::Err(OpStatus::Timeout);
+}
+
+sim::Task<Result<LockQueue>> RaftLockStore::rmw(int /*site*/,
+                                                const Key& store_key,
+                                                LockRef* chosen,
+                                                LockRef dequeue_ref,
+                                                bool generate) {
+  uint64_t tag = generate ? next_op_tag_++ : 0;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    auto cur = co_await leader_read(store_key);
+    if (!cur.ok() && cur.status() != OpStatus::NotFound) {
+      // Transient (e.g. an election in progress): back off and retry.
+      co_await sim::sleep_for(cluster_.simulation(), sim::ms(100));
+      continue;
+    }
+    std::string old = cur.ok() ? cur.value().data : "";
+    LockQueue q = LockQueue::parse(old);
+    if (generate) {
+      bool already = false;
+      for (const auto& e : q.entries) {
+        if (e.op_tag == tag) {
+          *chosen = e.ref;
+          already = true;
+        }
+      }
+      if (!already) {
+        q.guard += 1;
+        *chosen = q.guard;
+        q.entries.emplace_back(q.guard, tag);
+      } else {
+        co_return Result<LockQueue>::Ok(q);
+      }
+    } else {
+      std::erase_if(q.entries,
+                    [dequeue_ref](const LockEntry& e) { return e.ref == dequeue_ref; });
+    }
+    // One Raft consensus round, conditioned on the queue being unchanged
+    // (the lock store's sequential consistency).
+    std::vector<std::pair<Key, Value>> writes;
+    writes.emplace_back(store_key, Value(q.serialize()));
+    auto out = co_await propose(
+        raftkv::Command(std::move(writes), store_key, Value(old)));
+    if (out.status != OpStatus::Ok) {
+      co_await sim::sleep_for(cluster_.simulation(), sim::ms(100));
+      continue;
+    }
+    if (out.applied) co_return Result<LockQueue>::Ok(q);
+    // CAS raced another queue update; re-read and retry.
+    co_await sim::sleep_for(cluster_.simulation(), sim::ms(2));
+  }
+  co_return Result<LockQueue>::Err(OpStatus::Conflict);
+}
+
+sim::Task<Result<LockRef>> RaftLockStore::backend_generate(int site, Key key) {
+  LockRef chosen = kNoLockRef;
+  auto r = co_await rmw(site, LockStore::queue_key(key), &chosen, 0, true);
+  if (!r.ok()) co_return Result<LockRef>::Err(r.status());
+  if (chosen == kNoLockRef) co_return Result<LockRef>::Err(OpStatus::Nack);
+  co_return Result<LockRef>::Ok(chosen);
+}
+
+sim::Task<Status> RaftLockStore::backend_dequeue(int site, Key key,
+                                                 LockRef ref) {
+  LockRef unused = kNoLockRef;
+  auto r = co_await rmw(site, LockStore::queue_key(key), &unused, ref, false);
+  co_return r.ok() ? Status::Ok() : Status::Err(r.status());
+}
+
+sim::Task<Result<PeekResult>> RaftLockStore::backend_peek(int site, Key key) {
+  // lsPeek semantics: the site-local Raft node's applied state, through its
+  // service queue (a local hop), possibly stale.
+  raftkv::RaftNode& node = cluster_.node_at_site(site);
+  Key store_key = LockStore::queue_key(key);
+  sim::Promise<Result<PeekResult>> p(cluster_.simulation());
+  raftkv::RaftNode* np = &node;
+  node.service().submit(key.size() + 64, [np, store_key, p] {
+    auto it = np->state().find(store_key);
+    if (it == np->state().end()) {
+      p.set_value(Result<PeekResult>::Ok(PeekResult{std::nullopt, false}));
+      return;
+    }
+    LockQueue q = LockQueue::parse(it->second.data);
+    p.set_value(Result<PeekResult>::Ok(PeekResult{q.head(), true}));
+  });
+  if (node.down()) co_return Result<PeekResult>::Err(OpStatus::Timeout);
+  co_return co_await p.future();
+}
+
+}  // namespace music::ls

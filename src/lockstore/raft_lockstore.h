@@ -1,0 +1,49 @@
+// Raft-backed lock store: the §X-A1 alternative.
+//
+// The paper chose Cassandra LWTs (4 RTTs per consensus write) for the lock
+// store to avoid operating a second system, and names "integrating new,
+// efficient consensus primitives" — basic consensus writes requiring only
+// ~1 RTT [50, Raft] — as future work.  RaftLockStore is that alternative:
+// the per-key lockRef queues live in a Raft-replicated KV, so
+// lsGenerateAndEnqueue/lsDequeue cost one Raft commit (plus the hop to the
+// leader) instead of four LWT round trips, while lsPeek reads the site-local
+// Raft node's applied state (eventual, like the paper's local peek).
+//
+// MUSIC runs unchanged over either backend (ls::LockBackend);
+// bench_ablation compares the two head-to-head.
+#pragma once
+
+#include <cstdint>
+
+#include "lockstore/lockstore.h"
+#include "raftkv/raft.h"
+
+namespace music::ls {
+
+/// LockBackend over a raftkv::RaftCluster.
+class RaftLockStore : public LockBackend {
+ public:
+  explicit RaftLockStore(raftkv::RaftCluster& cluster) : cluster_(cluster) {}
+
+  sim::Task<Result<LockRef>> backend_generate(int site, Key key) override;
+  sim::Task<Status> backend_dequeue(int site, Key key, LockRef ref) override;
+  sim::Task<Result<PeekResult>> backend_peek(int site, Key key) override;
+
+ private:
+  /// Read-modify-write of the queue object as a Raft CAS loop.  `mutate`
+  /// rewrites the queue and returns false to abort (nothing to do).
+  /// Returns the queue value that was committed.
+  sim::Task<Result<LockQueue>> rmw(int site, const Key& store_key,
+                                   LockRef* chosen, LockRef dequeue_ref,
+                                   bool generate);
+
+  /// Proposal routing with leader hints (same discipline as TxClient).
+  sim::Task<raftkv::ProposeOutcome> propose(raftkv::Command cmd);
+  sim::Task<Result<Value>> leader_read(Key key);
+
+  raftkv::RaftCluster& cluster_;
+  int leader_hint_ = 0;
+  uint64_t next_op_tag_ = 1;
+};
+
+}  // namespace music::ls

@@ -1,0 +1,106 @@
+// Single-decree Paxos acceptor logic, as used by Cassandra's light-weight
+// transactions [11] (the paper's locking primitive, §VI).
+//
+// This header holds only the pure, per-(replica, key) acceptor state
+// machine; the 4-round-trip LWT choreography (prepare, read, propose,
+// commit) is driven by the data-store coordinator in src/datastore.  Keeping
+// the acceptor pure makes the protocol rules independently unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+namespace music::paxos {
+
+/// A Paxos ballot.  Encodes (round, proposer) so ballots from different
+/// proposers never tie: ballot = round * kMaxProposers + proposer_id.
+using Ballot = int64_t;
+
+/// Upper bound on proposer (node) ids used in ballot encoding.
+inline constexpr int64_t kMaxProposers = 1024;
+
+/// Builds a ballot from a round counter and proposer id.
+constexpr Ballot make_ballot(int64_t round, int proposer_id) {
+  return round * kMaxProposers + proposer_id;
+}
+
+/// Extracts the round from a ballot (used to jump past a competitor).
+constexpr int64_t ballot_round(Ballot b) { return b / kMaxProposers; }
+
+/// A value proposed under a ballot.  V is the replicated payload (the data
+/// store instantiates it with its Cell type).
+template <typename V>
+struct Proposal {
+  Ballot ballot = -1;
+  V value{};
+};
+
+/// Reply to a prepare(ballot).
+template <typename V>
+struct PrepareReply {
+  /// True if the acceptor promised this ballot.
+  bool promised = false;
+  /// The acceptor's current promise (for ballot adjustment on refusal).
+  Ballot promised_ballot = -1;
+  /// An accepted-but-not-committed proposal the new coordinator must finish
+  /// before doing its own work (Cassandra's "replay in-progress Paxos").
+  std::optional<Proposal<V>> in_progress;
+};
+
+/// Reply to an accept(proposal).
+struct AcceptReply {
+  bool accepted = false;
+  Ballot promised_ballot = -1;
+};
+
+/// Per-(replica, key) Paxos acceptor.
+///
+/// The commit phase is handled by the storage layer (it applies the value to
+/// the data table); on_commit here only clears the in-progress slot so later
+/// prepares stop replaying a finished proposal.
+template <typename V>
+class Acceptor {
+ public:
+  /// Phase-1 handler.
+  PrepareReply<V> on_prepare(Ballot b) {
+    PrepareReply<V> r;
+    if (b > promised_) {
+      promised_ = b;
+      r.promised = true;
+    }
+    r.promised_ballot = promised_;
+    r.in_progress = accepted_;
+    return r;
+  }
+
+  /// Phase-3 handler.
+  AcceptReply on_accept(Proposal<V> p) {
+    AcceptReply r;
+    if (p.ballot >= promised_) {
+      promised_ = p.ballot;
+      accepted_ = std::move(p);
+      r.accepted = true;
+    }
+    r.promised_ballot = promised_;
+    return r;
+  }
+
+  /// Phase-4 handler: the proposal decided under `b` has been committed to
+  /// the data table; forget it (and anything older).
+  void on_commit(Ballot b) {
+    if (accepted_ && accepted_->ballot <= b) accepted_.reset();
+  }
+
+  /// Highest ballot promised so far (-1 if none).
+  Ballot promised() const { return promised_; }
+
+  /// The accepted-but-uncommitted proposal, if any.
+  const std::optional<Proposal<V>>& accepted() const { return accepted_; }
+
+ private:
+  Ballot promised_ = -1;
+  std::optional<Proposal<V>> accepted_;
+};
+
+}  // namespace music::paxos

@@ -1,0 +1,73 @@
+// Transactional KV client over the Raft cluster: the CockroachDB stand-in
+// used by Fig. 7 and the §X-B4 cost analysis.
+//
+// A CockroachDB transaction executes at the range's leaseholder and costs
+// one consensus round at commit.  TxClient models the client gateway: it
+// tracks the leader, forwards statements there, and implements the §X-B3
+// "critical section in CockroachDB" recipe, which the paper uses to give
+// CockroachDB the same exclusivity + latest-state guarantees as a MUSIC
+// critical section:
+//
+//   do batch-size times:
+//     BEGIN; SELECT lock; UPSERT lock=ME; COMMIT;        -- entry: consensus
+//     UPSERT k=v; UPSERT lock=NONE; COMMIT;              -- update+exit: consensus
+//
+// i.e. two consensus rounds per state update, versus MUSIC's single quorum
+// write (§X-B4's 2xC vs Q).
+#pragma once
+
+#include <string>
+
+#include "raftkv/raft.h"
+
+namespace music::raftkv {
+
+/// Client gateway for transactions.
+class TxClient {
+ public:
+  /// `name` identifies this client in lock cells ("ME" in the recipe).
+  TxClient(RaftCluster& cluster, int site, std::string name);
+
+  /// One transaction that atomically sets `writes` if `expect_key`'s
+  /// current value equals `expect_val` (one consensus round at the leader;
+  /// plus the WAN hop to reach it).  Ok(applied) mirrors Raft's outcome.
+  sim::Task<ProposeOutcome> txn_cas(std::vector<std::pair<Key, Value>> writes,
+                                    Key expect_key, Value expect_val);
+
+  /// One unconditional write transaction (one consensus round).
+  sim::Task<ProposeOutcome> txn_write(
+      std::vector<std::pair<Key, Value>> writes);
+
+  /// Linearizable read at the leader.
+  sim::Task<Result<Value>> select(Key key);
+
+  /// §X-B3 critical-section entry: transactionally grab the lock row.
+  /// Retries until the lock is free and ours.
+  sim::Task<Status> cs_enter(Key lock_key);
+
+  /// §X-B3 body step: one state update inside the held critical section
+  /// (its own transaction, as the recipe requires for latest-state).
+  sim::Task<Status> cs_update(Key key, Value value);
+
+  /// §X-B3 exit: release the lock row transactionally.
+  sim::Task<Status> cs_exit(Key lock_key);
+
+  /// The full recipe: enter, `batch` updates of `value` under `key`, exit.
+  /// The per-update transaction also re-asserts lock ownership (the
+  /// SELECT-in-transaction of the recipe).
+  sim::Task<Status> critical_section(Key lock_key, Key key, Value value,
+                                     int batch);
+
+ private:
+  /// Sends a proposal to the believed leader (forwarding hop), updating
+  /// the leader hint on redirects.
+  sim::Task<ProposeOutcome> propose_at_leader(Command cmd);
+
+  RaftCluster& cluster_;
+  int site_;
+  std::string name_;
+  sim::NodeId node_;
+  int leader_hint_;
+};
+
+}  // namespace music::raftkv

@@ -1,0 +1,298 @@
+#include "recipes/recipes.h"
+
+#include <charconv>
+
+namespace music::recipes {
+
+namespace {
+
+int64_t parse_i64(const std::string& s, int64_t fallback = 0) {
+  int64_t v = fallback;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '%' || c == '=' || c == '\n') {
+      static const char* hex = "0123456789ABCDEF";
+      out.push_back('%');
+      out.push_back(hex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+      out.push_back(hex[static_cast<unsigned char>(c) & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size() && hex_val(s[i + 1]) >= 0 &&
+        hex_val(s[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(hex_val(s[i + 1]) * 16 + hex_val(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- AtomicCounter ----------------------------------------------------------
+
+sim::Task<Result<int64_t>> AtomicCounter::add(int64_t delta) {
+  auto ref = co_await client_.create_lock_ref(key_);
+  if (!ref.ok()) co_return Result<int64_t>::Err(ref.status());
+  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
+  if (!acq.ok()) {
+    co_await client_.remove_lock_ref(key_, ref.value());
+    co_return Result<int64_t>::Err(acq.status());
+  }
+  auto cur = co_await client_.critical_get(key_, ref.value());
+  int64_t value = cur.ok() ? parse_i64(cur.value().data) : 0;
+  value += delta;
+  auto st = co_await client_.critical_put(key_, ref.value(),
+                                          Value(std::to_string(value)));
+  co_await client_.release_lock(key_, ref.value());
+  if (!st.ok()) co_return Result<int64_t>::Err(st.status());
+  co_return Result<int64_t>::Ok(value);
+}
+
+sim::Task<Result<std::pair<bool, int64_t>>> AtomicCounter::compare_and_set(
+    int64_t expect, int64_t desired) {
+  auto ref = co_await client_.create_lock_ref(key_);
+  if (!ref.ok()) {
+    co_return Result<std::pair<bool, int64_t>>::Err(ref.status());
+  }
+  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
+  if (!acq.ok()) {
+    co_await client_.remove_lock_ref(key_, ref.value());
+    co_return Result<std::pair<bool, int64_t>>::Err(acq.status());
+  }
+  auto cur = co_await client_.critical_get(key_, ref.value());
+  int64_t value = cur.ok() ? parse_i64(cur.value().data) : 0;
+  bool applied = value == expect;
+  Status st = Status::Ok();
+  if (applied) {
+    st = co_await client_.critical_put(key_, ref.value(),
+                                       Value(std::to_string(desired)));
+  }
+  co_await client_.release_lock(key_, ref.value());
+  if (!st.ok()) co_return Result<std::pair<bool, int64_t>>::Err(st.status());
+  co_return Result<std::pair<bool, int64_t>>::Ok({applied, value});
+}
+
+sim::Task<Result<int64_t>> AtomicCounter::get() {
+  auto ref = co_await client_.create_lock_ref(key_);
+  if (!ref.ok()) co_return Result<int64_t>::Err(ref.status());
+  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
+  if (!acq.ok()) {
+    co_await client_.remove_lock_ref(key_, ref.value());
+    co_return Result<int64_t>::Err(acq.status());
+  }
+  auto cur = co_await client_.critical_get(key_, ref.value());
+  int64_t value = cur.ok() ? parse_i64(cur.value().data) : 0;
+  co_await client_.release_lock(key_, ref.value());
+  co_return Result<int64_t>::Ok(value);
+}
+
+// ---- AtomicMap --------------------------------------------------------------
+
+std::string AtomicMap::encode(
+    const std::vector<std::pair<std::string, std::string>>& kvs) {
+  std::string out;
+  for (const auto& [k, v] : kvs) {
+    out += escape(k);
+    out.push_back('=');
+    out += escape(v);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> AtomicMap::decode(
+    const std::string& s) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t nl = s.find('\n', pos);
+    if (nl == std::string::npos) nl = s.size();
+    size_t eq = s.find('=', pos);
+    if (eq != std::string::npos && eq < nl) {
+      out.emplace_back(unescape(s.substr(pos, eq - pos)),
+                       unescape(s.substr(eq + 1, nl - eq - 1)));
+    }
+    pos = nl + 1;
+  }
+  return out;
+}
+
+sim::Task<Status> AtomicMap::put_field(const std::string& field,
+                                       const std::string& v) {
+  std::string want = v;
+  auto setter = [&want](const std::optional<std::string>&) { return want; };
+  co_return co_await update_field(field, setter);
+}
+
+sim::Task<Result<std::optional<std::string>>> AtomicMap::get_field(
+    const std::string& field) {
+  auto ref = co_await client_.create_lock_ref(key_);
+  if (!ref.ok()) {
+    co_return Result<std::optional<std::string>>::Err(ref.status());
+  }
+  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
+  if (!acq.ok()) {
+    co_await client_.remove_lock_ref(key_, ref.value());
+    co_return Result<std::optional<std::string>>::Err(acq.status());
+  }
+  auto cur = co_await client_.critical_get(key_, ref.value());
+  co_await client_.release_lock(key_, ref.value());
+  std::optional<std::string> found;
+  for (const auto& [k, val] : decode(cur.ok() ? cur.value().data : "")) {
+    if (k == field) found = val;
+  }
+  co_return Result<std::optional<std::string>>::Ok(std::move(found));
+}
+
+sim::Task<Status> AtomicMap::erase_field(const std::string& field) {
+  auto ref = co_await client_.create_lock_ref(key_);
+  if (!ref.ok()) co_return ref.status();
+  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
+  if (!acq.ok()) {
+    co_await client_.remove_lock_ref(key_, ref.value());
+    co_return acq;
+  }
+  auto cur = co_await client_.critical_get(key_, ref.value());
+  auto kvs = decode(cur.ok() ? cur.value().data : "");
+  std::erase_if(kvs, [&field](const auto& kv) { return kv.first == field; });
+  auto st = co_await client_.critical_put(key_, ref.value(), Value(encode(kvs)));
+  co_await client_.release_lock(key_, ref.value());
+  co_return st;
+}
+
+sim::Task<Result<size_t>> AtomicMap::size() {
+  auto ref = co_await client_.create_lock_ref(key_);
+  if (!ref.ok()) co_return Result<size_t>::Err(ref.status());
+  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
+  if (!acq.ok()) {
+    co_await client_.remove_lock_ref(key_, ref.value());
+    co_return Result<size_t>::Err(acq.status());
+  }
+  auto cur = co_await client_.critical_get(key_, ref.value());
+  co_await client_.release_lock(key_, ref.value());
+  co_return Result<size_t>::Ok(decode(cur.ok() ? cur.value().data : "").size());
+}
+
+// ---- DistributedQueue -------------------------------------------------------
+
+sim::Task<Status> DistributedQueue::push(const std::string& item) {
+  auto ref = co_await client_.create_lock_ref(key_);
+  if (!ref.ok()) co_return ref.status();
+  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
+  if (!acq.ok()) {
+    co_await client_.remove_lock_ref(key_, ref.value());
+    co_return acq;
+  }
+  auto cur = co_await client_.critical_get(key_, ref.value());
+  auto items = AtomicMap::decode(cur.ok() ? cur.value().data : "");
+  items.emplace_back("i", item);  // FIFO: append
+  auto st = co_await client_.critical_put(key_, ref.value(),
+                                          Value(AtomicMap::encode(items)));
+  co_await client_.release_lock(key_, ref.value());
+  co_return st;
+}
+
+sim::Task<Result<std::string>> DistributedQueue::pop() {
+  auto ref = co_await client_.create_lock_ref(key_);
+  if (!ref.ok()) co_return Result<std::string>::Err(ref.status());
+  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
+  if (!acq.ok()) {
+    co_await client_.remove_lock_ref(key_, ref.value());
+    co_return Result<std::string>::Err(acq.status());
+  }
+  auto cur = co_await client_.critical_get(key_, ref.value());
+  auto items = AtomicMap::decode(cur.ok() ? cur.value().data : "");
+  if (items.empty()) {
+    co_await client_.release_lock(key_, ref.value());
+    co_return Result<std::string>::Err(OpStatus::NotFound);
+  }
+  std::string head = items.front().second;
+  items.erase(items.begin());
+  auto st = co_await client_.critical_put(key_, ref.value(),
+                                          Value(AtomicMap::encode(items)));
+  co_await client_.release_lock(key_, ref.value());
+  if (!st.ok()) co_return Result<std::string>::Err(st.status());
+  co_return Result<std::string>::Ok(std::move(head));
+}
+
+sim::Task<Result<size_t>> DistributedQueue::size() {
+  auto ref = co_await client_.create_lock_ref(key_);
+  if (!ref.ok()) co_return Result<size_t>::Err(ref.status());
+  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
+  if (!acq.ok()) {
+    co_await client_.remove_lock_ref(key_, ref.value());
+    co_return Result<size_t>::Err(acq.status());
+  }
+  auto cur = co_await client_.critical_get(key_, ref.value());
+  co_await client_.release_lock(key_, ref.value());
+  co_return Result<size_t>::Ok(
+      AtomicMap::decode(cur.ok() ? cur.value().data : "").size());
+}
+
+// ---- LeaderElection ---------------------------------------------------------
+
+sim::Task<Status> LeaderElection::campaign() {
+  if (ref_ != kNoLockRef) co_return Status::Ok();  // already leader
+  auto ref = co_await client_.create_lock_ref(key_);
+  if (!ref.ok()) co_return ref.status();
+  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
+  if (!acq.ok()) {
+    co_await client_.remove_lock_ref(key_, ref.value());
+    co_return acq;
+  }
+  ref_ = ref.value();
+  // Advertise (lock-free; observers tolerate staleness).
+  co_await client_.put(key_ + "-leader", Value(me_));
+  co_return Status::Ok();
+}
+
+sim::Task<Status> LeaderElection::resign() {
+  if (ref_ == kNoLockRef) co_return Status::Ok();
+  auto st = co_await client_.release_lock(key_, ref_);
+  ref_ = kNoLockRef;
+  co_return st;
+}
+
+sim::Task<Result<bool>> LeaderElection::am_leader() {
+  if (ref_ == kNoLockRef) co_return Result<bool>::Ok(false);
+  // A poll with our ref answers the question: Ok = still head.
+  auto st = co_await client_.acquire_lock(key_, ref_);
+  if (st.ok()) co_return Result<bool>::Ok(true);
+  if (st.status() == OpStatus::NotLockHolder ||
+      st.status() == OpStatus::NotYetHolder) {
+    co_return Result<bool>::Ok(false);
+  }
+  co_return Result<bool>::Err(st.status());
+}
+
+sim::Task<Result<std::string>> LeaderElection::current_leader() {
+  auto v = co_await client_.get(key_ + "-leader");
+  if (!v.ok()) co_return Result<std::string>::Err(v.status());
+  co_return Result<std::string>::Ok(v.value().data);
+}
+
+}  // namespace music::recipes

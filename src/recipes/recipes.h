@@ -1,0 +1,150 @@
+// Atomic data structures and coordination recipes over MUSIC critical
+// sections.
+//
+// §II of the paper argues that a general critical-section control structure
+// subsumes per-structure atomic APIs (Atomix's maps/lists) and standalone
+// locking services (Chubby/Curator recipes): "this abstraction can then be
+// used to build atomic data structures as needed."  This module is that
+// argument as code — every recipe is a thin client of the public
+// MusicClient API and inherits ECF's exclusivity + latest-state guarantees
+// (so e.g. a counter increment can never be lost to a failed-over worker).
+//
+// All operations run whole critical sections; for high-rate use amortize by
+// taking a MultiKeySection once and operating inside it instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+
+namespace music::recipes {
+
+/// A geo-replicated atomic counter.
+class AtomicCounter {
+ public:
+  AtomicCounter(core::MusicClient& client, Key key)
+      : client_(client), key_(std::move(key)) {}
+
+  /// Atomically adds `delta` and returns the new value.
+  sim::Task<Result<int64_t>> add(int64_t delta);
+  /// Atomically compares-and-sets; returns whether it applied plus the
+  /// value observed.
+  sim::Task<Result<std::pair<bool, int64_t>>> compare_and_set(int64_t expect,
+                                                              int64_t desired);
+  /// Reads the latest committed value (its own critical section, so it is
+  /// the true value, not an eventual read).
+  sim::Task<Result<int64_t>> get();
+
+ private:
+  core::MusicClient& client_;
+  Key key_;
+};
+
+/// A geo-replicated atomic map (string -> string) stored under one MUSIC
+/// key; every mutation is atomic and reads-latest across sites.
+class AtomicMap {
+ public:
+  AtomicMap(core::MusicClient& client, Key key)
+      : client_(client), key_(std::move(key)) {}
+
+  sim::Task<Status> put_field(const std::string& field, const std::string& v);
+  sim::Task<Result<std::optional<std::string>>> get_field(
+      const std::string& field);
+  sim::Task<Status> erase_field(const std::string& field);
+  /// Atomic read-modify-write of one field: new = f(old).  `f` must be a
+  /// named lvalue at the call site (GCC 12; see ds::Cell note).
+  template <typename F>
+  sim::Task<Status> update_field(const std::string& field, F& f);
+  sim::Task<Result<size_t>> size();
+
+  /// Codec (exposed for tests): "k=v\n" lines with %-escaping of '=', '\n'
+  /// and '%'.
+  static std::string encode(const std::vector<std::pair<std::string, std::string>>& kvs);
+  static std::vector<std::pair<std::string, std::string>> decode(
+      const std::string& s);
+
+ private:
+  core::MusicClient& client_;
+  Key key_;
+};
+
+/// A geo-replicated FIFO queue under one MUSIC key.
+class DistributedQueue {
+ public:
+  DistributedQueue(core::MusicClient& client, Key key)
+      : client_(client), key_(std::move(key)) {}
+
+  sim::Task<Status> push(const std::string& item);
+  /// Pops the head; NotFound when empty.
+  sim::Task<Result<std::string>> pop();
+  sim::Task<Result<size_t>> size();
+
+ private:
+  core::MusicClient& client_;
+  Key key_;
+};
+
+/// Leader election (the coarse-grained use the paper contrasts with
+/// fine-grained data locks, §II): the leader is whoever holds the MUSIC
+/// lock on the election key; on leader death the failure detector preempts
+/// and the next candidate wins.  The elected leader's identity is published
+/// under "<key>-leader" for observers (lock-free reads, possibly stale —
+/// correctness always comes from the lock itself).
+class LeaderElection {
+ public:
+  LeaderElection(core::MusicClient& client, Key key, std::string me)
+      : client_(client), key_(std::move(key)), me_(std::move(me)) {}
+
+  /// Blocks (polls) until this candidate is elected.
+  sim::Task<Status> campaign();
+  /// Steps down (releases the lock).
+  sim::Task<Status> resign();
+  /// True while this candidate's lockRef still heads the queue.
+  sim::Task<Result<bool>> am_leader();
+  /// The advertised current leader (observers; may be stale).
+  sim::Task<Result<std::string>> current_leader();
+
+ private:
+  core::MusicClient& client_;
+  Key key_;
+  std::string me_;
+  LockRef ref_ = kNoLockRef;
+};
+
+// ---- Template definitions ---------------------------------------------------
+
+template <typename F>
+sim::Task<Status> AtomicMap::update_field(const std::string& field, F& f) {
+  Key key = key_;
+  core::MusicClient& client = client_;
+  auto ref = co_await client.create_lock_ref(key);
+  if (!ref.ok()) co_return ref.status();
+  auto acq = co_await client.acquire_lock_blocking(key, ref.value());
+  if (!acq.ok()) {
+    co_await client.remove_lock_ref(key, ref.value());
+    co_return acq;
+  }
+  auto cur = co_await client.critical_get(key, ref.value());
+  auto kvs = decode(cur.ok() ? cur.value().data : "");
+  std::optional<std::string> old;
+  for (auto& [k, v] : kvs) {
+    if (k == field) old = v;
+  }
+  std::string next = f(old);
+  bool replaced = false;
+  for (auto& [k, v] : kvs) {
+    if (k == field) {
+      v = next;
+      replaced = true;
+    }
+  }
+  if (!replaced) kvs.emplace_back(field, next);
+  auto st = co_await client.critical_put(key, ref.value(), Value(encode(kvs)));
+  co_await client.release_lock(key, ref.value());
+  co_return st;
+}
+
+}  // namespace music::recipes

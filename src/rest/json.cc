@@ -1,0 +1,327 @@
+#include "rest/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace music::rest {
+
+namespace {
+
+const Json kNull{};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Recursive-descent parser.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  std::optional<Json> run() {
+    skip_ws();
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* lit) {
+    size_t n = std::string_view(lit).size();
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> value() {
+    if (pos_ >= s_.size()) return std::nullopt;
+    char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      auto s = string();
+      if (!s) return std::nullopt;
+      return Json(std::move(*s));
+    }
+    if (literal("true")) return Json(true);
+    if (literal("false")) return Json(false);
+    if (literal("null")) return Json(nullptr);
+    return number();
+  }
+
+  std::optional<Json> number() {
+    size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    double d = 0;
+    auto r = std::from_chars(s_.data() + start, s_.data() + pos_, d);
+    if (r.ec != std::errc{} || r.ptr != s_.data() + pos_) return std::nullopt;
+    return Json(d);
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return std::nullopt;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return std::nullopt;
+            unsigned int cp = 0;
+            auto r = std::from_chars(s_.data() + pos_, s_.data() + pos_ + 4,
+                                     cp, 16);
+            if (r.ec != std::errc{}) return std::nullopt;
+            pos_ += 4;
+            // Encode as UTF-8 (BMP only).
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> array() {
+    if (!consume('[')) return std::nullopt;
+    Json::Array out;
+    skip_ws();
+    if (consume(']')) return Json(std::move(out));
+    while (true) {
+      skip_ws();
+      auto v = value();
+      if (!v) return std::nullopt;
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return Json(std::move(out));
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> object() {
+    if (!consume('{')) return std::nullopt;
+    Json::Object out;
+    skip_ws();
+    if (consume('}')) return Json(std::move(out));
+    while (true) {
+      skip_ws();
+      auto key = string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      auto v = value();
+      if (!v) return std::nullopt;
+      out.emplace(std::move(*key), std::move(*v));
+      skip_ws();
+      if (consume('}')) return Json(std::move(out));
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Json& Json::operator[](const std::string& key) const {
+  if (is_object()) {
+    auto it = obj_.find(key);
+    if (it != obj_.end()) return it->second;
+  }
+  return kNull;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  if (!is_object()) {
+    type_ = Type::Object;
+    obj_.clear();
+  }
+  obj_[key] = std::move(v);
+  return *this;
+}
+
+Json& Json::push(Json v) {
+  if (!is_array()) {
+    type_ = Type::Array;
+    arr_.clear();
+  }
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  switch (type_) {
+    case Type::Null:
+      out = "null";
+      break;
+    case Type::Bool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Type::Number: {
+      if (num_ == std::floor(num_) && std::abs(num_) < 1e15) {
+        out = std::to_string(static_cast<int64_t>(num_));
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
+        out = buf;
+      }
+      break;
+    }
+    case Type::String:
+      dump_string(str_, out);
+      break;
+    case Type::Array: {
+      out.push_back('[');
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += arr_[i].dump();
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::Object: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_string(k, out);
+        out.push_back(':');
+        out += v.dump();
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+std::optional<Json> Json::parse(const std::string& text) {
+  return Parser(text).run();
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::Null:
+      return true;
+    case Json::Type::Bool:
+      return a.bool_ == b.bool_;
+    case Json::Type::Number:
+      return a.num_ == b.num_;
+    case Json::Type::String:
+      return a.str_ == b.str_;
+    case Json::Type::Array:
+      return a.arr_ == b.arr_;
+    case Json::Type::Object:
+      return a.obj_ == b.obj_;
+  }
+  return false;
+}
+
+}  // namespace music::rest

@@ -1,0 +1,89 @@
+// Minimal JSON value, parser and serializer.
+//
+// §VI: MUSIC's functionality "is provided as a Java library ... and as a
+// multi-site REST web service"; "clients send key-value pairs for these
+// tables in JSON format, which are then converted to CQL queries".  This is
+// the self-contained JSON layer our REST front end (rest.h) uses for
+// request and reply bodies.  Supports the full JSON grammar except \u
+// surrogate pairs outside the BMP (escapes decode to UTF-8).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace music::rest {
+
+/// A JSON value (null / bool / number / string / array / object).
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}                    // NOLINT
+  Json(bool b) : type_(Type::Bool), bool_(b) {}                  // NOLINT
+  Json(double n) : type_(Type::Number), num_(n) {}               // NOLINT
+  Json(int64_t n) : type_(Type::Number), num_(static_cast<double>(n)) {}  // NOLINT
+  Json(int n) : type_(Type::Number), num_(n) {}                  // NOLINT
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::String), str_(s) {}          // NOLINT
+  Json(Array a) : type_(Type::Array), arr_(std::move(a)) {}      // NOLINT
+  Json(Object o) : type_(Type::Object), obj_(std::move(o)) {}    // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0) const {
+    return is_number() ? num_ : fallback;
+  }
+  int64_t as_int(int64_t fallback = 0) const {
+    return is_number() ? static_cast<int64_t>(num_) : fallback;
+  }
+  const std::string& as_string() const { return str_; }
+  const Array& as_array() const { return arr_; }
+  const Object& as_object() const { return obj_; }
+
+  /// Object field lookup; returns a Null Json for missing keys.
+  const Json& operator[](const std::string& key) const;
+  /// Whether an object has `key`.
+  bool has(const std::string& key) const {
+    return is_object() && obj_.count(key) > 0;
+  }
+
+  /// Mutable object field access (turns a Null value into an Object).
+  Json& set(const std::string& key, Json v);
+  /// Appends to an array (turns a Null value into an Array).
+  Json& push(Json v);
+
+  /// Serializes to compact JSON text.
+  std::string dump() const;
+
+  /// Parses JSON text; nullopt on syntax errors.
+  static std::optional<Json> parse(const std::string& text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace music::rest

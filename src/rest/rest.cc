@@ -1,0 +1,103 @@
+#include "rest/rest.h"
+
+namespace music::rest {
+
+namespace {
+
+Json error_reply(const std::string& what) {
+  Json r;
+  r.set("status", "BadRequest");
+  r.set("error", what);
+  return r;
+}
+
+Json status_reply(OpStatus s) {
+  Json r;
+  r.set("status", std::string(to_string(s)));
+  return r;
+}
+
+}  // namespace
+
+sim::Task<Json> RestGateway::handle_json(Json request) {
+  if (!request.is_object()) co_return error_reply("body must be an object");
+  const std::string& op = request["op"].as_string();
+  if (op.empty()) co_return error_reply("missing op");
+  if (!request["key"].is_string() || request["key"].as_string().empty()) {
+    co_return error_reply("missing key");
+  }
+  Key key = request["key"].as_string();
+  LockRef ref = request["lockRef"].as_int(kNoLockRef);
+
+  if (op == "createLockRef") {
+    auto r = co_await client_.create_lock_ref(key);
+    Json reply = status_reply(r.status());
+    if (r.ok()) reply.set("lockRef", r.value());
+    co_return reply;
+  }
+  if (op == "acquireLock") {
+    if (ref == kNoLockRef) co_return error_reply("missing lockRef");
+    auto st = co_await client_.acquire_lock(key, ref);
+    co_return status_reply(st.status());
+  }
+  if (op == "criticalPut") {
+    if (ref == kNoLockRef) co_return error_reply("missing lockRef");
+    if (!request["value"].is_string()) co_return error_reply("missing value");
+    auto st = co_await client_.critical_put(key, ref,
+                                            Value(request["value"].as_string()));
+    co_return status_reply(st.status());
+  }
+  if (op == "criticalGet") {
+    if (ref == kNoLockRef) co_return error_reply("missing lockRef");
+    auto r = co_await client_.critical_get(key, ref);
+    Json reply = status_reply(r.status());
+    if (r.ok()) reply.set("value", r.value().data);
+    co_return reply;
+  }
+  if (op == "criticalDelete") {
+    if (ref == kNoLockRef) co_return error_reply("missing lockRef");
+    auto st = co_await client_.critical_delete(key, ref);
+    co_return status_reply(st.status());
+  }
+  if (op == "releaseLock") {
+    if (ref == kNoLockRef) co_return error_reply("missing lockRef");
+    auto st = co_await client_.release_lock(key, ref);
+    co_return status_reply(st.status());
+  }
+  if (op == "forcedRelease") {
+    if (ref == kNoLockRef) co_return error_reply("missing lockRef");
+    auto st = co_await client_.forced_release(key, ref);
+    co_return status_reply(st.status());
+  }
+  if (op == "put") {
+    if (!request["value"].is_string()) co_return error_reply("missing value");
+    auto st = co_await client_.put(key, Value(request["value"].as_string()));
+    co_return status_reply(st.status());
+  }
+  if (op == "get") {
+    auto r = co_await client_.get(key);
+    Json reply = status_reply(r.status());
+    if (r.ok()) reply.set("value", r.value().data);
+    co_return reply;
+  }
+  if (op == "getAllKeys") {
+    auto r = co_await client_.get_all_keys(key);
+    Json reply = status_reply(r.status());
+    if (r.ok()) {
+      Json keys;
+      for (const auto& k : r.value()) keys.push(k);
+      reply.set("keys", std::move(keys));
+    }
+    co_return reply;
+  }
+  co_return error_reply("unknown op '" + op + "'");
+}
+
+sim::Task<std::string> RestGateway::handle(std::string body) {
+  auto parsed = Json::parse(body);
+  if (!parsed) co_return error_reply("invalid JSON").dump();
+  Json reply = co_await handle_json(std::move(*parsed));
+  co_return reply.dump();
+}
+
+}  // namespace music::rest

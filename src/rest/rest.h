@@ -1,0 +1,42 @@
+// The MUSIC REST front end (§VI, Fig. 1): MUSIC "is provided ... as a
+// multi-site REST web service".
+//
+// RestGateway translates JSON request bodies into Table I operations via a
+// MusicClient and formats JSON replies, mirroring the ONAP deployment where
+// non-JVM services drive MUSIC over HTTP.  Request shape:
+//
+//   { "op":  "createLockRef" | "acquireLock" | "criticalPut" |
+//            "criticalGet"   | "criticalDelete" | "releaseLock" |
+//            "forcedRelease" | "put" | "get" | "getAllKeys",
+//     "key": "...", "lockRef": 7, "value": "..." }
+//
+// Reply: { "status": "Ok"|..., "lockRef": n?, "value": "..."?, "keys": []? }
+//
+// Malformed bodies get {"status":"BadRequest","error":...} without touching
+// the store.
+#pragma once
+
+#include <string>
+
+#include "core/client.h"
+#include "rest/json.h"
+
+namespace music::rest {
+
+/// JSON-over-"HTTP" gateway bound to one MusicClient.
+class RestGateway {
+ public:
+  explicit RestGateway(core::MusicClient& client) : client_(client) {}
+
+  /// Handles one request body; returns the reply body.  Never throws;
+  /// syntactic problems come back as status "BadRequest".
+  sim::Task<std::string> handle(std::string body);
+
+  /// Typed layer used by handle() (exposed for tests): Json in, Json out.
+  sim::Task<Json> handle_json(Json request);
+
+ private:
+  core::MusicClient& client_;
+};
+
+}  // namespace music::rest

@@ -1,0 +1,129 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace music::sim {
+
+LatencyProfile LatencyProfile::from_pairs(std::string name, int sites,
+                                          const std::vector<double>& pair_rtts_ms,
+                                          double local_ms) {
+  assert(static_cast<int>(pair_rtts_ms.size()) == sites * (sites - 1) / 2);
+  LatencyProfile p;
+  p.name = std::move(name);
+  p.rtt_ms.assign(static_cast<size_t>(sites),
+                  std::vector<double>(static_cast<size_t>(sites), local_ms));
+  size_t k = 0;
+  for (int i = 0; i < sites; ++i) {
+    for (int j = i + 1; j < sites; ++j) {
+      p.rtt_ms[static_cast<size_t>(i)][static_cast<size_t>(j)] = pair_rtts_ms[k];
+      p.rtt_ms[static_cast<size_t>(j)][static_cast<size_t>(i)] = pair_rtts_ms[k];
+      ++k;
+    }
+  }
+  return p;
+}
+
+// Table II of the paper.  RTT order is S1-S2, S1-S3, S2-S3.
+LatencyProfile LatencyProfile::profile_11() {
+  return from_pairs("11", 3, {0.2, 15.14, 15.14});
+}
+
+LatencyProfile LatencyProfile::profile_lus() {
+  return from_pairs("lUs", 3, {53.79, 72.14, 24.2});
+}
+
+LatencyProfile LatencyProfile::profile_luseu() {
+  return from_pairs("lUsEu", 3, {53.79, 100.56, 150.74});
+}
+
+std::vector<LatencyProfile> LatencyProfile::table2() {
+  return {profile_11(), profile_lus(), profile_luseu()};
+}
+
+LatencyProfile LatencyProfile::uniform(int sites, double rtt_ms_val,
+                                       double local_ms) {
+  std::vector<double> pairs(static_cast<size_t>(sites * (sites - 1) / 2),
+                            rtt_ms_val);
+  return from_pairs("uniform", sites, pairs, local_ms);
+}
+
+Network::Network(Simulation& sim, NetworkConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)), rng_(sim.rng().fork(0x6e657477ull)) {}
+
+NodeId Network::add_node(int site) {
+  assert(site >= 0 && site < num_sites());
+  node_site_.push_back(site);
+  down_.push_back(false);
+  return static_cast<NodeId>(node_site_.size() - 1);
+}
+
+Duration Network::base_rtt(NodeId from, NodeId to) const {
+  int sa = site_of(from);
+  int sb = site_of(to);
+  return ms_f(cfg_.profile.rtt_ms[static_cast<size_t>(sa)][static_cast<size_t>(sb)]);
+}
+
+Duration Network::sample_delay(NodeId from, NodeId to, size_t bytes) {
+  Duration one_way = base_rtt(from, to) / 2;
+  bool same_site = site_of(from) == site_of(to);
+  double bps = same_site ? cfg_.lan_bandwidth_bps : cfg_.wan_bandwidth_bps;
+  auto xfer = static_cast<Duration>(static_cast<double>(bytes) * 8.0 / bps * 1e6);
+  Duration base = one_way + xfer;
+  if (cfg_.jitter_frac > 0.0) {
+    double j = rng_.uniform_real(-cfg_.jitter_frac, cfg_.jitter_frac);
+    base += static_cast<Duration>(static_cast<double>(base) * j);
+  }
+  return std::max<Duration>(base, 1);
+}
+
+void Network::send(NodeId from, NodeId to, size_t bytes,
+                   std::function<void()> deliver) {
+  ++sent_;
+  bytes_sent_ += bytes;
+  if (!deliverable(from, to) || rng_.chance(cfg_.drop_prob)) {
+    ++dropped_;
+    return;
+  }
+  Duration d = sample_delay(from, to, bytes);
+  NodeId dest = to;
+  sim_.schedule(d, [this, dest, deliver = std::move(deliver)] {
+    // The destination may have crashed (or been partitioned away) while the
+    // message was in flight; re-check on delivery.
+    if (down_.at(static_cast<size_t>(dest))) {
+      ++dropped_;
+      return;
+    }
+    deliver();
+  });
+}
+
+void Network::set_node_down(NodeId n, bool down) {
+  down_.at(static_cast<size_t>(n)) = down;
+}
+
+void Network::partition_sites(std::set<int> a, std::set<int> b) {
+  partitioned_ = true;
+  side_a_ = std::move(a);
+  side_b_ = std::move(b);
+}
+
+void Network::heal_partition() {
+  partitioned_ = false;
+  side_a_.clear();
+  side_b_.clear();
+}
+
+bool Network::deliverable(NodeId from, NodeId to) const {
+  if (down_.at(static_cast<size_t>(from)) || down_.at(static_cast<size_t>(to))) {
+    return false;
+  }
+  if (!partitioned_) return true;
+  int sa = site_of(from);
+  int sb = site_of(to);
+  bool cross = (side_a_.count(sa) && side_b_.count(sb)) ||
+               (side_a_.count(sb) && side_b_.count(sa));
+  return !cross;
+}
+
+}  // namespace music::sim

@@ -1,0 +1,135 @@
+// WAN network model.
+//
+// Reproduces what the paper emulates with NetEm (§VIII-a): a set of sites
+// (data centers) with a symmetric RTT matrix between them (Table II), plus a
+// small intra-site RTT.  Messages experience one-way delay = RTT/2 + a
+// bandwidth term + jitter, may be dropped with a configured probability, and
+// are blocked entirely by partitions or node crashes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace music::sim {
+
+/// Identifies a simulated node (process).  Dense indices from Network.
+using NodeId = int;
+
+/// A named set of sites and the RTTs between them, as in Table II of the
+/// paper.  rtt_ms[i][j] is the round-trip time between sites i and j in
+/// milliseconds; the matrix is symmetric with rtt_ms[i][i] = intra-site RTT.
+struct LatencyProfile {
+  std::string name;
+  std::vector<std::vector<double>> rtt_ms;
+
+  int num_sites() const { return static_cast<int>(rtt_ms.size()); }
+
+  /// Builds a profile from the upper-triangle RTT list (S1-S2, S1-S3, S2-S3,
+  /// ...) the paper uses, with `local_ms` on the diagonal.
+  static LatencyProfile from_pairs(std::string name, int sites,
+                                   const std::vector<double>& pair_rtts_ms,
+                                   double local_ms = 0.2);
+
+  /// Table II "11": Ohio, Ohio, N. Virginia — RTTs 0.2, 15.14, 15.14 ms.
+  static LatencyProfile profile_11();
+  /// Table II "lUs": Ohio, N. Calif., Oregon — RTTs 53.79, 72.14, 24.2 ms.
+  static LatencyProfile profile_lus();
+  /// Table II "lUsEu": Ohio, N. Calif., Frankfurt — 53.79, 100.56, 150.74.
+  static LatencyProfile profile_luseu();
+  /// All three Table II profiles, in paper order.
+  static std::vector<LatencyProfile> table2();
+  /// A single-site profile (for unit tests): `sites` co-located sites with
+  /// the given intra/inter RTT.
+  static LatencyProfile uniform(int sites, double rtt_ms_val,
+                                double local_ms = 0.2);
+};
+
+/// Tunables for the network beyond the latency profile.
+struct NetworkConfig {
+  LatencyProfile profile = LatencyProfile::profile_lus();
+  /// Fraction of one-way delay added/subtracted uniformly as jitter.
+  double jitter_frac = 0.02;
+  /// Probability an individual message is silently dropped.
+  double drop_prob = 0.0;
+  /// Inter-site bandwidth (per message serialization), bits per second.
+  double wan_bandwidth_bps = 1e9;
+  /// Intra-site bandwidth, bits per second.
+  double lan_bandwidth_bps = 10e9;
+};
+
+/// The network: node registry, delay computation, delivery, partitions.
+class Network {
+ public:
+  Network(Simulation& sim, NetworkConfig cfg);
+
+  /// Registers a node living at `site`; returns its id.
+  NodeId add_node(int site);
+
+  /// The site a node lives at.
+  int site_of(NodeId n) const { return node_site_.at(static_cast<size_t>(n)); }
+
+  /// Number of registered nodes.
+  int num_nodes() const { return static_cast<int>(node_site_.size()); }
+
+  /// Number of sites in the active profile.
+  int num_sites() const { return cfg_.profile.num_sites(); }
+
+  /// One-way delay for a `bytes`-sized message (includes jitter draw).
+  Duration sample_delay(NodeId from, NodeId to, size_t bytes);
+
+  /// RTT between two nodes' sites, without jitter or bandwidth (µs).
+  Duration base_rtt(NodeId from, NodeId to) const;
+
+  /// Sends a message: if deliverable, schedules `deliver` at the destination
+  /// after the sampled delay.  Otherwise the message vanishes (the caller's
+  /// future, if any, is simply never fulfilled).
+  void send(NodeId from, NodeId to, size_t bytes, std::function<void()> deliver);
+
+  /// Marks a node crashed (true) or alive (false).  Messages to/from crashed
+  /// nodes are dropped.
+  void set_node_down(NodeId n, bool down);
+  bool node_down(NodeId n) const { return down_.at(static_cast<size_t>(n)); }
+
+  /// Cuts all links between site sets A and B (nodes within a side still
+  /// communicate).  Replaces any previous partition.
+  void partition_sites(std::set<int> a, std::set<int> b);
+
+  /// Heals any active partition.
+  void heal_partition();
+
+  /// True if a message from -> to would currently be deliverable (ignoring
+  /// random drops).
+  bool deliverable(NodeId from, NodeId to) const;
+
+  /// Messages sent / dropped so far (diagnostics).
+  uint64_t messages_sent() const { return sent_; }
+  uint64_t messages_dropped() const { return dropped_; }
+  /// Total payload bytes handed to send() (diagnostics).
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+  Simulation& simulation() { return sim_; }
+  const NetworkConfig& config() const { return cfg_; }
+
+ private:
+  Simulation& sim_;
+  NetworkConfig cfg_;
+  Rng rng_;
+  std::vector<int> node_site_;
+  std::vector<bool> down_;
+  bool partitioned_ = false;
+  std::set<int> side_a_, side_b_;
+  uint64_t sent_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace music::sim

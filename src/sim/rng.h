@@ -1,0 +1,63 @@
+// Deterministic random-number generation for the simulator.
+//
+// Every source of randomness in a simulation run flows through one Rng (or a
+// fork of it), so a run is fully reproducible from its seed.  Property tests
+// sweep seeds; benchmark runs fix them.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace music::sim {
+
+/// Deterministic random source.  Thin wrapper over std::mt19937_64 with the
+/// distributions the simulator needs.  Copyable; copies evolve independently.
+class Rng {
+ public:
+  /// Creates a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform unsigned 64-bit value.
+  uint64_t next_u64() { return engine_(); }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial; returns true with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Creates an independent generator whose seed is derived from this one's
+  /// stream and the given tag.  Use to give each client/node its own stream
+  /// so adding one component does not perturb the randomness of others.
+  Rng fork(uint64_t tag) {
+    // SplitMix64-style mix of a fresh draw with the tag.
+    uint64_t z = engine_() + 0x9E3779B97F4A7C15ull * (tag + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// Access to the underlying engine for use with std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace music::sim

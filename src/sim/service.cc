@@ -1,0 +1,71 @@
+#include "sim/service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace music::sim {
+
+ServiceNode::ServiceNode(Simulation& sim, ServiceConfig cfg)
+    : sim_(sim), cfg_(cfg) {
+  for (int i = 0; i < cfg_.workers; ++i) free_at_.push(0);
+}
+
+Duration ServiceNode::cost_for(size_t bytes) const {
+  return cfg_.base_cost_us +
+         static_cast<Duration>(static_cast<double>(bytes) * cfg_.per_byte_ns /
+                               1000.0);
+}
+
+void ServiceNode::submit(size_t bytes, std::function<void()> work) {
+  submit_cost(cost_for(bytes), std::move(work));
+}
+
+void ServiceNode::submit_cost(Duration cost, std::function<void()> work) {
+  if (down_) return;
+  Time start = std::max(sim_.now(), free_at_.top());
+  free_at_.pop();
+  Time end = start + std::max<Duration>(cost, 1);
+  free_at_.push(end);
+  busy_ += end - start;
+  uint64_t epoch = epoch_;
+  sim_.schedule_at(end, [this, epoch, work = std::move(work)] {
+    if (down_ || epoch != epoch_) return;  // node crashed meanwhile
+    ++completed_;
+    work();
+  });
+}
+
+void ServiceNode::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  ++epoch_;
+  // Reset worker availability; a restarted node starts idle.
+  free_at_ = {};
+  for (int i = 0; i < cfg_.workers; ++i) free_at_.push(0);
+}
+
+Disk::Disk(Simulation& sim, DiskConfig cfg) : sim_(sim), cfg_(cfg) {}
+
+void Disk::write_sync(size_t bytes, std::function<void()> done) {
+  if (down_) return;
+  Duration cost =
+      cfg_.fsync_base_us +
+      static_cast<Duration>(static_cast<double>(bytes) * 1e6 / cfg_.write_bps);
+  Time start = std::max(sim_.now(), free_at_);
+  free_at_ = start + cost;
+  uint64_t epoch = epoch_;
+  sim_.schedule_at(free_at_, [this, epoch, done = std::move(done)] {
+    if (down_ || epoch != epoch_) return;
+    ++completed_;
+    done();
+  });
+}
+
+void Disk::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  ++epoch_;
+  free_at_ = 0;
+}
+
+}  // namespace music::sim

@@ -1,0 +1,140 @@
+// The discrete-event simulation kernel.
+//
+// A Simulation owns a virtual clock and a priority queue of events.  Events
+// are arbitrary callbacks scheduled at a simulated time; ties are broken by
+// insertion order so runs are deterministic.  All higher layers (network,
+// servers, protocols, clients) are built on schedule()/now().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace music::sim {
+
+class Simulation;
+
+namespace detail {
+/// The simulation currently executing an event (or starting a spawned
+/// coroutine).  Task's final awaiter uses it to schedule continuation
+/// resumption as a fresh event instead of resuming synchronously, which
+/// keeps coroutine frames from being destroyed while still on the stack.
+inline thread_local Simulation* tl_current_sim = nullptr;
+
+/// RAII save/restore of tl_current_sim around an entry into coroutine code.
+class CurrentSimScope {
+ public:
+  explicit CurrentSimScope(Simulation* s) : prev_(tl_current_sim) {
+    tl_current_sim = s;
+  }
+  ~CurrentSimScope() { tl_current_sim = prev_; }
+  CurrentSimScope(const CurrentSimScope&) = delete;
+  CurrentSimScope& operator=(const CurrentSimScope&) = delete;
+
+ private:
+  Simulation* prev_;
+};
+}  // namespace detail
+
+/// The simulation whose event is currently executing (null outside the
+/// event loop and spawn()).
+inline Simulation* current_simulation() { return detail::tl_current_sim; }
+
+/// Discrete-event simulator: a virtual clock plus an ordered event queue.
+///
+/// Not thread-safe; an entire simulated cluster runs on one OS thread, which
+/// is what makes runs deterministic and property tests reproducible.
+class Simulation {
+ public:
+  /// Creates a simulation whose randomness derives from `seed`.
+  explicit Simulation(uint64_t seed = 1) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` microseconds from now (delay < 0 is
+  /// treated as 0).  Events scheduled for the same instant run in
+  /// scheduling order.
+  void schedule(Duration delay, std::function<void()> fn) {
+    schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute simulated time `t` (clamped to >= now).
+  void schedule_at(Time t, std::function<void()> fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs a single event, if any; returns false when the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // The queue's top is const; we move out of the handle after popping a
+    // copy of the ordering key.  std::priority_queue lacks a non-const top,
+    // so use the standard const_cast idiom on the function object only.
+    Event& top = const_cast<Event&>(queue_.top());
+    Time t = top.at;
+    auto fn = std::move(top.fn);
+    queue_.pop();
+    now_ = t;
+    ++events_run_;
+    detail::CurrentSimScope scope(this);
+    fn();
+    return true;
+  }
+
+  /// Runs events until the queue is empty or `max_events` have run.
+  /// Returns the number of events executed.
+  size_t run_until_idle(size_t max_events = SIZE_MAX) {
+    size_t n = 0;
+    while (n < max_events && step()) ++n;
+    return n;
+  }
+
+  /// Runs all events with timestamp <= t, then advances the clock to t.
+  void run_until(Time t) {
+    while (!queue_.empty() && queue_.top().at <= t) step();
+    if (now_ < t) now_ = t;
+  }
+
+  /// Runs the simulation forward by `d` microseconds of virtual time.
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// True when no events are pending.
+  bool idle() const { return queue_.empty(); }
+
+  /// Number of pending events (diagnostics).
+  size_t pending() const { return queue_.size(); }
+
+  /// Total events executed so far (diagnostics).
+  uint64_t events_run() const { return events_run_; }
+
+  /// The simulation's root random stream.
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Event {
+    Time at;
+    uint64_t seq;
+    std::function<void()> fn;
+    // Min-heap on (at, seq): strict weak order, deterministic tie-break.
+    bool operator<(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_run_ = 0;
+  std::priority_queue<Event> queue_;
+  Rng rng_;
+};
+
+}  // namespace music::sim

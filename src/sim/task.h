@@ -1,0 +1,180 @@
+// Coroutine tasks for the simulator.
+//
+// Protocol code (clients, MUSIC replicas, consensus coordinators) is written
+// as C++20 coroutines returning Task<T>.  A Task is lazy: it starts when
+// awaited.  Awaiting a Task transfers control to the child coroutine and
+// resumes the parent (symmetric transfer) when the child finishes, so the
+// code reads exactly like the paper's sequential pseudo-code while the
+// simulator interleaves many of them over virtual time.
+//
+// Top-level coroutines (e.g. one per simulated client) are launched with
+// spawn(), which detaches them; their frames are destroyed when they finish.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/simulation.h"
+
+namespace music::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/// Shared pieces of the Task promise: continuation tracking and the final
+/// awaiter that hands control back to the awaiting coroutine.
+///
+/// The continuation is NOT resumed synchronously (symmetric transfer):
+/// instead it is scheduled as a fresh event on the current Simulation at +0.
+/// Synchronous resumption would let the continuation destroy this
+/// coroutine's frame while the frame's resume function is still on the call
+/// stack (GCC does not guarantee the tail call), which is a use-after-free.
+/// Scheduling costs one event per task completion and fully unwinds the
+/// stack first.
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    void await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      if (!cont) return;
+      Simulation* sim = current_simulation();
+      assert(sim != nullptr &&
+             "Task completed outside Simulation::step()/spawn()");
+      sim->schedule(0, [cont] { cont.resume(); });
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine producing a T.  Move-only; owns the coroutine
+/// frame and destroys it on destruction.  Await it exactly once.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    std::optional<T> result;
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { result.emplace(std::move(v)); }
+  };
+
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  // Awaiting a Task starts (resumes) it and suspends the awaiter until the
+  // task completes, at which point FinalAwaiter resumes the awaiter.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  T await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+    return std::move(*handle_.promise().result);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Task<void>: same semantics, no value.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() {}
+  };
+
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+/// Eagerly-started, self-destroying coroutine used by spawn().  Its frame
+/// owns the spawned Task (keeping the child frame alive) and both are freed
+/// when the child completes.
+struct DetachedTask {
+  struct promise_type {
+    DetachedTask get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    // A detached protocol coroutine has nowhere to deliver an exception;
+    // domain failures are values (OpStatus), so an escape here is a bug.
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+inline DetachedTask run_detached(Task<void> t) { co_await std::move(t); }
+
+}  // namespace detail
+
+/// Launches a Task<void> as an independent top-level coroutine of `sim`.
+/// The task starts running immediately (until its first suspension) and its
+/// frame is released when it completes.
+inline void spawn(Simulation& sim, Task<void> t) {
+  detail::CurrentSimScope scope(&sim);
+  detail::run_detached(std::move(t));
+}
+
+}  // namespace music::sim

@@ -1,0 +1,40 @@
+// Simulated-time primitives for the MUSIC discrete-event simulator.
+//
+// All simulated time is expressed in microseconds since simulation start as a
+// signed 64-bit integer.  Signed arithmetic keeps interval subtraction safe
+// and allows sentinel negative values in a few internal spots; 2^63 us is
+// ~292k years, so overflow is not a practical concern.
+#pragma once
+
+#include <cstdint>
+
+namespace music::sim {
+
+/// Simulated time, in microseconds since the start of the simulation.
+using Time = int64_t;
+
+/// A duration in simulated microseconds (same representation as Time).
+using Duration = int64_t;
+
+/// Sentinel meaning "never" / "no deadline".
+inline constexpr Time kTimeNever = INT64_MAX;
+
+/// Converts whole microseconds to a Duration (identity; for readability).
+constexpr Duration us(int64_t v) { return v; }
+
+/// Converts whole milliseconds to a Duration.
+constexpr Duration ms(int64_t v) { return v * 1000; }
+
+/// Converts fractional milliseconds to a Duration (rounded to microseconds).
+constexpr Duration ms_f(double v) { return static_cast<Duration>(v * 1000.0); }
+
+/// Converts whole seconds to a Duration.
+constexpr Duration sec(int64_t v) { return v * 1'000'000; }
+
+/// Converts a Duration to fractional milliseconds (for reporting).
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1000.0; }
+
+/// Converts a Duration to fractional seconds (for reporting).
+constexpr double to_sec(Duration d) { return static_cast<double>(d) / 1'000'000.0; }
+
+}  // namespace music::sim

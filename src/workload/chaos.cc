@@ -1,0 +1,82 @@
+#include "workload/chaos.h"
+
+#include <utility>
+
+namespace music::wl {
+
+ChaosInjector::ChaosInjector(ds::StoreCluster& store,
+                             std::vector<core::MusicReplica*> music_replicas,
+                             ChaosConfig cfg)
+    : store_(store), music_(std::move(music_replicas)), cfg_(cfg),
+      rng_(cfg.seed) {}
+
+void ChaosInjector::start(sim::Time until) {
+  sim::spawn(store_.simulation(), run(until));
+}
+
+sim::Task<void> ChaosInjector::run(sim::Time until) {
+  auto& sim = store_.simulation();
+  while (sim.now() < until) {
+    co_await sim::sleep_for(sim, rng_.uniform_int(cfg_.min_gap, cfg_.max_gap));
+    if (sim.now() >= until) break;
+    sim::Duration outage = rng_.uniform_int(cfg_.min_outage, cfg_.max_outage);
+
+    // Pick an enabled fault kind.
+    std::vector<int> kinds;
+    if (cfg_.store_crashes) kinds.push_back(0);
+    if (cfg_.music_crashes && !music_.empty()) kinds.push_back(1);
+    if (cfg_.partitions) kinds.push_back(2);
+    if (kinds.empty()) co_return;
+    int kind = kinds[static_cast<size_t>(rng_.next_u64() % kinds.size())];
+
+    switch (kind) {
+      case 0: {
+        // One store replica at a time (quorums stay available).
+        int victim = static_cast<int>(
+            rng_.next_u64() % static_cast<uint64_t>(store_.num_replicas()));
+        if (store_.replica(victim).down()) break;
+        ++store_crashes_;
+        store_.replica(victim).set_down(true);
+        co_await sim::sleep_for(sim, outage);
+        store_.replica(victim).set_down(false);
+        break;
+      }
+      case 1: {
+        int victim =
+            static_cast<int>(rng_.next_u64() % static_cast<uint64_t>(music_.size()));
+        if (music_[static_cast<size_t>(victim)]->down()) break;
+        ++music_crashes_;
+        music_[static_cast<size_t>(victim)]->set_down(true);
+        co_await sim::sleep_for(sim, outage);
+        music_[static_cast<size_t>(victim)]->set_down(false);
+        break;
+      }
+      case 2: {
+        int sites = store_.network().num_sites();
+        int isolated = static_cast<int>(rng_.next_u64() %
+                                        static_cast<uint64_t>(sites));
+        ++partitions_;
+        std::set<int> rest;
+        for (int s = 0; s < sites; ++s) {
+          if (s != isolated) rest.insert(s);
+        }
+        store_.network().partition_sites({isolated}, rest);
+        co_await sim::sleep_for(sim, outage);
+        store_.network().heal_partition();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Heal anything left broken at the end of the window.
+  store_.network().heal_partition();
+  for (int i = 0; i < store_.num_replicas(); ++i) {
+    if (store_.replica(i).down()) store_.replica(i).set_down(false);
+  }
+  for (auto* m : music_) {
+    if (m->down()) m->set_down(false);
+  }
+}
+
+}  // namespace music::wl

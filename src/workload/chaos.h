@@ -1,0 +1,61 @@
+// Reusable failure injector for tests, benches and the CLI.
+//
+// Drives the §III failure model on a seeded schedule: store-replica
+// crashes/restarts, MUSIC-replica crashes/restarts, and short single-site
+// network partitions (the paper's "link failures can partition a node from
+// some subset of other nodes").  Outages are bounded so a majority stays
+// available — the regime where MUSIC promises liveness; tests that need a
+// dead majority inject that explicitly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/music.h"
+#include "datastore/store.h"
+#include "sim/rng.h"
+#include "sim/task.h"
+
+namespace music::wl {
+
+/// What and how often to break.
+struct ChaosConfig {
+  sim::Duration min_gap = sim::sec(5);
+  sim::Duration max_gap = sim::sec(15);
+  sim::Duration min_outage = sim::ms(500);
+  sim::Duration max_outage = sim::sec(4);
+  bool store_crashes = true;
+  bool music_crashes = true;
+  bool partitions = true;
+  uint64_t seed = 0xC4405;
+};
+
+/// Seeded, bounded failure injection over a deployment.
+class ChaosInjector {
+ public:
+  /// `music_replicas` may be empty (store-only deployments).
+  ChaosInjector(ds::StoreCluster& store,
+                std::vector<core::MusicReplica*> music_replicas,
+                ChaosConfig cfg);
+
+  /// Spawns the injection coroutine; it stops itself at `until` and heals
+  /// everything it broke.
+  void start(sim::Time until);
+
+  uint64_t store_crashes_injected() const { return store_crashes_; }
+  uint64_t music_crashes_injected() const { return music_crashes_; }
+  uint64_t partitions_injected() const { return partitions_; }
+
+ private:
+  sim::Task<void> run(sim::Time until);
+
+  ds::StoreCluster& store_;
+  std::vector<core::MusicReplica*> music_;
+  ChaosConfig cfg_;
+  sim::Rng rng_;
+  uint64_t store_crashes_ = 0;
+  uint64_t music_crashes_ = 0;
+  uint64_t partitions_ = 0;
+};
+
+}  // namespace music::wl

@@ -1,0 +1,100 @@
+#include "workload/driver.h"
+
+#include <utility>
+
+#include "sim/future.h"
+
+namespace music::wl {
+
+namespace {
+
+struct Accum {
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  Samples latency;
+  sim::Time warmup_end = 0;
+  sim::Time end = 0;
+};
+
+sim::Task<void> client_loop(sim::Simulation& sim, std::shared_ptr<Workload> w,
+                            int cid, sim::Duration jitter,
+                            std::shared_ptr<Accum> acc) {
+  if (jitter > 0) co_await sim::sleep_for(sim, jitter);
+  while (sim.now() < acc->end) {
+    sim::Time t0 = sim.now();
+    bool ok = co_await w->run_once(cid);
+    // Count only operations fully inside the measurement window.
+    if (t0 >= acc->warmup_end && sim.now() <= acc->end) {
+      if (ok) {
+        acc->completed += 1;
+        acc->latency.add(sim.now() - t0);
+      } else {
+        acc->failed += 1;
+      }
+    }
+  }
+}
+
+sim::Task<void> sequential_loop(sim::Simulation& sim,
+                                std::shared_ptr<Workload> w, int ops,
+                                sim::Time deadline,
+                                std::shared_ptr<Accum> acc) {
+  for (int i = 0; i < ops && sim.now() < deadline; ++i) {
+    sim::Time t0 = sim.now();
+    bool ok = co_await w->run_once(0);
+    if (ok) {
+      acc->completed += 1;
+      acc->latency.add(sim.now() - t0);
+    } else {
+      acc->failed += 1;
+    }
+  }
+  acc->end = sim.now();
+}
+
+}  // namespace
+
+RunResult run_closed_loop(sim::Simulation& sim, std::shared_ptr<Workload> w,
+                          DriverConfig cfg) {
+  auto acc = std::make_shared<Accum>();
+  acc->warmup_end = sim.now() + cfg.warmup;
+  acc->end = acc->warmup_end + cfg.measure;
+  for (int c = 0; c < cfg.clients; ++c) {
+    sim::Duration jitter =
+        cfg.start_jitter > 0
+            ? sim.rng().uniform_int(0, cfg.start_jitter)
+            : 0;
+    sim::spawn(sim, client_loop(sim, w, c, jitter, acc));
+  }
+  sim.run_until(acc->end + cfg.drain);
+  RunResult r;
+  r.completed = acc->completed;
+  r.failed = acc->failed;
+  r.measured = cfg.measure;
+  r.latency = std::move(acc->latency);
+  return r;
+}
+
+RunResult run_sequential(sim::Simulation& sim, std::shared_ptr<Workload> w,
+                         int ops, sim::Duration time_limit) {
+  auto acc = std::make_shared<Accum>();
+  sim::Time start = sim.now();
+  sim::Time deadline = start + time_limit;
+  acc->end = deadline;
+  sim::spawn(sim, sequential_loop(sim, w, ops, deadline, acc));
+  // Run until the loop reports completion (acc->end moves below deadline)
+  // or the time limit passes.
+  while (sim.now() < deadline && acc->completed + acc->failed <
+                                     static_cast<uint64_t>(ops)) {
+    sim.run_for(sim::ms(100));
+    if (sim.idle()) break;
+  }
+  RunResult r;
+  r.completed = acc->completed;
+  r.failed = acc->failed;
+  r.measured = sim.now() - start;
+  r.latency = std::move(acc->latency);
+  return r;
+}
+
+}  // namespace music::wl

@@ -1,0 +1,51 @@
+// Closed-loop load driver: the simulator-side equivalent of the paper's
+// per-site load generators (§VIII-a).  Peak throughput is measured by
+// saturating the servers with many concurrent logical clients; mean latency
+// with a single client.
+#pragma once
+
+#include <memory>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "workload/stats.h"
+
+namespace music::wl {
+
+/// One benchmarkable operation stream.  Implementations own whatever
+/// clients/state they need; `run_once(cid)` performs one logical operation
+/// for logical client `cid` (e.g. one full critical section).
+///
+/// An abstract interface (rather than a callable) so no callable ever
+/// crosses a coroutine boundary (see the GCC 12 note on ds::Cell).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual sim::Task<bool> run_once(int cid) = 0;
+};
+
+struct DriverConfig {
+  /// Concurrent closed-loop clients (threads in the paper's terms).
+  int clients = 1;
+  /// Simulated warmup excluded from the stats.
+  sim::Duration warmup = sim::sec(5);
+  /// Measurement window.
+  sim::Duration measure = sim::sec(30);
+  /// Extra time to let in-flight operations finish after the window.
+  sim::Duration drain = sim::sec(30);
+  /// Client start jitter bound (avoids lockstep artifacts).
+  sim::Duration start_jitter = sim::ms(5);
+};
+
+/// Runs the workload under `cfg.clients` concurrent clients and returns
+/// completed-op throughput and latency over the measurement window.  Runs
+/// the simulation internally (warmup + measure + drain of virtual time).
+RunResult run_closed_loop(sim::Simulation& sim, std::shared_ptr<Workload> w,
+                          DriverConfig cfg);
+
+/// Runs exactly `ops` operations on one client and returns their latencies
+/// (the single-thread mean-latency methodology of §VIII-a).
+RunResult run_sequential(sim::Simulation& sim, std::shared_ptr<Workload> w,
+                         int ops, sim::Duration time_limit = sim::sec(3600));
+
+}  // namespace music::wl

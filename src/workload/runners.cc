@@ -1,0 +1,94 @@
+#include "workload/runners.h"
+
+#include <utility>
+
+namespace music::wl {
+
+// ---- MusicCsWorkload --------------------------------------------------------
+
+MusicCsWorkload::MusicCsWorkload(std::vector<core::MusicClient*> clients,
+                                 std::string key_prefix, int batch,
+                                 size_t value_size)
+    : clients_(std::move(clients)),
+      prefix_(std::move(key_prefix)),
+      batch_(batch),
+      value_size_(value_size) {}
+
+sim::Task<bool> MusicCsWorkload::run_once(int cid) {
+  core::MusicClient& c = *clients_[static_cast<size_t>(cid) % clients_.size()];
+  Key key = prefix_ + std::to_string(cid);
+  auto ref = co_await c.create_lock_ref(key);
+  if (!ref.ok()) co_return false;
+  auto acq = co_await c.acquire_lock_blocking(key, ref.value());
+  if (!acq.ok()) {
+    co_await c.remove_lock_ref(key, ref.value());
+    co_return false;
+  }
+  bool ok = true;
+  for (int b = 0; b < batch_ && ok; ++b) {
+    Value v(std::string("w") + std::to_string(b), value_size_);
+    auto st = co_await c.critical_put(key, ref.value(), v);
+    ok = st.ok();
+  }
+  co_await c.release_lock(key, ref.value());
+  co_return ok;
+}
+
+// ---- CassaEvWorkload --------------------------------------------------------
+
+CassaEvWorkload::CassaEvWorkload(ds::StoreCluster& store,
+                                 std::string key_prefix, size_t value_size)
+    : store_(store), prefix_(std::move(key_prefix)), value_size_(value_size) {}
+
+sim::Task<bool> CassaEvWorkload::run_once(int cid) {
+  int site = cid % store_.network().num_sites();
+  auto& coord = store_.replica_at_site(site);
+  Key key = prefix_ + std::to_string(cid);
+  // Client-supplied timestamps keep LWW moving forward per key.
+  ds::Cell cell(Value("e", value_size_), ++seq_);
+  auto st = co_await coord.put(std::move(key), std::move(cell),
+                               ds::Consistency::One);
+  co_return st.ok();
+}
+
+// ---- ZkWriteWorkload --------------------------------------------------------
+
+ZkWriteWorkload::ZkWriteWorkload(std::vector<zab::ZkClient*> clients,
+                                 std::string key_prefix, int batch,
+                                 size_t value_size)
+    : clients_(std::move(clients)),
+      prefix_(std::move(key_prefix)),
+      batch_(batch),
+      value_size_(value_size) {}
+
+sim::Task<bool> ZkWriteWorkload::run_once(int cid) {
+  zab::ZkClient& c = *clients_[static_cast<size_t>(cid) % clients_.size()];
+  Key path = prefix_ + std::to_string(cid);
+  for (int b = 0; b < batch_; ++b) {
+    auto st = co_await c.set_data(path, Value(std::string("z"), value_size_));
+    if (!st.ok()) co_return false;
+  }
+  co_return true;
+}
+
+// ---- CdbCsWorkload ----------------------------------------------------------
+
+CdbCsWorkload::CdbCsWorkload(std::vector<raftkv::TxClient*> clients,
+                             std::string key_prefix, int batch,
+                             size_t value_size)
+    : clients_(std::move(clients)),
+      prefix_(std::move(key_prefix)),
+      batch_(batch),
+      value_size_(value_size) {}
+
+sim::Task<bool> CdbCsWorkload::run_once(int cid) {
+  raftkv::TxClient& c = *clients_[static_cast<size_t>(cid) % clients_.size()];
+  Key key = prefix_ + std::to_string(cid);
+  Key lock = "lock:" + key;
+  auto st = co_await c.critical_section(lock, key,
+                                        Value(std::string("c"), value_size_),
+                                        batch_);
+  co_return st.ok();
+}
+
+}  // namespace music::wl

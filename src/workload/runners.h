@@ -1,0 +1,88 @@
+// Concrete workloads for the paper's experiments: the microbenchmark
+// critical section (MUSIC/MSCP), the CassaEV upper bound, Zookeeper write
+// batches and the CockroachDB critical-section recipe.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "datastore/store.h"
+#include "raftkv/txkv.h"
+#include "workload/driver.h"
+#include "zab/zab.h"
+
+namespace music::wl {
+
+/// The paper's microbenchmark operation (§VIII-b): one critical section =
+/// createLockRef, acquireLock (polling), `batch` criticalPuts of
+/// `value_size` bytes, releaseLock.  Whether the puts are quorum writes
+/// (MUSIC) or LWTs (MSCP) is the replicas' PutMode.  Each logical client
+/// uses its own key ("each thread updates non-overlapping key ranges").
+class MusicCsWorkload : public Workload {
+ public:
+  MusicCsWorkload(std::vector<core::MusicClient*> clients,
+                  std::string key_prefix, int batch, size_t value_size);
+
+  sim::Task<bool> run_once(int cid) override;
+
+ private:
+  std::vector<core::MusicClient*> clients_;
+  std::string prefix_;
+  int batch_;
+  size_t value_size_;
+};
+
+/// CassaEV (§VIII-b): a plain Cassandra eventual write at the local
+/// coordinator — the performance upper bound.
+class CassaEvWorkload : public Workload {
+ public:
+  /// `site_of_client(cid)` = cid % num_sites; writes go to that site's
+  /// coordinator.
+  CassaEvWorkload(ds::StoreCluster& store, std::string key_prefix,
+                  size_t value_size);
+
+  sim::Task<bool> run_once(int cid) override;
+
+ private:
+  ds::StoreCluster& store_;
+  std::string prefix_;
+  size_t value_size_;
+  int64_t seq_ = 0;
+};
+
+/// Zookeeper comparison op (§VIII-c): `batch` sequentially-consistent
+/// setData writes of `value_size` bytes (Zookeeper provides no critical
+/// sections; this is the baseline's batch of plain SC writes).
+class ZkWriteWorkload : public Workload {
+ public:
+  ZkWriteWorkload(std::vector<zab::ZkClient*> clients, std::string key_prefix,
+                  int batch, size_t value_size);
+
+  sim::Task<bool> run_once(int cid) override;
+
+ private:
+  std::vector<zab::ZkClient*> clients_;
+  std::string prefix_;
+  int batch_;
+  size_t value_size_;
+};
+
+/// CockroachDB comparison op (§VIII-d, §X-B3): a critical section of
+/// `batch` updates, each done as lock-txn + update/unlock-txn.
+class CdbCsWorkload : public Workload {
+ public:
+  CdbCsWorkload(std::vector<raftkv::TxClient*> clients, std::string key_prefix,
+                int batch, size_t value_size);
+
+  sim::Task<bool> run_once(int cid) override;
+
+ private:
+  std::vector<raftkv::TxClient*> clients_;
+  std::string prefix_;
+  int batch_;
+  size_t value_size_;
+};
+
+}  // namespace music::wl

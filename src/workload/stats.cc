@@ -1,0 +1,65 @@
+#include "workload/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace music::wl {
+
+void Samples::ensure_sorted() const {
+  if (sorted_) return;
+  auto& s = const_cast<std::vector<sim::Duration>&>(samples_);
+  std::sort(s.begin(), s.end());
+  const_cast<bool&>(sorted_) = true;
+}
+
+double Samples::mean_ms() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (auto d : samples_) sum += static_cast<double>(d);
+  return sum / static_cast<double>(samples_.size()) / 1000.0;
+}
+
+double Samples::stddev_ms() const {
+  if (samples_.size() < 2) return 0.0;
+  double m = mean_ms() * 1000.0;
+  double acc = 0.0;
+  for (auto d : samples_) {
+    double diff = static_cast<double>(d) - m;
+    acc += diff * diff;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1)) / 1000.0;
+}
+
+double Samples::percentile_ms(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  auto lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  double v = static_cast<double>(samples_[lo]) * (1.0 - frac) +
+             static_cast<double>(samples_[hi]) * frac;
+  return v / 1000.0;
+}
+
+double Samples::min_ms() const { return percentile_ms(0); }
+double Samples::max_ms() const { return percentile_ms(100); }
+
+std::vector<std::pair<double, double>> Samples::cdf(int points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points <= 0) return out;
+  out.reserve(static_cast<size_t>(points));
+  for (int i = 1; i <= points; ++i) {
+    double frac = static_cast<double>(i) / points;
+    out.emplace_back(percentile_ms(frac * 100.0), frac);
+  }
+  return out;
+}
+
+void Samples::merge(const Samples& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+}  // namespace music::wl

@@ -1,0 +1,58 @@
+// Latency/throughput statistics for the benchmark harness: mean, standard
+// deviation, percentiles and CDFs, matching what the paper reports (mean
+// plus standard deviation when > 5%, latency CDFs in Fig. 8).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace music::wl {
+
+/// An accumulating sample set of durations (microseconds).
+class Samples {
+ public:
+  void add(sim::Duration d) { samples_.push_back(d); }
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Mean in milliseconds.
+  double mean_ms() const;
+  /// Sample standard deviation in milliseconds.
+  double stddev_ms() const;
+  /// p-th percentile (0..100) in milliseconds.
+  double percentile_ms(double p) const;
+  double min_ms() const;
+  double max_ms() const;
+
+  /// CDF as (latency_ms, cumulative_fraction) pairs at `points` quantiles.
+  std::vector<std::pair<double, double>> cdf(int points = 50) const;
+
+  /// Merges another sample set into this one.
+  void merge(const Samples& other);
+
+ private:
+  void ensure_sorted() const;
+  std::vector<sim::Duration> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Result of a driver run.
+struct RunResult {
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  sim::Duration measured = 0;  // measurement window length
+  Samples latency;
+
+  /// Operations per second over the measurement window.
+  double throughput() const {
+    return measured > 0
+               ? static_cast<double>(completed) / sim::to_sec(measured)
+               : 0.0;
+  }
+};
+
+}  // namespace music::wl

@@ -1,0 +1,56 @@
+// YCSB-style workloads over MUSIC (§X-B2 / Fig. 9).
+//
+// The paper implemented a YCSB adapter converting YCSB reads/updates into
+// MUSIC (and MSCP) operations: each YCSB op runs inside its own critical
+// section over a Zipfian-selected key shared by all threads, so threads
+// collide on locks (~5.5% of operations in the paper's runs).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "workload/driver.h"
+#include "workload/zipfian.h"
+
+namespace music::wl {
+
+/// YCSB operation mix: fraction of reads (R=1.0, UR=0.5, U=0.0).
+struct YcsbMix {
+  std::string name;
+  double read_fraction = 0.5;
+
+  YcsbMix() = default;
+  YcsbMix(std::string n, double rf) : name(std::move(n)), read_fraction(rf) {}
+
+  static YcsbMix r() { return YcsbMix("R", 1.0); }
+  static YcsbMix ur() { return YcsbMix("UR", 0.5); }
+  static YcsbMix u() { return YcsbMix("U", 0.0); }
+};
+
+/// YCSB adapter: one op = one critical section doing a criticalGet (read)
+/// or criticalPut (update) on a Zipfian key.
+class YcsbWorkload : public Workload {
+ public:
+  YcsbWorkload(std::vector<core::MusicClient*> clients, YcsbMix mix,
+               uint64_t record_count, size_t value_size, uint64_t seed);
+
+  sim::Task<bool> run_once(int cid) override;
+
+  /// Lock collisions observed: operations whose first acquireLock poll
+  /// found another lockRef at the head (the §X-B2 contention metric).
+  uint64_t collisions() const { return collisions_; }
+  uint64_t operations() const { return operations_; }
+
+ private:
+  std::vector<core::MusicClient*> clients_;
+  YcsbMix mix_;
+  Zipfian zipf_;
+  size_t value_size_;
+  sim::Rng rng_;
+  uint64_t collisions_ = 0;
+  uint64_t operations_ = 0;
+};
+
+}  // namespace music::wl

@@ -1,0 +1,35 @@
+#include "workload/zipfian.h"
+
+#include <cmath>
+
+namespace music::wl {
+
+double Zipfian::zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+Zipfian::Zipfian(uint64_t n, double theta)
+    : n_(n),
+      theta_(theta),
+      alpha_(1.0 / (1.0 - theta)),
+      zetan_(zeta(n, theta)),
+      zeta2_(zeta(2, theta)) {
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t Zipfian::next(sim::Rng& rng) {
+  double u = rng.uniform_real(0.0, 1.0);
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace music::wl

@@ -1,0 +1,36 @@
+// Zipfian key selection, as used by YCSB [49] (the paper's §X-B2 workloads
+// select tuples "randomly with a Zipfian distribution").
+//
+// Implements the Gray et al. rejection-inversion-free method YCSB uses
+// (precomputed zeta), with the standard YCSB skew constant 0.99.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+
+namespace music::wl {
+
+/// Zipfian-distributed generator over [0, n).
+class Zipfian {
+ public:
+  /// `theta` is the YCSB skew parameter (default 0.99).
+  explicit Zipfian(uint64_t n, double theta = 0.99);
+
+  /// Draws the next item (0-based rank; rank 0 is the most popular).
+  uint64_t next(sim::Rng& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace music::wl

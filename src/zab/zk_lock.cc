@@ -1,0 +1,34 @@
+#include "zab/zk_lock.h"
+
+namespace music::zab {
+
+sim::Task<Status> ZkLock::acquire(sim::Duration poll_backoff, int max_polls) {
+  if (held_) co_return Status::Ok();
+  if (my_node_.empty()) {
+    auto created = co_await server_.create_sequential(prefix_, Value("1"));
+    if (!created.ok()) co_return created.status();
+    my_node_ = created.value();
+  }
+  for (int poll = 0; poll < max_polls; ++poll) {
+    auto children = co_await server_.sync_list(prefix_);
+    if (!children.ok()) co_return children.status();
+    if (!children.value().empty() && children.value().front() == my_node_) {
+      held_ = true;
+      co_return Status::Ok();
+    }
+    // Not the lowest sequence: the real recipe watches the predecessor;
+    // poll with back-off instead.
+    co_await sim::sleep_for(server_.ensemble().simulation(), poll_backoff);
+  }
+  co_return OpStatus::Timeout;
+}
+
+sim::Task<Status> ZkLock::release() {
+  held_ = false;
+  if (my_node_.empty()) co_return Status::Ok();
+  Key node = my_node_;
+  my_node_.clear();
+  co_return co_await server_.remove(node);
+}
+
+}  // namespace music::zab

@@ -1,0 +1,54 @@
+// The Zookeeper lock recipe [27-29] over the Zab substitute: the
+// "standalone locking service" design the paper contrasts with MUSIC's
+// integrated locks (§II).
+//
+// Acquire: create a PERSISTENT_SEQUENTIAL znode under the lock's prefix;
+// the holder is the client whose znode has the lowest sequence.  Non-lowest
+// candidates poll (the real recipe watches the predecessor; our Zab model
+// has no watches, and the paper's polling acquireLock is the same
+// discipline).  Release: delete your znode.
+//
+// Differences from MUSIC that §II calls out, visible right in this code:
+// the lock guards NOTHING about the data store — pairing it with ZK data
+// writes gives sequential consistency but no latest-state synchronization,
+// and a crashed holder's znode must be garbage-collected externally (real
+// ZK uses ephemeral nodes tied to sessions; we expose abandon() so tests
+// can model that).
+#pragma once
+
+#include <string>
+
+#include "zab/zab.h"
+
+namespace music::zab {
+
+/// One client's handle on one recipe lock.
+class ZkLock {
+ public:
+  /// `server`: the Zookeeper server this client is connected to.
+  ZkLock(ZabServer& server, Key lock_path)
+      : server_(server), prefix_(std::move(lock_path) + "/lock-") {}
+
+  /// Blocks (polls) until this client holds the lock.
+  sim::Task<Status> acquire(sim::Duration poll_backoff = sim::ms(20),
+                            int max_polls = 2048);
+
+  /// Releases the lock (deletes our znode).
+  sim::Task<Status> release();
+
+  /// Drops the handle without deleting the znode (simulates a crashed
+  /// session whose ephemeral node has not yet expired).
+  void abandon() { my_node_.clear(); }
+
+  /// True when this handle currently believes it holds the lock.
+  bool held() const { return held_; }
+  const Key& my_node() const { return my_node_; }
+
+ private:
+  ZabServer& server_;
+  Key prefix_;
+  Key my_node_;
+  bool held_ = false;
+};
+
+}  // namespace music::zab

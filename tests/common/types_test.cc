@@ -1,0 +1,59 @@
+// Vocabulary type tests: vector timestamps, values, results.
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace music {
+namespace {
+
+TEST(VectorTs, LockRefMajorComparison) {
+  EXPECT_LT((VectorTs{1, 999}), (VectorTs{2, 0}));
+  EXPECT_LT((VectorTs{1, 5}), (VectorTs{1, 6}));
+  EXPECT_EQ((VectorTs{3, 3}), (VectorTs{3, 3}));
+  EXPECT_GT((VectorTs{4, 0}), (VectorTs{3, 1'000'000}));
+}
+
+TEST(Value, LogicalSizeDrivesCostAccounting) {
+  Value small("abc");
+  EXPECT_EQ(small.size(), 3u);
+  Value padded("x", 256 * 1024);  // benchmark value: tiny data, 256KB cost
+  EXPECT_EQ(padded.size(), 256u * 1024u);
+  EXPECT_EQ(padded.data, "x");
+}
+
+TEST(Value, EqualityComparesSemanticPayloadOnly) {
+  EXPECT_EQ(Value("a", 10), Value("a", 999));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(Result, OkCarriesValue) {
+  auto r = Result<int>::Ok(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.status(), OpStatus::Ok);
+  EXPECT_EQ(r.value(), 7);
+}
+
+TEST(Result, ErrCarriesStatus) {
+  auto r = Result<int>::Err(OpStatus::NotLockHolder);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), OpStatus::NotLockHolder);
+}
+
+TEST(Status, ImplicitFromOpStatus) {
+  Status s = OpStatus::Timeout;
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status(), OpStatus::Timeout);
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(OpStatus, AllValuesHaveNames) {
+  for (auto s : {OpStatus::Ok, OpStatus::Timeout, OpStatus::Nack,
+                 OpStatus::NotLockHolder, OpStatus::NotYetHolder,
+                 OpStatus::CsExpired, OpStatus::NotFound, OpStatus::Conflict}) {
+    EXPECT_FALSE(to_string(s).empty());
+    EXPECT_NE(to_string(s), "Unknown");
+  }
+}
+
+}  // namespace
+}  // namespace music

@@ -1,0 +1,111 @@
+// Tests for the vector-to-scalar timestamp mapping: the §X-A2 ordering
+// lemma, the §X-A3 overflow bound, and the forcedRelease delta stamps of
+// §IV-B.
+#include "common/v2s.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/rng.h"
+
+namespace music {
+namespace {
+
+using sim::sec;
+
+TEST(V2S, EncodesLockRefMajorOrder) {
+  V2S v(sec(60));
+  // Same lockRef: time orders.
+  EXPECT_LT(v.encode(1, 0), v.encode(1, 1));
+  EXPECT_LT(v.encode(1, 100), v.encode(1, 101));
+  // Different lockRef: lockRef dominates regardless of time.
+  EXPECT_LT(v.encode(1, sec(60) - 1), v.encode(2, 0));
+  EXPECT_LT(v.encode(5, sec(60) - 1), v.encode(6, 0));
+}
+
+TEST(V2S, RoundTripsComponents) {
+  V2S v(sec(60));
+  ScalarTs s = v.encode(42, 12345);
+  EXPECT_EQ(v.lock_ref_of(s), 42);
+  EXPECT_EQ(v.time_of(s), 12345);
+}
+
+// §X-A2 lemma: the mapping preserves vector-timestamp order — property
+// sweep over random pairs.
+class V2sOrderLemma : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(V2sOrderLemma, OrderPreservedForRandomPairs) {
+  sim::Rng rng(static_cast<uint64_t>(GetParam()));
+  V2S v(sec(60));
+  for (int i = 0; i < 2000; ++i) {
+    VectorTs t1{rng.uniform_int(1, 1'000'000), rng.uniform_int(0, sec(60) - 1)};
+    VectorTs t2{rng.uniform_int(1, 1'000'000), rng.uniform_int(0, sec(60) - 1)};
+    ScalarTs s1 = v.encode(t1.lock_ref, t1.time);
+    ScalarTs s2 = v.encode(t2.lock_ref, t2.time);
+    if (t1 == t2) {
+      EXPECT_EQ(s1, s2);
+    } else if (t1 < t2) {
+      EXPECT_LT(s1, s2) << "t1=(" << t1.lock_ref << "," << t1.time << ") t2=("
+                        << t2.lock_ref << "," << t2.time << ")";
+    } else {
+      EXPECT_GT(s1, s2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, V2sOrderLemma,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(V2S, OverflowBoundSupportsMillionsOfLockRefs) {
+  // §X-A3: with T < 29 years, ~10 million lock references fit.  With our
+  // default T = 60s the bound is astronomically larger.
+  V2S v(sec(60));
+  EXPECT_GT(v.max_lock_ref(), int64_t{10'000'000});
+  // Encoding at the bound must not overflow into negative territory.
+  LockRef max = v.max_lock_ref();
+  EXPECT_GT(v.encode(max, sec(60) - 1), v.encode(max, 0));
+  EXPECT_GT(v.encode(max, 0), v.encode(max - 1, sec(60) - 1));
+}
+
+TEST(V2S, OverflowBoundShrinksWithLargerT) {
+  V2S small(sec(1));
+  V2S large(sec(3600));
+  EXPECT_GT(small.max_lock_ref(), large.max_lock_ref());
+}
+
+// §IV-B delta semantics: forcedRelease(r) must out-stamp every write of r
+// and be out-stamped by every write of r+1.
+TEST(V2S, ForcedReleaseStampBeatsReleasedHoldersWrites) {
+  V2S v(sec(60));
+  sim::Duration delta = 1;  // the paper's production value
+  for (LockRef r : {int64_t{1}, int64_t{7}, int64_t{1000}}) {
+    ScalarTs forced = v.encode_forced_release(r, delta);
+    EXPECT_GT(forced, v.encode(r, sec(60) - 1));  // beats r's latest write
+    EXPECT_LT(forced, v.encode(r + 1, 0));        // loses to r+1's earliest
+  }
+}
+
+TEST(V2S, DeltaZeroTiesWithHoldersLatestWrite) {
+  // delta = 0 can fail to overwrite a concurrent synchFlag reset — the race
+  // the paper's delta > 0 requirement exists for.
+  V2S v(sec(60));
+  ScalarTs forced = v.encode_forced_release(3, 0);
+  EXPECT_EQ(forced, v.encode(3, sec(60) - 1));  // tie: LWW keeps the reset
+}
+
+TEST(V2S, OversizedDeltaWouldMaskTheNextHolder) {
+  // delta > T crosses into the next lockRef's span: the next holder's
+  // synchFlag reset could no longer overwrite the forced set.
+  V2S v(sec(60));
+  ScalarTs forced = v.encode_forced_release(3, sec(60) + 1);
+  EXPECT_GE(forced, v.encode(4, 0));  // ties (or beats) the next reset
+}
+
+TEST(V2S, SpanIsTwiceT) {
+  V2S v(sec(60));
+  EXPECT_EQ(v.span(), 2 * sec(60));
+}
+
+}  // namespace
+}  // namespace music

@@ -1,0 +1,125 @@
+// MusicClient behavior tests: the §III retry discipline, replica preference
+// and failover, request timeouts, with_lock cleanup.
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "util/world.h"
+
+namespace music::core {
+namespace {
+
+using test::MusicWorld;
+using test::WorldOptions;
+
+TEST(Client, PrefersItsLocalReplica) {
+  MusicWorld w;
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto body = [&](LockRef ref) -> sim::Task<Status> {
+      co_return co_await w.client(1).critical_put("k", ref, Value("v"));
+    };
+    auto st = co_await w.client(1).with_lock("k", body);
+    EXPECT_TRUE(st.ok());
+  });
+  ASSERT_TRUE(ok);
+  // Client 1 lives at site 1: all its traffic went to replica 1.
+  EXPECT_GT(w.replica(1).stats().create_lock_ref, 0u);
+  EXPECT_EQ(w.replica(0).stats().create_lock_ref, 0u);
+  EXPECT_EQ(w.replica(2).stats().create_lock_ref, 0u);
+}
+
+TEST(Client, FailsOverToRemoteReplicasWhenLocalIsDown) {
+  MusicWorld w;
+  w.replica(1).set_down(true);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto ref = co_await w.client(1).create_lock_ref("k");
+    EXPECT_TRUE(ref.ok());
+  }, sim::sec(120));
+  ASSERT_TRUE(ok);
+  EXPECT_GT(w.replica(0).stats().create_lock_ref +
+                w.replica(2).stats().create_lock_ref,
+            0u);
+}
+
+TEST(Client, RequestTimeoutCoversCrashedReplicaMidRequest) {
+  // The replica dies while a request is in flight: the reply never comes;
+  // the client times the request out and retries elsewhere.
+  MusicWorld w;
+  auto& c = w.client(0);
+  w.sim.schedule(sim::ms(1), [&] { w.replica(0).set_down(true); });
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto ref = co_await c.create_lock_ref("k");
+    EXPECT_TRUE(ref.ok());  // served by a remote replica after the timeout
+  }, sim::sec(120));
+  ASSERT_TRUE(ok);
+}
+
+TEST(Client, WithLockEvictsItsRefWhenNeverGranted) {
+  MusicWorld w;
+  auto& c0 = w.client(0);
+  auto& c1 = w.client(1);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    // c0 wedges the key.
+    auto ref = co_await c0.create_lock_ref("k");
+    co_await c0.acquire_lock_blocking("k", ref.value());
+    // c1 gives up and must leave no queue residue behind c0's ref.
+    auto body = [&](LockRef r) -> sim::Task<Status> {
+      co_return co_await c1.critical_put("k", r, Value("x"));
+    };
+    auto st = co_await c1.with_lock("k", body);
+    EXPECT_EQ(st.status(), OpStatus::Timeout);
+    // After c0 releases, a fresh section is granted immediately (no orphan
+    // ahead in the queue).
+    co_await c0.release_lock("k", ref.value());
+    sim::Time t0 = w.sim.now();
+    auto st2 = co_await c1.with_lock("k", body);
+    EXPECT_TRUE(st2.ok());
+    EXPECT_LT(w.sim.now() - t0, sim::sec(3));  // no orphan wait
+  }, sim::sec(600));
+  ASSERT_TRUE(ok);
+}
+
+TEST(Client, AllReplicasDownYieldsTimeoutNotHang) {
+  MusicWorld w;
+  for (int i = 0; i < 3; ++i) w.replica(i).set_down(true);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto ref = co_await w.client(0).create_lock_ref("k");
+    EXPECT_EQ(ref.status(), OpStatus::Timeout);
+  }, sim::sec(600));
+  ASSERT_TRUE(ok);
+}
+
+TEST(Client, EventualOpsRetryAcrossReplicas) {
+  MusicWorld w;
+  w.replica(0).set_down(true);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto st = co_await w.client(0).put("cfg", Value("v"));
+    EXPECT_TRUE(st.ok());
+    auto g = co_await w.client(0).get("cfg");
+    EXPECT_TRUE(g.ok());
+  }, sim::sec(120));
+  ASSERT_TRUE(ok);
+}
+
+TEST(Client, PollBudgetBoundsAcquireBlocking) {
+  WorldOptions opt;
+  MusicWorld w(opt);
+  auto& c0 = w.client(0);
+  auto& c1 = w.client(1);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto r0 = co_await c0.create_lock_ref("k");
+    co_await c0.acquire_lock_blocking("k", r0.value());
+    auto r1 = co_await c1.create_lock_ref("k");
+    sim::Time t0 = w.sim.now();
+    auto st = co_await c1.acquire_lock_blocking("k", r1.value());
+    EXPECT_EQ(st.status(), OpStatus::Timeout);
+    // Bounded by max_poll_attempts x (backoff + rpc, some polls remote):
+    // ~2 simulated minutes, not unbounded.
+    EXPECT_LT(w.sim.now() - t0, sim::sec(180));
+    co_await c1.remove_lock_ref("k", r1.value());
+    co_await c0.release_lock("k", r0.value());
+  }, sim::sec(600));
+  ASSERT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace music::core

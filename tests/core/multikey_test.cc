@@ -1,0 +1,151 @@
+// Multi-key critical section tests (§III-A's extension): lexicographic
+// acquisition, all-or-nothing, deadlock freedom under inverse orders.
+#include "core/multikey.h"
+
+#include <gtest/gtest.h>
+
+#include "util/world.h"
+
+namespace music::core {
+namespace {
+
+using test::MusicWorld;
+
+TEST(MultiKey, AcquiresOperatesReleases) {
+  MusicWorld w;
+  auto& c = w.client(0);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    MultiKeySection cs(c, {"b", "a", "c", "a"});  // unsorted + duplicate
+    EXPECT_EQ(cs.keys(), (std::vector<Key>{"a", "b", "c"}));
+    auto st = co_await cs.acquire_all();
+    CO_ASSERT_TRUE(st.ok());
+    EXPECT_TRUE(cs.held());
+    co_await cs.put("a", Value("1"));
+    co_await cs.put("b", Value("2"));
+    auto ga = co_await cs.get("a");
+    CO_ASSERT_TRUE(ga.ok());
+    EXPECT_EQ(ga.value().data, "1");
+    auto gc = co_await cs.get("c");
+    EXPECT_EQ(gc.status(), OpStatus::NotFound);  // never written
+    auto rel = co_await cs.release_all();
+    EXPECT_TRUE(rel.ok());
+    EXPECT_FALSE(cs.held());
+  });
+  ASSERT_TRUE(ok);
+}
+
+TEST(MultiKey, OpsOutsideTheSetAreRefused) {
+  MusicWorld w;
+  auto& c = w.client(0);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    MultiKeySection cs(c, {"x"});
+    co_await cs.acquire_all();
+    auto st = co_await cs.put("not-mine", Value("v"));
+    EXPECT_EQ(st.status(), OpStatus::NotLockHolder);
+    auto g = co_await cs.get("not-mine");
+    EXPECT_EQ(g.status(), OpStatus::NotLockHolder);
+    co_await cs.release_all();
+  });
+  ASSERT_TRUE(ok);
+}
+
+TEST(MultiKey, OpsBeforeAcquireAreRefused) {
+  MusicWorld w;
+  auto& c = w.client(0);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    MultiKeySection cs(c, {"x"});
+    auto st = co_await cs.put("x", Value("v"));
+    EXPECT_EQ(st.status(), OpStatus::NotLockHolder);
+    co_return;
+  });
+  ASSERT_TRUE(ok);
+}
+
+TEST(MultiKey, InverseOrdersDoNotDeadlock) {
+  // Two sections over the same keys given in opposite orders: the
+  // lexicographic rule serializes them instead of deadlocking.
+  MusicWorld w;
+  int done = 0;
+  for (int i = 0; i < 2; ++i) {
+    sim::spawn(w.sim, [](MusicWorld& world, int ci, int& d) -> sim::Task<void> {
+      auto& c = world.client(static_cast<size_t>(ci));
+      std::vector<Key> keys = ci == 0 ? std::vector<Key>{"p", "q"}
+                                      : std::vector<Key>{"q", "p"};
+      MultiKeySection cs(c, keys);
+      auto st = co_await cs.acquire_all();
+      EXPECT_TRUE(st.ok());
+      // Read-modify-write across both keys atomically.
+      auto gp = co_await cs.get("p");
+      int v = gp.ok() ? std::stoi(gp.value().data) : 0;
+      co_await cs.put("p", Value(std::to_string(v + 1)));
+      co_await cs.put("q", Value(std::to_string(v + 1)));
+      co_await cs.release_all();
+      ++d;
+    }(w, i, done));
+  }
+  w.sim.run_until(sim::sec(300));
+  ASSERT_EQ(done, 2);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto p = co_await w.replica(0).get_quorum_unlocked("p");
+    auto q = co_await w.replica(0).get_quorum_unlocked("q");
+    CO_ASSERT_TRUE(p.ok());
+    CO_ASSERT_TRUE(q.ok());
+    EXPECT_EQ(p.value().data, "2");
+    EXPECT_EQ(q.value().data, p.value().data);  // both sections fully applied
+  });
+  ASSERT_TRUE(ok);
+}
+
+TEST(MultiKey, CrossKeyAtomicityObservedByNextSection) {
+  MusicWorld w;
+  auto& c0 = w.client(0);
+  auto& c1 = w.client(1);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    {
+      MultiKeySection cs(c0, {"acct-a", "acct-b"});
+      co_await cs.acquire_all();
+      co_await cs.put("acct-a", Value("50"));
+      co_await cs.put("acct-b", Value("150"));
+      co_await cs.release_all();
+    }
+    // A later multi-key section sees BOTH latest values (latest-state per
+    // key, lock-serialized across sections).
+    MultiKeySection cs2(c1, {"acct-a", "acct-b"});
+    co_await cs2.acquire_all();
+    auto a = co_await cs2.get("acct-a");
+    auto b = co_await cs2.get("acct-b");
+    CO_ASSERT_TRUE(a.ok());
+    CO_ASSERT_TRUE(b.ok());
+    EXPECT_EQ(std::stoi(a.value().data) + std::stoi(b.value().data), 200);
+    co_await cs2.release_all();
+  });
+  ASSERT_TRUE(ok);
+}
+
+TEST(MultiKey, ReleaseAfterFailedAcquireLeavesNoResidue) {
+  MusicWorld w;
+  auto& c0 = w.client(0);
+  auto& c1 = w.client(1);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    // c0 wedges "k2" by holding it.
+    auto ref = co_await c0.create_lock_ref("k2");
+    co_await c0.acquire_lock_blocking("k2", ref.value());
+    // c1's multi-acquire over {k1, k2} stalls on k2 and gives up (the poll
+    // budget is finite); k1 must be rolled back so others can use it.
+    MultiKeySection cs(c1, {"k1", "k2"});
+    auto st = co_await cs.acquire_all();
+    EXPECT_FALSE(st.ok());
+    EXPECT_FALSE(cs.held());
+    // k1 is free again.
+    auto body = [&](LockRef r) -> sim::Task<Status> {
+      co_return co_await c0.critical_put("k1", r, Value("free"));
+    };
+    auto s2 = co_await c0.with_lock("k1", body);
+    EXPECT_TRUE(s2.ok());
+    co_await c0.release_lock("k2", ref.value());
+  }, sim::sec(600));
+  ASSERT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace music::core

@@ -1,0 +1,102 @@
+// Unit tests for the pure Paxos acceptor rules underlying LWTs.
+#include "paxos/paxos.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace music::paxos {
+namespace {
+
+using StrAcceptor = Acceptor<std::string>;
+
+TEST(Ballot, EncodesRoundAndProposerWithoutTies) {
+  EXPECT_LT(make_ballot(1, 3), make_ballot(2, 0));
+  EXPECT_LT(make_ballot(1, 1), make_ballot(1, 2));
+  EXPECT_EQ(ballot_round(make_ballot(7, 5)), 7);
+}
+
+TEST(Acceptor, PromisesIncreasingBallots) {
+  StrAcceptor a;
+  auto r1 = a.on_prepare(make_ballot(1, 0));
+  EXPECT_TRUE(r1.promised);
+  EXPECT_EQ(r1.promised_ballot, make_ballot(1, 0));
+  auto r2 = a.on_prepare(make_ballot(2, 0));
+  EXPECT_TRUE(r2.promised);
+}
+
+TEST(Acceptor, RefusesStaleOrEqualPrepares) {
+  StrAcceptor a;
+  a.on_prepare(make_ballot(5, 0));
+  auto stale = a.on_prepare(make_ballot(4, 0));
+  EXPECT_FALSE(stale.promised);
+  EXPECT_EQ(stale.promised_ballot, make_ballot(5, 0));  // hint for the loser
+  auto equal = a.on_prepare(make_ballot(5, 0));
+  EXPECT_FALSE(equal.promised);
+}
+
+TEST(Acceptor, AcceptsAtOrAbovePromise) {
+  StrAcceptor a;
+  a.on_prepare(make_ballot(3, 0));
+  auto acc = a.on_accept({make_ballot(3, 0), "v"});
+  EXPECT_TRUE(acc.accepted);
+  // A higher accept also succeeds (implicit promise).
+  auto acc2 = a.on_accept({make_ballot(4, 1), "w"});
+  EXPECT_TRUE(acc2.accepted);
+  EXPECT_EQ(a.promised(), make_ballot(4, 1));
+}
+
+TEST(Acceptor, RejectsAcceptBelowPromise) {
+  StrAcceptor a;
+  a.on_prepare(make_ballot(9, 0));
+  auto acc = a.on_accept({make_ballot(8, 0), "v"});
+  EXPECT_FALSE(acc.accepted);
+  EXPECT_FALSE(a.accepted().has_value());
+}
+
+TEST(Acceptor, PrepareExposesInProgressProposal) {
+  // The crux of Cassandra's LWT replay: a new coordinator must learn of an
+  // accepted-but-uncommitted proposal and finish it first.
+  StrAcceptor a;
+  a.on_prepare(make_ballot(1, 0));
+  a.on_accept({make_ballot(1, 0), "orphan"});
+  auto r = a.on_prepare(make_ballot(2, 1));
+  EXPECT_TRUE(r.promised);
+  ASSERT_TRUE(r.in_progress.has_value());
+  EXPECT_EQ(r.in_progress->value, "orphan");
+  EXPECT_EQ(r.in_progress->ballot, make_ballot(1, 0));
+}
+
+TEST(Acceptor, CommitClearsInProgressSlot) {
+  StrAcceptor a;
+  a.on_accept({make_ballot(1, 0), "v"});
+  a.on_commit(make_ballot(1, 0));
+  EXPECT_FALSE(a.accepted().has_value());
+  auto r = a.on_prepare(make_ballot(2, 0));
+  EXPECT_FALSE(r.in_progress.has_value());
+}
+
+TEST(Acceptor, CommitOfOlderBallotKeepsNewerAccepted) {
+  StrAcceptor a;
+  a.on_accept({make_ballot(5, 0), "newer"});
+  a.on_commit(make_ballot(4, 0));  // commit of an older decision
+  ASSERT_TRUE(a.accepted().has_value());
+  EXPECT_EQ(a.accepted()->value, "newer");
+}
+
+TEST(Acceptor, SafetyAcrossCompetingProposers) {
+  // Once a value is accepted by the acceptor, a competing proposer that
+  // prepares at a higher ballot must observe it — the invariant Paxos
+  // safety rests on.
+  StrAcceptor a;
+  a.on_prepare(make_ballot(1, 0));
+  EXPECT_TRUE(a.on_accept({make_ballot(1, 0), "A"}).accepted);
+  auto p2 = a.on_prepare(make_ballot(2, 1));
+  ASSERT_TRUE(p2.in_progress.has_value());
+  EXPECT_EQ(p2.in_progress->value, "A");
+  // Old proposer's late accept at ballot 1 is now refused.
+  EXPECT_FALSE(a.on_accept({make_ballot(1, 0), "A2"}).accepted);
+}
+
+}  // namespace
+}  // namespace music::paxos

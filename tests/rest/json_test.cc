@@ -1,0 +1,93 @@
+// JSON layer tests: parsing, serialization, round trips, error handling.
+#include "rest/json.h"
+
+#include <gtest/gtest.h>
+
+namespace music::rest {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool(true));
+  EXPECT_DOUBLE_EQ(Json::parse("3.25")->as_number(), 3.25);
+  EXPECT_EQ(Json::parse("-17")->as_int(), -17);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3")->as_number(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  auto j = Json::parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_TRUE((*j)["a"].is_array());
+  EXPECT_EQ((*j)["a"].as_array().size(), 3u);
+  EXPECT_EQ((*j)["a"].as_array()[2]["b"].as_string(), "c");
+  EXPECT_TRUE((*j)["d"]["e"].is_null());
+  EXPECT_TRUE((*j)["missing"].is_null());
+}
+
+TEST(Json, ParsesEscapes) {
+  auto j = Json::parse(R"("line\nbreak \"quoted\" tab\t back\\slash uA")");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->as_string(), "line\nbreak \"quoted\" tab\t back\\slash uA");
+}
+
+TEST(Json, ParsesUnicodeEscapesAsUtf8) {
+  auto j = Json::parse(R"("é中")");  // é, 中
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->as_string(), "\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "{'a':1}",
+        "[1] trailing", "{\"a\" 1}", "nul", "01a"}) {
+    EXPECT_FALSE(Json::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(Json, DumpRoundTrips) {
+  const char* cases[] = {
+      R"({"a":[1,2,3],"b":"x","c":{"d":true,"e":null}})",
+      R"([])",
+      R"({})",
+      R"(["nested",["deep",["deeper"]]])",
+  };
+  for (const char* text : cases) {
+    auto j = Json::parse(text);
+    ASSERT_TRUE(j.has_value()) << text;
+    auto again = Json::parse(j->dump());
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*j, *again) << text;
+  }
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  Json j(std::string("a\nb\"c\\d\x01"));
+  auto back = Json::parse(j.dump());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->as_string(), "a\nb\"c\\d\x01");
+}
+
+TEST(Json, BuilderApi) {
+  Json j;
+  j.set("op", "criticalPut").set("lockRef", 7);
+  j.set("tags", Json(Json::Array{Json("x"), Json("y")}));
+  Json arr;
+  arr.push(1).push(2);
+  j.set("nums", std::move(arr));
+  EXPECT_EQ(j["op"].as_string(), "criticalPut");
+  EXPECT_EQ(j["lockRef"].as_int(), 7);
+  EXPECT_EQ(j["nums"].as_array().size(), 2u);
+  auto round = Json::parse(j.dump());
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(*round, j);
+}
+
+TEST(Json, IntegersDumpWithoutDecimalPoint) {
+  Json j(int64_t{1234567});
+  EXPECT_EQ(j.dump(), "1234567");
+}
+
+}  // namespace
+}  // namespace music::rest

@@ -1,0 +1,135 @@
+// REST gateway tests: the §VI JSON interface end-to-end over a simulated
+// deployment, including the full Listing-1 flow driven purely by JSON.
+#include "rest/rest.h"
+
+#include <gtest/gtest.h>
+
+#include "util/world.h"
+
+namespace music::rest {
+namespace {
+
+using test::MusicWorld;
+
+TEST(Rest, Listing1DrivenEntirelyByJson) {
+  MusicWorld w;
+  RestGateway gw(w.client(0));
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto created = Json::parse(co_await gw.handle(
+        R"({"op":"createLockRef","key":"k"})"));
+    CO_ASSERT_TRUE(created.has_value());
+    CO_ASSERT_EQ((*created)["status"].as_string(), "Ok");
+    int64_t ref = (*created)["lockRef"].as_int();
+    EXPECT_EQ(ref, 1);
+
+    // Poll acquireLock until granted (Listing 1's loop, via JSON).
+    std::string status;
+    for (int i = 0; i < 64 && status != "Ok"; ++i) {
+      Json req;
+      req.set("op", "acquireLock").set("key", "k").set("lockRef", ref);
+      auto reply = co_await gw.handle_json(req);
+      status = reply["status"].as_string();
+      if (status != "Ok") co_await sim::sleep_for(w.sim, sim::ms(5));
+    }
+    CO_ASSERT_EQ(status, "Ok");
+
+    Json put;
+    put.set("op", "criticalPut").set("key", "k").set("lockRef", ref)
+        .set("value", "42");
+    auto pr = co_await gw.handle_json(put);
+    EXPECT_EQ(pr["status"].as_string(), "Ok");
+
+    Json get;
+    get.set("op", "criticalGet").set("key", "k").set("lockRef", ref);
+    auto gr = co_await gw.handle_json(get);
+    CO_ASSERT_EQ(gr["status"].as_string(), "Ok");
+    EXPECT_EQ(gr["value"].as_string(), "42");
+
+    Json rel;
+    rel.set("op", "releaseLock").set("key", "k").set("lockRef", ref);
+    auto rr = co_await gw.handle_json(rel);
+    EXPECT_EQ(rr["status"].as_string(), "Ok");
+  });
+  ASSERT_TRUE(ok);
+}
+
+TEST(Rest, EventualOpsAndKeyListing) {
+  MusicWorld w;
+  RestGateway gw(w.client(0));
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      auto r = Json::parse(co_await gw.handle(
+          R"({"op":"put","key":"job-)" + std::to_string(i) +
+          R"(","value":"pending"})"));
+      CO_ASSERT_TRUE(r.has_value());
+      EXPECT_EQ((*r)["status"].as_string(), "Ok");
+    }
+    co_await sim::sleep_for(w.sim, sim::sec(1));
+    auto g = Json::parse(co_await gw.handle(R"({"op":"get","key":"job-1"})"));
+    CO_ASSERT_TRUE(g.has_value());
+    EXPECT_EQ((*g)["value"].as_string(), "pending");
+    auto keys = Json::parse(co_await gw.handle(
+        R"({"op":"getAllKeys","key":"job-"})"));
+    CO_ASSERT_TRUE(keys.has_value());
+    EXPECT_EQ((*keys)["keys"].as_array().size(), 3u);
+  });
+  ASSERT_TRUE(ok);
+}
+
+TEST(Rest, RejectsMalformedRequestsWithoutTouchingTheStore) {
+  MusicWorld w;
+  RestGateway gw(w.client(0));
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    for (const char* bad : {
+             "not json at all",
+             R"([1,2,3])",                              // not an object
+             R"({"key":"k"})",                          // no op
+             R"({"op":"criticalPut","key":"k"})",       // no lockRef
+             R"({"op":"criticalPut","key":"k","lockRef":1})",  // no value
+             R"({"op":"teleport","key":"k"})",          // unknown op
+             R"({"op":"get"})",                         // no key
+         }) {
+      auto r = Json::parse(co_await gw.handle(bad));
+      CO_ASSERT_TRUE(r.has_value());
+      EXPECT_EQ((*r)["status"].as_string(), "BadRequest") << bad;
+    }
+    co_return;
+  });
+  ASSERT_TRUE(ok);
+  // No operations reached the replicas.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.replica(i).stats().create_lock_ref, 0u);
+    EXPECT_EQ(w.replica(i).stats().critical_puts, 0u);
+  }
+}
+
+TEST(Rest, GuardFailuresSurfaceAsStatusStrings) {
+  MusicWorld w;
+  RestGateway gw(w.client(0));
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    // criticalPut with a lockRef that was never granted.
+    auto r = Json::parse(co_await gw.handle(
+        R"({"op":"criticalPut","key":"k","lockRef":42,"value":"x"})"));
+    CO_ASSERT_TRUE(r.has_value());
+    EXPECT_EQ((*r)["status"].as_string(), "NotYetHolder");
+    // criticalGet on a missing key inside a real section.
+    auto created = Json::parse(co_await gw.handle(
+        R"({"op":"createLockRef","key":"k"})"));
+    int64_t ref = (*created)["lockRef"].as_int();
+    Json acq;
+    acq.set("op", "acquireLock").set("key", "k").set("lockRef", ref);
+    std::string status;
+    for (int i = 0; i < 64 && status != "Ok"; ++i) {
+      status = (co_await gw.handle_json(acq))["status"].as_string();
+      if (status != "Ok") co_await sim::sleep_for(w.sim, sim::ms(5));
+    }
+    Json get;
+    get.set("op", "criticalGet").set("key", "k").set("lockRef", ref);
+    auto gr = co_await gw.handle_json(get);
+    EXPECT_EQ(gr["status"].as_string(), "NotFound");
+  });
+  ASSERT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace music::rest

@@ -1,0 +1,171 @@
+// Network model tests: Table II latency profiles, delays, drops, partitions
+// and node crashes.
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace music::sim {
+namespace {
+
+TEST(LatencyProfile, Table2ProfilesMatchThePaper) {
+  auto p11 = LatencyProfile::profile_11();
+  EXPECT_EQ(p11.name, "11");
+  EXPECT_DOUBLE_EQ(p11.rtt_ms[0][1], 0.2);     // Ohio-Ohio
+  EXPECT_DOUBLE_EQ(p11.rtt_ms[0][2], 15.14);   // Ohio-N.Virginia
+  EXPECT_DOUBLE_EQ(p11.rtt_ms[1][2], 15.14);
+
+  auto lus = LatencyProfile::profile_lus();
+  EXPECT_DOUBLE_EQ(lus.rtt_ms[0][1], 53.79);   // Ohio-N.Calif
+  EXPECT_DOUBLE_EQ(lus.rtt_ms[0][2], 72.14);   // Ohio-Oregon
+  EXPECT_DOUBLE_EQ(lus.rtt_ms[1][2], 24.2);    // N.Calif-Oregon
+
+  auto eu = LatencyProfile::profile_luseu();
+  EXPECT_DOUBLE_EQ(eu.rtt_ms[0][1], 53.79);
+  EXPECT_DOUBLE_EQ(eu.rtt_ms[0][2], 100.56);
+  EXPECT_DOUBLE_EQ(eu.rtt_ms[1][2], 150.74);   // N.Calif-Frankfurt
+
+  EXPECT_EQ(LatencyProfile::table2().size(), 3u);
+}
+
+TEST(LatencyProfile, MatrixIsSymmetricWithLocalDiagonal) {
+  for (const auto& p : LatencyProfile::table2()) {
+    for (int i = 0; i < p.num_sites(); ++i) {
+      EXPECT_DOUBLE_EQ(p.rtt_ms[static_cast<size_t>(i)][static_cast<size_t>(i)], 0.2);
+      for (int j = 0; j < p.num_sites(); ++j) {
+        EXPECT_DOUBLE_EQ(p.rtt_ms[static_cast<size_t>(i)][static_cast<size_t>(j)],
+                         p.rtt_ms[static_cast<size_t>(j)][static_cast<size_t>(i)]);
+      }
+    }
+  }
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : sim_(7), net_(sim_, make_config()) {
+    a_ = net_.add_node(0);
+    b_ = net_.add_node(1);
+    c_ = net_.add_node(2);
+    a2_ = net_.add_node(0);
+  }
+
+  static NetworkConfig make_config() {
+    NetworkConfig c;
+    c.profile = LatencyProfile::profile_lus();
+    c.jitter_frac = 0.0;  // exact delays for assertions
+    return c;
+  }
+
+  Simulation sim_;
+  Network net_;
+  NodeId a_, b_, c_, a2_;
+};
+
+TEST_F(NetworkTest, OneWayDelayIsHalfRtt) {
+  // Ohio -> N.Calif: RTT 53.79ms -> one way 26.895ms (+ tiny bandwidth).
+  Duration d = net_.sample_delay(a_, b_, 0);
+  EXPECT_NEAR(static_cast<double>(d), 26895.0, 1.0);
+  // Same-site: 0.2ms RTT -> 0.1ms.
+  Duration local = net_.sample_delay(a_, a2_, 0);
+  EXPECT_NEAR(static_cast<double>(local), 100.0, 1.0);
+}
+
+TEST_F(NetworkTest, BandwidthTermGrowsWithMessageSize) {
+  Duration small = net_.sample_delay(a_, b_, 100);
+  Duration large = net_.sample_delay(a_, b_, 256 * 1024);
+  // 256KB over 1Gbps ~ 2.1ms extra.
+  EXPECT_GT(large, small + 1500);
+}
+
+TEST_F(NetworkTest, MessageDeliveredAfterDelay) {
+  Time delivered = -1;
+  net_.send(a_, b_, 0, [&] { delivered = sim_.now(); });
+  sim_.run_until_idle();
+  EXPECT_NEAR(static_cast<double>(delivered), 26895.0, 1.0);
+  EXPECT_EQ(net_.messages_sent(), 1u);
+  EXPECT_EQ(net_.messages_dropped(), 0u);
+}
+
+TEST_F(NetworkTest, CrashedNodeDropsTraffic) {
+  net_.set_node_down(b_, true);
+  bool delivered = false;
+  net_.send(a_, b_, 0, [&] { delivered = true; });
+  sim_.run_until_idle();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net_.messages_dropped(), 1u);
+
+  net_.set_node_down(b_, false);
+  net_.send(a_, b_, 0, [&] { delivered = true; });
+  sim_.run_until_idle();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(NetworkTest, CrashDuringFlightDropsAtDelivery) {
+  bool delivered = false;
+  net_.send(a_, b_, 0, [&] { delivered = true; });
+  // Take the destination down while the message is in flight.
+  sim_.schedule(1000, [&] { net_.set_node_down(b_, true); });
+  sim_.run_until_idle();
+  EXPECT_FALSE(delivered);
+}
+
+TEST_F(NetworkTest, PartitionBlocksCrossTrafficOnly) {
+  net_.partition_sites({0}, {1, 2});
+  EXPECT_FALSE(net_.deliverable(a_, b_));
+  EXPECT_FALSE(net_.deliverable(c_, a_));
+  EXPECT_TRUE(net_.deliverable(b_, c_));   // same side
+  EXPECT_TRUE(net_.deliverable(a_, a2_));  // same site
+
+  bool crossed = false;
+  bool same_side = false;
+  net_.send(a_, b_, 0, [&] { crossed = true; });
+  net_.send(b_, c_, 0, [&] { same_side = true; });
+  sim_.run_until_idle();
+  EXPECT_FALSE(crossed);
+  EXPECT_TRUE(same_side);
+
+  net_.heal_partition();
+  net_.send(a_, b_, 0, [&] { crossed = true; });
+  sim_.run_until_idle();
+  EXPECT_TRUE(crossed);
+}
+
+TEST(NetworkDrops, DropProbabilityLosesRoughlyThatFraction) {
+  Simulation s(11);
+  NetworkConfig cfg;
+  cfg.profile = LatencyProfile::uniform(2, 10.0);
+  cfg.drop_prob = 0.3;
+  Network net(s, cfg);
+  NodeId a = net.add_node(0);
+  NodeId b = net.add_node(1);
+  int delivered = 0;
+  for (int i = 0; i < 2000; ++i) net.send(a, b, 0, [&] { ++delivered; });
+  s.run_until_idle();
+  EXPECT_NEAR(delivered, 1400, 100);
+}
+
+TEST(NetworkJitter, JitterVariesDelays) {
+  Simulation s(13);
+  NetworkConfig cfg;
+  cfg.profile = LatencyProfile::profile_lus();
+  cfg.jitter_frac = 0.02;
+  Network net(s, cfg);
+  NodeId a = net.add_node(0);
+  NodeId b = net.add_node(1);
+  Duration d1 = net.sample_delay(a, b, 0);
+  bool varied = false;
+  for (int i = 0; i < 50; ++i) {
+    if (net.sample_delay(a, b, 0) != d1) varied = true;
+  }
+  EXPECT_TRUE(varied);
+  // Bounded by +/-2%.
+  for (int i = 0; i < 50; ++i) {
+    double d = static_cast<double>(net.sample_delay(a, b, 0));
+    EXPECT_GE(d, 26895.0 * 0.975);
+    EXPECT_LE(d, 26895.0 * 1.025);
+  }
+}
+
+}  // namespace
+}  // namespace music::sim

@@ -1,0 +1,92 @@
+// Rng tests: determinism, stream independence via fork(), distribution
+// sanity.
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace music::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+  // Degenerate range.
+  EXPECT_EQ(r.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntCoversTheRange) {
+  Rng r(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceRatesRoughlyCorrect) {
+  Rng r(4);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(7);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  // Different tags diverge.
+  bool differ = false;
+  for (int i = 0; i < 16; ++i) {
+    if (child1.next_u64() != child2.next_u64()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, ForkIsDeterministicGivenParentStateAndTag) {
+  Rng p1(7), p2(7);
+  Rng a = p1.fork(42);
+  Rng b = p2.fork(42);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ExponentialHasRoughlyTheRequestedMean) {
+  Rng r(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(50.0);
+  EXPECT_NEAR(sum / kN, 50.0, 2.0);
+}
+
+TEST(Rng, UniformRealHalfOpen) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform_real(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+}  // namespace
+}  // namespace music::sim

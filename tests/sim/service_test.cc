@@ -1,0 +1,147 @@
+// Server compute and disk model tests: queueing math, parallelism, crash
+// discard semantics.
+#include "sim/service.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace music::sim {
+namespace {
+
+ServiceConfig one_worker(Duration base) {
+  ServiceConfig c;
+  c.workers = 1;
+  c.base_cost_us = base;
+  c.per_byte_ns = 0.0;
+  return c;
+}
+
+TEST(ServiceNode, CostModelIncludesPerByteTerm) {
+  Simulation s;
+  ServiceConfig cfg;
+  cfg.base_cost_us = 100;
+  cfg.per_byte_ns = 2.0;
+  ServiceNode n(s, cfg);
+  EXPECT_EQ(n.cost_for(0), 100);
+  EXPECT_EQ(n.cost_for(500'000), 100 + 1000);  // 500KB * 2ns = 1ms
+}
+
+TEST(ServiceNode, SingleWorkerSerializesWork) {
+  Simulation s;
+  ServiceNode n(s, one_worker(100));
+  std::vector<Time> completions;
+  for (int i = 0; i < 3; ++i) {
+    n.submit_cost(100, [&] { completions.push_back(s.now()); });
+  }
+  s.run_until_idle();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], 100);
+  EXPECT_EQ(completions[1], 200);
+  EXPECT_EQ(completions[2], 300);
+}
+
+TEST(ServiceNode, MultipleWorkersRunInParallel) {
+  Simulation s;
+  ServiceConfig cfg = one_worker(100);
+  cfg.workers = 4;
+  ServiceNode n(s, cfg);
+  std::vector<Time> completions;
+  for (int i = 0; i < 8; ++i) {
+    n.submit_cost(100, [&] { completions.push_back(s.now()); });
+  }
+  s.run_until_idle();
+  ASSERT_EQ(completions.size(), 8u);
+  // First 4 at t=100, next 4 at t=200.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(completions[static_cast<size_t>(i)], 100);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(completions[static_cast<size_t>(i)], 200);
+}
+
+TEST(ServiceNode, ThroughputMatchesLittleLaw) {
+  // 8 workers x 200us -> 40k ops/s capacity.
+  Simulation s;
+  ServiceConfig cfg;
+  cfg.workers = 8;
+  cfg.base_cost_us = 200;
+  cfg.per_byte_ns = 0;
+  ServiceNode n(s, cfg);
+  int done = 0;
+  for (int i = 0; i < 40000; ++i) n.submit_cost(200, [&] { ++done; });
+  s.run_until_idle();
+  EXPECT_EQ(done, 40000);
+  EXPECT_EQ(s.now(), sec(1));
+}
+
+TEST(ServiceNode, DownNodeDiscardsSubmissions) {
+  Simulation s;
+  ServiceNode n(s, one_worker(10));
+  n.set_down(true);
+  bool ran = false;
+  n.submit_cost(10, [&] { ran = true; });
+  s.run_until_idle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(ServiceNode, CrashDiscardsInFlightWork) {
+  Simulation s;
+  ServiceNode n(s, one_worker(1000));
+  bool ran = false;
+  n.submit_cost(1000, [&] { ran = true; });
+  s.schedule(500, [&] { n.set_down(true); });  // crash mid-processing
+  s.run_until_idle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(ServiceNode, RestartProcessesNewWork) {
+  Simulation s;
+  ServiceNode n(s, one_worker(10));
+  n.set_down(true);
+  n.set_down(false);
+  bool ran = false;
+  n.submit_cost(10, [&] { ran = true; });
+  s.run_until_idle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(n.completed(), 1u);
+}
+
+TEST(Disk, FsyncCostsBasePlusBandwidth) {
+  Simulation s;
+  DiskConfig cfg;
+  cfg.fsync_base_us = 1000;
+  cfg.write_bps = 100e6;  // 100MB/s
+  Disk d(s, cfg);
+  Time done_at = -1;
+  d.write_sync(1'000'000, [&] { done_at = s.now(); });  // 1MB -> 10ms + 1ms
+  s.run_until_idle();
+  EXPECT_EQ(done_at, 11'000);
+}
+
+TEST(Disk, RequestsQueueFifo) {
+  Simulation s;
+  DiskConfig cfg;
+  cfg.fsync_base_us = 100;
+  cfg.write_bps = 1e12;
+  Disk d(s, cfg);
+  std::vector<Time> at;
+  for (int i = 0; i < 3; ++i) d.write_sync(0, [&] { at.push_back(s.now()); });
+  s.run_until_idle();
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], 100);
+  EXPECT_EQ(at[1], 200);
+  EXPECT_EQ(at[2], 300);
+}
+
+TEST(Disk, CrashDiscardsPendingWrites) {
+  Simulation s;
+  DiskConfig cfg;
+  cfg.fsync_base_us = 1000;
+  Disk d(s, cfg);
+  bool ran = false;
+  d.write_sync(0, [&] { ran = true; });
+  s.schedule(500, [&] { d.set_down(true); });
+  s.run_until_idle();
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace music::sim

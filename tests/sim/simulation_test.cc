@@ -1,0 +1,113 @@
+// Unit tests for the discrete-event kernel: ordering, clock advancement,
+// determinism.
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace music::sim {
+namespace {
+
+TEST(Simulation, StartsAtTimeZeroAndIdle) {
+  Simulation s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.idle());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.schedule(300, [&] { order.push_back(3); });
+  s.schedule(100, [&] { order.push_back(1); });
+  s.schedule(200, [&] { order.push_back(2); });
+  s.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 300);
+}
+
+TEST(Simulation, SameTimeEventsRunInSchedulingOrder) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(50, [&order, i] { order.push_back(i); });
+  }
+  s.run_until_idle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, NegativeDelayClampsToNow) {
+  Simulation s;
+  s.schedule(100, [] {});
+  s.run_until_idle();
+  bool ran = false;
+  s.schedule(-50, [&] { ran = true; });
+  s.run_until_idle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulation, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulation s;
+  s.run_until(5000);
+  EXPECT_EQ(s.now(), 5000);
+  s.run_for(2500);
+  EXPECT_EQ(s.now(), 7500);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation s;
+  int ran = 0;
+  s.schedule(100, [&] { ++ran; });
+  s.schedule(200, [&] { ++ran; });
+  s.schedule(300, [&] { ++ran; });
+  s.run_until(200);
+  EXPECT_EQ(ran, 2);  // t=100 and t=200 inclusive
+  EXPECT_EQ(s.now(), 200);
+  s.run_until_idle();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule(10, recurse);
+  };
+  s.schedule(10, recurse);
+  s.run_until_idle();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), 1000);
+}
+
+TEST(Simulation, DeterministicAcrossRunsWithSameSeed) {
+  auto run = [](uint64_t seed) {
+    Simulation s(seed);
+    std::vector<int64_t> draws;
+    for (int i = 0; i < 32; ++i) draws.push_back(s.rng().uniform_int(0, 1000));
+    return draws;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Simulation, CurrentSimulationSetDuringStep) {
+  Simulation s;
+  EXPECT_EQ(current_simulation(), nullptr);
+  Simulation* seen = nullptr;
+  s.schedule(1, [&] { seen = current_simulation(); });
+  s.run_until_idle();
+  EXPECT_EQ(seen, &s);
+  EXPECT_EQ(current_simulation(), nullptr);
+}
+
+TEST(Simulation, EventCounterAdvances) {
+  Simulation s;
+  for (int i = 0; i < 5; ++i) s.schedule(i, [] {});
+  s.run_until_idle();
+  EXPECT_EQ(s.events_run(), 5u);
+}
+
+}  // namespace
+}  // namespace music::sim

@@ -1,0 +1,143 @@
+// Tests for the verification oracle itself: it must accept legal ECF
+// histories and flag illegal ones.
+#include "verify/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace music::verify {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_{1};
+  EcfChecker checker_{sim_};
+};
+
+TEST_F(OracleTest, AcceptsSimpleCriticalSection) {
+  checker_.on_acquired("k", 1);
+  checker_.on_put_attempt("k", 1, Value("a"));
+  checker_.on_put_acked("k", 1, Value("a"));
+  checker_.on_get_ok("k", 1, Value("a"));
+  checker_.on_released("k", 1);
+  checker_.on_acquired("k", 2);
+  checker_.on_get_ok("k", 2, Value("a"));  // latest state carries over
+  EXPECT_TRUE(checker_.ok()) << checker_.report();
+}
+
+TEST_F(OracleTest, FlagsStaleReadByNewHolder) {
+  checker_.on_acquired("k", 1);
+  checker_.on_put_attempt("k", 1, Value("old"));
+  checker_.on_put_acked("k", 1, Value("old"));
+  checker_.on_put_attempt("k", 1, Value("new"));
+  checker_.on_put_acked("k", 1, Value("new"));
+  checker_.on_released("k", 1);
+  checker_.on_acquired("k", 2);
+  checker_.on_get_ok("k", 2, Value("old"));  // VIOLATION: not the latest
+  EXPECT_FALSE(checker_.ok());
+  EXPECT_EQ(checker_.violations().front().invariant, "Latest-State");
+}
+
+TEST_F(OracleTest, FlagsReadOfNeverWrittenValue) {
+  checker_.on_acquired("k", 1);
+  checker_.on_get_ok("k", 1, Value("phantom"));
+  EXPECT_FALSE(checker_.ok());
+}
+
+TEST_F(OracleTest, FlagsHolderForgettingItsOwnWrite) {
+  checker_.on_acquired("k", 1);
+  checker_.on_put_attempt("k", 1, Value("mine"));
+  checker_.on_put_acked("k", 1, Value("mine"));
+  checker_.on_get_ok("k", 1, Value("mine"));
+  checker_.on_put_attempt("k", 1, Value("mine2"));
+  checker_.on_put_acked("k", 1, Value("mine2"));
+  checker_.on_get_ok("k", 1, Value("mine"));  // VIOLATION: own write lost
+  EXPECT_FALSE(checker_.ok());
+}
+
+TEST_F(OracleTest, AcceptsNondeterministicChoiceAfterPreemption) {
+  // Holder 1 acks "a" then attempts "b" (never acked) and is preempted.
+  checker_.on_acquired("k", 1);
+  checker_.on_put_attempt("k", 1, Value("a"));
+  checker_.on_put_acked("k", 1, Value("a"));
+  checker_.on_put_attempt("k", 1, Value("b"));  // in flight at preemption
+  checker_.on_forced_release("k", 1);
+  checker_.on_acquired("k", 2);
+  // Either choice is legal (§III's refined true value).
+  checker_.on_get_ok("k", 2, Value("b"));
+  EXPECT_TRUE(checker_.ok()) << checker_.report();
+  // And the choice is committed: a re-read of "a" now violates.
+  checker_.on_get_ok("k", 2, Value("a"));
+  EXPECT_FALSE(checker_.ok());
+}
+
+TEST_F(OracleTest, RejectsThirdValueAfterPreemption) {
+  checker_.on_acquired("k", 1);
+  checker_.on_put_attempt("k", 1, Value("a"));
+  checker_.on_put_acked("k", 1, Value("a"));
+  checker_.on_forced_release("k", 1);
+  checker_.on_acquired("k", 2);
+  checker_.on_get_ok("k", 2, Value("zzz"));  // VIOLATION: never attempted
+  EXPECT_FALSE(checker_.ok());
+}
+
+TEST_F(OracleTest, FlagsOverlappingGrantsWithoutForcedRelease) {
+  checker_.on_acquired("k", 1);
+  checker_.on_acquired("k", 2);  // VIOLATION: 1 never released
+  EXPECT_FALSE(checker_.ok());
+  EXPECT_EQ(checker_.violations().front().invariant, "Exclusivity");
+}
+
+TEST_F(OracleTest, AllowsOverlapAfterForcedRelease) {
+  checker_.on_acquired("k", 1);
+  checker_.on_forced_release("k", 1);
+  checker_.on_acquired("k", 2);  // fine: 1 was preempted
+  EXPECT_TRUE(checker_.ok()) << checker_.report();
+}
+
+TEST_F(OracleTest, FlagsOutOfOrderGrants) {
+  checker_.on_acquired("k", 5);
+  checker_.on_released("k", 5);
+  checker_.on_acquired("k", 3);  // VIOLATION: fairness
+  EXPECT_FALSE(checker_.ok());
+  EXPECT_EQ(checker_.violations().front().invariant, "Fairness");
+}
+
+TEST_F(OracleTest, PreemptedHoldersAckedWriteStaysEligibleUntilSync) {
+  // Holder 1 preempted; ITS put still completes with an ack (quorum write
+  // raced the preemption).  Holder 2 may legally read it.
+  checker_.on_acquired("k", 1);
+  checker_.on_put_attempt("k", 1, Value("a"));
+  checker_.on_put_acked("k", 1, Value("a"));
+  checker_.on_forced_release("k", 1);
+  checker_.on_put_attempt("k", 1, Value("late"));
+  checker_.on_put_acked("k", 1, Value("late"));  // acked post-preemption
+  checker_.on_acquired("k", 2);
+  checker_.on_get_ok("k", 2, Value("late"));
+  EXPECT_TRUE(checker_.ok()) << checker_.report();
+}
+
+TEST_F(OracleTest, NotFoundOnlyLegalBeforeAnyCommittedWrite) {
+  checker_.on_acquired("k", 1);
+  checker_.on_get_not_found("k", 1);  // fine: nothing written yet
+  EXPECT_TRUE(checker_.ok());
+  checker_.on_put_attempt("k", 1, Value("a"));
+  checker_.on_put_acked("k", 1, Value("a"));
+  checker_.on_released("k", 1);
+  checker_.on_acquired("k", 2);
+  checker_.on_get_not_found("k", 2);  // VIOLATION: a true value exists
+  EXPECT_FALSE(checker_.ok());
+}
+
+TEST_F(OracleTest, KeysAreIndependent) {
+  checker_.on_acquired("a", 1);
+  checker_.on_put_attempt("a", 1, Value("x"));
+  checker_.on_put_acked("a", 1, Value("x"));
+  checker_.on_acquired("b", 1);
+  checker_.on_get_not_found("b", 1);  // b never written: fine
+  EXPECT_TRUE(checker_.ok()) << checker_.report();
+}
+
+}  // namespace
+}  // namespace music::verify

@@ -1,0 +1,102 @@
+// ChaosInjector tests: it breaks what it promises, heals on exit, and the
+// system keeps serving underneath it.
+#include "workload/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/world.h"
+#include "workload/driver.h"
+#include "workload/runners.h"
+
+namespace music::wl {
+namespace {
+
+using test::MusicWorld;
+using test::WorldOptions;
+
+TEST(Chaos, InjectsConfiguredFaultKindsAndHeals) {
+  MusicWorld w;
+  std::vector<core::MusicReplica*> reps;
+  for (auto& r : w.replicas) reps.push_back(r.get());
+  ChaosConfig cfg;
+  cfg.min_gap = sim::sec(1);
+  cfg.max_gap = sim::sec(3);
+  ChaosInjector chaos(w.store, reps, cfg);
+  chaos.start(sim::sec(60));
+  w.sim.run_until(sim::sec(90));
+  EXPECT_GT(chaos.store_crashes_injected() + chaos.music_crashes_injected() +
+                chaos.partitions_injected(),
+            5u);
+  // Everything healed at the end of the window.
+  for (int i = 0; i < w.store.num_replicas(); ++i) {
+    EXPECT_FALSE(w.store.replica(i).down()) << i;
+  }
+  for (auto* m : reps) EXPECT_FALSE(m->down());
+  EXPECT_TRUE(w.net.deliverable(w.store.replica(0).node(),
+                                w.store.replica(1).node()));
+}
+
+TEST(Chaos, KindsCanBeDisabled) {
+  MusicWorld w;
+  ChaosConfig cfg;
+  cfg.min_gap = sim::ms(500);
+  cfg.max_gap = sim::sec(1);
+  cfg.store_crashes = false;
+  cfg.music_crashes = false;
+  ChaosInjector chaos(w.store, {}, cfg);  // partitions only
+  chaos.start(sim::sec(30));
+  w.sim.run_until(sim::sec(40));
+  EXPECT_EQ(chaos.store_crashes_injected(), 0u);
+  EXPECT_EQ(chaos.music_crashes_injected(), 0u);
+  EXPECT_GT(chaos.partitions_injected(), 3u);
+}
+
+TEST(Chaos, SystemKeepsServingUnderInjection) {
+  WorldOptions opt;
+  opt.clients_per_site = 2;
+  opt.music.holder_timeout = sim::sec(6);
+  opt.music.fd_interval = sim::sec(1);
+  MusicWorld w(opt);
+  std::vector<core::MusicReplica*> reps;
+  for (auto& r : w.replicas) {
+    r->start_failure_detector();
+    reps.push_back(r.get());
+  }
+  ChaosInjector chaos(w.store, reps, ChaosConfig{});
+  chaos.start(sim::sec(70));
+
+  std::vector<core::MusicClient*> clients;
+  for (auto& c : w.clients) clients.push_back(c.get());
+  auto workload = std::make_shared<MusicCsWorkload>(clients, "ch", 1, 10);
+  DriverConfig cfg;
+  cfg.clients = static_cast<int>(clients.size());
+  cfg.warmup = sim::sec(2);
+  cfg.measure = sim::sec(60);
+  cfg.drain = sim::sec(60);
+  auto r = run_closed_loop(w.sim, workload, cfg);
+  // A majority is always up, so most sections complete despite the faults.
+  EXPECT_GT(r.completed, 20u);
+  EXPECT_GT(static_cast<double>(r.completed),
+            4.0 * static_cast<double>(r.failed));
+}
+
+TEST(Chaos, DeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    MusicWorld w;
+    ChaosConfig cfg;
+    cfg.seed = seed;
+    cfg.min_gap = sim::sec(1);
+    cfg.max_gap = sim::sec(2);
+    ChaosInjector chaos(w.store, {}, cfg);
+    chaos.start(sim::sec(40));
+    w.sim.run_until(sim::sec(50));
+    return std::tuple<uint64_t, uint64_t>(chaos.store_crashes_injected(),
+                                          chaos.partitions_injected());
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+}  // namespace
+}  // namespace music::wl

@@ -1,0 +1,246 @@
+// music_sim: command-line scenario runner for the MUSIC reproduction.
+//
+// Spins up a simulated multi-site deployment and drives a workload against
+// it, printing throughput/latency — a single binary for exploring the
+// design space beyond the paper's fixed figures:
+//
+//   music_sim --profile lUs --mode music --clients 256 --batch 10 ...
+//             --value-bytes 1024 --measure-sec 30
+//   music_sim --profile lUsEu --mode mscp --lock-backend raft --nodes 9
+//   music_sim --workload ycsb --ycsb-mix UR --clients 6
+//   music_sim --chaos --measure-sec 120      # with failure injection
+//
+// Run with --help for the full flag list.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/music.h"
+#include "lockstore/raft_lockstore.h"
+#include "workload/driver.h"
+#include "workload/runners.h"
+#include "workload/chaos.h"
+#include "workload/ycsb.h"
+
+using namespace music;
+
+namespace {
+
+struct Options {
+  std::string profile = "lUs";
+  std::string mode = "music";        // music | mscp
+  std::string lock_backend = "lwt";  // lwt | raft
+  std::string workload = "cs";       // cs | ycsb
+  std::string ycsb_mix = "UR";       // R | UR | U
+  int nodes = 3;
+  int clients = 16;
+  int batch = 1;
+  size_t value_bytes = 10;
+  int measure_sec = 30;
+  int warmup_sec = 3;
+  uint64_t seed = 1;
+  bool chaos = false;
+  bool latency_mode = false;  // single-thread latency instead of throughput
+};
+
+void usage() {
+  std::printf(R"(music_sim - MUSIC reproduction scenario runner
+
+  --profile 11|lUs|lUsEu   Table II latency profile        (default lUs)
+  --mode music|mscp        criticalPut via quorum or LWT   (default music)
+  --lock-backend lwt|raft  lock-store substrate (SX-A1)    (default lwt)
+  --workload cs|ycsb       critical sections or YCSB       (default cs)
+  --ycsb-mix R|UR|U        YCSB operation mix              (default UR)
+  --nodes N                store nodes, interleaved sites  (default 3)
+  --clients N              concurrent clients              (default 16)
+  --batch N                criticalPuts per section        (default 1)
+  --value-bytes N          payload size                    (default 10)
+  --measure-sec N          measurement window              (default 30)
+  --warmup-sec N           warmup                          (default 3)
+  --seed N                 simulation seed                 (default 1)
+  --latency                single-thread latency run
+  --chaos                  inject replica crashes and partitions
+  --help                   this text
+)");
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--profile") o.profile = need(i);
+    else if (a == "--mode") o.mode = need(i);
+    else if (a == "--lock-backend") o.lock_backend = need(i);
+    else if (a == "--workload") o.workload = need(i);
+    else if (a == "--ycsb-mix") o.ycsb_mix = need(i);
+    else if (a == "--nodes") o.nodes = std::atoi(need(i));
+    else if (a == "--clients") o.clients = std::atoi(need(i));
+    else if (a == "--batch") o.batch = std::atoi(need(i));
+    else if (a == "--value-bytes") o.value_bytes = static_cast<size_t>(std::atoll(need(i)));
+    else if (a == "--measure-sec") o.measure_sec = std::atoi(need(i));
+    else if (a == "--warmup-sec") o.warmup_sec = std::atoi(need(i));
+    else if (a == "--seed") o.seed = static_cast<uint64_t>(std::atoll(need(i)));
+    else if (a == "--latency") o.latency_mode = true;
+    else if (a == "--chaos") o.chaos = true;
+    else if (a == "--help" || a == "-h") { usage(); std::exit(0); }
+    else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+sim::LatencyProfile profile_by_name(const std::string& name) {
+  if (name == "11") return sim::LatencyProfile::profile_11();
+  if (name == "lUsEu") return sim::LatencyProfile::profile_luseu();
+  return sim::LatencyProfile::profile_lus();
+}
+
+/// Everything a run needs, owning either lock backend.
+struct Deployment {
+  sim::Simulation s;
+  sim::Network net;
+  ds::StoreCluster store;
+  std::unique_ptr<raftkv::RaftCluster> raft;
+  std::unique_ptr<ls::LockBackend> locks;
+  std::vector<std::unique_ptr<core::MusicReplica>> replicas;
+  std::vector<std::unique_ptr<core::MusicClient>> clients;
+
+  explicit Deployment(const Options& o)
+      : s(o.seed),
+        net(s,
+            [&] {
+              sim::NetworkConfig c;
+              c.profile = profile_by_name(o.profile);
+              return c;
+            }()),
+        store(s, net, ds::StoreConfig{}, [&] {
+          std::vector<int> v;
+          for (int i = 0; i < o.nodes; ++i) v.push_back(i % 3);
+          return v;
+        }()) {
+    if (o.lock_backend == "raft") {
+      raft = std::make_unique<raftkv::RaftCluster>(s, net, raftkv::RaftConfig{},
+                                                   std::vector<int>{0, 1, 2});
+      raft->start();
+      raft->wait_for_leader();
+      locks = std::make_unique<ls::RaftLockStore>(*raft);
+    } else {
+      locks = std::make_unique<ls::LockStore>(store);
+    }
+    core::MusicConfig mc;
+    mc.put_mode = o.mode == "mscp" ? core::PutMode::Lwt : core::PutMode::Quorum;
+    mc.t_max_cs = sim::sec(3600);
+    mc.holder_timeout = sim::sec(8);
+    mc.fd_interval = sim::sec(2);
+    for (int site = 0; site < 3; ++site) {
+      replicas.push_back(
+          std::make_unique<core::MusicReplica>(store, *locks, mc, site));
+      replicas.back()->start_failure_detector();
+    }
+    for (int i = 0; i < o.clients; ++i) {
+      int site = i % 3;
+      std::vector<core::MusicReplica*> prefs{replicas[static_cast<size_t>(site)].get()};
+      for (int j = 0; j < 3; ++j) {
+        if (j != site) prefs.push_back(replicas[static_cast<size_t>(j)].get());
+      }
+      clients.push_back(std::make_unique<core::MusicClient>(
+          s, net, prefs, core::ClientConfig{}, site));
+    }
+  }
+
+  std::vector<core::MusicClient*> client_ptrs() {
+    std::vector<core::MusicClient*> v;
+    for (auto& c : clients) v.push_back(c.get());
+    return v;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) return 2;
+
+  Deployment d(o);
+  std::unique_ptr<wl::ChaosInjector> chaos;
+  if (o.chaos) {
+    std::vector<core::MusicReplica*> reps;
+    for (auto& r : d.replicas) reps.push_back(r.get());
+    wl::ChaosConfig cc;
+    cc.seed = o.seed * 31 + 5;
+    chaos = std::make_unique<wl::ChaosInjector>(d.store, reps, cc);
+    chaos->start(sim::sec(o.warmup_sec + o.measure_sec));
+  }
+
+  std::shared_ptr<wl::Workload> workload;
+  std::shared_ptr<wl::YcsbWorkload> ycsb;
+  if (o.workload == "ycsb") {
+    auto mix = o.ycsb_mix == "R"   ? wl::YcsbMix::r()
+               : o.ycsb_mix == "U" ? wl::YcsbMix::u()
+                                   : wl::YcsbMix::ur();
+    ycsb = std::make_shared<wl::YcsbWorkload>(d.client_ptrs(), mix, 1000,
+                                              o.value_bytes, o.seed * 97);
+    workload = ycsb;
+  } else {
+    workload = std::make_shared<wl::MusicCsWorkload>(d.client_ptrs(), "cli",
+                                                     o.batch, o.value_bytes);
+  }
+
+  std::printf("music_sim: profile=%s mode=%s lock-backend=%s workload=%s "
+              "nodes=%d clients=%d batch=%d value=%zuB chaos=%s\n",
+              o.profile.c_str(), o.mode.c_str(), o.lock_backend.c_str(),
+              o.workload.c_str(), o.nodes, o.clients, o.batch, o.value_bytes,
+              o.chaos ? "on" : "off");
+
+  wl::RunResult r;
+  if (o.latency_mode) {
+    r = wl::run_sequential(d.s, workload, o.measure_sec,
+                           sim::sec(o.measure_sec * 60));
+    std::printf("latency over %llu ops: mean %.1f ms, p50 %.1f, p99 %.1f\n",
+                static_cast<unsigned long long>(r.completed),
+                r.latency.mean_ms(), r.latency.percentile_ms(50),
+                r.latency.percentile_ms(99));
+  } else {
+    wl::DriverConfig cfg;
+    cfg.clients = o.clients;
+    cfg.warmup = sim::sec(o.warmup_sec);
+    cfg.measure = sim::sec(o.measure_sec);
+    r = wl::run_closed_loop(d.s, workload, cfg);
+    std::printf("throughput: %.1f op/s (%.1f writes/s), mean latency %.1f ms, "
+                "p99 %.1f ms, completed=%llu failed=%llu\n",
+                r.throughput(), r.throughput() * o.batch,
+                r.latency.mean_ms(), r.latency.percentile_ms(99),
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.failed));
+  }
+  if (ycsb) {
+    std::printf("ycsb: %llu ops, %.1f%% lock collisions\n",
+                static_cast<unsigned long long>(ycsb->operations()),
+                ycsb->operations() > 0
+                    ? 100.0 * static_cast<double>(ycsb->collisions()) /
+                          static_cast<double>(ycsb->operations())
+                    : 0.0);
+  }
+  if (chaos) {
+    std::printf("chaos injected: %llu store crashes, %llu music crashes, "
+                "%llu partitions\n",
+                static_cast<unsigned long long>(chaos->store_crashes_injected()),
+                static_cast<unsigned long long>(chaos->music_crashes_injected()),
+                static_cast<unsigned long long>(chaos->partitions_injected()));
+  }
+  std::printf("simulated %.1f s in %llu events\n", sim::to_sec(d.s.now()),
+              static_cast<unsigned long long>(d.s.events_run()));
+  return 0;
+}
