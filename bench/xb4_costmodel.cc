@@ -7,6 +7,7 @@
 // advantage as x grows.  This bench prints the analytic model next to the
 // measured crossover from the simulator.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "common.h"
@@ -17,6 +18,69 @@ using namespace music::bench;
 namespace {
 
 constexpr uint64_t kSeed = 77;
+
+/// Inclusive WAN-round-trip count of the first finished root span named
+/// `name` (the tracer rolls descendants' declared RTTs up to the root).
+uint64_t root_rtts(const obs::Tracer& t, const char* name) {
+  for (const auto& s : t.spans()) {
+    if (s.parent == 0 && s.finished() && std::strcmp(s.name, name) == 0) {
+      return s.rtts;
+    }
+  }
+  return ~uint64_t{0};
+}
+
+/// Traces one uncontended critical section under lUsEu and asserts the
+/// measured per-operation WAN round trips against the paper's cost table:
+/// createLockRef and releaseLock are one LWT each (4 RTTs: prepare, read,
+/// accept, commit), acquireLock is one quorum read of the synchFlag (1),
+/// criticalPut in Quorum mode is one quorum round (1), criticalGet one (1).
+bool check_rtt_counts() {
+  MusicWorld w(kSeed, sim::LatencyProfile::profile_luseu(),
+               core::PutMode::Quorum, 3, 1);
+  ObsSession obs(w.sim);
+  auto& cl = *w.clients.front();
+  bool done = false;
+  sim::spawn(w.sim, [](MusicWorld& world, core::MusicClient& c,
+                       bool& d) -> sim::Task<void> {
+    auto ref = co_await c.create_lock_ref("cost");
+    co_await c.acquire_lock_blocking("cost", ref.value());
+    co_await c.critical_put("cost", ref.value(), Value("v"));
+    co_await c.critical_get("cost", ref.value());
+    co_await c.release_lock("cost", ref.value());
+    d = true;
+    (void)world;
+  }(w, cl, done));
+  w.sim.run_until(sim::sec(60));
+  if (!done) {
+    std::printf("RTT check: critical section did not complete\n");
+    return false;
+  }
+  struct Expect {
+    const char* span;
+    const char* table_row;
+    uint64_t rtts;
+  };
+  const Expect table[] = {
+      {"client.create_lock_ref", "createLockRef = 1 LWT", 4},
+      {"client.acquire_lock", "acquireLock   = 1 quorum read", 1},
+      {"client.critical_put", "criticalPut   = 1 quorum write", 1},
+      {"client.critical_get", "criticalGet   = 1 quorum read", 1},
+      {"client.release_lock", "releaseLock   = 1 LWT", 4},
+  };
+  bool ok = true;
+  std::printf("measured WAN round trips per op (lUsEu, traced) vs SX-B4:\n");
+  for (const Expect& e : table) {
+    uint64_t got = root_rtts(obs.tracer, e.span);
+    bool row_ok = got == e.rtts;
+    ok = ok && row_ok;
+    std::printf("  %-30s expected %llu  measured %llu  %s\n", e.table_row,
+                static_cast<unsigned long long>(e.rtts),
+                static_cast<unsigned long long>(got),
+                row_ok ? "ok" : "MISMATCH");
+  }
+  return ok;
+}
 
 double music_cs_ms(int batch) {
   MusicWorld w(kSeed, sim::LatencyProfile::profile_lus(),
@@ -40,6 +104,8 @@ double cdb_cs_ms(int batch) {
 int main() {
   std::printf("SX-B4 cost model: MUSIC 2C+(x+1)Q vs exclusive-transactions "
               "2xC  (C = consensus, Q = quorum)\n");
+  if (!check_rtt_counts()) return 1;
+  hr();
   // Use the measured single-op costs as C and Q.
   double q_ms = 0, c_ms = 0;
   {

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/span.h"
+
 namespace music::core {
 
 namespace {
@@ -13,8 +15,10 @@ sim::Task<void> serve(MusicReplica& rep, Request req, sim::NodeId client,
                       sim::Promise<Response> reply) {
   Response resp = co_await execute(rep, std::move(req));
   size_t bytes = resp.bytes();
-  rep.net_ref().send(rep.node(), client, bytes,
-                     [reply, resp = std::move(resp)] { reply.set_value(resp); });
+  rep.net_ref().send(
+      rep.node(), client, bytes,
+      [reply, resp = std::move(resp)] { reply.set_value(resp); },
+      sim::MsgKind::ClientReply);
 }
 
 }  // namespace
@@ -83,13 +87,15 @@ sim::Task<Response> MusicClient::invoke(MusicReplica& rep, Request req) {
   sim::NodeId me = node_;
   size_t framed = req.bytes() + cfg_.overhead_bytes;
   MusicReplica* target = &rep;
-  net_.send(me, rep.node(), framed,
-            [target, me, req = std::move(req), reply]() mutable {
-              target->service().submit(
-                  req.bytes(), [target, me, req = std::move(req), reply] {
-                    sim::spawn(target->sim_ref(), serve(*target, req, me, reply));
-                  });
+  net_.send(
+      me, rep.node(), framed,
+      [target, me, req = std::move(req), reply]() mutable {
+        target->service().submit(
+            req.bytes(), [target, me, req = std::move(req), reply] {
+              sim::spawn(target->sim_ref(), serve(*target, req, me, reply));
             });
+      },
+      sim::MsgKind::ClientRequest);
   auto got = co_await sim::await_with_timeout<Response>(sim_, reply.future(),
                                                         cfg_.request_timeout);
   if (!got) co_return Response(OpStatus::Timeout);
@@ -112,6 +118,8 @@ sim::Task<Response> MusicClient::with_retries(Request req) {
 }
 
 sim::Task<Result<LockRef>> MusicClient::create_lock_ref(Key key) {
+  sim::OpSpan span(sim_, "client.create_lock_ref", net_.site_of(node_), node_,
+                   key);
   // NOTE: a retried createLockRef whose first attempt actually committed
   // (ack lost) leaves an orphan lockRef in the queue; §IV-B: it is removed
   // by forcedRelease when it reaches the head.
@@ -131,6 +139,8 @@ sim::Task<Status> MusicClient::acquire_lock(Key key, LockRef ref) {
 }
 
 sim::Task<Status> MusicClient::acquire_lock_blocking(Key key, LockRef ref) {
+  sim::OpSpan span(sim_, "client.acquire_lock", net_.site_of(node_), node_,
+                   key);
   // Listing 1: while (acquireLock(key, lockRef) != true) skip;  — with the
   // paper's "standard back-off mechanisms".
   OpStatus last = OpStatus::Timeout;
@@ -153,12 +163,16 @@ sim::Task<Status> MusicClient::acquire_lock_blocking(Key key, LockRef ref) {
 
 sim::Task<Status> MusicClient::critical_put(Key key, LockRef ref,
                                             Value value) {
+  sim::OpSpan span(sim_, "client.critical_put", net_.site_of(node_), node_,
+                   key);
   Response r = co_await with_retries(Request(
       Request::Op::CriticalPut, std::move(key), ref, std::move(value)));
   co_return Status(r.status);
 }
 
 sim::Task<Result<Value>> MusicClient::critical_get(Key key, LockRef ref) {
+  sim::OpSpan span(sim_, "client.critical_get", net_.site_of(node_), node_,
+                   key);
   Response r = co_await with_retries(
       Request(Request::Op::CriticalGet, std::move(key), ref, Value()));
   if (r.status != OpStatus::Ok) co_return Result<Value>::Err(r.status);
@@ -166,12 +180,16 @@ sim::Task<Result<Value>> MusicClient::critical_get(Key key, LockRef ref) {
 }
 
 sim::Task<Status> MusicClient::critical_delete(Key key, LockRef ref) {
+  sim::OpSpan span(sim_, "client.critical_delete", net_.site_of(node_), node_,
+                   key);
   Response r = co_await with_retries(
       Request(Request::Op::CriticalDelete, std::move(key), ref, Value()));
   co_return Status(r.status);
 }
 
 sim::Task<Status> MusicClient::release_lock(Key key, LockRef ref) {
+  sim::OpSpan span(sim_, "client.release_lock", net_.site_of(node_), node_,
+                   key);
   Response r = co_await with_retries(
       Request(Request::Op::ReleaseLock, std::move(key), ref, Value()));
   co_return Status(r.status);
@@ -182,18 +200,24 @@ sim::Task<Status> MusicClient::remove_lock_ref(Key key, LockRef ref) {
 }
 
 sim::Task<Status> MusicClient::forced_release(Key key, LockRef ref) {
+  sim::OpSpan span(sim_, "client.forced_release", net_.site_of(node_), node_,
+                   key);
   Response r = co_await with_retries(
       Request(Request::Op::ForcedRelease, std::move(key), ref, Value()));
   co_return Status(r.status);
 }
 
 sim::Task<Status> MusicClient::put(Key key, Value value) {
+  sim::OpSpan span(sim_, "client.put_eventual", net_.site_of(node_), node_,
+                   key);
   Response r = co_await with_retries(Request(
       Request::Op::PutEventual, std::move(key), 0, std::move(value)));
   co_return Status(r.status);
 }
 
 sim::Task<Result<Value>> MusicClient::get(Key key) {
+  sim::OpSpan span(sim_, "client.get_eventual", net_.site_of(node_), node_,
+                   key);
   Response r = co_await with_retries(
       Request(Request::Op::GetEventual, std::move(key), 0, Value()));
   if (r.status != OpStatus::Ok) co_return Result<Value>::Err(r.status);

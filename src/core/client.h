@@ -19,6 +19,7 @@
 
 #include "core/music.h"
 #include "sim/future.h"
+#include "sim/span.h"
 
 namespace music::core {
 
@@ -139,6 +140,8 @@ class MusicClient {
   /// temporaries, which GCC 12 miscompiles at coroutine boundaries).
   template <typename F>
   sim::Task<Status> with_lock(Key key, F& body) {
+    sim::OpSpan span(sim_, "client.critical_section", net_.site_of(node_),
+                     node_, key);
     auto ref = co_await create_lock_ref(key);
     if (!ref.ok()) co_return ref.status();
     auto acq = co_await acquire_lock_blocking(key, ref.value());

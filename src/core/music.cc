@@ -5,6 +5,8 @@
 #include <charconv>
 #include <utility>
 
+#include "sim/span.h"
+
 namespace music::core {
 
 namespace {
@@ -96,6 +98,7 @@ ScalarTs MusicReplica::next_ts(const Key& key, LockRef ref, sim::Duration e) {
 }
 
 sim::Task<Result<LockRef>> MusicReplica::create_lock_ref(Key key) {
+  sim::OpSpan span(sim(), "music.create_lock_ref", site_, node_, key);
   ++stats_.create_lock_ref;
   watch_key(key);
   auto r = co_await locks_.backend_generate(site_, key);
@@ -103,6 +106,7 @@ sim::Task<Result<LockRef>> MusicReplica::create_lock_ref(Key key) {
 }
 
 sim::Task<Status> MusicReplica::acquire_lock(Key key, LockRef ref) {
+  sim::OpSpan span(sim(), "music.acquire_lock", site_, node_, key);
   ++stats_.acquire_attempts;
   watch_key(key);
   auto guard = co_await holder_guard(key, ref);
@@ -136,6 +140,7 @@ sim::Task<Status> MusicReplica::acquire_lock(Key key, LockRef ref) {
     // §IV-B: a forced release happened; the data store's state is unknown.
     // Re-write whatever a quorum read returns under our lockRef (resolving
     // the paper's non-determinism in the true value), then reset the flag.
+    sim::OpSpan sync_span(sim(), "music.synchronize", site_, node_, key);
     ++stats_.synchronizations;
     auto cur = co_await coord().get(data_key(key), ds::Consistency::Quorum);
     if (!cur.ok() && cur.status() != OpStatus::NotFound) {
@@ -169,6 +174,7 @@ sim::Task<Status> MusicReplica::acquire_lock(Key key, LockRef ref) {
 
 sim::Task<Status> MusicReplica::critical_put(Key key, LockRef ref,
                                              Value value) {
+  sim::OpSpan span(sim(), "music.critical_put", site_, node_, key);
   auto guard = co_await holder_guard(key, ref);
   if (!guard.ok()) co_return guard;
   auto origin = co_await origin_for(key, ref);
@@ -206,6 +212,7 @@ sim::Task<Status> MusicReplica::critical_put(Key key, LockRef ref,
 }
 
 sim::Task<Result<Value>> MusicReplica::critical_get(Key key, LockRef ref) {
+  sim::OpSpan span(sim(), "music.critical_get", site_, node_, key);
   auto guard = co_await holder_guard(key, ref);
   if (!guard.ok()) co_return Result<Value>::Err(guard.status());
   auto origin = co_await origin_for(key, ref);
@@ -229,6 +236,7 @@ sim::Task<Status> MusicReplica::critical_delete(Key key, LockRef ref) {
 }
 
 sim::Task<Status> MusicReplica::release_lock(Key key, LockRef ref) {
+  sim::OpSpan span(sim(), "music.release_lock", site_, node_, key);
   auto peek = co_await locks_.backend_peek(site_, key);
   if (peek.ok() && peek.value().head.has_value() && ref < *peek.value().head) {
     co_return Status::Ok();  // lock has been forcibly released (§IV)
@@ -244,6 +252,7 @@ sim::Task<Status> MusicReplica::release_lock(Key key, LockRef ref) {
 }
 
 sim::Task<Status> MusicReplica::forced_release(Key key, LockRef ref) {
+  sim::OpSpan span(sim(), "music.forced_release", site_, node_, key);
   auto peek = co_await locks_.backend_peek(site_, key);
   if (peek.ok() && peek.value().head.has_value() && ref < *peek.value().head) {
     co_return Status::Ok();  // lock was previously released
@@ -265,6 +274,7 @@ sim::Task<Status> MusicReplica::forced_release(Key key, LockRef ref) {
 }
 
 sim::Task<Status> MusicReplica::put_eventual(Key key, Value value) {
+  sim::OpSpan span(sim(), "music.put_eventual", site_, node_, key);
   // Non-ECF write: stamped strictly inside lockRef 0's window, so any
   // criticalPut (ref >= 1) outranks it.  Intended for initialization and
   // lock-free keys.  Uses its own monotonic bump (NOT the critical-path
@@ -281,6 +291,7 @@ sim::Task<Status> MusicReplica::put_eventual(Key key, Value value) {
 }
 
 sim::Task<Result<Value>> MusicReplica::get_eventual(Key key) {
+  sim::OpSpan span(sim(), "music.get_eventual", site_, node_, key);
   auto r = co_await coord().get(data_key(key), ds::Consistency::One);
   if (!r.ok()) co_return Result<Value>::Err(r.status());
   if (is_tombstone(r.value().value)) {
@@ -335,6 +346,7 @@ void MusicReplica::schedule_fd_tick() {
 void MusicReplica::stop_failure_detector() { fd_running_ = false; }
 
 sim::Task<void> MusicReplica::fd_scan() {
+  sim::OpSpan span(sim(), "music.fd_scan", site_, node_);
   // Snapshot: forced releases during the scan may mutate the maps.
   std::vector<Key> keys;
   keys.reserve(watched_.size());

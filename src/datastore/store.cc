@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/span.h"
+
 namespace music::ds {
 
 namespace {
@@ -87,9 +89,12 @@ void StoreReplica::set_down(bool down) {
 bool StoreReplica::down() const { return service_.down(); }
 
 sim::Task<Status> StoreReplica::put(Key key, Cell cell, Consistency level) {
+  sim::OpSpan span(sim(), "store.put", site_, node_, key);
   auto targets = cluster_.placement(key);
   int need = need_for(level, cfg().replication_factor);
   size_t bytes = cell.value.size() + key.size();
+  // One write round: a WAN round trip unless a single (local) ack suffices.
+  if (level != Consistency::One) sim::trace_rtts(sim(), 1);
   std::vector<sim::Future<bool>> acks;
   acks.reserve(targets.size());
   for (sim::NodeId t : targets) {
@@ -103,7 +108,7 @@ sim::Task<Status> StoreReplica::put(Key key, Cell cell, Consistency level) {
           r.apply_write(key, cell);
           return true;
         },
-        /*reply_bytes=*/16));
+        /*reply_bytes=*/16, sim::MsgKind::StoreWrite));
   }
   auto got = co_await sim::await_count<bool>(sim(), std::move(acks),
                                              static_cast<size_t>(need),
@@ -114,13 +119,15 @@ sim::Task<Status> StoreReplica::put(Key key, Cell cell, Consistency level) {
 
 sim::Task<Result<Cell>> StoreReplica::read_internal(
     const Key& key, int need, const std::vector<sim::NodeId>& targets) {
+  // One read round = one WAN round trip (the §X-B4 unit of cost).
+  sim::trace_rtts(sim(), 1);
   std::vector<sim::Future<ReadRep>> reps;
   reps.reserve(targets.size());
   for (sim::NodeId t : targets) {
     reps.push_back(call<ReadRep>(
         t, key.size(),
         [key](StoreReplica& r) { return ReadRep{r.local_read(key), r.node()}; },
-        /*reply_bytes=*/64));
+        /*reply_bytes=*/64, sim::MsgKind::StoreRead));
   }
   auto got = co_await sim::await_count<ReadRep>(
       sim(), reps, static_cast<size_t>(need), cfg().op_timeout);
@@ -146,7 +153,7 @@ sim::Task<Result<Cell>> StoreReplica::read_internal(
               r.apply_write(k, c);
               return true;
             },
-            16);
+            16, sim::MsgKind::StoreRepair);
       }
     }
   }
@@ -155,6 +162,7 @@ sim::Task<Result<Cell>> StoreReplica::read_internal(
 }
 
 sim::Task<Result<Cell>> StoreReplica::get(Key key, Consistency level) {
+  sim::OpSpan span(sim(), "store.get", site_, node_, key);
   auto targets = cluster_.placement(key);
   int need = need_for(level, cfg().replication_factor);
   if (level == Consistency::One) {
@@ -193,6 +201,7 @@ sim::Task<Result<std::vector<Key>>> StoreReplica::scan_local_keys(Key prefix) {
 
 sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
                                                 const LwtUpdate& update) {
+  sim::OpSpan span(sim(), "store.lwt", site_, node_, key);
   auto targets = cluster_.placement(key);
   const int q = cluster_.quorum();
   const size_t small = 48;
@@ -210,12 +219,13 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
     paxos::Ballot b = paxos::make_ballot(++ballot_round_, node_);
 
     // ---- Round 1: prepare / promise.
+    sim::trace_rtts(sim(), 1);
     std::vector<sim::Future<paxos::PrepareReply<Cell>>> prepares;
     for (sim::NodeId t : targets) {
       prepares.push_back(call<paxos::PrepareReply<Cell>>(
           t, key.size() + small,
           [key, b](StoreReplica& r) { return r.handle_prepare(key, b); },
-          small));
+          small, sim::MsgKind::PaxosPrepare));
     }
     auto promises = co_await sim::await_count<paxos::PrepareReply<Cell>>(
         sim(), std::move(prepares), static_cast<size_t>(q), cfg().op_timeout);
@@ -241,6 +251,7 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
       // Finish the earlier coordinator's proposal under our ballot, then
       // retry our own operation from scratch.
       paxos::Proposal<Cell> replay{b, in_progress->value};
+      sim::trace_rtts(sim(), 1);
       std::vector<sim::Future<paxos::AcceptReply>> accs;
       for (sim::NodeId t : targets) {
         accs.push_back(call<paxos::AcceptReply>(
@@ -248,7 +259,7 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
             [key, replay](StoreReplica& r) {
               return r.handle_accept(key, replay);
             },
-            small));
+            small, sim::MsgKind::PaxosAccept));
       }
       auto ack = co_await sim::await_count<paxos::AcceptReply>(
           sim(), std::move(accs), static_cast<size_t>(q), cfg().op_timeout);
@@ -256,6 +267,7 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
       for (const auto& a : ack) all_ok = all_ok && a.accepted;
       if (all_ok) {
         Cell cell = replay.value;
+        sim::trace_rtts(sim(), 1);
         std::vector<sim::Future<bool>> commits;
         for (sim::NodeId t : targets) {
           commits.push_back(call<bool>(
@@ -264,7 +276,7 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
                 r.handle_commit(key, b, cell);
                 return true;
               },
-              16));
+              16, sim::MsgKind::PaxosCommit));
         }
         co_await sim::await_count<bool>(sim(), std::move(commits),
                                         static_cast<size_t>(q),
@@ -289,12 +301,13 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
 
     // ---- Round 3: propose / accept.
     paxos::Proposal<Cell> prop{b, cell};
+    sim::trace_rtts(sim(), 1);
     std::vector<sim::Future<paxos::AcceptReply>> accs;
     for (sim::NodeId t : targets) {
       accs.push_back(call<paxos::AcceptReply>(
           t, key.size() + cell.value.size(),
           [key, prop](StoreReplica& r) { return r.handle_accept(key, prop); },
-          small));
+          small, sim::MsgKind::PaxosAccept));
     }
     auto acks = co_await sim::await_count<paxos::AcceptReply>(
         sim(), std::move(accs), static_cast<size_t>(q), cfg().op_timeout);
@@ -312,6 +325,7 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
     if (!accepted) continue;  // raced with a competitor; retry
 
     // ---- Round 4: commit.
+    sim::trace_rtts(sim(), 1);
     std::vector<sim::Future<bool>> commits;
     for (sim::NodeId t : targets) {
       commits.push_back(call<bool>(
@@ -320,7 +334,7 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
             r.handle_commit(key, b, cell);
             return true;
           },
-          16));
+          16, sim::MsgKind::PaxosCommit));
     }
     auto done = co_await sim::await_count<bool>(
         sim(), std::move(commits), static_cast<size_t>(q), cfg().op_timeout);
@@ -358,7 +372,7 @@ void StoreReplica::replay_hints() {
           r.apply_write(key, cell);
           return true;
         },
-        16);
+        16, sim::MsgKind::Hint);
   }
   if (hints_.empty() || down()) {
     hint_loop_running_ = false;
@@ -429,11 +443,14 @@ void StoreCluster::anti_entropy_round(int idx) {
       bp->service().submit(b_bytes, [bp, to_b = std::move(to_b)] {
         for (const auto& [k, c] : to_b) bp->apply_write(k, c);
       });
-      net_.send(bn, an, a_bytes, [ap, a_bytes, to_a = std::move(to_a)] {
-        ap->service().submit(a_bytes, [ap, to_a] {
-          for (const auto& [k, c] : to_a) ap->apply_write(k, c);
-        });
-      });
+      net_.send(
+          bn, an, a_bytes,
+          [ap, a_bytes, to_a = std::move(to_a)] {
+            ap->service().submit(a_bytes, [ap, to_a] {
+              for (const auto& [k, c] : to_a) ap->apply_write(k, c);
+            });
+          },
+          sim::MsgKind::AntiEntropy);
     });
   }
   sim_.schedule(cfg_.anti_entropy_interval, [this, idx] {

@@ -190,11 +190,14 @@ class StoreReplica {
   const StoreConfig& cfg() const;
 
   /// Sends `handler` to run on replica `to` and returns the reply future.
-  /// Never fulfilled if the message or reply is lost.
+  /// Never fulfilled if the message or reply is lost.  `kind`/`reply_kind`
+  /// tag the request and reply messages for per-type network counters.
   template <typename Reply>
   sim::Future<Reply> call(sim::NodeId to, size_t bytes,
                           std::function<Reply(StoreReplica&)> handler,
-                          size_t reply_bytes);
+                          size_t reply_bytes,
+                          sim::MsgKind kind = sim::MsgKind::Generic,
+                          sim::MsgKind reply_kind = sim::MsgKind::StoreAck);
 
   /// Internal quorum/CL read used by both get() and the LWT read phase.
   sim::Task<Result<Cell>> read_internal(const Key& key, int need,
@@ -269,23 +272,26 @@ class StoreCluster {
 template <typename Reply>
 sim::Future<Reply> StoreReplica::call(sim::NodeId to, size_t bytes,
                                       std::function<Reply(StoreReplica&)> handler,
-                                      size_t reply_bytes) {
+                                      size_t reply_bytes, sim::MsgKind kind,
+                                      sim::MsgKind reply_kind) {
   sim::Promise<Reply> p(sim());
   auto& net = cluster_.network();
   size_t framed = bytes + cfg().overhead_bytes;
   size_t reply_framed = reply_bytes + cfg().overhead_bytes;
   sim::NodeId from = node_;
-  auto deliver = [this, to, framed, reply_framed, from, p,
+  auto deliver = [this, to, framed, reply_framed, from, p, reply_kind,
                   handler = std::move(handler)]() mutable {
     StoreReplica& target = cluster_.by_node(to);
     target.service().submit(framed, [&target, to, from, reply_framed, p,
+                                     reply_kind,
                                      handler = std::move(handler)]() mutable {
       Reply r = handler(target);
       if (to == from) {
         p.set_value(std::move(r));  // loopback reply: no network hop
       } else {
         target.cluster_.network().send(
-            to, from, reply_framed, [p, r = std::move(r)] { p.set_value(r); });
+            to, from, reply_framed, [p, r = std::move(r)] { p.set_value(r); },
+            reply_kind);
       }
     });
   };
@@ -293,7 +299,7 @@ sim::Future<Reply> StoreReplica::call(sim::NodeId to, size_t bytes,
     // Loopback: skip the network but still pay the service cost.
     deliver();
   } else {
-    net.send(from, to, framed, std::move(deliver));
+    net.send(from, to, framed, std::move(deliver), kind);
   }
   return p.future();
 }

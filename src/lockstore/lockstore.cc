@@ -3,6 +3,8 @@
 #include <charconv>
 #include <utility>
 
+#include "sim/span.h"
+
 namespace music::ls {
 
 std::string LockQueue::serialize() const {
@@ -52,6 +54,8 @@ LockQueue queue_of(const std::optional<ds::Cell>& cell) {
 
 sim::Task<Result<LockRef>> LockStore::generate_and_enqueue(
     ds::StoreReplica& coord, Key key) {
+  sim::OpSpan span(store_.simulation(), "lock.generate", coord.site(),
+                   coord.node(), key);
   // One LWT: BEGIN BATCH { guard += 1; INSERT (key, guard) } APPLY BATCH.
   // The decision closure carries the chosen lockRef out via shared state
   // (the closure may run on a retry with a different prior queue).  The
@@ -81,6 +85,8 @@ sim::Task<Result<LockRef>> LockStore::generate_and_enqueue(
 
 sim::Task<Status> LockStore::dequeue(ds::StoreReplica& coord, Key key,
                                      LockRef ref) {
+  sim::OpSpan span(store_.simulation(), "lock.dequeue", coord.site(),
+                   coord.node(), key);
   ds::LwtUpdate update = [ref](const std::optional<ds::Cell>& cur) {
     LockQueue q = queue_of(cur);
     std::erase_if(q.entries, [ref](const LockEntry& e) { return e.ref == ref; });

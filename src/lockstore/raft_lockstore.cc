@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/span.h"
+
 namespace music::ls {
 
 namespace {
@@ -116,6 +118,7 @@ sim::Task<Result<LockQueue>> RaftLockStore::rmw(int /*site*/,
 }
 
 sim::Task<Result<LockRef>> RaftLockStore::backend_generate(int site, Key key) {
+  sim::OpSpan span(cluster_.simulation(), "lock.generate", site, -1, key);
   LockRef chosen = kNoLockRef;
   auto r = co_await rmw(site, LockStore::queue_key(key), &chosen, 0, true);
   if (!r.ok()) co_return Result<LockRef>::Err(r.status());
@@ -125,6 +128,7 @@ sim::Task<Result<LockRef>> RaftLockStore::backend_generate(int site, Key key) {
 
 sim::Task<Status> RaftLockStore::backend_dequeue(int site, Key key,
                                                  LockRef ref) {
+  sim::OpSpan span(cluster_.simulation(), "lock.dequeue", site, -1, key);
   LockRef unused = kNoLockRef;
   auto r = co_await rmw(site, LockStore::queue_key(key), &unused, ref, false);
   co_return r.ok() ? Status::Ok() : Status::Err(r.status());

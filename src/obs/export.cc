@@ -1,0 +1,163 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace music::obs {
+
+namespace {
+
+void json_escape(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_fmt(std::string& out, const char* fmt, auto... args) {
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n > 0) out.append(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  const auto& spans = tracer.spans();
+
+  // Viewers want events sorted by timestamp; spans are begin-ordered already
+  // (ids are assigned at begin time and sim time never goes backwards), but
+  // sort defensively to keep the format contract explicit.
+  std::vector<size_t> order(spans.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return spans[a].begin_us < spans[b].begin_us;
+  });
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // Metadata: name each site (pid) once.  -1 sites render as pid 0.
+  std::vector<int> sites;
+  for (const Span& s : spans) {
+    int pid = s.site < 0 ? 0 : s.site;
+    if (std::find(sites.begin(), sites.end(), pid) == sites.end())
+      sites.push_back(pid);
+  }
+  std::sort(sites.begin(), sites.end());
+  for (int pid : sites) {
+    if (!first) out += ",\n";
+    first = false;
+    append_fmt(out,
+               "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+               "\"args\":{\"name\":\"site %d\"}}",
+               pid, pid);
+  }
+
+  for (size_t idx : order) {
+    const Span& s = spans[idx];
+    if (!s.finished()) continue;  // open at export time
+    if (!first) out += ",\n";
+    first = false;
+    int pid = s.site < 0 ? 0 : s.site;
+    int tid = s.node < 0 ? 0 : s.node;
+    append_fmt(out,
+               "{\"ph\":\"X\",\"name\":\"%s\",\"pid\":%d,\"tid\":%d,"
+               "\"ts\":%" PRId64 ",\"dur\":%" PRId64 ",\"args\":{",
+               s.name, pid, tid, s.begin_us, s.duration_us());
+    if (!s.detail.empty()) {
+      out += "\"detail\":\"";
+      json_escape(out, s.detail);
+      out += "\",";
+    }
+    append_fmt(out,
+               "\"span\":%" PRIu64 ",\"parent\":%" PRIu64
+               ",\"msgs\":%" PRIu64 ",\"wan_msgs\":%" PRIu64
+               ",\"rtts\":%" PRIu64 "}}",
+               s.id, s.parent, s.msgs, s.wan_msgs, s.rtts);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string metrics_json(const MetricsRegistry& reg) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : reg.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    \"";
+    json_escape(out, name);
+    append_fmt(out, "\": %" PRIu64, c.value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    \"";
+    json_escape(out, name);
+    append_fmt(out,
+               "\": {\"count\": %" PRIu64 ", \"sum\": %" PRId64
+               ", \"min\": %" PRId64 ", \"max\": %" PRId64
+               ", \"mean\": %.3f, \"p50\": %" PRId64 ", \"p95\": %" PRId64
+               ", \"p99\": %" PRId64 "}",
+               h.count(), h.sum(), h.min(), h.max(), h.mean(),
+               h.percentile(50), h.percentile(95), h.percentile(99));
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string metrics_csv(const MetricsRegistry& reg) {
+  std::string out = "metric,kind,field,value\n";
+  for (const auto& [name, c] : reg.counters())
+    append_fmt(out, "%s,counter,value,%" PRIu64 "\n", name.c_str(), c.value);
+  for (const auto& [name, h] : reg.histograms()) {
+    const char* n = name.c_str();
+    append_fmt(out, "%s,histogram,count,%" PRIu64 "\n", n, h.count());
+    append_fmt(out, "%s,histogram,sum,%" PRId64 "\n", n, h.sum());
+    append_fmt(out, "%s,histogram,min,%" PRId64 "\n", n, h.min());
+    append_fmt(out, "%s,histogram,max,%" PRId64 "\n", n, h.max());
+    append_fmt(out, "%s,histogram,mean,%.3f\n", n, h.mean());
+    append_fmt(out, "%s,histogram,p50,%" PRId64 "\n", n, h.percentile(50));
+    append_fmt(out, "%s,histogram,p95,%" PRId64 "\n", n, h.percentile(95));
+    append_fmt(out, "%s,histogram,p99,%" PRId64 "\n", n, h.percentile(99));
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (n != content.size()) {
+    std::fprintf(stderr, "obs: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace music::obs

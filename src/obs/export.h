@@ -1,0 +1,35 @@
+// Exporters: Chrome trace_event JSON and flat metrics JSON/CSV.
+//
+// chrome_trace_json() renders a Tracer's spans in the trace_event "complete
+// event" format — {"traceEvents":[{"ph":"X",...}]} — loadable directly in
+// chrome://tracing or Perfetto.  Sites map to Chrome processes (pid) and
+// nodes to threads (tid); "M" metadata events name them.  Events are sorted
+// by begin timestamp as the viewers expect; spans still open at export time
+// are skipped.
+//
+// metrics_json()/metrics_csv() flatten a MetricsRegistry: every counter as
+// name -> value, every histogram as name -> {count,sum,min,max,mean,p50,
+// p95,p99}.  std::map ordering makes the output byte-stable for a given run.
+#pragma once
+
+#include <string>
+
+namespace music::obs {
+
+class Tracer;
+class MetricsRegistry;
+
+/// Chrome trace_event JSON for all finished spans.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// {"counters":{...},"histograms":{...}}
+std::string metrics_json(const MetricsRegistry& reg);
+
+/// Long-format CSV: metric,kind,field,value (one row per scalar).
+std::string metrics_csv(const MetricsRegistry& reg);
+
+/// Writes `content` to `path`.  Returns false (and prints to stderr) on
+/// failure — exporters are best-effort, never fatal to a run.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace music::obs

@@ -1,0 +1,71 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace music::obs {
+
+namespace {
+
+/// 16 linear sub-buckets per octave.
+constexpr int kSubBits = 4;
+constexpr int kSub = 1 << kSubBits;  // 16
+/// Values < 2 * kSub get exact (unit-width) buckets.
+constexpr int64_t kExactLimit = 2 * kSub;  // 32
+/// Octaves above the exact range: bit widths kSubBits+2 .. 63 for
+/// non-negative int64 values.
+constexpr int kOctaves = 63 - (kSubBits + 1);
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(num_buckets(), 0) {}
+
+size_t Histogram::num_buckets() {
+  return static_cast<size_t>(kExactLimit) +
+         static_cast<size_t>(kOctaves) * kSub;
+}
+
+size_t Histogram::bucket_for(int64_t v) {
+  if (v < 0) v = 0;
+  auto u = static_cast<uint64_t>(v);
+  if (v < kExactLimit) return static_cast<size_t>(u);
+  int bw = std::bit_width(u);  // >= kSubBits + 2 here
+  int shift = bw - kSubBits - 1;
+  size_t octave = static_cast<size_t>(bw - (kSubBits + 2));
+  size_t sub = static_cast<size_t>((u >> shift) - kSub);
+  return static_cast<size_t>(kExactLimit) + octave * kSub + sub;
+}
+
+int64_t Histogram::bucket_lower_bound(size_t idx) {
+  if (idx < static_cast<size_t>(kExactLimit)) return static_cast<int64_t>(idx);
+  size_t rel = idx - static_cast<size_t>(kExactLimit);
+  size_t octave = rel / kSub;
+  size_t sub = rel % kSub;
+  int shift = static_cast<int>(octave) + 1;
+  return static_cast<int64_t>((static_cast<uint64_t>(kSub) + sub) << shift);
+}
+
+void Histogram::record(int64_t v) {
+  if (v < 0) v = 0;
+  if (count_ == 0 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  ++buckets_[bucket_for(v)];
+}
+
+int64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 1-based; p=0 -> first, p=100 -> last.
+  auto rank = static_cast<uint64_t>(p / 100.0 *
+                                    static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return bucket_lower_bound(i);
+  }
+  return max_;
+}
+
+}  // namespace music::obs

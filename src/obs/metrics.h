@@ -1,0 +1,94 @@
+// Named counters and fixed-bucket histograms for the simulator.
+//
+// A MetricsRegistry aggregates what one run did: per-message-type and
+// per-site-pair network counters (fed by sim::Network), per-operation span
+// durations (fed by obs::Tracer), and any protocol-level tallies a layer
+// cares to publish (MUSIC replica stats, service utilization).  Everything
+// is exportable as flat JSON or CSV (obs/export.h) so a bench or the CLI
+// can dump one machine-readable file per run.
+//
+// Histograms are HDR-style log-linear: octaves subdivided into 16 linear
+// sub-buckets, covering the full int64 microsecond range in under 1000
+// fixed buckets with <= 1/16 relative error.  Recording is O(1) with no
+// allocation after construction.  The registry itself is plain maps — the
+// sim is single-threaded, and metric names are touched at registration /
+// export time, not per event.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace music::obs {
+
+/// A monotonically increasing (or explicitly set) named value.
+struct Counter {
+  uint64_t value = 0;
+
+  void add(uint64_t n = 1) { value += n; }
+  void set(uint64_t v) { value = v; }
+};
+
+/// Log-linear histogram of non-negative int64 values (microseconds by
+/// convention).  Negative values clamp to 0.
+class Histogram {
+ public:
+  Histogram();
+
+  void record(int64_t v);
+
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ > 0 ? min_ : 0; }
+  int64_t max() const { return max_; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  /// Approximate p-th percentile (0..100): the lower bound of the bucket
+  /// where the cumulative count crosses the rank.  Within 1/16 relative
+  /// error of the true value.
+  int64_t percentile(double p) const;
+
+  /// Number of fixed buckets (for tests and exporters).
+  static size_t num_buckets();
+  /// Index of the bucket `v` lands in, and a bucket's lower bound.
+  static size_t bucket_for(int64_t v);
+  static int64_t bucket_lower_bound(size_t idx);
+
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+/// Name -> metric.  std::map keeps export order deterministic; references
+/// returned by counter()/histogram() stay valid for the registry's life.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// Convenience: counter(name).add(n).
+  void add(const std::string& name, uint64_t n = 1) { counters_[name].add(n); }
+  /// Convenience: counter(name).set(v) (gauges snapshotted at export time).
+  void set(const std::string& name, uint64_t v) { counters_[name].set(v); }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace music::obs

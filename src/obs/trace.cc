@@ -1,0 +1,80 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+namespace music::obs {
+
+Tracer::Tracer(size_t max_spans) : max_spans_(max_spans) {
+  spans_.reserve(max_spans_ < 4096 ? max_spans_ : 4096);
+}
+
+SpanId Tracer::begin(const char* name, int64_t now_us, SpanId parent, int site,
+                     int node, std::string_view detail) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return 0;
+  }
+  Span s;
+  s.id = spans_.size() + 1;
+  s.parent = parent;
+  s.name = name;
+  s.detail.assign(detail.data(), detail.size());
+  s.site = site;
+  s.node = node;
+  s.begin_us = now_us;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void Tracer::end(SpanId id, int64_t now_us) {
+  Span* s = mut(id);
+  if (s == nullptr || s->finished()) return;
+  s->end_us = now_us;
+  if (registry_ != nullptr) {
+    std::string key = "span.";
+    key += s->name;
+    registry_->histogram(key).record(s->duration_us());
+    key += ".count";
+    registry_->counter(key).add(1);
+  }
+}
+
+void Tracer::add_message(SpanId ctx, bool cross_site) {
+  for (Span* s = mut(ctx); s != nullptr; s = mut(s->parent)) {
+    ++s->msgs;
+    if (cross_site) ++s->wan_msgs;
+  }
+}
+
+void Tracer::add_rtts(SpanId ctx, uint64_t n) {
+  for (Span* s = mut(ctx); s != nullptr; s = mut(s->parent)) s->rtts += n;
+}
+
+const Span* Tracer::find(SpanId id) const {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+Span* Tracer::mut(SpanId id) {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+std::string Tracer::render_ancestry(SpanId ctx) const {
+  std::string out;
+  for (const Span* s = find(ctx); s != nullptr; s = find(s->parent)) {
+    if (!out.empty()) out += " <- ";
+    out += s->name;
+    if (!s->detail.empty()) {
+      out += '(';
+      out += s->detail;
+      out += ')';
+    }
+    out += '@';
+    out += std::to_string(s->begin_us);
+    out += "us";
+  }
+  return out;
+}
+
+}  // namespace music::obs

@@ -1,5 +1,7 @@
 #include "raftkv/raft.h"
 
+#include "sim/span.h"
+
 #include <algorithm>
 #include <cassert>
 #include <utility>
@@ -55,10 +57,12 @@ void RaftNode::become_candidate() {
   int64_t llt = term_of(lli);
   for (int i = 0; i < cluster_.num_nodes(); ++i) {
     if (i == id_) continue;
-    cluster_.post(node_, i, cfg().overhead_bytes,
-                  [t = term_, c = id_, lli, llt](RaftNode& n) {
-                    n.on_request_vote(t, c, lli, llt);
-                  });
+    cluster_.post(
+        node_, i, cfg().overhead_bytes,
+        [t = term_, c = id_, lli, llt](RaftNode& n) {
+          n.on_request_vote(t, c, lli, llt);
+        },
+        sim::MsgKind::RaftVote);
   }
 }
 
@@ -86,10 +90,12 @@ void RaftNode::on_request_vote(int64_t term, int candidate,
       last_heartbeat_seen_ = sim().now();
     }
   }
-  cluster_.post(node_, candidate, cfg().overhead_bytes,
-                [t = term_, granted, me = id_](RaftNode& n) {
-                  n.on_vote_reply(t, granted, me);
-                });
+  cluster_.post(
+      node_, candidate, cfg().overhead_bytes,
+      [t = term_, granted, me = id_](RaftNode& n) {
+        n.on_vote_reply(t, granted, me);
+      },
+      sim::MsgKind::RaftVote);
 }
 
 void RaftNode::on_vote_reply(int64_t term, bool granted, int /*from*/) {
@@ -117,11 +123,13 @@ void RaftNode::replicate_to(int peer) {
       log_.end());
   size_t bytes = cfg().overhead_bytes;
   for (const auto& e : entries) bytes += e.cmd.bytes() + 16;
-  cluster_.post(node_, peer, bytes,
-                [t = term_, me = id_, prev, pt = term_of(prev),
-                 entries = std::move(entries), lc = commit_index_](RaftNode& n) {
-                  n.on_append_entries(t, me, prev, pt, entries, lc);
-                });
+  cluster_.post(
+      node_, peer, bytes,
+      [t = term_, me = id_, prev, pt = term_of(prev),
+       entries = std::move(entries), lc = commit_index_](RaftNode& n) {
+        n.on_append_entries(t, me, prev, pt, entries, lc);
+      },
+      sim::MsgKind::RaftAppend);
 }
 
 void RaftNode::on_append_entries(int64_t term, int leader, int64_t prev_index,
@@ -129,10 +137,10 @@ void RaftNode::on_append_entries(int64_t term, int leader, int64_t prev_index,
                                  std::vector<LogEntry> entries,
                                  int64_t leader_commit) {
   if (term < term_) {
-    cluster_.post(node_, leader, cfg().overhead_bytes,
-                  [t = term_, me = id_](RaftNode& n) {
-                    n.on_append_reply(t, false, 0, me);
-                  });
+    cluster_.post(
+        node_, leader, cfg().overhead_bytes,
+        [t = term_, me = id_](RaftNode& n) { n.on_append_reply(t, false, 0, me); },
+        sim::MsgKind::RaftAppendAck);
     return;
   }
   if (term > term_ || role_ != Role::Follower) become_follower(term);
@@ -142,10 +150,10 @@ void RaftNode::on_append_entries(int64_t term, int leader, int64_t prev_index,
 
   // Consistency check on the previous entry.
   if (prev_index > last_log_index() || term_of(prev_index) != prev_term) {
-    cluster_.post(node_, leader, cfg().overhead_bytes,
-                  [t = term_, me = id_](RaftNode& n) {
-                    n.on_append_reply(t, false, 0, me);
-                  });
+    cluster_.post(
+        node_, leader, cfg().overhead_bytes,
+        [t = term_, me = id_](RaftNode& n) { n.on_append_reply(t, false, 0, me); },
+        sim::MsgKind::RaftAppendAck);
     return;
   }
   // Append, truncating conflicts.
@@ -170,10 +178,12 @@ void RaftNode::on_append_entries(int64_t term, int leader, int64_t prev_index,
     apply_committed();
   }
   auto reply = [this, leader, match] {
-    cluster_.post(node_, leader, cfg().overhead_bytes,
-                  [t = term_, match, me = id_](RaftNode& n) {
-                    n.on_append_reply(t, true, match, me);
-                  });
+    cluster_.post(
+        node_, leader, cfg().overhead_bytes,
+        [t = term_, match, me = id_](RaftNode& n) {
+          n.on_append_reply(t, true, match, me);
+        },
+        sim::MsgKind::RaftAppendAck);
   };
   if (match > durable_index_) {
     // Raft durability: fsync new entries before acknowledging.
@@ -248,8 +258,11 @@ void RaftNode::apply_committed() {
 }
 
 sim::Task<ProposeOutcome> RaftNode::propose(Command cmd) {
+  sim::OpSpan span(sim(), "raft.propose", site_, node_);
   if (down()) co_return ProposeOutcome(OpStatus::Timeout, false);
   if (role_ != Role::Leader) co_return ProposeOutcome(OpStatus::Conflict, false);
+  // One append/ack WAN round trip to reach quorum commit.
+  sim::trace_rtts(sim(), 1);
   log_.emplace_back(term_, std::move(cmd));
   int64_t index = last_log_index();
   sim::Promise<ProposeOutcome> done(sim());
@@ -274,6 +287,7 @@ sim::Task<ProposeOutcome> RaftNode::propose(Command cmd) {
 }
 
 sim::Task<Result<Value>> RaftNode::read(Key key) {
+  sim::OpSpan span(sim(), "raft.read", site_, node_);
   if (down()) co_return Result<Value>::Err(OpStatus::Timeout);
   if (role_ != Role::Leader) co_return Result<Value>::Err(OpStatus::Conflict);
   // Leader-lease read: serve from applied state after a service hop.
@@ -371,15 +385,19 @@ RaftNode* RaftCluster::wait_for_leader(sim::Duration limit) {
 }
 
 void RaftCluster::post(sim::NodeId from, int to_id, size_t bytes,
-                       std::function<void(RaftNode&)> fn) {
+                       std::function<void(RaftNode&)> fn, sim::MsgKind kind) {
   RaftNode& target = node(to_id);
   if (from == target.node()) {
     target.service().submit(bytes, [&target, fn = std::move(fn)] { fn(target); });
     return;
   }
-  net_.send(from, target.node(), bytes, [&target, bytes, fn = std::move(fn)] {
-    target.service().submit(bytes, [&target, fn = std::move(fn)] { fn(target); });
-  });
+  net_.send(
+      from, target.node(), bytes,
+      [&target, bytes, fn = std::move(fn)] {
+        target.service().submit(bytes,
+                                [&target, fn = std::move(fn)] { fn(target); });
+      },
+      kind);
 }
 
 }  // namespace music::raftkv

@@ -216,7 +216,8 @@ class RaftCluster {
   RaftNode* wait_for_leader(sim::Duration limit = sim::sec(30));
 
   void post(sim::NodeId from, int to_id, size_t bytes,
-            std::function<void(RaftNode&)> fn);
+            std::function<void(RaftNode&)> fn,
+            sim::MsgKind kind = sim::MsgKind::Generic);
 
  private:
   void schedule_tick(RaftNode* node);

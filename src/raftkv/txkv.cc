@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/span.h"
+
 namespace music::raftkv {
 
 TxClient::TxClient(RaftCluster& cluster, int site, std::string name)
@@ -12,6 +14,7 @@ TxClient::TxClient(RaftCluster& cluster, int site, std::string name)
       leader_hint_(cluster.num_nodes() - 1) {}
 
 sim::Task<ProposeOutcome> TxClient::propose_at_leader(Command cmd) {
+  sim::OpSpan span(cluster_.simulation(), "cdb.txn", site_, node_);
   for (int attempt = 0; attempt < 64; ++attempt) {
     int target_id = leader_hint_;
     if (target_id < 0) target_id = 0;
@@ -28,7 +31,8 @@ sim::Task<ProposeOutcome> TxClient::propose_at_leader(Command cmd) {
     RaftNode* tp = &target;
     sim::NodeId me = node_;
     cluster_.network().send(
-        node_, target.node(), bytes, [tp, cmd, me, reply, bytes] {
+        node_, target.node(), bytes,
+        [tp, cmd, me, reply, bytes] {
           tp->service().submit(bytes, [tp, cmd, me, reply] {
             sim::spawn(
                 tp->cluster_ref().simulation(),
@@ -37,10 +41,12 @@ sim::Task<ProposeOutcome> TxClient::propose_at_leader(Command cmd) {
                   ProposeOutcome out = co_await n.propose(std::move(c));
                   n.cluster_ref().network().send(
                       n.node(), client, 64,
-                      [rep, out] { rep.set_value(out); });
+                      [rep, out] { rep.set_value(out); },
+                      sim::MsgKind::ClientReply);
                 }(*tp, cmd, me, reply));
           });
-        });
+        },
+        sim::MsgKind::ClientRequest);
     auto got = co_await sim::await_with_timeout<ProposeOutcome>(
         cluster_.simulation(), reply.future(), cluster_.config().op_timeout);
     if (!got) {
@@ -81,6 +87,7 @@ sim::Task<ProposeOutcome> TxClient::txn_write(
 }
 
 sim::Task<Result<Value>> TxClient::select(Key key) {
+  sim::OpSpan span(cluster_.simulation(), "cdb.select", site_, node_, key);
   for (int attempt = 0; attempt < 64; ++attempt) {
     int target_id = leader_hint_ < 0 ? 0 : leader_hint_;
     RaftNode& target = cluster_.node(target_id);
@@ -103,10 +110,12 @@ sim::Task<Result<Value>> TxClient::select(Key key) {
                          n.cluster_ref().network().send(
                              n.node(), client,
                              64 + (r.ok() ? r.value().size() : 0),
-                             [rep, r] { rep.set_value(r); });
+                             [rep, r] { rep.set_value(r); },
+                             sim::MsgKind::ClientReply);
                        }(*tp, key, me, reply));
           });
-        });
+        },
+        sim::MsgKind::ClientRequest);
     auto got = co_await sim::await_with_timeout<Result<Value>>(
         cluster_.simulation(), reply.future(), cluster_.config().op_timeout);
     if (!got) {
@@ -156,6 +165,8 @@ sim::Task<Status> TxClient::cs_exit(Key lock_key) {
 
 sim::Task<Status> TxClient::critical_section(Key lock_key, Key key,
                                              Value value, int batch) {
+  sim::OpSpan span(cluster_.simulation(), "cdb.critical_section", site_, node_,
+                   lock_key);
   // §X-B3: each loop iteration is (entry txn, update+exit txn); the lock is
   // re-acquired per iteration exactly as the paper's pseudo-code does.
   for (int i = 0; i < batch; ++i) {

@@ -3,7 +3,38 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace music::sim {
+
+const char* to_string(MsgKind k) {
+  switch (k) {
+    case MsgKind::Generic: return "generic";
+    case MsgKind::ClientRequest: return "client_request";
+    case MsgKind::ClientReply: return "client_reply";
+    case MsgKind::StoreWrite: return "store_write";
+    case MsgKind::StoreRead: return "store_read";
+    case MsgKind::StoreRepair: return "store_repair";
+    case MsgKind::StoreAck: return "store_ack";
+    case MsgKind::PaxosPrepare: return "paxos_prepare";
+    case MsgKind::PaxosAccept: return "paxos_accept";
+    case MsgKind::PaxosCommit: return "paxos_commit";
+    case MsgKind::Hint: return "hint";
+    case MsgKind::AntiEntropy: return "anti_entropy";
+    case MsgKind::ZabProposal: return "zab_proposal";
+    case MsgKind::ZabAck: return "zab_ack";
+    case MsgKind::ZabCommit: return "zab_commit";
+    case MsgKind::ZabHeartbeat: return "zab_heartbeat";
+    case MsgKind::ZabElection: return "zab_election";
+    case MsgKind::RaftAppend: return "raft_append";
+    case MsgKind::RaftAppendAck: return "raft_append_ack";
+    case MsgKind::RaftVote: return "raft_vote";
+    case MsgKind::RaftForward: return "raft_forward";
+    case MsgKind::kCount: break;
+  }
+  return "unknown";
+}
 
 LatencyProfile LatencyProfile::from_pairs(std::string name, int sites,
                                           const std::vector<double>& pair_rtts_ms,
@@ -49,7 +80,11 @@ LatencyProfile LatencyProfile::uniform(int sites, double rtt_ms_val,
 }
 
 Network::Network(Simulation& sim, NetworkConfig cfg)
-    : sim_(sim), cfg_(std::move(cfg)), rng_(sim.rng().fork(0x6e657477ull)) {}
+    : sim_(sim), cfg_(std::move(cfg)), rng_(sim.rng().fork(0x6e657477ull)) {
+  auto n = static_cast<size_t>(num_sites());
+  pair_sent_.assign(n * n, 0);
+  pair_bytes_.assign(n * n, 0);
+}
 
 NodeId Network::add_node(int site) {
   assert(site >= 0 && site < num_sites());
@@ -78,20 +113,33 @@ Duration Network::sample_delay(NodeId from, NodeId to, size_t bytes) {
 }
 
 void Network::send(NodeId from, NodeId to, size_t bytes,
-                   std::function<void()> deliver) {
+                   std::function<void()> deliver, MsgKind kind) {
+  int sa = site_of(from);
+  int sb = site_of(to);
+  bool cross_site = sa != sb;
   ++sent_;
   bytes_sent_ += bytes;
+  ++sent_by_kind_[static_cast<size_t>(kind)];
+  size_t pi = pair_index(sa, sb);
+  ++pair_sent_[pi];
+  pair_bytes_[pi] += bytes;
+  if (cross_site) ++wan_sent_;
+  if (obs::Tracer* t = sim_.tracer()) {
+    t->add_message(sim_.trace_ctx(), cross_site);
+  }
   if (!deliverable(from, to) || rng_.chance(cfg_.drop_prob)) {
     ++dropped_;
+    ++dropped_by_kind_[static_cast<size_t>(kind)];
     return;
   }
   Duration d = sample_delay(from, to, bytes);
   NodeId dest = to;
-  sim_.schedule(d, [this, dest, deliver = std::move(deliver)] {
+  sim_.schedule(d, [this, dest, kind, deliver = std::move(deliver)] {
     // The destination may have crashed (or been partitioned away) while the
     // message was in flight; re-check on delivery.
     if (down_.at(static_cast<size_t>(dest))) {
       ++dropped_;
+      ++dropped_by_kind_[static_cast<size_t>(kind)];
       return;
     }
     deliver();
@@ -112,6 +160,31 @@ void Network::heal_partition() {
   partitioned_ = false;
   side_a_.clear();
   side_b_.clear();
+}
+
+void Network::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.set("net.msgs.sent", sent_);
+  reg.set("net.msgs.dropped", dropped_);
+  reg.set("net.msgs.wan", wan_sent_);
+  reg.set("net.bytes.sent", bytes_sent_);
+  for (size_t k = 0; k < static_cast<size_t>(MsgKind::kCount); ++k) {
+    if (sent_by_kind_[k] == 0 && dropped_by_kind_[k] == 0) continue;
+    std::string base = "net.msgs.";
+    base += to_string(static_cast<MsgKind>(k));
+    reg.set(base, sent_by_kind_[k]);
+    if (dropped_by_kind_[k] != 0) reg.set(base + ".dropped", dropped_by_kind_[k]);
+  }
+  int n = num_sites();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      size_t pi = pair_index(i, j);
+      if (pair_sent_[pi] == 0) continue;
+      std::string base = "net.pair.s" + std::to_string(i) + ".s" +
+                         std::to_string(j);
+      reg.set(base + ".msgs", pair_sent_[pi]);
+      reg.set(base + ".bytes", pair_bytes_[pi]);
+    }
+  }
 }
 
 bool Network::deliverable(NodeId from, NodeId to) const {

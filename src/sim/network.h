@@ -19,10 +19,45 @@
 #include "sim/simulation.h"
 #include "sim/time.h"
 
+namespace music::obs {
+class MetricsRegistry;
+}  // namespace music::obs
+
 namespace music::sim {
 
 /// Identifies a simulated node (process).  Dense indices from Network.
 using NodeId = int;
+
+/// What a message is, for per-type accounting.  Callers that don't care pass
+/// nothing and land in Generic; protocol layers tag their sends so the
+/// metrics dump breaks traffic down by protocol phase.
+enum class MsgKind : uint8_t {
+  Generic = 0,
+  ClientRequest,
+  ClientReply,
+  StoreWrite,
+  StoreRead,
+  StoreRepair,
+  StoreAck,
+  PaxosPrepare,
+  PaxosAccept,
+  PaxosCommit,
+  Hint,
+  AntiEntropy,
+  ZabProposal,
+  ZabAck,
+  ZabCommit,
+  ZabHeartbeat,
+  ZabElection,
+  RaftAppend,
+  RaftAppendAck,
+  RaftVote,
+  RaftForward,
+  kCount,
+};
+
+/// Stable lowercase name for a MsgKind ("store_write", "zab_proposal", ...).
+const char* to_string(MsgKind k);
 
 /// A named set of sites and the RTTs between them, as in Table II of the
 /// paper.  rtt_ms[i][j] is the round-trip time between sites i and j in
@@ -91,8 +126,11 @@ class Network {
 
   /// Sends a message: if deliverable, schedules `deliver` at the destination
   /// after the sampled delay.  Otherwise the message vanishes (the caller's
-  /// future, if any, is simply never fulfilled).
-  void send(NodeId from, NodeId to, size_t bytes, std::function<void()> deliver);
+  /// future, if any, is simply never fulfilled).  `kind` tags the message
+  /// for per-type counters; if a tracer is attached to the simulation, the
+  /// message is also attributed to the current trace context.
+  void send(NodeId from, NodeId to, size_t bytes, std::function<void()> deliver,
+            MsgKind kind = MsgKind::Generic);
 
   /// Marks a node crashed (true) or alive (false).  Messages to/from crashed
   /// nodes are dropped.
@@ -110,16 +148,46 @@ class Network {
   /// random drops).
   bool deliverable(NodeId from, NodeId to) const;
 
-  /// Messages sent / dropped so far (diagnostics).
+  /// Messages sent / dropped so far, all kinds and site pairs combined.
   uint64_t messages_sent() const { return sent_; }
   uint64_t messages_dropped() const { return dropped_; }
   /// Total payload bytes handed to send() (diagnostics).
   uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Per-message-type counts (sends of that kind; drops counted within).
+  uint64_t messages_sent(MsgKind k) const {
+    return sent_by_kind_[static_cast<size_t>(k)];
+  }
+  uint64_t messages_dropped(MsgKind k) const {
+    return dropped_by_kind_[static_cast<size_t>(k)];
+  }
+
+  /// Per-site-pair counts: messages whose source lives at `from_site` and
+  /// destination at `to_site` (directed).
+  uint64_t pair_messages(int from_site, int to_site) const {
+    return pair_sent_[pair_index(from_site, to_site)];
+  }
+  uint64_t pair_bytes(int from_site, int to_site) const {
+    return pair_bytes_[pair_index(from_site, to_site)];
+  }
+
+  /// Messages that crossed sites (WAN traffic), all pairs combined.
+  uint64_t wan_messages_sent() const { return wan_sent_; }
+
+  /// Publishes all counters into `reg` under "net.*": totals, one counter
+  /// per message kind with traffic, and per-site-pair message/byte counts.
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
   Simulation& simulation() { return sim_; }
   const NetworkConfig& config() const { return cfg_; }
 
  private:
+  size_t pair_index(int from_site, int to_site) const {
+    return static_cast<size_t>(from_site) *
+               static_cast<size_t>(num_sites()) +
+           static_cast<size_t>(to_site);
+  }
+
   Simulation& sim_;
   NetworkConfig cfg_;
   Rng rng_;
@@ -130,6 +198,11 @@ class Network {
   uint64_t sent_ = 0;
   uint64_t dropped_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t wan_sent_ = 0;
+  uint64_t sent_by_kind_[static_cast<size_t>(MsgKind::kCount)] = {};
+  uint64_t dropped_by_kind_[static_cast<size_t>(MsgKind::kCount)] = {};
+  std::vector<uint64_t> pair_sent_;   // num_sites^2, row-major [from][to]
+  std::vector<uint64_t> pair_bytes_;  // num_sites^2
 };
 
 }  // namespace music::sim

@@ -15,6 +15,10 @@
 #include "sim/rng.h"
 #include "sim/time.h"
 
+namespace music::obs {
+class Tracer;
+}  // namespace music::obs
+
 namespace music::sim {
 
 class Simulation;
@@ -70,7 +74,7 @@ class Simulation {
   /// Schedules `fn` at absolute simulated time `t` (clamped to >= now).
   void schedule_at(Time t, std::function<void()> fn) {
     if (t < now_) t = now_;
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
+    queue_.push(Event{t, next_seq_++, std::move(fn), trace_ctx_});
   }
 
   /// Runs a single event, if any; returns false when the queue is empty.
@@ -82,11 +86,19 @@ class Simulation {
     Event& top = const_cast<Event&>(queue_.top());
     Time t = top.at;
     auto fn = std::move(top.fn);
+    uint64_t ctx = top.ctx;
     queue_.pop();
     now_ = t;
     ++events_run_;
+    // Restore the trace context that was active when this event was
+    // scheduled, so span attribution follows the causal chain through
+    // coroutine resumptions, future fulfilments and network deliveries.
+    trace_ctx_ = ctx;
+    ++run_depth_;
     detail::CurrentSimScope scope(this);
     fn();
+    --run_depth_;
+    if (run_depth_ == 0) trace_ctx_ = 0;
     return true;
   }
 
@@ -119,11 +131,26 @@ class Simulation {
   /// The simulation's root random stream.
   Rng& rng() { return rng_; }
 
+  /// Observability hooks.  A tracer (obs::Tracer) may be attached for the
+  /// run; null (the default) disables tracing entirely — instrumented code
+  /// checks tracer() first, so the disabled hot path is two loads and a
+  /// branch with no allocations and no extra events.
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// The trace span currently attributed with work (an obs::SpanId; 0 means
+  /// none).  Every scheduled event captures the context active at schedule
+  /// time and restores it when it runs, so the context rides the causal
+  /// chain for free.  sim::OpSpan (sim/span.h) is the usual way to set it.
+  uint64_t trace_ctx() const { return trace_ctx_; }
+  void set_trace_ctx(uint64_t ctx) { trace_ctx_ = ctx; }
+
  private:
   struct Event {
     Time at;
     uint64_t seq;
     std::function<void()> fn;
+    uint64_t ctx;  // trace context captured at schedule time
     // Min-heap on (at, seq): strict weak order, deterministic tie-break.
     bool operator<(const Event& o) const {
       return at != o.at ? at > o.at : seq > o.seq;
@@ -135,6 +162,9 @@ class Simulation {
   uint64_t events_run_ = 0;
   std::priority_queue<Event> queue_;
   Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
+  uint64_t trace_ctx_ = 0;
+  int run_depth_ = 0;
 };
 
 }  // namespace music::sim

@@ -1,0 +1,77 @@
+// RAII glue between protocol code and the obs tracer.
+//
+// Protocol layers instrument operations like this:
+//
+//   sim::OpSpan span(sim(), "music.acquire_lock", site_, node_, key);
+//   ... co_await ...           // child spans / messages attach automatically
+//   sim::trace_rtts(sim(), 1); // declare one WAN round trip
+//   span.finish();             // or let the destructor close it
+//
+// When no tracer is installed on the Simulation (the default), every one of
+// these calls is two loads and a branch: no span is opened, no heap
+// allocation happens (the key travels as a string_view), no event is
+// scheduled.  When tracing is on, OpSpan opens a span parented on the
+// current trace context and makes itself the context, so everything the
+// operation causes — network messages, nested spans, declared RTTs — rolls
+// up to it across coroutine suspensions (context rides on sim events; see
+// Simulation::trace_ctx()).
+//
+// OpSpan must live in a coroutine frame or on a stack that is destroyed at
+// the same simulated instant it finishes at; both hold in this codebase
+// because continuations run as +0 events.
+#pragma once
+
+#include <string_view>
+
+#include "obs/trace.h"
+#include "sim/simulation.h"
+
+namespace music::sim {
+
+class OpSpan {
+ public:
+  OpSpan(Simulation& sim, const char* name, int site = -1, int node = -1,
+         std::string_view detail = {})
+      : sim_(sim) {
+    obs::Tracer* t = sim_.tracer();
+    if (t == nullptr) return;
+    prev_ = sim_.trace_ctx();
+    id_ = t->begin(name, sim_.now(), prev_, site, node, detail);
+    if (id_ != 0) sim_.set_trace_ctx(id_);
+  }
+
+  ~OpSpan() { finish(); }
+
+  OpSpan(const OpSpan&) = delete;
+  OpSpan& operator=(const OpSpan&) = delete;
+
+  /// Closes the span (idempotent).  Restores the previous trace context if
+  /// this span is still the active one — if an unrelated event is running
+  /// when the frame is destroyed, the context belongs to someone else and is
+  /// left alone.
+  void finish() {
+    if (id_ == 0) return;
+    obs::Tracer* t = sim_.tracer();
+    if (t != nullptr) t->end(id_, sim_.now());
+    if (sim_.trace_ctx() == id_) sim_.set_trace_ctx(prev_);
+    id_ = 0;
+  }
+
+  obs::SpanId id() const { return id_; }
+
+ private:
+  Simulation& sim_;
+  obs::SpanId id_ = 0;
+  obs::SpanId prev_ = 0;
+};
+
+/// Declares `n` protocol-level WAN round trips against the current trace
+/// context (no-op without a tracer).  Protocol code calls this once per
+/// logical round: a quorum read/write round = 1, each LWT phase = 1.
+inline void trace_rtts(Simulation& sim, uint64_t n = 1) {
+  obs::Tracer* t = sim.tracer();
+  if (t == nullptr) return;
+  t->add_rtts(sim.trace_ctx(), n);
+}
+
+}  // namespace music::sim

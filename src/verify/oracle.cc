@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace.h"
+
 namespace music::verify {
 
 void EcfChecker::note_event(const Key& key) {
@@ -30,9 +32,15 @@ std::optional<Value> EcfChecker::stable_truth(const Key& key,
 
 void EcfChecker::fail(const std::string& invariant, const Key& key,
                       const std::string& detail) {
-  violations_.emplace_back(invariant, key, detail + " (t=" +
-                                               std::to_string(sim_.now()) +
-                                               "us)");
+  std::string d = detail + " (t=" + std::to_string(sim_.now()) + "us)";
+  // Checker callbacks run inside the offending client operation's coroutine,
+  // so the simulation's current trace context is that operation's span: a
+  // violation report carries the full span ancestry when tracing is on.
+  if (obs::Tracer* t = sim_.tracer()) {
+    std::string anc = t->render_ancestry(sim_.trace_ctx());
+    if (!anc.empty()) d += "\n  trace: " + anc;
+  }
+  violations_.emplace_back(invariant, key, std::move(d));
 }
 
 void EcfChecker::open_candidates(KeyState& ks, LockRef ref) {

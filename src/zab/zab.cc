@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "sim/span.h"
+
 namespace music::zab {
 
 // ---- ZabServer --------------------------------------------------------------
@@ -29,15 +31,20 @@ sim::Future<bool> ZabServer::broadcast(Txn txn, int64_t* zxid_out) {
   int64_t epoch = epoch_;
   size_t bytes = txn.bytes() + cfg().overhead_bytes;
   pending_.emplace(zxid, Pending(txn, done));
+  // One propose/ack WAN round trip to reach quorum commit.
+  sim::trace_rtts(sim(), 1);
   // Zookeeper forces the transaction to the log before acknowledging; the
   // leader's own ack also waits for its fsync.
   disk_.write_sync(txn.bytes(), [this, epoch, zxid] { on_ack(epoch, zxid); });
   for (int i = 0; i < ensemble_.num_servers(); ++i) {
     if (i == id_) continue;
-    ensemble_.post(node_, i, bytes, [epoch, txn, leader = id_](ZabServer& f) {
-      f.on_propose(epoch, txn, sim::NodeId{});
-      (void)leader;
-    });
+    ensemble_.post(
+        node_, i, bytes,
+        [epoch, txn, leader = id_](ZabServer& f) {
+          f.on_propose(epoch, txn, sim::NodeId{});
+          (void)leader;
+        },
+        sim::MsgKind::ZabProposal);
   }
   return done.future();
 }
@@ -52,9 +59,10 @@ void ZabServer::on_propose(int64_t epoch, Txn txn, sim::NodeId /*from*/) {
   // Follower durability: fsync, then ack to the leader.
   disk_.write_sync(txn.bytes(), [this, epoch, zxid] {
     size_t small = cfg().overhead_bytes;
-    ensemble_.post(node_, leader_id_, small, [epoch, zxid](ZabServer& l) {
-      l.on_ack(epoch, zxid);
-    });
+    ensemble_.post(
+        node_, leader_id_, small,
+        [epoch, zxid](ZabServer& l) { l.on_ack(epoch, zxid); },
+        sim::MsgKind::ZabAck);
   });
 }
 
@@ -81,8 +89,10 @@ void ZabServer::try_commit() {
     int64_t epoch = epoch_;
     for (int i = 0; i < ensemble_.num_servers(); ++i) {
       if (i == id_) continue;
-      ensemble_.post(node_, i, bytes,
-                     [epoch, txn](ZabServer& f) { f.on_commit(epoch, txn); });
+      ensemble_.post(
+          node_, i, bytes,
+          [epoch, txn](ZabServer& f) { f.on_commit(epoch, txn); },
+          sim::MsgKind::ZabCommit);
     }
     done.set_value(true);
   }
@@ -157,8 +167,10 @@ void ZabServer::maybe_elect() {
   int64_t epoch = epoch_;
   for (int i = 0; i < ensemble_.num_servers(); ++i) {
     if (i == id_) continue;
-    ensemble_.post(node_, i, cfg().overhead_bytes,
-                   [epoch, me = id_](ZabServer& f) { f.on_heartbeat(epoch, me); });
+    ensemble_.post(
+        node_, i, cfg().overhead_bytes,
+        [epoch, me = id_](ZabServer& f) { f.on_heartbeat(epoch, me); },
+        sim::MsgKind::ZabElection);
   }
 }
 
@@ -168,8 +180,10 @@ void ZabServer::election_tick() {
     int64_t epoch = epoch_;
     for (int i = 0; i < ensemble_.num_servers(); ++i) {
       if (i == id_) continue;
-      ensemble_.post(node_, i, cfg().overhead_bytes,
-                     [epoch, me = id_](ZabServer& f) { f.on_heartbeat(epoch, me); });
+      ensemble_.post(
+          node_, i, cfg().overhead_bytes,
+          [epoch, me = id_](ZabServer& f) { f.on_heartbeat(epoch, me); },
+          sim::MsgKind::ZabHeartbeat);
     }
   } else if (sim().now() - last_heartbeat_seen_ > cfg().election_timeout) {
     maybe_elect();
@@ -181,6 +195,7 @@ sim::Task<Status> ZabServer::set_data(Key path, Value data) {
 }
 
 sim::Task<Status> ZabServer::write(Key path, Value data, bool deleted) {
+  sim::OpSpan span(sim(), "zab.write", site_, node_, path);
   if (down()) co_return OpStatus::Timeout;
   Txn txn(0, std::move(path), std::move(data), deleted);
   if (is_leader()) {
@@ -193,6 +208,8 @@ sim::Task<Status> ZabServer::write(Key path, Value data, bool deleted) {
   // txn commits, and we reply to the client only after our own local
   // commit of that zxid (read-your-writes at the connected server).
   sim::Promise<bool> local_commit(sim());
+  // Forward-to-leader and commit-notify: one extra WAN round trip.
+  sim::trace_rtts(sim(), 1);
   size_t bytes = txn.bytes() + cfg().overhead_bytes;
   ensemble_.post(node_, leader_id_, bytes,
                  [txn, local_commit, back = id_](ZabServer& l) {
@@ -214,6 +231,7 @@ sim::Task<Status> ZabServer::write(Key path, Value data, bool deleted) {
 
 sim::Task<Result<Value>> ZabServer::get_data(Key path) {
   // Zookeeper reads are served locally by the connected server.
+  sim::OpSpan span(sim(), "zab.read", site_, node_, path);
   if (down()) co_return Result<Value>::Err(OpStatus::Timeout);
   sim::Promise<Result<Value>> p(sim());
   service_.submit(path.size() + 64, [this, path, p] {
@@ -238,6 +256,7 @@ sim::Task<Status> ZabServer::remove(Key path) {
 }
 
 sim::Task<Result<Key>> ZabServer::create_sequential(Key prefix, Value data) {
+  sim::OpSpan span(sim(), "zab.create_sequential", site_, node_, prefix);
   // The sequence number must be leader-assigned and unique; reuse the zxid
   // by writing a reservation znode first, then renaming is overkill — we
   // instead route a write whose final path embeds the commit zxid.  The
@@ -359,7 +378,7 @@ void ZabEnsemble::schedule_tick(ZabServer* srv) {
 }
 
 void ZabEnsemble::post(sim::NodeId from, int to_id, size_t bytes,
-                       std::function<void(ZabServer&)> fn) {
+                       std::function<void(ZabServer&)> fn, sim::MsgKind kind) {
   if (to_id < 0 || to_id >= num_servers()) return;  // unknown target: drop
   ZabServer& target = server(to_id);
   if (from == target.node()) {
@@ -367,9 +386,13 @@ void ZabEnsemble::post(sim::NodeId from, int to_id, size_t bytes,
     target.service().submit(bytes, [&target, fn = std::move(fn)] { fn(target); });
     return;
   }
-  net_.send(from, target.node(), bytes, [&target, bytes, fn = std::move(fn)] {
-    target.service().submit(bytes, [&target, fn = std::move(fn)] { fn(target); });
-  });
+  net_.send(
+      from, target.node(), bytes,
+      [&target, bytes, fn = std::move(fn)] {
+        target.service().submit(bytes,
+                                [&target, fn = std::move(fn)] { fn(target); });
+      },
+      kind);
 }
 
 // ---- ZkClient ---------------------------------------------------------------
@@ -380,8 +403,9 @@ namespace {
 sim::Task<void> serve_set(ZabServer& s, Key path, Value data,
                           sim::NodeId client, sim::Promise<Status> reply) {
   Status st = co_await s.set_data(std::move(path), std::move(data));
-  s.ensemble().network().send(s.node(), client, 64,
-                              [reply, st] { reply.set_value(st); });
+  s.ensemble().network().send(
+      s.node(), client, 64, [reply, st] { reply.set_value(st); },
+      sim::MsgKind::ClientReply);
 }
 
 /// Server-side read wrapper.
@@ -389,8 +413,9 @@ sim::Task<void> serve_get(ZabServer& s, Key path, sim::NodeId client,
                           sim::Promise<Result<Value>> reply) {
   auto r = co_await s.get_data(std::move(path));
   size_t bytes = 64 + (r.ok() ? r.value().size() : 0);
-  s.ensemble().network().send(s.node(), client, bytes,
-                              [reply, r] { reply.set_value(r); });
+  s.ensemble().network().send(
+      s.node(), client, bytes, [reply, r] { reply.set_value(r); },
+      sim::MsgKind::ClientReply);
 }
 
 }  // namespace
@@ -401,6 +426,7 @@ ZkClient::ZkClient(ZabEnsemble& ensemble, int site)
       node_(ensemble.network().add_node(site)) {}
 
 sim::Task<Status> ZkClient::set_data(Key path, Value data) {
+  sim::OpSpan span(ensemble_.simulation(), "zk.set_data", site_, node_, path);
   // Ship the request to the nearest live server, which runs the write and
   // replies; retry a few times on timeouts (e.g. across a failover).
   for (int attempt = 0; attempt < 8; ++attempt) {
@@ -410,13 +436,14 @@ sim::Task<Status> ZkClient::set_data(Key path, Value data) {
     size_t bytes =
         path.size() + data.size() + ensemble_.config().overhead_bytes;
     ensemble_.network().send(
-        node_, server.node(), bytes, [srv, path, data, reply, me = node_,
-                                      bytes] {
+        node_, server.node(), bytes,
+        [srv, path, data, reply, me = node_, bytes] {
           srv->service().submit(bytes, [srv, path, data, reply, me] {
             sim::spawn(srv->ensemble().simulation(),
                        serve_set(*srv, path, data, me, reply));
           });
-        });
+        },
+        sim::MsgKind::ClientRequest);
     auto got = co_await sim::await_with_timeout<Status>(
         ensemble_.simulation(), reply.future(), ensemble_.config().op_timeout);
     if (got.has_value() && got->ok()) co_return *got;
@@ -426,17 +453,20 @@ sim::Task<Status> ZkClient::set_data(Key path, Value data) {
 }
 
 sim::Task<Result<Value>> ZkClient::get_data(Key path) {
+  sim::OpSpan span(ensemble_.simulation(), "zk.get_data", site_, node_, path);
   ZabServer& server = ensemble_.server_at_site(site_);
   ZabServer* srv = &server;
   sim::Promise<Result<Value>> reply(ensemble_.simulation());
   size_t bytes = path.size() + ensemble_.config().overhead_bytes;
   ensemble_.network().send(
-      node_, server.node(), bytes, [srv, path, reply, me = node_, bytes] {
+      node_, server.node(), bytes,
+      [srv, path, reply, me = node_, bytes] {
         srv->service().submit(bytes, [srv, path, reply, me] {
           sim::spawn(srv->ensemble().simulation(),
                      serve_get(*srv, path, me, reply));
         });
-      });
+      },
+      sim::MsgKind::ClientRequest);
   auto got = co_await sim::await_with_timeout<Result<Value>>(
       ensemble_.simulation(), reply.future(), ensemble_.config().op_timeout);
   if (!got) co_return Result<Value>::Err(OpStatus::Timeout);

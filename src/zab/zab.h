@@ -208,7 +208,8 @@ class ZabEnsemble {
   /// Out-of-range ids (e.g. an unknown leader) drop the message, exactly
   /// like a message to a dead node.
   void post(sim::NodeId from, int to_id, size_t bytes,
-            std::function<void(ZabServer&)> fn);
+            std::function<void(ZabServer&)> fn,
+            sim::MsgKind kind = sim::MsgKind::Generic);
 
  private:
   void schedule_tick(ZabServer* srv);

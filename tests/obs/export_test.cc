@@ -1,0 +1,118 @@
+// Exporter format contracts: Chrome trace_event JSON and metrics dumps.
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace music::obs {
+namespace {
+
+/// Minimal structural JSON check: braces/brackets balance and never go
+/// negative outside strings.  (Catches truncation and escaping bugs without
+/// a JSON library.)
+bool balanced_json(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(Export, ChromeTraceShapeAndOrdering) {
+  Tracer t;
+  // Begin out of natural export order is impossible (time is monotone), but
+  // end order differs from begin order; both spans must appear sorted by ts.
+  SpanId a = t.begin("outer", 100, 0, 0, 1);
+  SpanId b = t.begin("inner", 200, a, 1, 2, "k\"ey");  // quote needs escaping
+  t.end(b, 250);
+  t.end(a, 400);
+  SpanId open = t.begin("unfinished", 500, 0);
+  (void)open;
+
+  std::string json = chrome_trace_json(t);
+  EXPECT_TRUE(balanced_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Metadata rows name each site (pid).
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  // Both finished spans exported as complete events with durations.
+  EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\",\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100,\"dur\":300"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":200,\"dur\":50"), std::string::npos);
+  // outer (ts=100) must precede inner (ts=200) in the stream.
+  EXPECT_LT(json.find("\"name\":\"outer\""), json.find("\"name\":\"inner\""));
+  // Unfinished spans are skipped.
+  EXPECT_EQ(json.find("unfinished"), std::string::npos);
+  // The quote inside the detail string is escaped.
+  EXPECT_NE(json.find("k\\\"ey"), std::string::npos);
+  // Parent linkage is carried in args.
+  EXPECT_NE(json.find("\"parent\":1"), std::string::npos);
+}
+
+TEST(Export, ChromeTraceEmptyTracer) {
+  Tracer t;
+  std::string json = chrome_trace_json(t);
+  EXPECT_TRUE(balanced_json(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Export, MetricsJsonShape) {
+  MetricsRegistry reg;
+  reg.set("net.msgs.sent", 42);
+  reg.histogram("span.op").record(100);
+  reg.histogram("span.op").record(300);
+  std::string json = metrics_json(reg);
+  EXPECT_TRUE(balanced_json(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"net.msgs.sent\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"span.op\": {\"count\": 2, \"sum\": 400"),
+            std::string::npos);
+}
+
+TEST(Export, MetricsCsvLongFormat) {
+  MetricsRegistry reg;
+  reg.set("a.counter", 7);
+  reg.histogram("b.histo").record(50);
+  std::string csv = metrics_csv(reg);
+  EXPECT_EQ(csv.rfind("metric,kind,field,value\n", 0), 0u);
+  EXPECT_NE(csv.find("a.counter,counter,value,7\n"), std::string::npos);
+  EXPECT_NE(csv.find("b.histo,histogram,count,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("b.histo,histogram,min,50\n"), std::string::npos);
+  EXPECT_NE(csv.find("b.histo,histogram,max,50\n"), std::string::npos);
+}
+
+TEST(Export, WriteFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "obs_export_test.json";
+  ASSERT_TRUE(write_file(path, "{\"ok\":1}\n"));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {};
+  size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "{\"ok\":1}\n");
+}
+
+TEST(Export, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(write_file("/nonexistent-dir-xyz/file.json", "x"));
+}
+
+}  // namespace
+}  // namespace music::obs

@@ -1,0 +1,117 @@
+// Histogram bucket math, percentile accuracy, and registry behavior.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace music::obs {
+namespace {
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (int v = 1; v <= 10; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.sum(), 55);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 10);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+  // Values below the exact-bucket limit are recorded with no rounding.
+  EXPECT_EQ(h.percentile(0), 1);
+  EXPECT_EQ(h.percentile(100), 10);
+  EXPECT_EQ(h.percentile(50), 5);  // floor-rank: floor(0.5 * 9) + 1 = rank 5
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(Histogram, BucketRoundTripAndMonotonicity) {
+  size_t prev = 0;
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{31}, int64_t{32},
+                    int64_t{33}, int64_t{100}, int64_t{1000}, int64_t{123456},
+                    int64_t{87654321}, int64_t{1} << 40, int64_t{1} << 62}) {
+    size_t idx = Histogram::bucket_for(v);
+    ASSERT_LT(idx, Histogram::num_buckets()) << v;
+    EXPECT_GE(idx, prev) << v;  // larger values never map to earlier buckets
+    prev = idx;
+    int64_t lb = Histogram::bucket_lower_bound(idx);
+    EXPECT_LE(lb, v) << v;
+    EXPECT_EQ(Histogram::bucket_for(lb), idx) << v;  // lb is in its bucket
+    // Log-linear guarantee: 16 sub-buckets per octave -> <= 1/16 error.
+    if (v > 0) {
+      EXPECT_GE(lb, v - (v >> 4) - 1) << v;
+    }
+  }
+}
+
+TEST(Histogram, PercentileRelativeErrorIsBounded) {
+  Histogram h;
+  for (int64_t v = 1000; v <= 100000; v += 1000) h.record(v);
+  int64_t p50 = h.percentile(50);
+  // True median of 1000..100000 step 1000 is 50500; accept bucket rounding.
+  EXPECT_GE(p50, 50500 - (50500 >> 4) - 1);
+  EXPECT_LE(p50, 50500);
+  int64_t p100 = h.percentile(100);
+  EXPECT_GE(p100, 100000 - (100000 >> 4) - 1);
+  EXPECT_LE(p100, 100000);
+}
+
+TEST(Histogram, SingleSample) {
+  Histogram h;
+  h.record(777);
+  EXPECT_EQ(h.count(), 1u);
+  for (double p : {0.0, 50.0, 99.9, 100.0}) {
+    int64_t got = h.percentile(p);
+    EXPECT_LE(got, 777) << p;
+    EXPECT_GE(got, 777 - (777 >> 4) - 1) << p;
+  }
+}
+
+TEST(Registry, CountersAndHistogramsAreStableReferences) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("net.msgs.sent");
+  c.add(3);
+  reg.add("net.msgs.sent", 2);
+  reg.set("sim.events", 100);
+  EXPECT_EQ(reg.counters().at("net.msgs.sent").value, 5u);
+  EXPECT_EQ(reg.counters().at("sim.events").value, 100u);
+
+  Histogram& h = reg.histogram("span.op");
+  h.record(10);
+  reg.histogram("span.op").record(20);
+  EXPECT_EQ(&h, &reg.histogram("span.op"));
+  EXPECT_EQ(reg.histograms().at("span.op").count(), 2u);
+}
+
+TEST(Registry, ExportOrderIsDeterministic) {
+  MetricsRegistry reg;
+  reg.add("zeta");
+  reg.add("alpha");
+  reg.add("mid");
+  auto it = reg.counters().begin();
+  EXPECT_EQ(it->first, "alpha");
+  ++it;
+  EXPECT_EQ(it->first, "mid");
+  ++it;
+  EXPECT_EQ(it->first, "zeta");
+}
+
+}  // namespace
+}  // namespace music::obs

@@ -1,0 +1,114 @@
+// Tracer/Span unit tests: parent rollup, lifecycle, overflow, ancestry.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace music::obs {
+namespace {
+
+TEST(Trace, BeginEndRecordsTimesAndIdentity) {
+  Tracer t;
+  SpanId id = t.begin("op", 100, /*parent=*/0, /*site=*/2, /*node=*/7, "key1");
+  ASSERT_NE(id, 0u);
+  const Span* s = t.find(id);
+  ASSERT_NE(s, nullptr);
+  EXPECT_STREQ(s->name, "op");
+  EXPECT_EQ(s->begin_us, 100);
+  EXPECT_FALSE(s->finished());
+  EXPECT_EQ(s->duration_us(), -1);
+  EXPECT_EQ(s->site, 2);
+  EXPECT_EQ(s->node, 7);
+  EXPECT_EQ(s->detail, "key1");
+
+  t.end(id, 250);
+  s = t.find(id);
+  EXPECT_TRUE(s->finished());
+  EXPECT_EQ(s->end_us, 250);
+  EXPECT_EQ(s->duration_us(), 150);
+}
+
+TEST(Trace, EndIsIdempotentAndIgnoresUnknownIds) {
+  Tracer t;
+  SpanId id = t.begin("op", 10, 0);
+  t.end(id, 20);
+  t.end(id, 99);  // second end must not move end_us
+  EXPECT_EQ(t.find(id)->end_us, 20);
+  t.end(0, 50);    // no-span context
+  t.end(777, 50);  // never allocated
+  EXPECT_EQ(t.spans().size(), 1u);
+}
+
+TEST(Trace, MessagesAndRttsRollUpTheParentChain) {
+  Tracer t;
+  SpanId root = t.begin("client.op", 0, 0);
+  SpanId mid = t.begin("music.op", 1, root);
+  SpanId leaf = t.begin("store.put", 2, mid);
+
+  t.add_message(leaf, /*cross_site=*/true);
+  t.add_message(leaf, /*cross_site=*/false);
+  t.add_rtts(leaf, 1);
+  t.add_message(mid, true);
+  t.add_rtts(root, 4);
+
+  EXPECT_EQ(t.find(leaf)->msgs, 2u);
+  EXPECT_EQ(t.find(leaf)->wan_msgs, 1u);
+  EXPECT_EQ(t.find(leaf)->rtts, 1u);
+  EXPECT_EQ(t.find(mid)->msgs, 3u);
+  EXPECT_EQ(t.find(mid)->wan_msgs, 2u);
+  EXPECT_EQ(t.find(mid)->rtts, 1u);
+  EXPECT_EQ(t.find(root)->msgs, 3u);
+  EXPECT_EQ(t.find(root)->wan_msgs, 2u);
+  EXPECT_EQ(t.find(root)->rtts, 5u);
+}
+
+TEST(Trace, CountersOnNoSpanContextAreDropped) {
+  Tracer t;
+  t.add_message(0, true);
+  t.add_rtts(0, 3);
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(Trace, OverflowDropsAndCounts) {
+  Tracer t(/*max_spans=*/2);
+  EXPECT_NE(t.begin("a", 0, 0), 0u);
+  EXPECT_NE(t.begin("b", 1, 0), 0u);
+  EXPECT_EQ(t.begin("c", 2, 0), 0u);
+  EXPECT_EQ(t.begin("d", 3, 0), 0u);
+  EXPECT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.dropped_spans(), 2u);
+  // Counters against the dropped context (0) must not crash or misattribute.
+  t.add_message(0, true);
+  EXPECT_EQ(t.find(1)->msgs, 0u);
+}
+
+TEST(Trace, RenderAncestryInnermostFirst) {
+  Tracer t;
+  SpanId root = t.begin("client.put", 0, 0, 0, 0, "k");
+  SpanId leaf = t.begin("store.put", 5, root, 1, 3, "k");
+  std::string anc = t.render_ancestry(leaf);
+  // Innermost first, then its parent.
+  size_t store_pos = anc.find("store.put");
+  size_t client_pos = anc.find("client.put");
+  ASSERT_NE(store_pos, std::string::npos);
+  ASSERT_NE(client_pos, std::string::npos);
+  EXPECT_LT(store_pos, client_pos);
+  EXPECT_TRUE(t.render_ancestry(0).empty());
+}
+
+TEST(Trace, EndFeedsRegistryHistogramAndCounter) {
+  Tracer t;
+  MetricsRegistry reg;
+  t.set_registry(&reg);
+  SpanId id = t.begin("music.acquire_lock", 100, 0);
+  t.end(id, 400);
+  ASSERT_EQ(reg.histograms().count("span.music.acquire_lock"), 1u);
+  const Histogram& h = reg.histograms().at("span.music.acquire_lock");
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 300);
+  EXPECT_EQ(reg.counters().at("span.music.acquire_lock.count").value, 1u);
+}
+
+}  // namespace
+}  // namespace music::obs

@@ -1,0 +1,98 @@
+// wl::Samples edge cases: empty sets, single samples, percentile bounds,
+// merging unsorted inputs, CDF shape.
+#include "workload/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace music::wl {
+namespace {
+
+TEST(Samples, EmptyReportsZeros) {
+  Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean_ms(), 0.0);
+  EXPECT_EQ(s.stddev_ms(), 0.0);
+  EXPECT_EQ(s.percentile_ms(0), 0.0);
+  EXPECT_EQ(s.percentile_ms(50), 0.0);
+  EXPECT_EQ(s.percentile_ms(100), 0.0);
+  EXPECT_EQ(s.min_ms(), 0.0);
+  EXPECT_EQ(s.max_ms(), 0.0);
+  EXPECT_TRUE(s.cdf().empty());
+}
+
+TEST(Samples, SingleSampleIsEveryPercentile) {
+  Samples s;
+  s.add(sim::ms(5));
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean_ms(), 5.0);
+  EXPECT_EQ(s.stddev_ms(), 0.0);  // sample stddev needs n >= 2
+  EXPECT_DOUBLE_EQ(s.percentile_ms(0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(100), 5.0);
+}
+
+TEST(Samples, PercentileBoundsAreMinAndMax) {
+  Samples s;
+  // Deliberately unsorted insertion order.
+  for (int v : {30, 10, 50, 20, 40}) s.add(sim::ms(v));
+  EXPECT_DOUBLE_EQ(s.percentile_ms(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.min_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max_ms(), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(50), 30.0);
+  // Interpolated percentile between rank neighbours.
+  EXPECT_DOUBLE_EQ(s.percentile_ms(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(12.5), 15.0);
+}
+
+TEST(Samples, MeanAndStddev) {
+  Samples s;
+  for (int v : {2, 4, 4, 4, 5, 5, 7, 9}) s.add(sim::ms(v));
+  EXPECT_DOUBLE_EQ(s.mean_ms(), 5.0);
+  // Sample (n-1) stddev of the classic set {2,4,4,4,5,5,7,9} is ~2.138.
+  EXPECT_NEAR(s.stddev_ms(), 2.138, 0.001);
+}
+
+TEST(Samples, MergeUnsortedInputsKeepsOrderStatisticsCorrect) {
+  Samples a;
+  for (int v : {90, 10, 50}) a.add(sim::ms(v));
+  // Force a to sort itself, then merge unsorted data in: percentiles must
+  // re-sort, not trust the stale order.
+  EXPECT_DOUBLE_EQ(a.max_ms(), 90.0);
+  Samples b;
+  for (int v : {100, 20}) b.add(sim::ms(v));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.min_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(a.max_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(a.percentile_ms(50), 50.0);
+}
+
+TEST(Samples, MergeEmptyIsANoOp) {
+  Samples a;
+  a.add(sim::ms(3));
+  Samples empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean_ms(), 3.0);
+}
+
+TEST(Samples, CdfIsMonotoneAndEndsAtMax) {
+  Samples s;
+  for (int v = 1; v <= 100; ++v) s.add(sim::ms(v));
+  auto cdf = s.cdf(10);
+  ASSERT_EQ(cdf.size(), 10u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);   // latencies nondecreasing
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second); // fractions increasing
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().first, 100.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  EXPECT_TRUE(s.cdf(0).empty());
+}
+
+}  // namespace
+}  // namespace music::wl

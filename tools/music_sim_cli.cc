@@ -21,6 +21,9 @@
 #include "core/client.h"
 #include "core/music.h"
 #include "lockstore/raft_lockstore.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/driver.h"
 #include "workload/runners.h"
 #include "workload/chaos.h"
@@ -45,6 +48,8 @@ struct Options {
   uint64_t seed = 1;
   bool chaos = false;
   bool latency_mode = false;  // single-thread latency instead of throughput
+  std::string trace_out;      // Chrome trace_event JSON ("" = tracing off)
+  std::string metrics_out;    // metrics dump; .csv -> CSV, else JSON
 };
 
 void usage() {
@@ -64,6 +69,9 @@ void usage() {
   --seed N                 simulation seed                 (default 1)
   --latency                single-thread latency run
   --chaos                  inject replica crashes and partitions
+  --trace-out PATH         write a Chrome trace_event JSON of the run
+                           (load in chrome://tracing or Perfetto)
+  --metrics-out PATH       write counters/histograms; .csv -> CSV, else JSON
   --help                   this text
 )");
 }
@@ -92,6 +100,8 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--seed") o.seed = static_cast<uint64_t>(std::atoll(need(i)));
     else if (a == "--latency") o.latency_mode = true;
     else if (a == "--chaos") o.chaos = true;
+    else if (a == "--trace-out") o.trace_out = need(i);
+    else if (a == "--metrics-out") o.metrics_out = need(i);
     else if (a == "--help" || a == "-h") { usage(); std::exit(0); }
     else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
@@ -174,6 +184,13 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, o)) return 2;
 
   Deployment d(o);
+  std::unique_ptr<obs::Tracer> tracer;
+  obs::MetricsRegistry metrics;
+  if (!o.trace_out.empty() || !o.metrics_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>();
+    tracer->set_registry(&metrics);
+    d.s.set_tracer(tracer.get());
+  }
   std::unique_ptr<wl::ChaosInjector> chaos;
   if (o.chaos) {
     std::vector<core::MusicReplica*> reps;
@@ -242,5 +259,46 @@ int main(int argc, char** argv) {
   }
   std::printf("simulated %.1f s in %llu events\n", sim::to_sec(d.s.now()),
               static_cast<unsigned long long>(d.s.events_run()));
+
+  if (tracer) {
+    d.net.export_metrics(metrics);
+    metrics.set("sim.events_run", d.s.events_run());
+    metrics.set("sim.now_us", static_cast<uint64_t>(d.s.now()));
+    metrics.set("run.completed", r.completed);
+    metrics.set("run.failed", r.failed);
+    metrics.set("trace.spans", tracer->spans().size());
+    metrics.set("trace.dropped_spans", tracer->dropped_spans());
+    for (auto& rep : d.replicas) {
+      const core::MusicStats& st = rep->stats();
+      std::string p = "music.s" + std::to_string(rep->site()) + ".";
+      metrics.set(p + "create_lock_ref", st.create_lock_ref);
+      metrics.set(p + "acquire_attempts", st.acquire_attempts);
+      metrics.set(p + "acquire_granted", st.acquire_granted);
+      metrics.set(p + "synchronizations", st.synchronizations);
+      metrics.set(p + "critical_puts", st.critical_puts);
+      metrics.set(p + "critical_gets", st.critical_gets);
+      metrics.set(p + "releases", st.releases);
+      metrics.set(p + "forced_releases", st.forced_releases);
+    }
+    bool ok = true;
+    if (!o.trace_out.empty()) {
+      ok = obs::write_file(o.trace_out, obs::chrome_trace_json(*tracer)) && ok;
+      std::printf("trace: %zu spans (%llu dropped) -> %s\n",
+                  tracer->spans().size(),
+                  static_cast<unsigned long long>(tracer->dropped_spans()),
+                  o.trace_out.c_str());
+    }
+    if (!o.metrics_out.empty()) {
+      bool csv = o.metrics_out.size() >= 4 &&
+                 o.metrics_out.compare(o.metrics_out.size() - 4, 4, ".csv") == 0;
+      ok = obs::write_file(o.metrics_out, csv ? obs::metrics_csv(metrics)
+                                              : obs::metrics_json(metrics)) &&
+           ok;
+      std::printf("metrics: %s -> %s\n", csv ? "csv" : "json",
+                  o.metrics_out.c_str());
+    }
+    d.s.set_tracer(nullptr);
+    if (!ok) return 1;
+  }
   return 0;
 }
