@@ -206,8 +206,12 @@ struct CdbWorld {
     int id = 0;
     for (int site = 0; site < 3; ++site) {
       for (int i = 0; i < clients_per_site; ++i) {
-        clients.push_back(std::make_unique<raftkv::TxClient>(
-            cluster, site, "c" + std::to_string(id++)));
+        // Built stepwise: GCC 12 mis-fires -Werror=restrict on literal +
+        // to_string rvalue concats once this ctor is inlined into callers.
+        std::string name = "c";
+        name += std::to_string(id++);
+        clients.push_back(
+            std::make_unique<raftkv::TxClient>(cluster, site, name));
       }
     }
   }

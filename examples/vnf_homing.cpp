@@ -18,6 +18,7 @@
 
 #include "core/client.h"
 #include "core/music.h"
+#include "core/session.h"
 #include "datastore/store.h"
 #include "lockstore/lockstore.h"
 #include "sim/network.h"

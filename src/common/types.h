@@ -80,6 +80,14 @@ enum class OpStatus {
 /// Human-readable status name (logs, test diagnostics).
 std::string_view to_string(OpStatus s);
 
+/// The §III retry discipline in one place: Nack and Timeout are transient
+/// (the client retries, usually at another replica); every other status is a
+/// final answer for this lockRef.  NotYetHolder is deliberately NOT
+/// retryable here — acquireLock polls on it, but data ops must surface it.
+constexpr bool is_retryable(OpStatus s) {
+  return s == OpStatus::Nack || s == OpStatus::Timeout;
+}
+
 /// Result of an operation that may carry a T.  ok() implies has_value() for
 /// value-producing operations.
 template <typename T>
@@ -92,6 +100,7 @@ class Result {
 
   bool ok() const { return status_ == OpStatus::Ok; }
   OpStatus status() const { return status_; }
+  bool retryable() const { return is_retryable(status_); }
 
   /// The value; requires ok().
   const T& value() const& { return *value_; }
@@ -113,6 +122,7 @@ class Status {
 
   bool ok() const { return status_ == OpStatus::Ok; }
   OpStatus status() const { return status_; }
+  bool retryable() const { return is_retryable(status_); }
 
  private:
   OpStatus status_;

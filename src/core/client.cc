@@ -69,6 +69,13 @@ sim::Task<Response> execute(MusicReplica& replica, Request req) {
       if (!r.ok()) co_return Response(r.status());
       co_return Response(OpStatus::Ok, 0, Value(), r.value());
     }
+    case Request::Op::Batch: {
+      auto rs =
+          co_await replica.execute_batch(req.key, req.ref, std::move(req.batch));
+      Response resp(batch_status(rs));
+      resp.batch = std::move(rs);
+      co_return resp;
+    }
   }
   co_return Response(OpStatus::Nack);
 }
@@ -109,9 +116,7 @@ sim::Task<Response> MusicClient::with_retries(Request req) {
         *replicas_[static_cast<size_t>(attempt) % replicas_.size()];
     if (rep.down()) continue;
     last = co_await invoke(rep, req);
-    bool retryable =
-        last.status == OpStatus::Nack || last.status == OpStatus::Timeout;
-    if (!retryable) co_return last;
+    if (!is_retryable(last.status)) co_return last;
     co_await sim::sleep_for(sim_, cfg_.retry_backoff);
   }
   co_return last;
@@ -151,11 +156,11 @@ sim::Task<Status> MusicClient::acquire_lock_blocking(Key key, LockRef ref) {
     Response r = co_await invoke(
         rep, Request(Request::Op::AcquireLock, key, ref, Value()));
     last = r.status;
-    if (last == OpStatus::Ok || last == OpStatus::NotLockHolder ||
-        last == OpStatus::CsExpired) {
+    // Poll again on NotYetHolder (not yet first in queue) and on the
+    // transient statuses; everything else is a final answer.
+    if (!is_retryable(last) && last != OpStatus::NotYetHolder) {
       co_return Status(last);
     }
-    // NotYetHolder / Nack / Timeout: poll again after a back-off.
     co_await sim::sleep_for(sim_, cfg_.poll_backoff);
   }
   co_return Status(OpStatus::Timeout);
@@ -185,6 +190,20 @@ sim::Task<Status> MusicClient::critical_delete(Key key, LockRef ref) {
   Response r = co_await with_retries(
       Request(Request::Op::CriticalDelete, std::move(key), ref, Value()));
   co_return Status(r.status);
+}
+
+sim::Task<std::vector<BatchOpResult>> MusicClient::execute_batch(
+    Key key, LockRef ref, std::vector<BatchOp> ops) {
+  sim::OpSpan span(sim_, "client.batch", net_.site_of(node_), node_, key);
+  size_t n = ops.size();
+  Response r = co_await with_retries(
+      Request(Request::Op::Batch, std::move(key), ref, std::move(ops)));
+  if (r.batch.size() != n) {
+    // Wire-level failure (no replica answer): fail every sub-op uniformly
+    // so callers always get a result vector aligned with their ops.
+    r.batch.assign(n, BatchOpResult(r.status));
+  }
+  co_return std::move(r.batch);
 }
 
 sim::Task<Status> MusicClient::release_lock(Key key, LockRef ref) {

@@ -53,19 +53,29 @@ struct Request {
     PutEventual,
     GetEventual,
     GetAllKeys,
+    /// An ordered vector of critical puts/gets/deletes under one lockRef,
+    /// shipped as one request (the pipelined-session wire op).
+    Batch,
   };
 
   Op op = Op::GetEventual;
   Key key;
   LockRef ref = kNoLockRef;
   Value value;
+  std::vector<BatchOp> batch;  // Op::Batch only
 
   Request() = default;
   Request(Op o, Key k, LockRef r, Value v)
       : op(o), key(std::move(k)), ref(r), value(std::move(v)) {}
+  Request(Op o, Key k, LockRef r, std::vector<BatchOp> ops)
+      : op(o), key(std::move(k)), ref(r), batch(std::move(ops)) {}
 
   /// Payload size for network/CPU cost accounting.
-  size_t bytes() const { return key.size() + value.size() + 24; }
+  size_t bytes() const {
+    size_t n = key.size() + value.size() + 24;
+    for (const auto& b : batch) n += b.key.size() + b.value.size() + 8;
+    return n;
+  }
 };
 
 /// The reply.
@@ -74,6 +84,7 @@ struct Response {
   LockRef ref = kNoLockRef;
   Value value;
   std::vector<Key> keys;
+  std::vector<BatchOpResult> batch;  // per-sub-op outcomes (Op::Batch)
 
   Response() = default;
   explicit Response(OpStatus s) : status(s) {}
@@ -83,6 +94,7 @@ struct Response {
   size_t bytes() const {
     size_t n = value.size() + 32;
     for (const auto& k : keys) n += k.size();
+    for (const auto& b : batch) n += b.value.size() + 8;
     return n;
   }
 };
@@ -120,6 +132,16 @@ class MusicClient {
   sim::Task<Status> critical_put(Key key, LockRef ref, Value value);
   sim::Task<Result<Value>> critical_get(Key key, LockRef ref);
   sim::Task<Status> critical_delete(Key key, LockRef ref);
+
+  /// Ships `ops` as one Batch request under `ref`, with the usual retry
+  /// discipline (the whole batch is re-sent on Nack/Timeout; re-stamping
+  /// the same values under the same lockRef is idempotent).  Always returns
+  /// one result per op — on a wire-level failure every entry carries the
+  /// failing status.  Most callers use Session (see core/session.h) rather
+  /// than building op vectors by hand.
+  sim::Task<std::vector<BatchOpResult>> execute_batch(Key key, LockRef ref,
+                                                      std::vector<BatchOp> ops);
+
   sim::Task<Status> release_lock(Key key, LockRef ref);
   /// §VII: evicts a lockRef that was never granted.
   sim::Task<Status> remove_lock_ref(Key key, LockRef ref);
@@ -138,28 +160,9 @@ class MusicClient {
   /// (critical ops under the granted ref), releaseLock.  `body` must be a
   /// named lvalue callable LockRef -> Task<Status> (the F& signature rejects
   /// temporaries, which GCC 12 miscompiles at coroutine boundaries).
+  /// Implemented over CriticalSection (core/session.h), where it is defined.
   template <typename F>
-  sim::Task<Status> with_lock(Key key, F& body) {
-    sim::OpSpan span(sim_, "client.critical_section", net_.site_of(node_),
-                     node_, key);
-    auto ref = co_await create_lock_ref(key);
-    if (!ref.ok()) co_return ref.status();
-    auto acq = co_await acquire_lock_blocking(key, ref.value());
-    if (!acq.ok()) {
-      // Never granted: evict our reference so it does not clog the queue.
-      if (acq.status() == OpStatus::Timeout) {
-        co_await remove_lock_ref(key, ref.value());
-      }
-      co_return acq;
-    }
-    Status body_status = co_await body(ref.value());
-    if (body_status.status() == OpStatus::NotLockHolder) {
-      // Preempted mid-section: the lock is no longer ours to release.
-      co_return body_status;
-    }
-    co_await release_lock(key, ref.value());
-    co_return body_status;
-  }
+  sim::Task<Status> with_lock(Key key, F& body);
 
  private:
   /// Sends `req` to `rep` and awaits the Response, with a timeout.
@@ -177,3 +180,9 @@ class MusicClient {
 };
 
 }  // namespace music::core
+
+// The session/handle layer (core/session.h) completes the client API:
+// CriticalSection, Session, and the with_lock definition.  Call sites that
+// use any of those include it directly — it is kept out of this header so
+// the many translation units that only speak the wire-level client don't
+// pay for (or get perturbed by) the inline session layer.

@@ -235,6 +235,149 @@ sim::Task<Status> MusicReplica::critical_delete(Key key, LockRef ref) {
   co_return co_await critical_put(key, ref, Value(kTombstone));
 }
 
+sim::Task<std::vector<BatchOpResult>> MusicReplica::execute_batch(
+    Key key, LockRef ref, std::vector<BatchOp> ops) {
+  sim::OpSpan span(sim(), "music.batch", site_, node_, key);
+  ++stats_.batches;
+  stats_.batched_ops += ops.size();
+  std::vector<BatchOpResult> results(ops.size());
+  size_t next = 0;
+  OpStatus abort = OpStatus::Ok;
+
+  while (next < ops.size()) {
+    // ---- Collect the next round: consecutive same-class ops (writes =
+    // put/delete, reads = get) on distinct keys.  A repeated key closes the
+    // round so same-key sequences keep program order.
+    bool writes = ops[next].kind != BatchOp::Kind::Get;
+    std::vector<size_t> round;
+    round.push_back(next);
+    for (size_t j = next + 1; j < ops.size(); ++j) {
+      if ((ops[j].kind != BatchOp::Kind::Get) != writes) break;
+      bool dup = false;
+      for (size_t r : round) dup = dup || ops[r].key == ops[j].key;
+      if (dup) break;
+      round.push_back(j);
+    }
+
+    // ---- Re-check holder guard and T bound once per round, exactly as the
+    // unbatched ops do per op.  A failure here aborts this round's ops and
+    // the whole tail (filled below).
+    auto guard = co_await holder_guard(key, ref);
+    if (!guard.ok()) {
+      abort = guard.status();
+      break;
+    }
+    auto origin = co_await origin_for(key, ref);
+    if (!origin) {
+      abort = OpStatus::Nack;
+      break;
+    }
+    sim::Duration el = sim().now() - *origin;
+    if (el >= cfg_.t_max_cs) {
+      ++stats_.rejected_expired;
+      abort = OpStatus::CsExpired;
+      break;
+    }
+
+    OpStatus round_failed = OpStatus::Ok;
+    if (writes && cfg_.put_mode == PutMode::Quorum) {
+      // MUSIC: the whole round as one multi-cell quorum write — one value
+      // quorum WAN round trip regardless of the round's size.
+      std::vector<ds::WriteCell> cells;
+      cells.reserve(round.size());
+      for (size_t r : round) {
+        const BatchOp& op = ops[r];
+        Value v =
+            op.kind == BatchOp::Kind::Delete ? Value(kTombstone) : op.value;
+        cells.emplace_back(data_key(op.key),
+                           ds::Cell(std::move(v), next_ts(op.key, ref, el)));
+      }
+      auto sts =
+          co_await coord().put_cells(std::move(cells), ds::Consistency::Quorum);
+      for (size_t i = 0; i < round.size(); ++i) {
+        results[round[i]] = BatchOpResult(sts[i].status());
+        if (sts[i].ok()) {
+          ++stats_.critical_puts;
+        } else if (round_failed == OpStatus::Ok) {
+          round_failed = sts[i].status();
+        }
+      }
+    } else if (writes) {
+      // MSCP: LWT writes are four-round consensus ops — there is no
+      // coalescing win, so run them sequentially as critical_put would,
+      // with a fresh elapsed/expiry check per op.
+      for (size_t r : round) {
+        if (round_failed != OpStatus::Ok) {
+          results[r] = BatchOpResult(round_failed);
+          continue;
+        }
+        const BatchOp& op = ops[r];
+        sim::Duration e2 = sim().now() - *origin;
+        if (e2 >= cfg_.t_max_cs) {
+          ++stats_.rejected_expired;
+          round_failed = OpStatus::CsExpired;
+          results[r] = BatchOpResult(round_failed);
+          continue;
+        }
+        ScalarTs ts = next_ts(op.key, ref, e2);
+        Value v =
+            op.kind == BatchOp::Kind::Delete ? Value(kTombstone) : op.value;
+        const Value* vp = &v;
+        ds::LwtUpdate update = [vp, ts](const std::optional<ds::Cell>&) {
+          return ds::LwtDecision(true, *vp, ts);
+        };
+        auto w = co_await coord().lwt(data_key(op.key), update);
+        results[r] = BatchOpResult(w.status());
+        if (w.ok()) {
+          ++stats_.critical_puts;
+        } else {
+          round_failed = w.status();
+        }
+      }
+    } else {
+      // Read round: one multi-cell quorum read.
+      std::vector<Key> dkeys;
+      dkeys.reserve(round.size());
+      for (size_t r : round) dkeys.push_back(data_key(ops[r].key));
+      auto rs =
+          co_await coord().get_cells(std::move(dkeys), ds::Consistency::Quorum);
+      for (size_t i = 0; i < round.size(); ++i) {
+        auto& rr = rs[i];
+        if (rr.ok() && is_tombstone(rr.value().value)) {
+          results[round[i]] = BatchOpResult(OpStatus::NotFound);
+        } else if (rr.ok()) {
+          ++stats_.critical_gets;
+          results[round[i]] =
+              BatchOpResult(OpStatus::Ok, std::move(rs[i]).value().value);
+        } else {
+          results[round[i]] = BatchOpResult(rr.status());
+          // NotFound is a normal answer, not a batch failure.
+          if (rr.status() != OpStatus::NotFound &&
+              round_failed == OpStatus::Ok) {
+            round_failed = rr.status();
+          }
+        }
+      }
+    }
+
+    next = round.back() + 1;
+    if (round_failed != OpStatus::Ok) {
+      abort = round_failed;
+      break;
+    }
+    note_activity(key);
+  }
+
+  // Fail everything not yet executed with the aborting status, so a
+  // mid-batch preemption yields a deterministic Ok-prefix / failed-tail.
+  if (abort != OpStatus::Ok) {
+    for (size_t i = next; i < ops.size(); ++i) {
+      results[i] = BatchOpResult(abort);
+    }
+  }
+  co_return results;
+}
+
 sim::Task<Status> MusicReplica::release_lock(Key key, LockRef ref) {
   sim::OpSpan span(sim(), "music.release_lock", site_, node_, key);
   auto peek = co_await locks_.backend_peek(site_, key);

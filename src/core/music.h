@@ -66,6 +66,43 @@ struct MusicConfig {
   sim::Duration fd_interval = sim::sec(2);
 };
 
+/// One operation of a Batch request: a critical put/get/delete to run under
+/// the batch's lockRef.  (User ctors: see ds::Cell note.)
+struct BatchOp {
+  enum class Kind { Put, Get, Delete };
+
+  Kind kind = Kind::Get;
+  Key key;
+  Value value;  // Put payload; ignored for Get/Delete
+
+  BatchOp() = default;
+  BatchOp(Kind k, Key key_, Value v)
+      : kind(k), key(std::move(key_)), value(std::move(v)) {}
+};
+
+/// Per-sub-op outcome of a Batch, aligned with the request's op vector.
+/// (User ctors: see ds::Cell note.)
+struct BatchOpResult {
+  OpStatus status = OpStatus::Timeout;
+  Value value;  // Get payload when status == Ok
+
+  BatchOpResult() = default;
+  explicit BatchOpResult(OpStatus s) : status(s) {}
+  BatchOpResult(OpStatus s, Value v) : status(s), value(std::move(v)) {}
+};
+
+/// Rolls per-sub-op statuses up to one batch-level status: the first status
+/// that is neither Ok nor NotFound (a Get on an absent key is a normal
+/// answer, not a batch failure), else Ok.
+inline OpStatus batch_status(const std::vector<BatchOpResult>& results) {
+  for (const auto& r : results) {
+    if (r.status != OpStatus::Ok && r.status != OpStatus::NotFound) {
+      return r.status;
+    }
+  }
+  return OpStatus::Ok;
+}
+
 /// Diagnostic counters exposed by a replica (tests and benches read these).
 struct MusicStats {
   uint64_t create_lock_ref = 0;
@@ -78,6 +115,8 @@ struct MusicStats {
   uint64_t forced_releases = 0;
   uint64_t rejected_not_holder = 0;
   uint64_t rejected_expired = 0;
+  uint64_t batches = 0;       // execute_batch invocations
+  uint64_t batched_ops = 0;   // sub-ops carried by those batches
 };
 
 /// A MUSIC replica.  All operations are coroutines over the simulated
@@ -128,6 +167,20 @@ class MusicReplica {
   /// criticalDelete: removes the key for the current lockholder (footnote 3
   /// of the paper).  Implemented as a tombstone quorum write.
   sim::Task<Status> critical_delete(Key key, LockRef ref);
+
+  /// Batched critical section body: executes `ops` in order under `ref`,
+  /// coalescing runs of independent ops into single quorum rounds.
+  /// Consecutive same-class ops (writes = put/delete, reads = get) on
+  /// distinct keys form one round, executed via the store's multi-cell
+  /// put_cells/get_cells so the whole round costs one value-quorum WAN
+  /// round trip (MUSIC mode; MSCP's LWT writes stay sequential — there is
+  /// no batching win to be had from four-round consensus writes).  The
+  /// holder guard and T-bound are re-checked per round; a guard failure or
+  /// a failed round aborts every later sub-op with that status, so a
+  /// forcedRelease landing mid-batch deterministically fails the tail with
+  /// NotLockHolder.  Returns one result per op, aligned with `ops`.
+  sim::Task<std::vector<BatchOpResult>> execute_batch(Key key, LockRef ref,
+                                                      std::vector<BatchOp> ops);
 
   /// releaseLock: removes `ref` from the queue.  Cost: one consensus write.
   sim::Task<Status> release_lock(Key key, LockRef ref);

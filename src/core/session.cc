@@ -1,0 +1,97 @@
+#include "core/session.h"
+
+#include <utility>
+
+namespace music::core {
+
+namespace {
+
+/// Fire-and-forget release for handles dropped while holding the lock
+/// (sim::spawn only takes Task<void>).  Takes the client by pointer and the
+/// identifiers by value: the CriticalSection is gone by the time this runs.
+sim::Task<void> release_detached(MusicClient* client, Key key, LockRef ref) {
+  co_await client->release_lock(std::move(key), ref);
+}
+
+}  // namespace
+
+// ---- Session ---------------------------------------------------------------
+
+sim::Task<Status> Session::flush() {
+  if (flushed_ || ops_.empty()) {
+    flushed_ = true;
+    co_return Status::Ok();
+  }
+  flushed_ = true;
+  // Ship a copy: ops_ stays aligned with results_ for post-flush reads.
+  std::vector<BatchOp> shipped = ops_;
+  results_ = co_await client_.execute_batch(key_, ref_, std::move(shipped));
+  co_return Status(batch_status(results_));
+}
+
+// ---- CriticalSection -------------------------------------------------------
+
+CriticalSection::~CriticalSection() {
+  if (held_ && client_ != nullptr) {
+    sim::spawn(client_->simulation(),
+               release_detached(client_, key_, ref_));
+  }
+}
+
+sim::Task<Status> CriticalSection::enter() {
+  auto ref = co_await client_->create_lock_ref(key_);
+  if (!ref.ok()) co_return ref.status();
+  ref_ = ref.value();
+  auto acq = co_await client_->acquire_lock_blocking(key_, ref_);
+  if (!acq.ok()) {
+    // Never granted: evict our reference so it does not clog the queue —
+    // unless the lock store already preempted it (then it is gone).
+    if (acq.status() != OpStatus::NotLockHolder) {
+      co_await client_->remove_lock_ref(key_, ref_);
+    }
+    ref_ = kNoLockRef;
+    co_return acq;
+  }
+  held_ = true;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> CriticalSection::exit() {
+  if (!held_) co_return Status::Ok();
+  LockRef ref = ref_;
+  abandon();
+  co_return co_await client_->release_lock(key_, ref);
+}
+
+sim::Task<Status> CriticalSection::put(Key key, Value value) {
+  auto st = co_await client_->critical_put(std::move(key), ref_,
+                                           std::move(value));
+  note(st.status());
+  co_return st;
+}
+
+sim::Task<Status> CriticalSection::put(Value value) {
+  co_return co_await put(key_, std::move(value));
+}
+
+sim::Task<Result<Value>> CriticalSection::get(Key key) {
+  auto r = co_await client_->critical_get(std::move(key), ref_);
+  note(r.status());
+  co_return r;
+}
+
+sim::Task<Result<Value>> CriticalSection::get() {
+  co_return co_await get(key_);
+}
+
+sim::Task<Status> CriticalSection::del(Key key) {
+  auto st = co_await client_->critical_delete(std::move(key), ref_);
+  note(st.status());
+  co_return st;
+}
+
+sim::Task<Status> CriticalSection::del() {
+  co_return co_await del(key_);
+}
+
+}  // namespace music::core

@@ -121,6 +121,12 @@ sim::Task<Result<Cell>> StoreReplica::read_internal(
     const Key& key, int need, const std::vector<sim::NodeId>& targets) {
   // One read round = one WAN round trip (the §X-B4 unit of cost).
   sim::trace_rtts(sim(), 1);
+  co_return co_await resolve_read(key, need, issue_reads(key, targets));
+}
+
+auto StoreReplica::issue_reads(const Key& key,
+                               const std::vector<sim::NodeId>& targets)
+    -> std::vector<sim::Future<ReadRep>> {
   std::vector<sim::Future<ReadRep>> reps;
   reps.reserve(targets.size());
   for (sim::NodeId t : targets) {
@@ -129,6 +135,11 @@ sim::Task<Result<Cell>> StoreReplica::read_internal(
         [key](StoreReplica& r) { return ReadRep{r.local_read(key), r.node()}; },
         /*reply_bytes=*/64, sim::MsgKind::StoreRead));
   }
+  return reps;
+}
+
+sim::Task<Result<Cell>> StoreReplica::resolve_read(
+    Key key, int need, std::vector<sim::Future<ReadRep>> reps) {
   auto got = co_await sim::await_count<ReadRep>(
       sim(), reps, static_cast<size_t>(need), cfg().op_timeout);
   if (got.size() < static_cast<size_t>(need)) {
@@ -182,6 +193,70 @@ sim::Task<Result<Cell>> StoreReplica::get(Key key, Consistency level) {
     }
   }
   co_return co_await read_internal(key, need, targets);
+}
+
+sim::Task<std::vector<Status>> StoreReplica::put_cells(
+    std::vector<WriteCell> writes, Consistency level) {
+  sim::OpSpan span(sim(), "store.put_cells", site_, node_,
+                   writes.empty() ? std::string_view{}
+                                  : std::string_view{writes.front().key});
+  int need = need_for(level, cfg().replication_factor);
+  // One shared write round: every key's fan-out is issued before any quorum
+  // wait, so the replies overlap and N independent keys cost one WAN round
+  // trip, not N.
+  if (level != Consistency::One && !writes.empty()) sim::trace_rtts(sim(), 1);
+  std::vector<std::vector<sim::Future<bool>>> acks(writes.size());
+  for (size_t i = 0; i < writes.size(); ++i) {
+    const Key& key = writes[i].key;
+    const Cell& cell = writes[i].cell;
+    size_t bytes = cell.value.size() + key.size();
+    for (sim::NodeId t : cluster_.placement(key)) {
+      if (cfg().hinted_handoff && !cluster_.network().deliverable(node_, t)) {
+        leave_hint(t, key, cell);
+        continue;
+      }
+      acks[i].push_back(call<bool>(
+          t, bytes,
+          [key, cell](StoreReplica& r) {
+            r.apply_write(key, cell);
+            return true;
+          },
+          /*reply_bytes=*/16, sim::MsgKind::StoreWrite));
+    }
+  }
+  std::vector<Status> out;
+  out.reserve(writes.size());
+  for (size_t i = 0; i < writes.size(); ++i) {
+    auto got = co_await sim::await_count<bool>(sim(), std::move(acks[i]),
+                                               static_cast<size_t>(need),
+                                               cfg().op_timeout);
+    out.push_back(got.size() < static_cast<size_t>(need)
+                      ? Status::Err(OpStatus::Timeout)
+                      : Status::Ok());
+  }
+  co_return out;
+}
+
+sim::Task<std::vector<Result<Cell>>> StoreReplica::get_cells(
+    std::vector<Key> keys, Consistency level) {
+  sim::OpSpan span(sim(), "store.get_cells", site_, node_,
+                   keys.empty() ? std::string_view{}
+                                : std::string_view{keys.front()});
+  int need = need_for(level, cfg().replication_factor);
+  // One shared read round (see put_cells): issue every key's fan-out before
+  // resolving any quorum.
+  if (!keys.empty()) sim::trace_rtts(sim(), 1);
+  std::vector<std::vector<sim::Future<ReadRep>>> reps;
+  reps.reserve(keys.size());
+  for (const Key& key : keys) {
+    reps.push_back(issue_reads(key, cluster_.placement(key)));
+  }
+  std::vector<Result<Cell>> out;
+  out.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    out.push_back(co_await resolve_read(keys[i], need, std::move(reps[i])));
+  }
+  co_return out;
 }
 
 sim::Task<Result<std::vector<Key>>> StoreReplica::scan_local_keys(Key prefix) {

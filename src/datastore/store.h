@@ -86,6 +86,15 @@ struct LwtDecision {
 /// cell.  Runs on the coordinator between the LWT's read and propose phases.
 using LwtUpdate = std::function<LwtDecision(const std::optional<Cell>&)>;
 
+/// One entry of a multi-cell write.  (User ctors: see Cell note.)
+struct WriteCell {
+  Key key;
+  Cell cell;
+
+  WriteCell() = default;
+  WriteCell(Key k, Cell c) : key(std::move(k)), cell(std::move(c)) {}
+};
+
 /// Tunables for the store.
 struct StoreConfig {
   /// Replicas per key.  The paper keeps one copy per site.
@@ -155,6 +164,20 @@ class StoreReplica {
   /// the key exists nowhere (among respondents); Timeout if too few answer.
   sim::Task<Result<Cell>> get(Key key, Consistency level);
 
+  /// Batched write: fans every cell out to its replicas at once, then waits
+  /// for each key's consistency level.  The fan-out for all keys shares one
+  /// network round, so N independent keys cost one WAN round trip rather
+  /// than N (the win MUSIC batching is after); only the per-key quorum
+  /// waits overlap.  Returns one Status per entry, aligned with `writes`.
+  sim::Task<std::vector<Status>> put_cells(std::vector<WriteCell> writes,
+                                           Consistency level);
+
+  /// Batched read: issues every key's replica reads at once, then resolves
+  /// each key's quorum (same single-round property as put_cells).  Returns
+  /// one Result per entry, aligned with `keys`.
+  sim::Task<std::vector<Result<Cell>>> get_cells(std::vector<Key> keys,
+                                                 Consistency level);
+
   /// Light-weight transaction (4 round trips).  Runs `update` against the
   /// committed value; commits its decision under Paxos.  Retries internally
   /// on ballot contention up to lwt_max_attempts.
@@ -202,6 +225,18 @@ class StoreReplica {
   /// Internal quorum/CL read used by both get() and the LWT read phase.
   sim::Task<Result<Cell>> read_internal(const Key& key, int need,
                                         const std::vector<sim::NodeId>& targets);
+
+  /// Fans a read for `key` out to `targets`; returns the reply futures
+  /// without awaiting.  Batched reads issue all keys' fan-outs first so
+  /// their network rounds overlap.
+  std::vector<sim::Future<ReadRep>> issue_reads(
+      const Key& key, const std::vector<sim::NodeId>& targets);
+
+  /// Awaits `need` of the issued replies and picks the winner (read-repair
+  /// as in read_internal).  The key is taken by value: the caller's frame
+  /// may hold it in a container that mutates while this task is suspended.
+  sim::Task<Result<Cell>> resolve_read(Key key, int need,
+                                       std::vector<sim::Future<ReadRep>> reps);
 
   void leave_hint(sim::NodeId target, const Key& key, const Cell& cell);
   void replay_hints();

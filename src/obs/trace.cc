@@ -34,8 +34,14 @@ void Tracer::end(SpanId id, int64_t now_us) {
     std::string key = "span.";
     key += s->name;
     registry_->histogram(key).record(s->duration_us());
+    size_t base = key.size();
     key += ".count";
     registry_->counter(key).add(1);
+    // Rolled-up WAN round trips per op name: lets tests/benches assert the
+    // §X-B4 cost table (and the batching win) straight off the registry.
+    key.resize(base);
+    key += ".rtts";
+    registry_->counter(key).add(s->rtts);
   }
 }
 

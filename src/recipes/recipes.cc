@@ -55,58 +55,44 @@ std::string unescape(const std::string& s) {
 // ---- AtomicCounter ----------------------------------------------------------
 
 sim::Task<Result<int64_t>> AtomicCounter::add(int64_t delta) {
-  auto ref = co_await client_.create_lock_ref(key_);
-  if (!ref.ok()) co_return Result<int64_t>::Err(ref.status());
-  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
-  if (!acq.ok()) {
-    co_await client_.remove_lock_ref(key_, ref.value());
-    co_return Result<int64_t>::Err(acq.status());
-  }
-  auto cur = co_await client_.critical_get(key_, ref.value());
+  core::CriticalSection cs(client_, key_);
+  auto acq = co_await cs.enter();
+  if (!acq.ok()) co_return Result<int64_t>::Err(acq.status());
+  auto cur = co_await cs.get();
   int64_t value = cur.ok() ? parse_i64(cur.value().data) : 0;
   value += delta;
-  auto st = co_await client_.critical_put(key_, ref.value(),
-                                          Value(std::to_string(value)));
-  co_await client_.release_lock(key_, ref.value());
+  auto st = co_await cs.put(Value(std::to_string(value)));
+  co_await cs.exit();
   if (!st.ok()) co_return Result<int64_t>::Err(st.status());
   co_return Result<int64_t>::Ok(value);
 }
 
 sim::Task<Result<std::pair<bool, int64_t>>> AtomicCounter::compare_and_set(
     int64_t expect, int64_t desired) {
-  auto ref = co_await client_.create_lock_ref(key_);
-  if (!ref.ok()) {
-    co_return Result<std::pair<bool, int64_t>>::Err(ref.status());
-  }
-  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
+  core::CriticalSection cs(client_, key_);
+  auto acq = co_await cs.enter();
   if (!acq.ok()) {
-    co_await client_.remove_lock_ref(key_, ref.value());
     co_return Result<std::pair<bool, int64_t>>::Err(acq.status());
   }
-  auto cur = co_await client_.critical_get(key_, ref.value());
+  auto cur = co_await cs.get();
   int64_t value = cur.ok() ? parse_i64(cur.value().data) : 0;
   bool applied = value == expect;
   Status st = Status::Ok();
   if (applied) {
-    st = co_await client_.critical_put(key_, ref.value(),
-                                       Value(std::to_string(desired)));
+    st = co_await cs.put(Value(std::to_string(desired)));
   }
-  co_await client_.release_lock(key_, ref.value());
+  co_await cs.exit();
   if (!st.ok()) co_return Result<std::pair<bool, int64_t>>::Err(st.status());
   co_return Result<std::pair<bool, int64_t>>::Ok({applied, value});
 }
 
 sim::Task<Result<int64_t>> AtomicCounter::get() {
-  auto ref = co_await client_.create_lock_ref(key_);
-  if (!ref.ok()) co_return Result<int64_t>::Err(ref.status());
-  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
-  if (!acq.ok()) {
-    co_await client_.remove_lock_ref(key_, ref.value());
-    co_return Result<int64_t>::Err(acq.status());
-  }
-  auto cur = co_await client_.critical_get(key_, ref.value());
+  core::CriticalSection cs(client_, key_);
+  auto acq = co_await cs.enter();
+  if (!acq.ok()) co_return Result<int64_t>::Err(acq.status());
+  auto cur = co_await cs.get();
   int64_t value = cur.ok() ? parse_i64(cur.value().data) : 0;
-  co_await client_.release_lock(key_, ref.value());
+  co_await cs.exit();
   co_return Result<int64_t>::Ok(value);
 }
 
@@ -150,17 +136,13 @@ sim::Task<Status> AtomicMap::put_field(const std::string& field,
 
 sim::Task<Result<std::optional<std::string>>> AtomicMap::get_field(
     const std::string& field) {
-  auto ref = co_await client_.create_lock_ref(key_);
-  if (!ref.ok()) {
-    co_return Result<std::optional<std::string>>::Err(ref.status());
-  }
-  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
+  core::CriticalSection cs(client_, key_);
+  auto acq = co_await cs.enter();
   if (!acq.ok()) {
-    co_await client_.remove_lock_ref(key_, ref.value());
     co_return Result<std::optional<std::string>>::Err(acq.status());
   }
-  auto cur = co_await client_.critical_get(key_, ref.value());
-  co_await client_.release_lock(key_, ref.value());
+  auto cur = co_await cs.get();
+  co_await cs.exit();
   std::optional<std::string> found;
   for (const auto& [k, val] : decode(cur.ok() ? cur.value().data : "")) {
     if (k == field) found = val;
@@ -169,86 +151,64 @@ sim::Task<Result<std::optional<std::string>>> AtomicMap::get_field(
 }
 
 sim::Task<Status> AtomicMap::erase_field(const std::string& field) {
-  auto ref = co_await client_.create_lock_ref(key_);
-  if (!ref.ok()) co_return ref.status();
-  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
-  if (!acq.ok()) {
-    co_await client_.remove_lock_ref(key_, ref.value());
-    co_return acq;
-  }
-  auto cur = co_await client_.critical_get(key_, ref.value());
+  core::CriticalSection cs(client_, key_);
+  auto acq = co_await cs.enter();
+  if (!acq.ok()) co_return acq;
+  auto cur = co_await cs.get();
   auto kvs = decode(cur.ok() ? cur.value().data : "");
   std::erase_if(kvs, [&field](const auto& kv) { return kv.first == field; });
-  auto st = co_await client_.critical_put(key_, ref.value(), Value(encode(kvs)));
-  co_await client_.release_lock(key_, ref.value());
+  auto st = co_await cs.put(Value(encode(kvs)));
+  co_await cs.exit();
   co_return st;
 }
 
 sim::Task<Result<size_t>> AtomicMap::size() {
-  auto ref = co_await client_.create_lock_ref(key_);
-  if (!ref.ok()) co_return Result<size_t>::Err(ref.status());
-  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
-  if (!acq.ok()) {
-    co_await client_.remove_lock_ref(key_, ref.value());
-    co_return Result<size_t>::Err(acq.status());
-  }
-  auto cur = co_await client_.critical_get(key_, ref.value());
-  co_await client_.release_lock(key_, ref.value());
+  core::CriticalSection cs(client_, key_);
+  auto acq = co_await cs.enter();
+  if (!acq.ok()) co_return Result<size_t>::Err(acq.status());
+  auto cur = co_await cs.get();
+  co_await cs.exit();
   co_return Result<size_t>::Ok(decode(cur.ok() ? cur.value().data : "").size());
 }
 
 // ---- DistributedQueue -------------------------------------------------------
 
 sim::Task<Status> DistributedQueue::push(const std::string& item) {
-  auto ref = co_await client_.create_lock_ref(key_);
-  if (!ref.ok()) co_return ref.status();
-  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
-  if (!acq.ok()) {
-    co_await client_.remove_lock_ref(key_, ref.value());
-    co_return acq;
-  }
-  auto cur = co_await client_.critical_get(key_, ref.value());
+  core::CriticalSection cs(client_, key_);
+  auto acq = co_await cs.enter();
+  if (!acq.ok()) co_return acq;
+  auto cur = co_await cs.get();
   auto items = AtomicMap::decode(cur.ok() ? cur.value().data : "");
   items.emplace_back("i", item);  // FIFO: append
-  auto st = co_await client_.critical_put(key_, ref.value(),
-                                          Value(AtomicMap::encode(items)));
-  co_await client_.release_lock(key_, ref.value());
+  auto st = co_await cs.put(Value(AtomicMap::encode(items)));
+  co_await cs.exit();
   co_return st;
 }
 
 sim::Task<Result<std::string>> DistributedQueue::pop() {
-  auto ref = co_await client_.create_lock_ref(key_);
-  if (!ref.ok()) co_return Result<std::string>::Err(ref.status());
-  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
-  if (!acq.ok()) {
-    co_await client_.remove_lock_ref(key_, ref.value());
-    co_return Result<std::string>::Err(acq.status());
-  }
-  auto cur = co_await client_.critical_get(key_, ref.value());
+  core::CriticalSection cs(client_, key_);
+  auto acq = co_await cs.enter();
+  if (!acq.ok()) co_return Result<std::string>::Err(acq.status());
+  auto cur = co_await cs.get();
   auto items = AtomicMap::decode(cur.ok() ? cur.value().data : "");
   if (items.empty()) {
-    co_await client_.release_lock(key_, ref.value());
+    co_await cs.exit();
     co_return Result<std::string>::Err(OpStatus::NotFound);
   }
   std::string head = items.front().second;
   items.erase(items.begin());
-  auto st = co_await client_.critical_put(key_, ref.value(),
-                                          Value(AtomicMap::encode(items)));
-  co_await client_.release_lock(key_, ref.value());
+  auto st = co_await cs.put(Value(AtomicMap::encode(items)));
+  co_await cs.exit();
   if (!st.ok()) co_return Result<std::string>::Err(st.status());
   co_return Result<std::string>::Ok(std::move(head));
 }
 
 sim::Task<Result<size_t>> DistributedQueue::size() {
-  auto ref = co_await client_.create_lock_ref(key_);
-  if (!ref.ok()) co_return Result<size_t>::Err(ref.status());
-  auto acq = co_await client_.acquire_lock_blocking(key_, ref.value());
-  if (!acq.ok()) {
-    co_await client_.remove_lock_ref(key_, ref.value());
-    co_return Result<size_t>::Err(acq.status());
-  }
-  auto cur = co_await client_.critical_get(key_, ref.value());
-  co_await client_.release_lock(key_, ref.value());
+  core::CriticalSection cs(client_, key_);
+  auto acq = co_await cs.enter();
+  if (!acq.ok()) co_return Result<size_t>::Err(acq.status());
+  auto cur = co_await cs.get();
+  co_await cs.exit();
   co_return Result<size_t>::Ok(
       AtomicMap::decode(cur.ok() ? cur.value().data : "").size());
 }

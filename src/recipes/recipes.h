@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/client.h"
+#include "core/session.h"
 
 namespace music::recipes {
 
@@ -118,16 +119,10 @@ class LeaderElection {
 
 template <typename F>
 sim::Task<Status> AtomicMap::update_field(const std::string& field, F& f) {
-  Key key = key_;
-  core::MusicClient& client = client_;
-  auto ref = co_await client.create_lock_ref(key);
-  if (!ref.ok()) co_return ref.status();
-  auto acq = co_await client.acquire_lock_blocking(key, ref.value());
-  if (!acq.ok()) {
-    co_await client.remove_lock_ref(key, ref.value());
-    co_return acq;
-  }
-  auto cur = co_await client.critical_get(key, ref.value());
+  core::CriticalSection cs(client_, key_);
+  auto acq = co_await cs.enter();
+  if (!acq.ok()) co_return acq;
+  auto cur = co_await cs.get();
   auto kvs = decode(cur.ok() ? cur.value().data : "");
   std::optional<std::string> old;
   for (auto& [k, v] : kvs) {
@@ -142,8 +137,8 @@ sim::Task<Status> AtomicMap::update_field(const std::string& field, F& f) {
     }
   }
   if (!replaced) kvs.emplace_back(field, next);
-  auto st = co_await client.critical_put(key, ref.value(), Value(encode(kvs)));
-  co_await client.release_lock(key, ref.value());
+  auto st = co_await cs.put(Value(encode(kvs)));
+  co_await cs.exit();
   co_return st;
 }
 

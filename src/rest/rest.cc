@@ -80,6 +80,52 @@ sim::Task<Json> RestGateway::handle_json(Json request) {
     if (r.ok()) reply.set("value", r.value().data);
     co_return reply;
   }
+  if (op == "batch") {
+    if (ref == kNoLockRef) co_return error_reply("missing lockRef");
+    const Json& ops_json = request["ops"];
+    if (!ops_json.is_array()) co_return error_reply("missing ops array");
+    // Validate every entry before executing anything: a malformed batch is
+    // rejected whole, without touching the store.
+    std::vector<core::BatchOp> ops;
+    std::vector<bool> is_get;
+    ops.reserve(ops_json.as_array().size());
+    for (const Json& e : ops_json.as_array()) {
+      if (!e.is_object()) co_return error_reply("ops entries must be objects");
+      const std::string& sub = e["op"].as_string();
+      // Sub-op "key" is optional; it defaults to the batch's lock key.
+      Key sub_key = e["key"].is_string() && !e["key"].as_string().empty()
+                        ? e["key"].as_string()
+                        : key;
+      if (sub == "put") {
+        if (!e["value"].is_string()) {
+          co_return error_reply("batch put missing value");
+        }
+        ops.emplace_back(core::BatchOp::Kind::Put, std::move(sub_key),
+                         Value(e["value"].as_string()));
+      } else if (sub == "get") {
+        ops.emplace_back(core::BatchOp::Kind::Get, std::move(sub_key), Value());
+      } else if (sub == "delete") {
+        ops.emplace_back(core::BatchOp::Kind::Delete, std::move(sub_key),
+                         Value());
+      } else {
+        co_return error_reply("unknown batch op '" + sub + "'");
+      }
+      is_get.push_back(sub == "get");
+    }
+    auto rs = co_await client_.execute_batch(key, ref, std::move(ops));
+    Json reply = status_reply(core::batch_status(rs));
+    Json results;
+    for (size_t i = 0; i < rs.size(); ++i) {
+      Json entry;
+      entry.set("status", std::string(to_string(rs[i].status)));
+      if (is_get[i] && rs[i].status == OpStatus::Ok) {
+        entry.set("value", rs[i].value.data);
+      }
+      results.push(std::move(entry));
+    }
+    reply.set("results", std::move(results));
+    co_return reply;
+  }
   if (op == "getAllKeys") {
     auto r = co_await client_.get_all_keys(key);
     Json reply = status_reply(r.status());

@@ -7,10 +7,20 @@
 //
 //   { "op":  "createLockRef" | "acquireLock" | "criticalPut" |
 //            "criticalGet"   | "criticalDelete" | "releaseLock" |
-//            "forcedRelease" | "put" | "get" | "getAllKeys",
+//            "forcedRelease" | "put" | "get" | "getAllKeys" | "batch",
 //     "key": "...", "lockRef": 7, "value": "..." }
 //
 // Reply: { "status": "Ok"|..., "lockRef": n?, "value": "..."?, "keys": []? }
+//
+// "batch" ships an ordered vector of critical ops under one lockRef (one
+// wire request, coalesced quorum rounds server-side):
+//
+//   { "op": "batch", "key": "lockKey", "lockRef": 7,
+//     "ops": [ { "op": "put", "key": "a", "value": "1" },
+//              { "op": "get" },             // key defaults to the lock key
+//              { "op": "delete", "key": "b" } ] }
+//
+// Reply: { "status": <roll-up>, "results": [ { "status": ..., "value"? }, … ] }
 //
 // Malformed bodies get {"status":"BadRequest","error":...} without touching
 // the store.

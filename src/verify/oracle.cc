@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/session.h"
 #include "obs/trace.h"
 
 namespace music::verify {
@@ -219,6 +220,32 @@ std::string EcfChecker::report() const {
     os << "[" << v.invariant << "] key=" << v.key << ": " << v.detail << "\n";
   }
   return os.str();
+}
+
+sim::Task<Status> CheckedClient::flush(core::Session& session) {
+  if (session.pending() == 0) co_return co_await session.flush();
+  for (const auto& op : session.ops()) {
+    if (op.kind == core::BatchOp::Kind::Put) {
+      checker_.on_put_attempt(op.key, session.ref(), op.value);
+    }
+  }
+  auto st = co_await session.flush();
+  const auto& ops = session.ops();
+  const auto& rs = session.results();
+  for (size_t i = 0; i < ops.size() && i < rs.size(); ++i) {
+    if (ops[i].kind == core::BatchOp::Kind::Put) {
+      if (rs[i].status == OpStatus::Ok) {
+        checker_.on_put_acked(ops[i].key, session.ref(), ops[i].value);
+      }
+    } else if (ops[i].kind == core::BatchOp::Kind::Get) {
+      if (rs[i].status == OpStatus::Ok) {
+        checker_.on_get_ok(ops[i].key, session.ref(), rs[i].value);
+      } else if (rs[i].status == OpStatus::NotFound) {
+        checker_.on_get_not_found(ops[i].key, session.ref());
+      }
+    }
+  }
+  co_return st;
 }
 
 DefinedResult data_store_defined(ds::StoreCluster& cluster,

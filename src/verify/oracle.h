@@ -29,6 +29,10 @@
 #include "core/client.h"
 #include "core/music.h"
 
+namespace music::core {
+class Session;  // core/session.h — only CheckedClient::flush's definition needs it
+}
+
 namespace music::verify {
 
 /// A violation found by the checker.
@@ -179,6 +183,16 @@ class CheckedClient {
     }
     co_return r;
   }
+
+  /// Flushes a batch Session with oracle instrumentation.  Every queued put
+  /// is reported as attempted BEFORE the batch ships (once on the wire it
+  /// is "pending" in the Alloy sense, whether or not the replica aborts the
+  /// tail), then acks/reads are reported from the per-op results.  Deletes
+  /// are unmodeled by the oracle (as with the unbatched client, which has
+  /// no checked critical_delete), and the per-key history assumes sub-ops
+  /// target the session's lock key — oracle-checked histories batch
+  /// puts/gets on the key whose lock they hold.
+  sim::Task<Status> flush(core::Session& session);
 
   sim::Task<Status> release_lock(Key key, LockRef ref) {
     // Report on entry: the holder leaves its critical section the moment it

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/session.h"
+
 namespace music::wl {
 
 // ---- MusicCsWorkload --------------------------------------------------------
@@ -32,6 +34,33 @@ sim::Task<bool> MusicCsWorkload::run_once(int cid) {
   }
   co_await c.release_lock(key, ref.value());
   co_return ok;
+}
+
+// ---- MusicBatchCsWorkload ---------------------------------------------------
+
+MusicBatchCsWorkload::MusicBatchCsWorkload(
+    std::vector<core::MusicClient*> clients, std::string key_prefix, int batch,
+    size_t value_size)
+    : clients_(std::move(clients)),
+      prefix_(std::move(key_prefix)),
+      batch_(batch),
+      value_size_(value_size) {}
+
+sim::Task<bool> MusicBatchCsWorkload::run_once(int cid) {
+  core::MusicClient& c = *clients_[static_cast<size_t>(cid) % clients_.size()];
+  Key key = prefix_ + std::to_string(cid);
+  core::CriticalSection cs(c, key);
+  auto acq = co_await cs.enter();
+  if (!acq.ok()) co_return false;
+  core::Session s = cs.session();
+  for (int b = 0; b < batch_; ++b) {
+    // Distinct sub-keys: independent writes coalesce into one round.
+    s.put(key + "/" + std::to_string(b),
+          Value(std::string("w") + std::to_string(b), value_size_));
+  }
+  auto st = co_await s.flush();
+  co_await cs.exit();
+  co_return st.ok();
 }
 
 // ---- CassaEvWorkload --------------------------------------------------------

@@ -34,6 +34,26 @@ class MusicCsWorkload : public Workload {
   size_t value_size_;
 };
 
+/// The same microbenchmark critical section through the pipelined Session
+/// API: the `batch` criticalPuts are enqueued and flushed as ONE Batch
+/// request (distinct sub-keys "<key>/<i>", so the replica coalesces the
+/// whole batch into a single value-quorum round).  Contrast with
+/// MusicCsWorkload, which pays one round trip per put — the delta is the
+/// batching win bench_micro_batch measures.
+class MusicBatchCsWorkload : public Workload {
+ public:
+  MusicBatchCsWorkload(std::vector<core::MusicClient*> clients,
+                       std::string key_prefix, int batch, size_t value_size);
+
+  sim::Task<bool> run_once(int cid) override;
+
+ private:
+  std::vector<core::MusicClient*> clients_;
+  std::string prefix_;
+  int batch_;
+  size_t value_size_;
+};
+
 /// CassaEV (§VIII-b): a plain Cassandra eventual write at the local
 /// coordinator — the performance upper bound.
 class CassaEvWorkload : public Workload {

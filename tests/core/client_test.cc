@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "core/client.h"
+
+#include "core/session.h"
 #include "util/world.h"
 
 namespace music::core {

@@ -2,6 +2,8 @@
 // acquisition, all-or-nothing, deadlock freedom under inverse orders.
 #include "core/multikey.h"
 
+#include "core/session.h"
+
 #include <gtest/gtest.h>
 
 #include "util/world.h"

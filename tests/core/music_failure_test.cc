@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/client.h"
+#include "core/session.h"
 #include "util/world.h"
 #include "verify/oracle.h"
 

@@ -112,8 +112,12 @@ TEST(StoreEdge, HintsAccumulateAndDrainInOrderOfReachability) {
   w.store.replica(2).set_down(true);
   bool ok = w.runner.run([&]() -> sim::Task<void> {
     for (int i = 0; i < 10; ++i) {
-      co_await w.store.replica(0).put("k" + std::to_string(i),
-                                      Cell(Value("v"), 1), Consistency::Quorum);
+      // Built stepwise: GCC 12 mis-fires -Werror=restrict on literal +
+      // to_string rvalue concats inside coroutine frames.
+      std::string k = "k";
+      k += std::to_string(i);
+      co_await w.store.replica(0).put(k, Cell(Value("v"), 1),
+                                      Consistency::Quorum);
     }
     co_await sim::sleep_for(w.sim, sim::sec(1));
     w.store.replica(2).set_down(false);

@@ -134,8 +134,11 @@ TEST(EndToEnd, MixedWorkloadAcrossAllLayersSurvivesFailures) {
       }
       auto g = co_await c.critical_get("oracle-key", ref.value());
       (void)g;
-      co_await c.critical_put("oracle-key", ref.value(),
-                              Value("r" + std::to_string(rounds)));
+      // Built stepwise: GCC 12 mis-fires -Werror=restrict on literal +
+      // to_string rvalue concats inside coroutine frames.
+      std::string rv = "r";
+      rv += std::to_string(rounds);
+      co_await c.critical_put("oracle-key", ref.value(), Value(rv));
       co_await c.release_lock("oracle-key", ref.value());
       ++rounds;
     }

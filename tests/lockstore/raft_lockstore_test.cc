@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "core/client.h"
+#include "core/session.h"
 #include "util/world.h"
 
 namespace music::ls {

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 
+#include "core/session.h"
 #include "lockstore/raft_lockstore.h"
 #include "util/world.h"
 #include "verify/oracle.h"

@@ -20,13 +20,18 @@ namespace {
 size_t g_allocs = 0;
 }
 
-void* operator new(std::size_t n) {
+// noinline: if GCC 12 inlines these malloc/free bodies into callers it
+// pairs the free() against the *declared* operator new and mis-fires
+// -Werror=mismatched-new-delete; kept out-of-line they pair correctly.
+[[gnu::noinline]] void* operator new(std::size_t n) {
   ++g_allocs;
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc();
 }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete(void* p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace music::obs {
 namespace {
@@ -95,7 +100,9 @@ TEST(ObsCostModel, TracingDoesNotPerturbTheSimulation) {
       for (int i = 0; i < 3; ++i) co_await one_section(c);
     });
     EXPECT_TRUE(ok);
-    if (traced) EXPECT_GT(tracer.spans().size(), 0u);
+    if (traced) {
+      EXPECT_GT(tracer.spans().size(), 0u);
+    }
     return Fingerprint{w.net.messages_sent(), w.net.wan_messages_sent(),
                        w.sim.events_run(), w.sim.now()};
   };

@@ -57,7 +57,11 @@ TEST(Raft, ProposalsCommitAndApplyEverywhere) {
   bool ok = w.runner.run([&]() -> sim::Task<void> {
     for (int i = 0; i < 5; ++i) {
       std::vector<std::pair<Key, Value>> writes;
-      writes.emplace_back("k" + std::to_string(i), Value("v"));
+      // Built stepwise: GCC 12 mis-fires -Werror=restrict on literal +
+      // to_string rvalue concats inside coroutine frames.
+      std::string k = "k";
+      k += std::to_string(i);
+      writes.emplace_back(k, Value("v"));
       auto out = co_await l->propose(Command(std::move(writes)));
       CO_ASSERT_EQ(out.status, OpStatus::Ok);
       EXPECT_TRUE(out.applied);
@@ -180,7 +184,11 @@ TEST(Raft, LogsConvergeAfterFollowerOutage) {
   bool ok = w.runner.run([&]() -> sim::Task<void> {
     for (int i = 0; i < 6; ++i) {
       std::vector<std::pair<Key, Value>> writes;
-      writes.emplace_back("k" + std::to_string(i), Value("v"));
+      // Built stepwise: GCC 12 mis-fires -Werror=restrict on literal +
+      // to_string rvalue concats inside coroutine frames.
+      std::string k = "k";
+      k += std::to_string(i);
+      writes.emplace_back(k, Value("v"));
       auto out = co_await l->propose(Command(std::move(writes)));
       CO_ASSERT_EQ(out.status, OpStatus::Ok);
     }

@@ -131,5 +131,104 @@ TEST(Rest, GuardFailuresSurfaceAsStatusStrings) {
   ASSERT_TRUE(ok);
 }
 
+// The "batch" verb end-to-end: an ordered mix of puts and gets under one
+// lockRef, one wire request, per-op statuses in order.
+TEST(Rest, BatchExecutesOrderedOpsUnderOneLockRef) {
+  MusicWorld w;
+  RestGateway gw(w.client(0));
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto created = Json::parse(co_await gw.handle(
+        R"({"op":"createLockRef","key":"k"})"));
+    CO_ASSERT_TRUE(created.has_value());
+    int64_t ref = (*created)["lockRef"].as_int();
+    Json acq;
+    acq.set("op", "acquireLock").set("key", "k").set("lockRef", ref);
+    std::string status;
+    for (int i = 0; i < 64 && status != "Ok"; ++i) {
+      status = (co_await gw.handle_json(acq))["status"].as_string();
+      if (status != "Ok") co_await sim::sleep_for(w.sim, sim::ms(5));
+    }
+    CO_ASSERT_EQ(status, "Ok");
+
+    Json req;
+    req.set("op", "batch").set("key", "k").set("lockRef", ref);
+    Json ops;
+    ops.push(Json().set("op", "put").set("key", "k/a").set("value", "1"));
+    ops.push(Json().set("op", "put").set("key", "k/b").set("value", "2"));
+    ops.push(Json().set("op", "get").set("key", "k/a"));
+    ops.push(Json().set("op", "get"));  // key defaults to the lock key
+    req.set("ops", ops);
+    auto reply = co_await gw.handle_json(req);
+    // NotFound on a get is benign, so the roll-up is still Ok.
+    CO_ASSERT_EQ(reply["status"].as_string(), "Ok");
+    const auto& rs = reply["results"].as_array();
+    CO_ASSERT_EQ(rs.size(), 4u);
+    EXPECT_EQ(rs[0]["status"].as_string(), "Ok");
+    EXPECT_EQ(rs[1]["status"].as_string(), "Ok");
+    CO_ASSERT_EQ(rs[2]["status"].as_string(), "Ok");
+    EXPECT_EQ(rs[2]["value"].as_string(), "1");
+    EXPECT_EQ(rs[3]["status"].as_string(), "NotFound");
+
+    Json rel;
+    rel.set("op", "releaseLock").set("key", "k").set("lockRef", ref);
+    EXPECT_EQ((co_await gw.handle_json(rel))["status"].as_string(), "Ok");
+  });
+  ASSERT_TRUE(ok);
+}
+
+TEST(Rest, BatchRejectsMalformedBodiesWithoutTouchingTheStore) {
+  MusicWorld w;
+  RestGateway gw(w.client(0));
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    for (const char* bad : {
+             // no lockRef
+             R"({"op":"batch","key":"k","ops":[{"op":"get"}]})",
+             // no ops array
+             R"({"op":"batch","key":"k","lockRef":1})",
+             // ops not an array
+             R"({"op":"batch","key":"k","lockRef":1,"ops":"get"})",
+             // entry not an object
+             R"({"op":"batch","key":"k","lockRef":1,"ops":["get"]})",
+             // put without value
+             R"({"op":"batch","key":"k","lockRef":1,"ops":[{"op":"put"}]})",
+             // unknown sub-op — even after valid entries
+             R"({"op":"batch","key":"k","lockRef":1,)"
+             R"("ops":[{"op":"put","value":"x"},{"op":"teleport"}]})",
+         }) {
+      auto r = Json::parse(co_await gw.handle(bad));
+      CO_ASSERT_TRUE(r.has_value());
+      EXPECT_EQ((*r)["status"].as_string(), "BadRequest") << bad;
+    }
+    co_return;
+  });
+  ASSERT_TRUE(ok);
+  // Validation is all-or-nothing: nothing reached the replicas.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.replica(i).stats().batches, 0u);
+    EXPECT_EQ(w.replica(i).stats().critical_puts, 0u);
+  }
+}
+
+// A well-formed batch under a never-granted lockRef comes back with one
+// NotYetHolder per sub-op (the aligned-results guarantee), not a bare
+// top-level error.
+TEST(Rest, BatchUnderUngrantedRefReportsPerOpStatuses) {
+  MusicWorld w;
+  RestGateway gw(w.client(0));
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto r = Json::parse(co_await gw.handle(
+        R"({"op":"batch","key":"k","lockRef":42,)"
+        R"("ops":[{"op":"put","value":"x"},{"op":"get"},{"op":"delete"}]})"));
+    CO_ASSERT_TRUE(r.has_value());
+    EXPECT_EQ((*r)["status"].as_string(), "NotYetHolder");
+    const auto& rs = (*r)["results"].as_array();
+    CO_ASSERT_EQ(rs.size(), 3u);
+    for (const auto& e : rs) {
+      EXPECT_EQ(e["status"].as_string(), "NotYetHolder");
+    }
+  });
+  ASSERT_TRUE(ok);
+}
+
 }  // namespace
 }  // namespace music::rest
