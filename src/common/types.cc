@@ -20,6 +20,8 @@ std::string_view to_string(OpStatus s) {
       return "NotFound";
     case OpStatus::Conflict:
       return "Conflict";
+    case OpStatus::RetryExhausted:
+      return "RetryExhausted";
   }
   return "Unknown";
 }

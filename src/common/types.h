@@ -75,6 +75,11 @@ enum class OpStatus {
   NotFound,
   /// Compare-and-set condition failed / transaction conflict.
   Conflict,
+  /// The client's retry budget (attempts or deadline) ran out on a transient
+  /// failure.  Distinct from Timeout so callers and metrics can tell "one
+  /// quorum round timed out, retry elsewhere" from "the client gave up".
+  /// Deliberately NOT retryable: the budget is already spent.
+  RetryExhausted,
 };
 
 /// Human-readable status name (logs, test diagnostics).

@@ -1,5 +1,6 @@
 #include "core/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/span.h"
@@ -87,7 +88,60 @@ MusicClient::MusicClient(sim::Simulation& sim, sim::Network& net,
       net_(net),
       replicas_(std::move(replicas)),
       cfg_(cfg),
-      node_(net.add_node(site)) {}
+      node_(net.add_node(site)),
+      rng_(0x636c69656e74ull ^ (static_cast<uint64_t>(node_) * 0x9e3779b9ull)),
+      health_(replicas_.size()) {}
+
+MusicReplica* MusicClient::pick_replica(int attempt) {
+  size_t n = replicas_.size();
+  std::vector<size_t> eligible;
+  eligible.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (replicas_[i]->down()) continue;
+    if (health_[i].quarantined_until > sim_.now()) continue;
+    eligible.push_back(i);
+  }
+  if (eligible.empty()) {
+    // Everything healthy is quarantined; probe the up replicas anyway
+    // rather than stalling the operation.
+    for (size_t i = 0; i < n; ++i) {
+      if (!replicas_[i]->down()) eligible.push_back(i);
+    }
+  }
+  if (eligible.empty()) return nullptr;
+  return replicas_[eligible[static_cast<size_t>(attempt) % eligible.size()]];
+}
+
+void MusicClient::note_result(const MusicReplica& rep, bool responsive) {
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i] != &rep) continue;
+    ReplicaHealth& h = health_[i];
+    if (responsive) {
+      h.consecutive_failures = 0;
+      h.quarantined_until = 0;
+      return;
+    }
+    ++h.consecutive_failures;
+    if (h.consecutive_failures >= cfg_.health_fail_threshold) {
+      if (sim_.now() >= h.quarantined_until) ++stats_.demotions;
+      h.quarantined_until = sim_.now() + cfg_.health_quarantine;
+    }
+    return;
+  }
+}
+
+sim::Duration decorrelated_backoff(const ClientConfig& cfg, sim::Rng& rng,
+                                   sim::Duration prev) {
+  double lo = static_cast<double>(cfg.retry_backoff_base);
+  double hi = std::min(static_cast<double>(cfg.retry_backoff_cap),
+                       3.0 * static_cast<double>(prev));
+  if (hi <= lo) return cfg.retry_backoff_base;
+  return static_cast<sim::Duration>(rng.uniform_real(lo, hi));
+}
+
+sim::Duration MusicClient::next_backoff(sim::Duration prev) {
+  return decorrelated_backoff(cfg_, rng_, prev);
+}
 
 sim::Task<Response> MusicClient::invoke(MusicReplica& rep, Request req) {
   sim::Promise<Response> reply(sim_);
@@ -110,16 +164,26 @@ sim::Task<Response> MusicClient::invoke(MusicReplica& rep, Request req) {
 }
 
 sim::Task<Response> MusicClient::with_retries(Request req) {
-  Response last(OpStatus::Timeout);
+  sim::Time deadline =
+      cfg_.op_deadline > 0 ? sim_.now() + cfg_.op_deadline : sim::kTimeNever;
+  sim::Duration pause = cfg_.retry_backoff_base;
   for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
-    MusicReplica& rep =
-        *replicas_[static_cast<size_t>(attempt) % replicas_.size()];
-    if (rep.down()) continue;
-    last = co_await invoke(rep, req);
-    if (!is_retryable(last.status)) co_return last;
-    co_await sim::sleep_for(sim_, cfg_.retry_backoff);
+    MusicReplica* rep = pick_replica(attempt);
+    if (rep == nullptr) continue;  // everything down: fail fast, no sleeps
+    ++stats_.attempts;
+    Response r = co_await invoke(*rep, req);
+    note_result(*rep, !is_retryable(r.status));
+    if (!is_retryable(r.status)) co_return r;
+    ++stats_.retries;
+    if (sim_.now() >= deadline) {
+      ++stats_.deadline_exceeded;
+      co_return Response(OpStatus::RetryExhausted);
+    }
+    pause = next_backoff(pause);
+    co_await sim::sleep_for(sim_, pause);
   }
-  co_return last;
+  ++stats_.retry_exhausted;
+  co_return Response(OpStatus::RetryExhausted);
 }
 
 sim::Task<Result<LockRef>> MusicClient::create_lock_ref(Key key) {
@@ -150,12 +214,15 @@ sim::Task<Status> MusicClient::acquire_lock_blocking(Key key, LockRef ref) {
   // paper's "standard back-off mechanisms".
   OpStatus last = OpStatus::Timeout;
   for (int attempt = 0; attempt < cfg_.max_poll_attempts; ++attempt) {
-    MusicReplica& rep =
-        *replicas_[static_cast<size_t>(attempt / 8) % replicas_.size()];
-    if (rep.down()) continue;
+    // Stick with one replica for 8 polls before rotating; the health table
+    // steers polls away from dead/gray replicas.
+    MusicReplica* rep = pick_replica(attempt / 8);
+    if (rep == nullptr) continue;
+    ++stats_.attempts;
     Response r = co_await invoke(
-        rep, Request(Request::Op::AcquireLock, key, ref, Value()));
+        *rep, Request(Request::Op::AcquireLock, key, ref, Value()));
     last = r.status;
+    note_result(*rep, !is_retryable(last));
     // Poll again on NotYetHolder (not yet first in queue) and on the
     // transient statuses; everything else is a final answer.
     if (!is_retryable(last) && last != OpStatus::NotYetHolder) {

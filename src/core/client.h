@@ -19,6 +19,7 @@
 
 #include "core/music.h"
 #include "sim/future.h"
+#include "sim/rng.h"
 #include "sim/span.h"
 
 namespace music::core {
@@ -27,16 +28,39 @@ namespace music::core {
 struct ClientConfig {
   /// Give up on a single request to one replica after this long.
   sim::Duration request_timeout = sim::sec(6);
-  /// Total attempts per operation across replicas before reporting Timeout.
+  /// Total attempts per operation across replicas before reporting
+  /// RetryExhausted.
   int max_attempts = 24;
   /// Attempts allowed for one acquire_lock_blocking polling loop.
   int max_poll_attempts = 4096;
   /// Pause between acquireLock polls (Listing 1's back-off).
   sim::Duration poll_backoff = sim::ms(2);
-  /// Pause before retrying a Nacked/timed-out operation.
-  sim::Duration retry_backoff = sim::ms(10);
+  /// First retry pause after a Nacked/timed-out operation.  Subsequent
+  /// pauses grow exponentially with decorrelated jitter: each is drawn
+  /// uniformly from [base, min(cap, 3 x previous)].
+  sim::Duration retry_backoff_base = sim::ms(5);
+  /// Ceiling on any single retry pause.
+  sim::Duration retry_backoff_cap = sim::ms(320);
+  /// Total budget for one operation including retries; once spent, the op
+  /// returns RetryExhausted even with attempts left.  0 disables it.
+  sim::Duration op_deadline = 0;
+  /// Consecutive transient failures at one replica before the client
+  /// demotes it in the preference order (quarantine).
+  int health_fail_threshold = 3;
+  /// How long a demoted replica is skipped before being probed again.
+  sim::Duration health_quarantine = sim::sec(2);
   /// Request framing size.
   size_t overhead_bytes = 96;
+};
+
+/// Client-side counters (retry discipline + replica health), for metrics
+/// export and tests.
+struct ClientStats {
+  uint64_t attempts = 0;           // requests actually sent to a replica
+  uint64_t retries = 0;            // transient failures retried
+  uint64_t retry_exhausted = 0;    // ops that ran out of attempts
+  uint64_t deadline_exceeded = 0;  // ops that ran out of op_deadline
+  uint64_t demotions = 0;          // replica quarantine transitions
 };
 
 /// The wire request a client sends to a MUSIC replica (Fig. 1's
@@ -103,6 +127,14 @@ struct Response {
 /// by MusicClient; also handy for tests driving a replica directly).
 sim::Task<Response> execute(MusicReplica& replica, Request req);
 
+/// One decorrelated-jitter backoff step: uniform in [base, min(cap, 3 x
+/// prev)], so colliding clients spread out instead of retrying in lockstep.
+/// Never returns less than retry_backoff_base nor more than
+/// retry_backoff_cap.  A free function so the retry envelope is testable in
+/// isolation from the client's network machinery.
+sim::Duration decorrelated_backoff(const ClientConfig& cfg, sim::Rng& rng,
+                                   sim::Duration prev);
+
 /// A MUSIC client.  Issues non-blocking requests to a MUSIC replica of its
 /// choice (Fig. 1); replicas are tried in the given preference order.
 class MusicClient {
@@ -117,6 +149,7 @@ class MusicClient {
   sim::NodeId node() const { return node_; }
   sim::Simulation& simulation() { return sim_; }
   const ClientConfig& config() const { return cfg_; }
+  const ClientStats& stats() const { return stats_; }
 
   // ---- Table I operations with the §III retry discipline. ------------------
 
@@ -165,18 +198,43 @@ class MusicClient {
   sim::Task<Status> with_lock(Key key, F& body);
 
  private:
+  /// Per-replica health book-keeping for the adaptive preference order.
+  struct ReplicaHealth {
+    int consecutive_failures = 0;
+    sim::Time quarantined_until = 0;
+  };
+
   /// Sends `req` to `rep` and awaits the Response, with a timeout.
   sim::Task<Response> invoke(MusicReplica& rep, Request req);
 
   /// Runs `req` against replicas in preference order with the retry rules:
-  /// Nack/Timeout -> backoff, next replica; anything else is final.
+  /// Nack/Timeout -> jittered backoff, next replica; anything else is
+  /// final.  Exhausting max_attempts or op_deadline -> RetryExhausted.
   sim::Task<Response> with_retries(Request req);
+
+  /// The replica to use for attempt number `attempt`: rotates the
+  /// preference order over replicas that are up and not quarantined,
+  /// falling back to any up replica when everything healthy is demoted.
+  /// nullptr when every replica is down.
+  MusicReplica* pick_replica(int attempt);
+
+  /// Feeds one attempt's outcome into the health table.
+  void note_result(const MusicReplica& rep, bool responsive);
+
+  /// Decorrelated-jitter growth: uniform in [base, min(cap, 3 x prev)].
+  sim::Duration next_backoff(sim::Duration prev);
 
   sim::Simulation& sim_;
   sim::Network& net_;
   std::vector<MusicReplica*> replicas_;
   ClientConfig cfg_;
   sim::NodeId node_;
+  /// Seeded from the node id, NOT forked from the simulation rng: a fork
+  /// draws from (and so perturbs) the parent stream, which would shift
+  /// every seeded test that predates client-side jitter.
+  sim::Rng rng_;
+  std::vector<ReplicaHealth> health_;
+  ClientStats stats_;
 };
 
 }  // namespace music::core

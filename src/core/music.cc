@@ -135,6 +135,7 @@ sim::Task<Status> MusicReplica::acquire_lock(Key key, LockRef ref) {
     co_return OpStatus::Nack;
   }
   bool need_sync = sf.ok() && sf.value().value.data == "1";
+  if (cfg_.test_skip_synchronization) need_sync = false;
 
   if (need_sync) {
     // §IV-B: a forced release happened; the data store's state is unknown.
@@ -528,15 +529,15 @@ sim::Task<void> MusicReplica::fd_scan() {
   }
 }
 
-void MusicReplica::set_down(bool down) {
+void MusicReplica::set_down(bool down, bool amnesia) {
   service_.set_down(down);
   store_.network().set_node_down(node_, down);
-  if (down) {
+  if (down && amnesia) {
     origin_cache_.clear();
     last_ts_.clear();
     fd_observed_.clear();
-    fd_running_ = false;
   }
+  if (down) fd_running_ = false;
 }
 
 }  // namespace music::core

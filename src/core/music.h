@@ -64,6 +64,12 @@ struct MusicConfig {
   sim::Duration holder_timeout = sim::sec(15);
   /// Failure-detector scan period.
   sim::Duration fd_interval = sim::sec(2);
+  /// TEST ONLY: skip the §IV-B synchronization a grant is supposed to run
+  /// when it finds synchFlag set after a forced release.  This deliberately
+  /// breaks the fencing path — it exists so the ECF-under-failure matrix
+  /// can prove the oracle detects the resulting zombie writes (the matrix
+  /// has teeth).  Never enable outside tests.
+  bool test_skip_synchronization = false;
 };
 
 /// One operation of a Batch request: a critical put/get/delete to run under
@@ -235,8 +241,14 @@ class MusicReplica {
   static Key synch_flag_key(const Key& key) { return "!sf:" + key; }
   static Key start_time_key(const Key& key) { return "!st:" + key; }
 
-  /// Crash / restart the MUSIC replica process.
-  void set_down(bool down);
+  /// Crash / restart the MUSIC replica process.  By default a crash wipes
+  /// the replica's soft state (origin cache, last-stamp table, failure-
+  /// detector observations) — the amnesia restart of §III's fail-stop
+  /// model, and the safe assumption since none of it is durable.
+  /// `amnesia = false` models a process restart that kept its local state
+  /// (e.g. a hot standby takeover): caches survive, which is only correct
+  /// because every entry is re-validated against the store on use.
+  void set_down(bool down, bool amnesia = true);
   bool down() const { return service_.down(); }
 
  private:

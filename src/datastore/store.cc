@@ -88,6 +88,13 @@ void StoreReplica::set_down(bool down) {
 
 bool StoreReplica::down() const { return service_.down(); }
 
+void StoreReplica::wipe_state() {
+  table_.clear();
+  acceptors_.clear();
+  hints_.clear();
+  ballot_round_ = 0;
+}
+
 sim::Task<Status> StoreReplica::put(Key key, Cell cell, Consistency level) {
   sim::OpSpan span(sim(), "store.put", site_, node_, key);
   auto targets = cluster_.placement(key);

@@ -198,6 +198,13 @@ class StoreReplica {
   void set_down(bool down);
   bool down() const;
 
+  /// Amnesia crash: discards the table, Paxos acceptor state and queued
+  /// hints, as if the node restarted from an empty disk.  NOTE: losing
+  /// acceptor/table state can genuinely break quorum durability (data with
+  /// fewer than a quorum of surviving copies is gone) — that is the point
+  /// of the fault, not a bug in it.  Pair with set_down via the nemesis.
+  void wipe_state();
+
   /// Raw table size (diagnostics).
   size_t table_size() const { return table_.size(); }
 

@@ -1,0 +1,130 @@
+// Fault taxonomy and deterministic fault schedules (the nemesis script).
+//
+// The paper's failure model (§III) assumes fail-stop nodes, network
+// partitions, and an asynchronous network that may delay, drop or duplicate
+// messages.  This header gives each of those a first-class, data-driven
+// representation: a FaultSpec names one injected failure (what, where, when,
+// for how long), and a Schedule is an ordered list of them — buildable
+// programmatically or parsed from a compact script like
+//
+//   at 2s partition 0|1,2 for 3s; at 4s crash store 1 for 1s
+//
+// so tests, benches and the CLI can all drive the same failure scenarios.
+// The engine that executes a Schedule against a live simulation lives in
+// fault/nemesis.h.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace music::fault {
+
+/// What kind of failure a FaultSpec injects.
+enum class FaultKind : uint8_t {
+  /// Cut all links between two site sets (both directions).
+  Partition,
+  /// Drop every message on a directed site link (asymmetric partition).
+  Blackhole,
+  /// Gray link: elevated loss and/or delay on a directed site link.
+  GrayLink,
+  /// Latency spike: pure delay addition on a directed site link.
+  LatencySpike,
+  /// Message duplication on a directed site link.
+  Duplication,
+  /// Crash (and later restart) a store replica.
+  CrashStore,
+  /// Crash (and later restart) a MUSIC replica.
+  CrashMusic,
+};
+
+/// Stable lowercase name ("partition", "gray_link", "crash_store", ...).
+const char* to_string(FaultKind k);
+
+/// One scheduled failure.  Which fields are meaningful depends on `kind`;
+/// unused fields keep their defaults.
+struct FaultSpec {
+  FaultKind kind = FaultKind::Partition;
+
+  /// Absolute sim time the fault begins.
+  sim::Time at = 0;
+  /// How long it lasts; 0 means "until Nemesis::heal_all()".
+  sim::Duration duration = 0;
+
+  // Partition.
+  std::set<int> side_a, side_b;
+
+  // Link faults (Blackhole / GrayLink / LatencySpike / Duplication).
+  int from_site = -1;
+  int to_site = -1;
+  /// Apply the link fault in both directions (the `a<>b` script form).
+  bool bidirectional = false;
+  double loss = 0.0;      // GrayLink extra drop probability
+  double delay_ms = 0.0;  // GrayLink / LatencySpike one-way delay add
+  double dup_prob = 0.0;  // Duplication probability
+
+  // Crashes.
+  int replica = -1;
+  /// Restart with volatile state wiped (amnesia) instead of durable state.
+  bool amnesia = false;
+
+  /// Human/trace-readable one-liner: "partition {0}|{1,2}", "gray 0>1
+  /// loss=0.3 delay=50ms", "crash store 1 (amnesia)".
+  std::string describe() const;
+};
+
+/// An ordered list of FaultSpecs.  Builder methods return *this so
+/// schedules compose fluently; parse() accepts the script DSL.
+class Schedule {
+ public:
+  /// Parses the nemesis script DSL.  Clauses are ';'-separated:
+  ///
+  ///   clause  := "at" TIME spec ["for" TIME]
+  ///   spec    := "partition" SIDES            (SIDES := "0|1,2")
+  ///            | "blackhole" LINK
+  ///            | "gray" LINK "loss" FLOAT "delay" TIME
+  ///            | "spike" LINK "delay" TIME
+  ///            | "dup" LINK "prob" FLOAT
+  ///            | "crash" ("store"|"music") INT ["amnesia"]
+  ///   LINK    := INT ">" INT  (directed)  |  INT "<>" INT  (both ways)
+  ///   TIME    := NUMBER ("us"|"ms"|"s")
+  ///
+  /// Returns nullopt on a malformed script; if `error` is non-null it
+  /// receives a description of the first problem.
+  static std::optional<Schedule> parse(std::string_view script,
+                                       std::string* error = nullptr);
+
+  Schedule& add(FaultSpec spec);
+
+  Schedule& partition_at(sim::Time at, std::set<int> a, std::set<int> b,
+                         sim::Duration dur = 0);
+  Schedule& blackhole_at(sim::Time at, int from, int to, sim::Duration dur = 0,
+                         bool bidirectional = false);
+  Schedule& gray_at(sim::Time at, int from, int to, double loss,
+                    double delay_ms, sim::Duration dur = 0,
+                    bool bidirectional = false);
+  Schedule& spike_at(sim::Time at, int from, int to, double delay_ms,
+                     sim::Duration dur = 0, bool bidirectional = false);
+  Schedule& dup_at(sim::Time at, int from, int to, double prob,
+                   sim::Duration dur = 0, bool bidirectional = false);
+  Schedule& crash_store_at(sim::Time at, int replica, sim::Duration dur = 0,
+                           bool amnesia = false);
+  Schedule& crash_music_at(sim::Time at, int replica, sim::Duration dur = 0,
+                           bool amnesia = false);
+
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+  bool empty() const { return specs_.empty(); }
+  size_t size() const { return specs_.size(); }
+
+  /// The whole schedule, one described clause per line.
+  std::string describe() const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace music::fault

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -132,9 +133,26 @@ void Network::send(NodeId from, NodeId to, size_t bytes,
     ++dropped_by_kind_[static_cast<size_t>(kind)];
     return;
   }
-  Duration d = sample_delay(from, to, bytes);
+  // Link faults degrade (but don't block — blackholes are handled inside
+  // deliverable()) the surviving messages.  The rng draws below only happen
+  // while a matching fault is active, so fault-free runs consume exactly the
+  // same random stream as before the fault table existed.
+  Duration extra = 0;
+  bool duplicate = false;
+  if (!link_faults_.empty()) {
+    EffectiveFault f = effective_fault(sa, sb);
+    if (f.keep_prob < 1.0 && !rng_.chance(f.keep_prob)) {
+      ++dropped_;
+      ++dropped_by_kind_[static_cast<size_t>(kind)];
+      ++link_fault_drops_;
+      return;
+    }
+    if (f.extra_delay_ms > 0.0) extra = ms_f(f.extra_delay_ms);
+    if (f.dup_prob > 0.0 && rng_.chance(f.dup_prob)) duplicate = true;
+  }
+  Duration d = sample_delay(from, to, bytes) + extra;
   NodeId dest = to;
-  sim_.schedule(d, [this, dest, kind, deliver = std::move(deliver)] {
+  auto deliver_once = [this, dest, kind](const std::function<void()>& fn) {
     // The destination may have crashed (or been partitioned away) while the
     // message was in flight; re-check on delivery.
     if (down_.at(static_cast<size_t>(dest))) {
@@ -142,7 +160,29 @@ void Network::send(NodeId from, NodeId to, size_t bytes,
       ++dropped_by_kind_[static_cast<size_t>(kind)];
       return;
     }
-    deliver();
+    fn();
+  };
+  if (duplicate) {
+    // Both copies traverse the wire, but the endpoint continuations here are
+    // single-shot (they fulfil RPC promises), i.e. the receiver dedups — so
+    // the payload takes effect at whichever copy arrives first.  The
+    // observable effect of duplication is early/reordered delivery plus the
+    // wire-level accounting.
+    ++duplicates_delivered_;
+    Duration d2 = sample_delay(from, to, bytes) + extra;
+    auto fired = std::make_shared<bool>(false);
+    auto shared = std::make_shared<std::function<void()>>(std::move(deliver));
+    auto once = [deliver_once, fired, shared] {
+      if (*fired) return;
+      *fired = true;
+      deliver_once(*shared);
+    };
+    sim_.schedule(d, once);
+    sim_.schedule(d2, once);
+    return;
+  }
+  sim_.schedule(d, [deliver_once, deliver = std::move(deliver)] {
+    deliver_once(deliver);
   });
 }
 
@@ -150,16 +190,46 @@ void Network::set_node_down(NodeId n, bool down) {
   down_.at(static_cast<size_t>(n)) = down;
 }
 
-void Network::partition_sites(std::set<int> a, std::set<int> b) {
-  partitioned_ = true;
-  side_a_ = std::move(a);
-  side_b_ = std::move(b);
+PartitionId Network::partition_sites(std::set<int> a, std::set<int> b) {
+  PartitionId id = next_fault_id_++;
+  partitions_.push_back({id, std::move(a), std::move(b)});
+  return id;
 }
 
-void Network::heal_partition() {
-  partitioned_ = false;
-  side_a_.clear();
-  side_b_.clear();
+void Network::heal_partition(PartitionId id) {
+  std::erase_if(partitions_,
+                [id](const ActivePartition& p) { return p.id == id; });
+}
+
+void Network::heal_all_partitions() { partitions_.clear(); }
+
+LinkFaultId Network::add_link_fault(int from_site, int to_site,
+                                    LinkFault fault) {
+  assert(from_site >= 0 && from_site < num_sites());
+  assert(to_site >= 0 && to_site < num_sites());
+  LinkFaultId id = next_fault_id_++;
+  link_faults_.push_back({id, from_site, to_site, fault});
+  return id;
+}
+
+void Network::remove_link_fault(LinkFaultId id) {
+  std::erase_if(link_faults_,
+                [id](const ActiveLinkFault& f) { return f.id == id; });
+}
+
+void Network::clear_link_faults() { link_faults_.clear(); }
+
+Network::EffectiveFault Network::effective_fault(int from_site,
+                                                 int to_site) const {
+  EffectiveFault e;
+  for (const ActiveLinkFault& f : link_faults_) {
+    if (f.from_site != from_site || f.to_site != to_site) continue;
+    if (f.fault.blackhole) e.blackhole = true;
+    e.keep_prob *= 1.0 - f.fault.extra_drop;
+    e.extra_delay_ms += f.fault.extra_delay_ms;
+    e.dup_prob = std::max(e.dup_prob, f.fault.dup_prob);
+  }
+  return e;
 }
 
 void Network::export_metrics(obs::MetricsRegistry& reg) const {
@@ -167,6 +237,12 @@ void Network::export_metrics(obs::MetricsRegistry& reg) const {
   reg.set("net.msgs.dropped", dropped_);
   reg.set("net.msgs.wan", wan_sent_);
   reg.set("net.bytes.sent", bytes_sent_);
+  if (link_fault_drops_ != 0) {
+    reg.set("net.msgs.link_fault_drops", link_fault_drops_);
+  }
+  if (duplicates_delivered_ != 0) {
+    reg.set("net.msgs.duplicates", duplicates_delivered_);
+  }
   for (size_t k = 0; k < static_cast<size_t>(MsgKind::kCount); ++k) {
     if (sent_by_kind_[k] == 0 && dropped_by_kind_[k] == 0) continue;
     std::string base = "net.msgs.";
@@ -191,12 +267,18 @@ bool Network::deliverable(NodeId from, NodeId to) const {
   if (down_.at(static_cast<size_t>(from)) || down_.at(static_cast<size_t>(to))) {
     return false;
   }
-  if (!partitioned_) return true;
+  if (partitions_.empty() && link_faults_.empty()) return true;
   int sa = site_of(from);
   int sb = site_of(to);
-  bool cross = (side_a_.count(sa) && side_b_.count(sb)) ||
-               (side_a_.count(sb) && side_b_.count(sa));
-  return !cross;
+  for (const ActivePartition& p : partitions_) {
+    bool cross = (p.side_a.count(sa) && p.side_b.count(sb)) ||
+                 (p.side_a.count(sb) && p.side_b.count(sa));
+    if (cross) return false;
+  }
+  for (const ActiveLinkFault& f : link_faults_) {
+    if (f.fault.blackhole && f.from_site == sa && f.to_site == sb) return false;
+  }
+  return true;
 }
 
 }  // namespace music::sim

@@ -28,6 +28,31 @@ namespace music::sim {
 /// Identifies a simulated node (process).  Dense indices from Network.
 using NodeId = int;
 
+/// Identifies one active partition (stacked; see Network::partition_sites).
+using PartitionId = uint64_t;
+
+/// Identifies one active link fault (see Network::add_link_fault).
+using LinkFaultId = uint64_t;
+
+/// A directed per-site-pair link degradation.  All fields compose: a link
+/// can be gray (elevated loss + delay) and duplicate at the same time; a
+/// blackhole dominates everything else.  Applied to messages whose source
+/// site -> destination site matches the fault's direction.
+struct LinkFault {
+  /// Drop every message on the link (asymmetric partition primitive).
+  bool blackhole = false;
+  /// Additional per-message drop probability (gray link).
+  double extra_drop = 0.0;
+  /// Additional one-way delay, milliseconds (gray link / latency spike).
+  double extra_delay_ms = 0.0;
+  /// Probability a delivered message is sent as two copies with
+  /// independently sampled delays.  The receiver endpoint dedups (the
+  /// delivery continuations are single-shot RPC promises), so the payload
+  /// takes effect at the earlier arrival — duplication is observable as
+  /// early/reordered delivery plus wire accounting.
+  double dup_prob = 0.0;
+};
+
 /// What a message is, for per-type accounting.  Callers that don't care pass
 /// nothing and land in Generic; protocol layers tag their sends so the
 /// metrics dump breaks traffic down by protocol phase.
@@ -138,11 +163,40 @@ class Network {
   bool node_down(NodeId n) const { return down_.at(static_cast<size_t>(n)); }
 
   /// Cuts all links between site sets A and B (nodes within a side still
-  /// communicate).  Replaces any previous partition.
-  void partition_sites(std::set<int> a, std::set<int> b);
+  /// communicate).  Partitions STACK: a second call adds another cut on top
+  /// of the first instead of replacing it (a message is deliverable only if
+  /// no active partition separates the two sites).  Returns an id for
+  /// heal_partition(id).
+  PartitionId partition_sites(std::set<int> a, std::set<int> b);
 
-  /// Heals any active partition.
-  void heal_partition();
+  /// Heals one partition by id (unknown ids are ignored).
+  void heal_partition(PartitionId id);
+
+  /// Heals every active partition.
+  void heal_all_partitions();
+
+  /// Back-compat alias for heal_all_partitions(): before partitions
+  /// stacked, "the" partition was the only one.
+  void heal_partition() { heal_all_partitions(); }
+
+  /// Number of currently active partitions.
+  size_t active_partitions() const { return partitions_.size(); }
+
+  /// Installs a directed link fault from `from_site` to `to_site`.  Faults
+  /// stack; the effective behaviour of a site pair composes every matching
+  /// fault (any blackhole wins; loss probabilities compound; delays add;
+  /// the max duplication probability applies).  Returns an id for
+  /// remove_link_fault(id).
+  LinkFaultId add_link_fault(int from_site, int to_site, LinkFault fault);
+
+  /// Removes one link fault by id (unknown ids are ignored).
+  void remove_link_fault(LinkFaultId id);
+
+  /// Removes every active link fault.
+  void clear_link_faults();
+
+  /// Number of currently active link faults.
+  size_t active_link_faults() const { return link_faults_.size(); }
 
   /// True if a message from -> to would currently be deliverable (ignoring
   /// random drops).
@@ -151,6 +205,14 @@ class Network {
   /// Messages sent / dropped so far, all kinds and site pairs combined.
   uint64_t messages_sent() const { return sent_; }
   uint64_t messages_dropped() const { return dropped_; }
+
+  /// Messages dropped specifically by a link fault's blackhole or extra_drop
+  /// (also counted in messages_dropped()).
+  uint64_t link_fault_drops() const { return link_fault_drops_; }
+
+  /// Duplicate copies created by link-fault duplication (not counted in
+  /// messages_sent(): the duplicate is a network artifact, not a send).
+  uint64_t duplicates_delivered() const { return duplicates_delivered_; }
   /// Total payload bytes handed to send() (diagnostics).
   uint64_t bytes_sent() const { return bytes_sent_; }
 
@@ -188,15 +250,38 @@ class Network {
            static_cast<size_t>(to_site);
   }
 
+  struct ActivePartition {
+    PartitionId id;
+    std::set<int> side_a, side_b;
+  };
+  struct ActiveLinkFault {
+    LinkFaultId id;
+    int from_site, to_site;
+    LinkFault fault;
+  };
+
+  /// The composition of every link fault matching from_site -> to_site.
+  /// delivered == false means a blackhole applies.
+  struct EffectiveFault {
+    bool blackhole = false;
+    double keep_prob = 1.0;  // product of (1 - extra_drop)
+    double extra_delay_ms = 0.0;
+    double dup_prob = 0.0;
+  };
+  EffectiveFault effective_fault(int from_site, int to_site) const;
+
   Simulation& sim_;
   NetworkConfig cfg_;
   Rng rng_;
   std::vector<int> node_site_;
   std::vector<bool> down_;
-  bool partitioned_ = false;
-  std::set<int> side_a_, side_b_;
+  std::vector<ActivePartition> partitions_;
+  std::vector<ActiveLinkFault> link_faults_;
+  uint64_t next_fault_id_ = 1;
   uint64_t sent_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t link_fault_drops_ = 0;
+  uint64_t duplicates_delivered_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t wan_sent_ = 0;
   uint64_t sent_by_kind_[static_cast<size_t>(MsgKind::kCount)] = {};

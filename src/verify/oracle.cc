@@ -44,6 +44,24 @@ void EcfChecker::fail(const std::string& invariant, const Key& key,
   violations_.emplace_back(invariant, key, std::move(d));
 }
 
+std::string EcfChecker::dump_state(const KeyState& ks) {
+  std::ostringstream os;
+  os << "\n  history: max_granted=" << ks.max_granted
+     << " dead_below=" << ks.dead_below << " true_idx=" << ks.true_idx
+     << " resync_pending=" << ks.resync_pending << " candidates=[";
+  for (size_t i = 0; i < ks.candidates.size(); ++i) {
+    os << (i ? "," : "") << ks.candidates[i];
+  }
+  os << "] attempts=[";
+  for (size_t i = 0; i < ks.attempts.size(); ++i) {
+    const Attempt& a = ks.attempts[i];
+    os << "\n    #" << i << " ref=" << a.ref << " seq=" << a.seq << " '"
+       << a.value.data << "'" << (a.acked ? " acked" : " pending");
+  }
+  os << "]";
+  return os.str();
+}
+
 void EcfChecker::open_candidates(KeyState& ks, LockRef ref) {
   // The quorum read at entry can return the committed true value, or any
   // write attempted with a (lockRef, seq) stamp above it — an in-flight or
@@ -141,6 +159,27 @@ void EcfChecker::on_get_ok(const Key& key, LockRef ref, const Value& v) {
     // A stale holder's read raced a preemption; ECF makes no promise to it.
     return;
   }
+  // A read may return the holder's OWN attempted write before its ack was
+  // processed: batch flushes report acks only after the whole batch returns,
+  // and a retried batch can land a write whose per-op result was lost in
+  // flight.  Observing the value through a quorum read proves the write
+  // reached a quorum, so the observation commits the truth to that attempt
+  // (the ack, if it is ever reported, re-commits the same choice).  Only
+  // attempts not older than the committed truth qualify — a holder reading
+  // its own write from *before* an acknowledged one is a genuine staleness
+  // violation and falls through to the checks below.
+  for (int64_t i = static_cast<int64_t>(ks.attempts.size()) - 1; i >= 0; --i) {
+    const Attempt& a = ks.attempts[static_cast<size_t>(i)];
+    if (a.ref != ref || !(a.value == v)) continue;
+    if (ks.true_idx >= 0 && i != ks.true_idx &&
+        !later(a, ks.attempts[static_cast<size_t>(ks.true_idx)])) {
+      continue;
+    }
+    ks.true_idx = i;
+    ks.candidates.clear();
+    ks.any_acked = true;
+    return;
+  }
   // Reads by the current holder after its own acked put must see that put.
   if (ks.true_idx >= 0) {
     const Attempt& t = ks.attempts[static_cast<size_t>(ks.true_idx)];
@@ -166,7 +205,8 @@ void EcfChecker::on_get_ok(const Key& key, LockRef ref, const Value& v) {
     }
     fail("Latest-State", key,
          "holder " + std::to_string(ref) + " read '" + v.data +
-             "', not among the eligible true values after preemption");
+             "', not among the eligible true values after preemption" +
+             dump_state(ks));
     return;
   }
   if (ks.true_idx >= 0) {

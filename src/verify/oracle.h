@@ -137,6 +137,9 @@ class EcfChecker {
 
   void fail(const std::string& invariant, const Key& key,
             const std::string& detail);
+  /// Attempt table + history variables, one line — appended to Latest-State
+  /// failures so a violation report is diagnosable without a re-run.
+  static std::string dump_state(const KeyState& ks);
   /// (ref, seq) ordering of two attempts.
   static bool later(const Attempt& a, const Attempt& b) {
     return a.ref != b.ref ? a.ref > b.ref : a.seq > b.seq;

@@ -1,14 +1,35 @@
 #include "workload/chaos.h"
 
+#include <algorithm>
+#include <set>
 #include <utility>
 
 namespace music::wl {
+namespace {
+
+fault::NemesisHooks hooks_for(ds::StoreCluster& store,
+                              std::vector<core::MusicReplica*>& music) {
+  fault::NemesisHooks h;
+  h.crash_store = [&store](int replica, bool down, bool amnesia) {
+    if (down && amnesia) store.replica(replica).wipe_state();
+    store.replica(replica).set_down(down);
+  };
+  h.crash_music = [&music](int replica, bool down, bool amnesia) {
+    music.at(static_cast<size_t>(replica))->set_down(down, amnesia);
+  };
+  return h;
+}
+
+}  // namespace
 
 ChaosInjector::ChaosInjector(ds::StoreCluster& store,
                              std::vector<core::MusicReplica*> music_replicas,
                              ChaosConfig cfg)
-    : store_(store), music_(std::move(music_replicas)), cfg_(cfg),
-      rng_(cfg.seed) {}
+    : store_(store),
+      music_(std::move(music_replicas)),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      nemesis_(store.simulation(), store.network(), hooks_for(store_, music_)) {}
 
 void ChaosInjector::start(sim::Time until) {
   sim::spawn(store_.simulation(), run(until));
@@ -19,7 +40,11 @@ sim::Task<void> ChaosInjector::run(sim::Time until) {
   while (sim.now() < until) {
     co_await sim::sleep_for(sim, rng_.uniform_int(cfg_.min_gap, cfg_.max_gap));
     if (sim.now() >= until) break;
-    sim::Duration outage = rng_.uniform_int(cfg_.min_outage, cfg_.max_outage);
+    // Clamp to the window: every outage ends (and is healed by the nemesis)
+    // no later than `until`.
+    sim::Duration outage = std::min(
+        rng_.uniform_int(cfg_.min_outage, cfg_.max_outage), until - sim.now());
+    if (outage <= 0) break;
 
     // Pick an enabled fault kind.
     std::vector<int> kinds;
@@ -36,19 +61,27 @@ sim::Task<void> ChaosInjector::run(sim::Time until) {
             rng_.next_u64() % static_cast<uint64_t>(store_.num_replicas()));
         if (store_.replica(victim).down()) break;
         ++store_crashes_;
-        store_.replica(victim).set_down(true);
+        fault::FaultSpec spec;
+        spec.kind = fault::FaultKind::CrashStore;
+        spec.at = sim.now();
+        spec.duration = outage;
+        spec.replica = victim;
+        nemesis_.inject(spec);
         co_await sim::sleep_for(sim, outage);
-        store_.replica(victim).set_down(false);
         break;
       }
       case 1: {
-        int victim =
-            static_cast<int>(rng_.next_u64() % static_cast<uint64_t>(music_.size()));
+        int victim = static_cast<int>(rng_.next_u64() %
+                                      static_cast<uint64_t>(music_.size()));
         if (music_[static_cast<size_t>(victim)]->down()) break;
         ++music_crashes_;
-        music_[static_cast<size_t>(victim)]->set_down(true);
+        fault::FaultSpec spec;
+        spec.kind = fault::FaultKind::CrashMusic;
+        spec.at = sim.now();
+        spec.duration = outage;
+        spec.replica = victim;
+        nemesis_.inject(spec);
         co_await sim::sleep_for(sim, outage);
-        music_[static_cast<size_t>(victim)]->set_down(false);
         break;
       }
       case 2: {
@@ -60,23 +93,23 @@ sim::Task<void> ChaosInjector::run(sim::Time until) {
         for (int s = 0; s < sites; ++s) {
           if (s != isolated) rest.insert(s);
         }
-        store_.network().partition_sites({isolated}, rest);
+        fault::FaultSpec spec;
+        spec.kind = fault::FaultKind::Partition;
+        spec.at = sim.now();
+        spec.duration = outage;
+        spec.side_a = {isolated};
+        spec.side_b = std::move(rest);
+        nemesis_.inject(spec);
         co_await sim::sleep_for(sim, outage);
-        store_.network().heal_partition();
         break;
       }
       default:
         break;
     }
   }
-  // Heal anything left broken at the end of the window.
-  store_.network().heal_partition();
-  for (int i = 0; i < store_.num_replicas(); ++i) {
-    if (store_.replica(i).down()) store_.replica(i).set_down(false);
-  }
-  for (auto* m : music_) {
-    if (m->down()) m->set_down(false);
-  }
+  // Belt and braces: the clamped durations above mean everything should
+  // already be healed, but an early co_return path must not leak faults.
+  nemesis_.heal_all();
 }
 
 }  // namespace music::wl

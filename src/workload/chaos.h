@@ -6,6 +6,12 @@
 // some subset of other nodes").  Outages are bounded so a majority stays
 // available — the regime where MUSIC promises liveness; tests that need a
 // dead majority inject that explicitly.
+//
+// Randomized scheduling lives here; the actual breaking and healing is
+// delegated to fault::Nemesis, so every injected outage is span-tagged in
+// traces and heals exactly what it broke (stacked partitions included).
+// Scripted, deterministic fault scenarios should use fault::Schedule +
+// Nemesis directly.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,7 @@
 
 #include "core/music.h"
 #include "datastore/store.h"
+#include "fault/nemesis.h"
 #include "sim/rng.h"
 #include "sim/task.h"
 
@@ -38,13 +45,16 @@ class ChaosInjector {
                 std::vector<core::MusicReplica*> music_replicas,
                 ChaosConfig cfg);
 
-  /// Spawns the injection coroutine; it stops itself at `until` and heals
-  /// everything it broke.
+  /// Spawns the injection coroutine; it stops itself at `until`.  Outages
+  /// are clamped to the window, so everything broken is healed by `until`.
   void start(sim::Time until);
 
   uint64_t store_crashes_injected() const { return store_crashes_; }
   uint64_t music_crashes_injected() const { return music_crashes_; }
   uint64_t partitions_injected() const { return partitions_; }
+
+  /// The underlying engine (fault spans, open-fault count, heal_all).
+  const fault::Nemesis& nemesis() const { return nemesis_; }
 
  private:
   sim::Task<void> run(sim::Time until);
@@ -53,6 +63,7 @@ class ChaosInjector {
   std::vector<core::MusicReplica*> music_;
   ChaosConfig cfg_;
   sim::Rng rng_;
+  fault::Nemesis nemesis_;
   uint64_t store_crashes_ = 0;
   uint64_t music_crashes_ = 0;
   uint64_t partitions_ = 0;

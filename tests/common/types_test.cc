@@ -49,10 +49,16 @@ TEST(Status, ImplicitFromOpStatus) {
 TEST(OpStatus, AllValuesHaveNames) {
   for (auto s : {OpStatus::Ok, OpStatus::Timeout, OpStatus::Nack,
                  OpStatus::NotLockHolder, OpStatus::NotYetHolder,
-                 OpStatus::CsExpired, OpStatus::NotFound, OpStatus::Conflict}) {
+                 OpStatus::CsExpired, OpStatus::NotFound, OpStatus::Conflict,
+                 OpStatus::RetryExhausted}) {
     EXPECT_FALSE(to_string(s).empty());
     EXPECT_NE(to_string(s), "Unknown");
   }
+}
+
+TEST(OpStatus, RetryExhaustedIsFinal) {
+  // The budget is already spent: callers must not loop on it.
+  EXPECT_FALSE(is_retryable(OpStatus::RetryExhausted));
 }
 
 }  // namespace

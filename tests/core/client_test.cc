@@ -80,12 +80,14 @@ TEST(Client, WithLockEvictsItsRefWhenNeverGranted) {
   ASSERT_TRUE(ok);
 }
 
-TEST(Client, AllReplicasDownYieldsTimeoutNotHang) {
+TEST(Client, AllReplicasDownYieldsRetryExhaustedNotHang) {
   MusicWorld w;
   for (int i = 0; i < 3; ++i) w.replica(i).set_down(true);
   bool ok = w.runner.run([&]() -> sim::Task<void> {
     auto ref = co_await w.client(0).create_lock_ref("k");
-    EXPECT_EQ(ref.status(), OpStatus::Timeout);
+    EXPECT_EQ(ref.status(), OpStatus::RetryExhausted);
+    EXPECT_FALSE(ref.retryable());  // the budget is spent; no retry loop
+    EXPECT_GT(w.client(0).stats().retry_exhausted, 0u);
   }, sim::sec(600));
   ASSERT_TRUE(ok);
 }
@@ -119,6 +121,77 @@ TEST(Client, PollBudgetBoundsAcquireBlocking) {
     EXPECT_LT(w.sim.now() - t0, sim::sec(180));
     co_await c1.remove_lock_ref("k", r1.value());
     co_await c0.release_lock("k", r0.value());
+  }, sim::sec(600));
+  ASSERT_TRUE(ok);
+}
+
+TEST(Client, DecorrelatedBackoffStaysWithinEnvelope) {
+  ClientConfig cfg;
+  cfg.retry_backoff_base = sim::ms(5);
+  cfg.retry_backoff_cap = sim::ms(320);
+  sim::Rng rng(42);
+  sim::Duration prev = cfg.retry_backoff_base;
+  sim::Duration seen_max = 0;
+  for (int i = 0; i < 2000; ++i) {
+    sim::Duration next = decorrelated_backoff(cfg, rng, prev);
+    ASSERT_GE(next, cfg.retry_backoff_base);
+    ASSERT_LE(next, cfg.retry_backoff_cap);
+    ASSERT_LE(next, 3 * std::max(prev, cfg.retry_backoff_base));
+    seen_max = std::max(seen_max, next);
+    prev = next;
+  }
+  // The chain actually grows toward the cap (it is not stuck at base).
+  EXPECT_GT(seen_max, cfg.retry_backoff_cap / 2);
+}
+
+TEST(Client, OpDeadlineBoundsRetryLoop) {
+  // A dead store majority makes every attempt a retryable Timeout; the
+  // per-op deadline must cut the loop long before max_attempts would.
+  WorldOptions opt;
+  opt.client.op_deadline = sim::sec(2);
+  MusicWorld w(opt);
+  auto& c = w.client(0);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto ref = co_await c.create_lock_ref("k");
+    co_await c.acquire_lock_blocking("k", ref.value());
+    w.store.replica(1).set_down(true);
+    w.store.replica(2).set_down(true);
+    sim::Time t0 = w.sim.now();
+    auto st = co_await c.critical_put("k", ref.value(), Value("v"));
+    EXPECT_EQ(st.status(), OpStatus::RetryExhausted);
+    EXPECT_GE(c.stats().deadline_exceeded, 1u);
+    // Bounded by deadline + one in-flight request, nowhere near the
+    // 24-attempt budget's worth of timeouts.
+    EXPECT_LT(w.sim.now() - t0, sim::sec(10));
+    w.store.replica(1).set_down(false);
+    w.store.replica(2).set_down(false);
+    co_await c.release_lock("k", ref.value());
+  }, sim::sec(600));
+  ASSERT_TRUE(ok);
+}
+
+TEST(Client, ConsecutiveFailuresDemoteReplicas) {
+  // With the store majority dead every MUSIC replica keeps timing out;
+  // after health_fail_threshold consecutive failures the client demotes
+  // them.  Once the stores heal, quarantine must not wedge the client (it
+  // falls back to up replicas when everything healthy is demoted).
+  WorldOptions opt;
+  opt.client.max_attempts = 12;
+  MusicWorld w(opt);
+  auto& c = w.client(0);
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto ref = co_await c.create_lock_ref("k");
+    co_await c.acquire_lock_blocking("k", ref.value());
+    w.store.replica(1).set_down(true);
+    w.store.replica(2).set_down(true);
+    auto st = co_await c.critical_put("k", ref.value(), Value("v"));
+    EXPECT_EQ(st.status(), OpStatus::RetryExhausted);
+    EXPECT_GE(c.stats().demotions, 1u);
+    w.store.replica(1).set_down(false);
+    w.store.replica(2).set_down(false);
+    auto st2 = co_await c.critical_put("k", ref.value(), Value("v2"));
+    EXPECT_TRUE(st2.ok());
+    co_await c.release_lock("k", ref.value());
   }, sim::sec(600));
   ASSERT_TRUE(ok);
 }

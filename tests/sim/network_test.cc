@@ -131,6 +131,133 @@ TEST_F(NetworkTest, PartitionBlocksCrossTrafficOnly) {
   EXPECT_TRUE(crossed);
 }
 
+TEST_F(NetworkTest, PartitionsStackInsteadOfReplacing) {
+  // Regression: partition_sites used to silently REPLACE the active
+  // partition, so the second call below would have reopened 0<->1.
+  PartitionId p01 = net_.partition_sites({0}, {1});
+  PartitionId p12 = net_.partition_sites({1}, {2});
+  EXPECT_EQ(net_.active_partitions(), 2u);
+  EXPECT_FALSE(net_.deliverable(a_, b_));  // first partition still holds
+  EXPECT_FALSE(net_.deliverable(b_, c_));
+  EXPECT_TRUE(net_.deliverable(a_, c_));  // no partition separates 0 and 2
+
+  // Healing is per-id: dropping 1|2 must not heal 0|1.
+  net_.heal_partition(p12);
+  EXPECT_FALSE(net_.deliverable(a_, b_));
+  EXPECT_TRUE(net_.deliverable(b_, c_));
+  net_.heal_partition(p01);
+  EXPECT_TRUE(net_.deliverable(a_, b_));
+  EXPECT_EQ(net_.active_partitions(), 0u);
+}
+
+TEST_F(NetworkTest, HealAllPartitionsAndNoArgCompat) {
+  net_.partition_sites({0}, {1});
+  net_.partition_sites({0}, {2});
+  EXPECT_EQ(net_.active_partitions(), 2u);
+  net_.heal_partition();  // the pre-stacking no-arg call heals everything
+  EXPECT_EQ(net_.active_partitions(), 0u);
+  EXPECT_TRUE(net_.deliverable(a_, b_));
+  EXPECT_TRUE(net_.deliverable(a_, c_));
+}
+
+TEST_F(NetworkTest, BlackholeIsDirected) {
+  LinkFault f;
+  f.blackhole = true;
+  LinkFaultId id = net_.add_link_fault(0, 1, f);
+  EXPECT_FALSE(net_.deliverable(a_, b_));
+  EXPECT_TRUE(net_.deliverable(b_, a_));  // reverse direction untouched
+
+  bool forward = false, backward = false;
+  net_.send(a_, b_, 0, [&] { forward = true; });
+  net_.send(b_, a_, 0, [&] { backward = true; });
+  sim_.run_until_idle();
+  EXPECT_FALSE(forward);
+  EXPECT_TRUE(backward);
+  EXPECT_EQ(net_.link_fault_drops(), 0u);  // blackhole drops at deliverable()
+
+  net_.remove_link_fault(id);
+  net_.send(a_, b_, 0, [&] { forward = true; });
+  sim_.run_until_idle();
+  EXPECT_TRUE(forward);
+}
+
+TEST_F(NetworkTest, GrayLinkDropsRoughlyItsLossFraction) {
+  LinkFault f;
+  f.extra_drop = 0.5;
+  net_.add_link_fault(0, 1, f);
+  int delivered = 0;
+  const int kMsgs = 2000;
+  for (int i = 0; i < kMsgs; ++i) {
+    net_.send(a_, b_, 0, [&] { ++delivered; });
+  }
+  sim_.run_until_idle();
+  EXPECT_GT(delivered, kMsgs / 2 - 200);
+  EXPECT_LT(delivered, kMsgs / 2 + 200);
+  EXPECT_EQ(net_.link_fault_drops(),
+            static_cast<uint64_t>(kMsgs - delivered));
+}
+
+TEST_F(NetworkTest, LatencySpikeAddsDelay) {
+  LinkFault f;
+  f.extra_delay_ms = 100.0;
+  net_.add_link_fault(0, 1, f);
+  Time delivered = -1;
+  net_.send(a_, b_, 0, [&] { delivered = sim_.now(); });
+  sim_.run_until_idle();
+  // Base one-way 26.895ms + 100ms spike.
+  EXPECT_NEAR(static_cast<double>(delivered), 126895.0, 1.0);
+  // The reverse direction is unaffected.
+  net_.send(b_, a_, 0, [&] { delivered = sim_.now(); });
+  Time t0 = sim_.now();
+  sim_.run_until_idle();
+  EXPECT_NEAR(static_cast<double>(sim_.now() - t0), 26895.0, 1.0);
+}
+
+TEST_F(NetworkTest, DuplicationIsDedupedAtTheEndpoint) {
+  // The endpoint continuations are single-shot RPC promises, so the network
+  // models receiver-side dedup: the payload fires exactly once, at the
+  // earlier of the two sampled arrivals (duplication shows up as early or
+  // reordered delivery, never as a double-invoked continuation).
+  LinkFault f;
+  f.dup_prob = 1.0;
+  net_.add_link_fault(0, 1, f);
+  int deliveries = 0;
+  Time delivered = -1;
+  net_.send(a_, b_, 0, [&] {
+    ++deliveries;
+    delivered = sim_.now();
+  });
+  sim_.run_until_idle();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_GT(delivered, 0);
+  EXPECT_EQ(net_.messages_sent(), 1u);  // a dup is not a send
+  EXPECT_EQ(net_.duplicates_delivered(), 1u);
+}
+
+TEST_F(NetworkTest, ComposedFaultsOnOneLink) {
+  // A gray link and a latency spike on the same pair compose: delays add,
+  // and a blackhole added on top dominates both.
+  LinkFault spike;
+  spike.extra_delay_ms = 50.0;
+  net_.add_link_fault(0, 1, spike);
+  LinkFault spike2;
+  spike2.extra_delay_ms = 25.0;
+  net_.add_link_fault(0, 1, spike2);
+  Time delivered = -1;
+  net_.send(a_, b_, 0, [&] { delivered = sim_.now(); });
+  sim_.run_until_idle();
+  EXPECT_NEAR(static_cast<double>(delivered), 26895.0 + 75000.0, 1.0);
+
+  LinkFault hole;
+  hole.blackhole = true;
+  LinkFaultId id = net_.add_link_fault(0, 1, hole);
+  EXPECT_FALSE(net_.deliverable(a_, b_));
+  net_.remove_link_fault(id);
+  EXPECT_TRUE(net_.deliverable(a_, b_));
+  net_.clear_link_faults();
+  EXPECT_EQ(net_.active_link_faults(), 0u);
+}
+
 TEST(NetworkDrops, DropProbabilityLosesRoughlyThatFraction) {
   Simulation s(11);
   NetworkConfig cfg;

@@ -48,6 +48,7 @@ struct WorldOptions {
   core::MusicConfig music{};
   ds::StoreConfig store{};
   sim::NetworkConfig net{};
+  core::ClientConfig client{};
   int clients_per_site = 1;
 
   WorldOptions() { net.profile = profile; }
@@ -75,7 +76,7 @@ class MusicWorld {
     for (int site = 0; site < 3; ++site) {
       for (int c = 0; c < options.clients_per_site; ++c) {
         clients.push_back(std::make_unique<core::MusicClient>(
-            sim, net, prefs(site), core::ClientConfig{}, site));
+            sim, net, prefs(site), options.client, site));
       }
     }
   }

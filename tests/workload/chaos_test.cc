@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string_view>
 
+#include "obs/trace.h"
 #include "util/world.h"
 #include "workload/driver.h"
 #include "workload/runners.h"
@@ -80,6 +82,63 @@ TEST(Chaos, SystemKeepsServingUnderInjection) {
   EXPECT_GT(r.completed, 20u);
   EXPECT_GT(static_cast<double>(r.completed),
             4.0 * static_cast<double>(r.failed));
+}
+
+TEST(Chaos, EverythingBrokenIsHealedByUntil) {
+  // Outages are clamped to the window: at `until` (not merely "eventually
+  // after"), nothing injected is still broken.
+  MusicWorld w;
+  std::vector<core::MusicReplica*> reps;
+  for (auto& r : w.replicas) reps.push_back(r.get());
+  ChaosConfig cfg;
+  cfg.min_gap = sim::sec(1);
+  cfg.max_gap = sim::sec(2);
+  cfg.min_outage = sim::sec(2);
+  cfg.max_outage = sim::sec(8);  // would overshoot the window unclamped
+  ChaosInjector chaos(w.store, reps, cfg);
+  sim::Time until = sim::sec(30);
+  chaos.start(until);
+  w.sim.run_until(until);
+  EXPECT_EQ(chaos.nemesis().open_faults(), 0u);
+  EXPECT_EQ(w.net.active_partitions(), 0u);
+  for (int i = 0; i < w.store.num_replicas(); ++i) {
+    EXPECT_FALSE(w.store.replica(i).down()) << i;
+  }
+  for (auto* m : reps) EXPECT_FALSE(m->down());
+}
+
+TEST(Chaos, InjectedFaultCountersMatchScheduleAndSpans) {
+  obs::Tracer tracer;
+  MusicWorld w;
+  w.sim.set_tracer(&tracer);
+  std::vector<core::MusicReplica*> reps;
+  for (auto& r : w.replicas) reps.push_back(r.get());
+  ChaosConfig cfg;
+  cfg.min_gap = sim::sec(1);
+  cfg.max_gap = sim::sec(3);
+  ChaosInjector chaos(w.store, reps, cfg);
+  chaos.start(sim::sec(60));
+  w.sim.run_until(sim::sec(70));
+
+  // The injector's own counters agree with the nemesis engine's.
+  const auto& c = chaos.nemesis().counters();
+  EXPECT_EQ(chaos.store_crashes_injected(), c.store_crashes);
+  EXPECT_EQ(chaos.music_crashes_injected(), c.music_crashes);
+  EXPECT_EQ(chaos.partitions_injected(), c.partitions);
+  uint64_t total = chaos.store_crashes_injected() +
+                   chaos.music_crashes_injected() +
+                   chaos.partitions_injected();
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(c.heals, total);  // every injected fault was healed
+
+  // One "fault.*" span per injected fault, every one closed (outage over).
+  uint64_t fault_spans = 0;
+  for (const auto& s : tracer.spans()) {
+    if (std::string_view(s.name).substr(0, 6) != "fault.") continue;
+    ++fault_spans;
+    EXPECT_TRUE(s.finished()) << s.name << " " << s.detail;
+  }
+  EXPECT_EQ(fault_spans, total);
 }
 
 TEST(Chaos, DeterministicPerSeed) {

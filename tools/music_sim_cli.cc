@@ -20,6 +20,8 @@
 
 #include "core/client.h"
 #include "core/music.h"
+#include "fault/fault.h"
+#include "fault/nemesis.h"
 #include "lockstore/raft_lockstore.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -47,6 +49,7 @@ struct Options {
   int warmup_sec = 3;
   uint64_t seed = 1;
   bool chaos = false;
+  std::string nemesis;  // fault schedule script ("" = no nemesis)
   bool latency_mode = false;  // single-thread latency instead of throughput
   std::string trace_out;      // Chrome trace_event JSON ("" = tracing off)
   std::string metrics_out;    // metrics dump; .csv -> CSV, else JSON
@@ -68,7 +71,11 @@ void usage() {
   --warmup-sec N           warmup                          (default 3)
   --seed N                 simulation seed                 (default 1)
   --latency                single-thread latency run
-  --chaos                  inject replica crashes and partitions
+  --chaos                  inject randomized replica crashes and partitions
+  --nemesis "SCRIPT"       run a scripted fault schedule (docs/FAULTS.md), e.g.
+                           "at 5s partition 0|1,2 for 3s; at 10s gray 0<>1
+                           loss 0.2 delay 20ms for 5s; at 12s crash store 1
+                           for 2s"; times are absolute sim time incl. warmup
   --trace-out PATH         write a Chrome trace_event JSON of the run
                            (load in chrome://tracing or Perfetto)
   --metrics-out PATH       write counters/histograms; .csv -> CSV, else JSON
@@ -100,6 +107,7 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--seed") o.seed = static_cast<uint64_t>(std::atoll(need(i)));
     else if (a == "--latency") o.latency_mode = true;
     else if (a == "--chaos") o.chaos = true;
+    else if (a == "--nemesis") o.nemesis = need(i);
     else if (a == "--trace-out") o.trace_out = need(i);
     else if (a == "--metrics-out") o.metrics_out = need(i);
     else if (a == "--help" || a == "-h") { usage(); std::exit(0); }
@@ -191,6 +199,26 @@ int main(int argc, char** argv) {
     tracer->set_registry(&metrics);
     d.s.set_tracer(tracer.get());
   }
+  std::unique_ptr<fault::Nemesis> nemesis;
+  if (!o.nemesis.empty()) {
+    std::string err;
+    auto schedule = fault::Schedule::parse(o.nemesis, &err);
+    if (!schedule) {
+      std::fprintf(stderr, "bad --nemesis script: %s\n", err.c_str());
+      return 2;
+    }
+    fault::NemesisHooks hooks;
+    hooks.crash_store = [&d](int r, bool down, bool amnesia) {
+      if (down && amnesia) d.store.replica(r).wipe_state();
+      d.store.replica(r).set_down(down);
+    };
+    hooks.crash_music = [&d](int r, bool down, bool amnesia) {
+      d.replicas.at(static_cast<size_t>(r))->set_down(down, amnesia);
+    };
+    nemesis = std::make_unique<fault::Nemesis>(d.s, d.net, std::move(hooks));
+    nemesis->arm(*schedule);
+    std::printf("nemesis schedule:\n%s", schedule->describe().c_str());
+  }
   std::unique_ptr<wl::ChaosInjector> chaos;
   if (o.chaos) {
     std::vector<core::MusicReplica*> reps;
@@ -257,11 +285,46 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(chaos->music_crashes_injected()),
                 static_cast<unsigned long long>(chaos->partitions_injected()));
   }
+  core::ClientStats cstats;
+  for (auto& c : d.clients) {
+    const core::ClientStats& s = c->stats();
+    cstats.attempts += s.attempts;
+    cstats.retries += s.retries;
+    cstats.retry_exhausted += s.retry_exhausted;
+    cstats.deadline_exceeded += s.deadline_exceeded;
+    cstats.demotions += s.demotions;
+  }
+  if (nemesis) {
+    const fault::Nemesis::Counters& nc = nemesis->counters();
+    std::printf("nemesis: %llu partitions, %llu link faults, %llu store "
+                "crashes, %llu music crashes, %llu heals (%zu still open)\n",
+                static_cast<unsigned long long>(nc.partitions),
+                static_cast<unsigned long long>(nc.link_faults),
+                static_cast<unsigned long long>(nc.store_crashes),
+                static_cast<unsigned long long>(nc.music_crashes),
+                static_cast<unsigned long long>(nc.heals),
+                nemesis->open_faults());
+  }
+  if (nemesis || chaos || cstats.retries != 0) {
+    std::printf("client retries: %llu attempts, %llu retried, %llu exhausted, "
+                "%llu past deadline, %llu replica demotions\n",
+                static_cast<unsigned long long>(cstats.attempts),
+                static_cast<unsigned long long>(cstats.retries),
+                static_cast<unsigned long long>(cstats.retry_exhausted),
+                static_cast<unsigned long long>(cstats.deadline_exceeded),
+                static_cast<unsigned long long>(cstats.demotions));
+  }
   std::printf("simulated %.1f s in %llu events\n", sim::to_sec(d.s.now()),
               static_cast<unsigned long long>(d.s.events_run()));
 
   if (tracer) {
     d.net.export_metrics(metrics);
+    if (nemesis) nemesis->export_metrics(metrics);
+    metrics.set("client.attempts", cstats.attempts);
+    metrics.set("client.retries", cstats.retries);
+    metrics.set("client.retry_exhausted", cstats.retry_exhausted);
+    metrics.set("client.deadline_exceeded", cstats.deadline_exceeded);
+    metrics.set("client.demotions", cstats.demotions);
     metrics.set("sim.events_run", d.s.events_run());
     metrics.set("sim.now_us", static_cast<uint64_t>(d.s.now()));
     metrics.set("run.completed", r.completed);
