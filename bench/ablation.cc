@@ -9,6 +9,9 @@
 //   4. Lock-store substrate (§X-A1): Cassandra LWTs (the paper's production
 //      choice, 4 RTTs per consensus write) vs a Raft-backed lock store (the
 //      "1-RTT consensus" future work), with the same MUSIC core on top.
+//
+// Ablations 3 and 4 are sweeps of independent seeded worlds and fan out via
+// par::run_worlds; 1 and 2 are single-world probes and stay sequential.
 #include <cstdio>
 #include <memory>
 
@@ -22,9 +25,63 @@ namespace {
 
 constexpr uint64_t kSeed = 99;
 
+CellResult amortization_cell(const sim::LatencyProfile& lus, int batch) {
+  WallTimer wall;
+  MusicWorld w(kSeed, lus, core::PutMode::Quorum, 3, 1);
+  auto workload =
+      std::make_shared<wl::MusicCsWorkload>(w.client_ptrs(), "a", batch, 10);
+  CellResult out;
+  out.run = wl::run_sequential(w.sim, workload, 6, sim::sec(3600));
+  out.events = w.sim.events_run();
+  out.wall_sec = wall.elapsed_sec();
+  return out;
+}
+
+CellResult lwt_cell(const sim::LatencyProfile& lus, int batch) {
+  WallTimer wall;
+  MusicWorld w(kSeed, lus, core::PutMode::Quorum, 3, 1);
+  auto workload =
+      std::make_shared<wl::MusicCsWorkload>(w.client_ptrs(), "l", batch, 10);
+  CellResult out;
+  out.run = wl::run_sequential(w.sim, workload, 6, sim::sec(3600));
+  out.events = w.sim.events_run();
+  out.wall_sec = wall.elapsed_sec();
+  return out;
+}
+
+// Raft backend: same data store, lock queues on a Raft KV.
+CellResult raft_cell(const sim::LatencyProfile& lus, int batch) {
+  WallTimer wall;
+  sim::Simulation s(kSeed);
+  sim::NetworkConfig nc;
+  nc.profile = lus;
+  sim::Network net(s, nc);
+  ds::StoreCluster store(s, net, ds::StoreConfig{}, {0, 1, 2});
+  raftkv::RaftCluster raft(s, net, raftkv::RaftConfig{}, {0, 1, 2});
+  raft.start();
+  raft.wait_for_leader();
+  ls::RaftLockStore locks(raft);
+  std::vector<std::unique_ptr<core::MusicReplica>> reps;
+  for (int site = 0; site < 3; ++site) {
+    reps.push_back(std::make_unique<core::MusicReplica>(
+        store, locks, core::MusicConfig{}, site));
+  }
+  std::vector<core::MusicReplica*> prefs{reps[0].get(), reps[1].get(),
+                                         reps[2].get()};
+  core::MusicClient client(s, net, prefs, core::ClientConfig{}, 0);
+  auto workload = std::make_shared<wl::MusicCsWorkload>(
+      std::vector<core::MusicClient*>{&client}, "r", batch, 10);
+  CellResult out;
+  out.run = wl::run_sequential(s, workload, 6, sim::sec(3600));
+  out.events = s.events_run();
+  out.wall_sec = wall.elapsed_sec();
+  return out;
+}
+
 }  // namespace
 
 int main() {
+  BenchReport report("ablation");
   auto lus = sim::LatencyProfile::profile_lus();
 
   // ---- 1. local vs quorum peek --------------------------------------------
@@ -32,6 +89,7 @@ int main() {
               "paper's design) vs a quorum peek\n");
   hr();
   {
+    WallTimer wall;
     MusicWorld w(kSeed, lus, core::PutMode::Quorum, 3, 1);
     wl::Samples local_peek, quorum_peek;
     bool done = false;
@@ -58,6 +116,12 @@ int main() {
                 "polls locally)\n",
                 quorum_peek.mean_ms(),
                 quorum_peek.mean_ms() / local_peek.mean_ms());
+    CellResult cell;
+    cell.events = w.sim.events_run();
+    cell.wall_sec = wall.elapsed_sec();
+    report.set("ablation1.local_peek_ms", local_peek.mean_ms());
+    report.set("ablation1.quorum_peek_ms", quorum_peek.mean_ms());
+    report.add_cell("ablation1", cell);
   }
   hr();
 
@@ -106,15 +170,23 @@ int main() {
   std::printf("%-8s %16s %16s\n", "batch", "section ms", "ms per write");
   Csv csv("ablation_amortization.csv");
   csv.row("batch,section_ms,per_write_ms");
-  for (int batch : {1, 2, 5, 10, 25, 50, 100}) {
-    MusicWorld w(kSeed, lus, core::PutMode::Quorum, 3, 1);
-    auto workload =
-        std::make_shared<wl::MusicCsWorkload>(w.client_ptrs(), "a", batch, 10);
-    auto r = wl::run_sequential(w.sim, workload, 6, sim::sec(3600));
-    double per_write = r.latency.mean_ms() / batch;
-    std::printf("%-8d %16.1f %16.1f\n", batch, r.latency.mean_ms(), per_write);
-    csv.row(std::to_string(batch) + "," + std::to_string(r.latency.mean_ms()) +
-            "," + std::to_string(per_write));
+  std::vector<int> batches{1, 2, 5, 10, 25, 50, 100};
+  std::vector<std::function<CellResult()>> jobs;
+  for (int batch : batches) {
+    jobs.push_back([lus, batch] { return amortization_cell(lus, batch); });
+  }
+  auto cells = run_cells(std::move(jobs));
+  for (size_t i = 0; i < batches.size(); ++i) {
+    int batch = batches[i];
+    double section_ms = cells[i].run.latency.mean_ms();
+    double per_write = section_ms / batch;
+    std::printf("%-8d %16.1f %16.1f\n", batch, section_ms, per_write);
+    csv.row(std::to_string(batch) + "," + std::to_string(section_ms) + "," +
+            std::to_string(per_write));
+    std::string base = "ablation3.b";
+    base += std::to_string(batch);
+    report.set(base + ".per_write_ms", per_write);
+    report.add_cell(base, cells[i]);
   }
   std::printf("(per-write cost approaches the bare quorum-put latency as the "
               "2 consensus lock ops amortize)\n");
@@ -127,44 +199,24 @@ int main() {
   std::printf("%-8s %18s %18s\n", "batch", "LWT section ms", "Raft section ms");
   Csv csv4("ablation_lockstore.csv");
   csv4.row("batch,lwt_ms,raft_ms");
-  for (int batch : {1, 10, 100}) {
-    // LWT backend (the standard MusicWorld).
-    double lwt_ms = 0;
-    {
-      MusicWorld w(kSeed, lus, core::PutMode::Quorum, 3, 1);
-      auto workload =
-          std::make_shared<wl::MusicCsWorkload>(w.client_ptrs(), "l", batch, 10);
-      auto r = wl::run_sequential(w.sim, workload, 6, sim::sec(3600));
-      lwt_ms = r.latency.mean_ms();
-    }
-    // Raft backend: same data store, lock queues on a Raft KV.
-    double raft_ms = 0;
-    {
-      sim::Simulation s(kSeed);
-      sim::NetworkConfig nc;
-      nc.profile = lus;
-      sim::Network net(s, nc);
-      ds::StoreCluster store(s, net, ds::StoreConfig{}, {0, 1, 2});
-      raftkv::RaftCluster raft(s, net, raftkv::RaftConfig{}, {0, 1, 2});
-      raft.start();
-      raft.wait_for_leader();
-      ls::RaftLockStore locks(raft);
-      std::vector<std::unique_ptr<core::MusicReplica>> reps;
-      for (int site = 0; site < 3; ++site) {
-        reps.push_back(std::make_unique<core::MusicReplica>(
-            store, locks, core::MusicConfig{}, site));
-      }
-      std::vector<core::MusicReplica*> prefs{reps[0].get(), reps[1].get(),
-                                             reps[2].get()};
-      core::MusicClient client(s, net, prefs, core::ClientConfig{}, 0);
-      auto workload = std::make_shared<wl::MusicCsWorkload>(
-          std::vector<core::MusicClient*>{&client}, "r", batch, 10);
-      auto r = wl::run_sequential(s, workload, 6, sim::sec(3600));
-      raft_ms = r.latency.mean_ms();
-    }
+  std::vector<int> batches4{1, 10, 100};
+  std::vector<std::function<CellResult()>> jobs4;
+  for (int batch : batches4) {
+    jobs4.push_back([lus, batch] { return lwt_cell(lus, batch); });
+    jobs4.push_back([lus, batch] { return raft_cell(lus, batch); });
+  }
+  auto cells4 = run_cells(std::move(jobs4));
+  for (size_t i = 0; i < batches4.size(); ++i) {
+    int batch = batches4[i];
+    double lwt_ms = cells4[i * 2].run.latency.mean_ms();
+    double raft_ms = cells4[i * 2 + 1].run.latency.mean_ms();
     std::printf("%-8d %18.1f %18.1f\n", batch, lwt_ms, raft_ms);
     csv4.row(std::to_string(batch) + "," + std::to_string(lwt_ms) + "," +
              std::to_string(raft_ms));
+    std::string base = "ablation4.b";
+    base += std::to_string(batch);
+    report.add_cell(base + ".lwt", cells4[i * 2]);
+    report.add_cell(base + ".raft", cells4[i * 2 + 1]);
   }
   std::printf("(the Raft backend cuts createLockRef/releaseLock from 4 RTTs "
               "to ~1 consensus round + a leader hop; criticalPuts are "

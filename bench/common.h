@@ -12,9 +12,13 @@
 // prints the paper's reported values alongside for comparison.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/client.h"
@@ -24,6 +28,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/par.h"
 #include "raftkv/txkv.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
@@ -33,6 +38,116 @@
 #include "zab/zab.h"
 
 namespace music::bench {
+
+/// Host wall-clock stopwatch (NOT simulated time) for kernel-speed
+/// reporting: how long a world took to execute, and how many simulated
+/// events per host second the kernel sustained.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_sec() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One simulated world's bench outcome: the workload result plus how hard
+/// the kernel worked for it (events executed, host wall-clock consumed).
+struct CellResult {
+  wl::RunResult run;
+  uint64_t events = 0;
+  double wall_sec = 0.0;
+
+  double events_per_sec() const {
+    return wall_sec > 0.0 ? static_cast<double>(events) / wall_sec : 0.0;
+  }
+};
+
+/// Worker threads for bench sweeps: MUSIC_BENCH_THREADS if set (1 forces
+/// sequential), else 0 = par::default_threads().
+inline size_t bench_threads() {
+  if (const char* env = std::getenv("MUSIC_BENCH_THREADS")) {
+    long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 0;
+}
+
+/// Fans independent world thunks across the thread pool (see
+/// par::run_worlds); results are in job order regardless of completion
+/// order, so printed tables and CSVs are identical at any thread count.
+inline std::vector<CellResult> run_cells(
+    std::vector<std::function<CellResult()>> jobs) {
+  return par::run_worlds(
+      jobs, [](const std::function<CellResult()>& j) { return j(); },
+      bench_threads());
+}
+
+/// Per-bench machine-readable report, written as BENCH_<name>.json next to
+/// the binary output: a flat string -> number map plus the bench's total
+/// wall-clock and aggregate kernel events/sec.  CI's perf-smoke job diffs
+/// these against committed baselines.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  ~BenchReport() { write(); }
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void set(const std::string& key, double v) { entries_.emplace_back(key, v); }
+
+  /// Records one world's kernel cost under `label`.*.
+  void add_cell(const std::string& label, const CellResult& c) {
+    set(label + ".wall_sec", c.wall_sec);
+    set(label + ".events", static_cast<double>(c.events));
+    set(label + ".events_per_sec", c.events_per_sec());
+    total_events_ += c.events;
+    total_world_wall_ += c.wall_sec;
+  }
+
+  bool write() {
+    if (written_) return true;
+    written_ = true;
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    std::fprintf(f, "  \"wall_sec_total\": %.6g,\n", timer_.elapsed_sec());
+    std::fprintf(f, "  \"world_wall_sec_sum\": %.6g,\n", total_world_wall_);
+    std::fprintf(f, "  \"events_total\": %.17g,\n",
+                 static_cast<double>(total_events_));
+    std::fprintf(f, "  \"events_per_sec_aggregate\": %.6g,\n",
+                 total_world_wall_ > 0.0
+                     ? static_cast<double>(total_events_) / total_world_wall_
+                     : 0.0);
+    std::fprintf(f, "  \"metrics\": {");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
+                   entries_[i].first.c_str(), entries_[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("[bench] wrote %s (wall %.2fs, %.2fM events/s aggregate)\n",
+                path.c_str(), timer_.elapsed_sec(),
+                total_world_wall_ > 0.0
+                    ? static_cast<double>(total_events_) / total_world_wall_ /
+                          1e6
+                    : 0.0);
+    return true;
+  }
+
+ private:
+  std::string name_;
+  WallTimer timer_;
+  std::vector<std::pair<std::string, double>> entries_;
+  uint64_t total_events_ = 0;
+  double total_world_wall_ = 0.0;
+  bool written_ = false;
+};
 
 /// Attaches a Tracer + MetricsRegistry to a simulation for one run and
 /// exports both on dump().  Tracing stays off (and costs nothing) unless a
@@ -113,7 +228,16 @@ struct MusicWorld {
               c.profile = profile;
               return c;
             }()),
-        store(sim, net, ds::StoreConfig{}, node_sites(store_nodes)),
+        store(sim, net,
+              [&] {
+                ds::StoreConfig c;
+                // Workload hint: per-client key ranges plus lock tables stay
+                // comfortably under this; replicas pre-size their tables so
+                // steady-state writes never rehash.
+                c.expected_keys = 4096;
+                return c;
+              }(),
+              node_sites(store_nodes)),
         locks(store) {
     core::MusicConfig mc;
     mc.put_mode = mode;

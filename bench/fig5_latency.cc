@@ -5,6 +5,10 @@
 //       (Q for MUSIC vs P for MSCP), releaseLock (C).
 // Paper (lUs): createLockRef/releaseLock 219-230ms (4 RTTs), peek ~0.67ms,
 // grant ~55ms, MUSIC put ~93ms, MSCP put ~270ms.
+//
+// Part (a)'s nine (profile, system) cells are independent seeded worlds and
+// run in parallel via par::run_worlds; output order is fixed by the job
+// list, so the table is identical at any thread count.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -19,12 +23,14 @@ namespace {
 constexpr uint64_t kSeed = 7;
 constexpr int kOps = 40;
 
-double music_latency_ms(const sim::LatencyProfile& profile,
-                        core::PutMode mode) {
+CellResult music_latency(const sim::LatencyProfile& profile,
+                         core::PutMode mode) {
   // The paper runs a load generator on each site; average the per-site
   // single-thread latencies (sites see different quorum distances,
-  // especially on lUsEu where Frankfurt is 100-150ms away).
-  double total = 0;
+  // especially on lUsEu where Frankfurt is 100-150ms away).  Each site runs
+  // kOps sections, so merging the samples equals averaging the site means.
+  WallTimer wall;
+  CellResult out;
   for (int site = 0; site < 3; ++site) {
     MusicWorld w(kSeed + static_cast<uint64_t>(site), profile, mode, 3, 1);
     auto clients = w.client_ptrs();
@@ -32,20 +38,27 @@ double music_latency_ms(const sim::LatencyProfile& profile,
     auto workload =
         std::make_shared<wl::MusicCsWorkload>(clients, "lat", 1, 10);
     auto r = wl::run_sequential(w.sim, workload, kOps);
-    total += r.latency.mean_ms();
+    out.run.latency.merge(r.latency);
+    out.run.completed += r.completed;
+    out.events += w.sim.events_run();
   }
-  return total / 3.0;
+  out.wall_sec = wall.elapsed_sec();
+  return out;
 }
 
-double cassaev_latency_ms(const sim::LatencyProfile& profile) {
+CellResult cassaev_latency(const sim::LatencyProfile& profile) {
+  WallTimer wall;
   sim::Simulation s(kSeed);
   sim::NetworkConfig nc;
   nc.profile = profile;
   sim::Network net(s, nc);
   ds::StoreCluster store(s, net, ds::StoreConfig{}, {0, 1, 2});
   auto workload = std::make_shared<wl::CassaEvWorkload>(store, "ev", 10);
-  auto r = wl::run_sequential(s, workload, kOps);
-  return r.latency.mean_ms();
+  CellResult out;
+  out.run = wl::run_sequential(s, workload, kOps);
+  out.events = s.events_run();
+  out.wall_sec = wall.elapsed_sec();
+  return out;
 }
 
 /// Per-operation breakdown, measured client-side over many sections.
@@ -91,6 +104,7 @@ sim::Task<void> measure_breakdown(MusicWorld& w, Breakdown& out, int rounds) {
 }  // namespace
 
 int main() {
+  BenchReport report("fig5");
   std::printf("Figure 5(a): single-thread mean latency (ms), batch=1, 10B\n");
   std::printf("paper (lUs): CassaEV ~1, MUSIC ~590 total section, MSCP ~30%% "
               "higher on cross-region profiles\n");
@@ -99,14 +113,31 @@ int main() {
               "MSCP", "MSCP/MUSIC");
   Csv csv("fig5a.csv");
   csv.row("profile,cassaev_ms,music_ms,mscp_ms");
-  for (const auto& profile : sim::LatencyProfile::table2()) {
-    double ev = cassaev_latency_ms(profile);
-    double mu = music_latency_ms(profile, core::PutMode::Quorum);
-    double ms = music_latency_ms(profile, core::PutMode::Lwt);
-    std::printf("%-8s %10.2f %10.1f %10.1f %11.2fx\n", profile.name.c_str(),
+  auto profiles = sim::LatencyProfile::table2();
+  std::vector<std::function<CellResult()>> jobs;
+  for (const auto& profile : profiles) {
+    jobs.push_back([profile] { return cassaev_latency(profile); });
+    jobs.push_back(
+        [profile] { return music_latency(profile, core::PutMode::Quorum); });
+    jobs.push_back(
+        [profile] { return music_latency(profile, core::PutMode::Lwt); });
+  }
+  auto cells = run_cells(std::move(jobs));
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    double ev = cells[i * 3].run.latency.mean_ms();
+    double mu = cells[i * 3 + 1].run.latency.mean_ms();
+    double ms = cells[i * 3 + 2].run.latency.mean_ms();
+    std::printf("%-8s %10.2f %10.1f %10.1f %11.2fx\n", profiles[i].name.c_str(),
                 ev, mu, ms, ms / mu);
-    csv.row(profile.name + "," + std::to_string(ev) + "," +
+    csv.row(profiles[i].name + "," + std::to_string(ev) + "," +
             std::to_string(mu) + "," + std::to_string(ms));
+    std::string base = "fig5a.";
+    base += profiles[i].name;
+    report.set(base + ".music_ms", mu);
+    report.set(base + ".mscp_ms", ms);
+    report.add_cell(base + ".cassaev", cells[i * 3]);
+    report.add_cell(base + ".music", cells[i * 3 + 1]);
+    report.add_cell(base + ".mscp", cells[i * 3 + 2]);
   }
   hr();
 
@@ -118,6 +149,7 @@ int main() {
   csv_b.row("op,mode,mean_ms");
   auto lus = sim::LatencyProfile::profile_lus();
   for (auto mode : {core::PutMode::Quorum, core::PutMode::Lwt}) {
+    WallTimer wall;
     MusicWorld w(kSeed, lus, mode, 3, 1);
     Breakdown bd;
     bool done = false;
@@ -127,6 +159,12 @@ int main() {
     }(w, bd, done));
     w.sim.run_until(sim::sec(600));
     const char* name = mode == core::PutMode::Quorum ? "MUSIC" : "MSCP";
+    CellResult cell;
+    cell.events = w.sim.events_run();
+    cell.wall_sec = wall.elapsed_sec();
+    std::string base = "fig5b.";
+    base += name;
+    report.add_cell(base, cell);
     if (!done) {
       std::printf("%s: breakdown did not finish\n", name);
       continue;

@@ -5,6 +5,9 @@
 // Paper shape: MUSIC ~2-4x faster; the gap follows §X-B4's cost model —
 // CockroachDB pays 2 consensus rounds per update, MUSIC one quorum write
 // (its consensus lock cost amortizes over the batch).
+//
+// Each (system, batch/size) cell is an independent seeded world, fanned out
+// via par::run_worlds.
 #include <cstdio>
 #include <memory>
 
@@ -17,28 +20,37 @@ namespace {
 
 constexpr uint64_t kSeed = 21;
 
-double music_cs_ms(int batch, size_t vsize) {
+CellResult music_cs(int batch, size_t vsize) {
+  WallTimer wall;
   MusicWorld w(kSeed, sim::LatencyProfile::profile_lus(),
                core::PutMode::Quorum, 3, 1);
   auto workload =
       std::make_shared<wl::MusicCsWorkload>(w.client_ptrs(), "cs", batch, vsize);
-  auto r = wl::run_sequential(w.sim, workload, batch >= 100 ? 5 : 15,
-                              sim::sec(7200));
-  return r.latency.mean_ms();
+  CellResult out;
+  out.run = wl::run_sequential(w.sim, workload, batch >= 100 ? 5 : 15,
+                               sim::sec(7200));
+  out.events = w.sim.events_run();
+  out.wall_sec = wall.elapsed_sec();
+  return out;
 }
 
-double cdb_cs_ms(int batch, size_t vsize) {
+CellResult cdb_cs(int batch, size_t vsize) {
+  WallTimer wall;
   CdbWorld w(kSeed, sim::LatencyProfile::profile_lus(), 1);
   auto workload =
       std::make_shared<wl::CdbCsWorkload>(w.client_ptrs(), "cs", batch, vsize);
-  auto r = wl::run_sequential(w.sim, workload, batch >= 100 ? 5 : 15,
-                              sim::sec(7200));
-  return r.latency.mean_ms();
+  CellResult out;
+  out.run = wl::run_sequential(w.sim, workload, batch >= 100 ? 5 : 15,
+                               sim::sec(7200));
+  out.events = w.sim.events_run();
+  out.wall_sec = wall.elapsed_sec();
+  return out;
 }
 
 }  // namespace
 
 int main() {
+  BenchReport report("fig7");
   std::printf("Figure 7(a): critical-section mean latency vs batch size (ms), "
               "lUs, single thread, 10B\n");
   std::printf("paper: MUSIC ~2-4x faster than the CockroachDB critical "
@@ -48,12 +60,23 @@ int main() {
               "Cdb/MUSIC");
   Csv csv("fig7a.csv");
   csv.row("batch,music_ms,cdb_ms");
-  for (int batch : {1, 10, 50, 100}) {
-    double mu = music_cs_ms(batch, 10);
-    double cdb = cdb_cs_ms(batch, 10);
-    std::printf("%-8d %12.1f %14.1f %9.2fx\n", batch, mu, cdb, cdb / mu);
-    csv.row(std::to_string(batch) + "," + std::to_string(mu) + "," +
+  std::vector<int> batches{1, 10, 50, 100};
+  std::vector<std::function<CellResult()>> jobs;
+  for (int batch : batches) {
+    jobs.push_back([batch] { return music_cs(batch, 10); });
+    jobs.push_back([batch] { return cdb_cs(batch, 10); });
+  }
+  auto cells = run_cells(std::move(jobs));
+  for (size_t i = 0; i < batches.size(); ++i) {
+    double mu = cells[i * 2].run.latency.mean_ms();
+    double cdb = cells[i * 2 + 1].run.latency.mean_ms();
+    std::printf("%-8d %12.1f %14.1f %9.2fx\n", batches[i], mu, cdb, cdb / mu);
+    csv.row(std::to_string(batches[i]) + "," + std::to_string(mu) + "," +
             std::to_string(cdb));
+    std::string base = "fig7a.b";
+    base += std::to_string(batches[i]);
+    report.add_cell(base + ".music", cells[i * 2]);
+    report.add_cell(base + ".cdb", cells[i * 2 + 1]);
   }
   hr();
 
@@ -64,14 +87,24 @@ int main() {
               "Cdb/MUSIC");
   Csv csv_b("fig7b.csv");
   csv_b.row("bytes,music_ms,cdb_ms");
-  for (size_t vsize : {size_t{10}, size_t{1024}, size_t{16 * 1024},
-                       size_t{256 * 1024}}) {
-    double mu = music_cs_ms(100, vsize);
-    double cdb = cdb_cs_ms(100, vsize);
-    std::printf("%-8s %12.1f %14.1f %9.2fx\n", size_label(vsize).c_str(), mu,
-                cdb, cdb / mu);
-    csv_b.row(std::to_string(vsize) + "," + std::to_string(mu) + "," +
+  std::vector<size_t> sizes{10, 1024, 16 * 1024, 256 * 1024};
+  std::vector<std::function<CellResult()>> jobs_b;
+  for (size_t vsize : sizes) {
+    jobs_b.push_back([vsize] { return music_cs(100, vsize); });
+    jobs_b.push_back([vsize] { return cdb_cs(100, vsize); });
+  }
+  auto cells_b = run_cells(std::move(jobs_b));
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    double mu = cells_b[i * 2].run.latency.mean_ms();
+    double cdb = cells_b[i * 2 + 1].run.latency.mean_ms();
+    std::printf("%-8s %12.1f %14.1f %9.2fx\n", size_label(sizes[i]).c_str(),
+                mu, cdb, cdb / mu);
+    csv_b.row(std::to_string(sizes[i]) + "," + std::to_string(mu) + "," +
               std::to_string(cdb));
+    std::string base = "fig7b.";
+    base += size_label(sizes[i]);
+    report.add_cell(base + ".music", cells_b[i * 2]);
+    report.add_cell(base + ".cdb", cells_b[i * 2 + 1]);
   }
   hr();
   return 0;

@@ -99,7 +99,8 @@ bool check_batching_rtts() {
   return ok;
 }
 
-double cs_latency_ms(int batch, bool batched, int iters) {
+CellResult cs_latency(int batch, bool batched, int iters) {
+  WallTimer wall;
   MusicWorld w(kSeed, sim::LatencyProfile::profile_lus(),
                core::PutMode::Quorum, 3, 1);
   std::shared_ptr<wl::Workload> workload;
@@ -110,11 +111,15 @@ double cs_latency_ms(int batch, bool batched, int iters) {
     workload = std::make_shared<wl::MusicCsWorkload>(w.client_ptrs(), "m",
                                                      batch, 10);
   }
-  auto r = wl::run_sequential(w.sim, workload, iters, sim::sec(7200));
-  return r.latency.mean_ms();
+  CellResult out;
+  out.run = wl::run_sequential(w.sim, workload, iters, sim::sec(7200));
+  out.events = w.sim.events_run();
+  out.wall_sec = wall.elapsed_sec();
+  return out;
 }
 
-double cs_throughput(int batch, bool batched) {
+CellResult cs_throughput(int batch, bool batched) {
+  WallTimer wall;
   MusicWorld w(kSeed, sim::LatencyProfile::profile_lus(),
                core::PutMode::Quorum, 3, 3);
   std::shared_ptr<wl::Workload> workload;
@@ -129,8 +134,11 @@ double cs_throughput(int batch, bool batched) {
   cfg.clients = 9;
   cfg.warmup = sim::sec(5);
   cfg.measure = sim::sec(30);
-  auto r = wl::run_closed_loop(w.sim, workload, cfg);
-  return r.throughput();
+  CellResult out;
+  out.run = wl::run_closed_loop(w.sim, workload, cfg);
+  out.events = w.sim.events_run();
+  out.wall_sec = wall.elapsed_sec();
+  return out;
 }
 
 }  // namespace
@@ -145,8 +153,8 @@ int main(int argc, char** argv) {
   if (smoke) {
     // One quick latency point: the batched path must beat unbatched
     // end-to-end at batch size 8, not just on the RTT count.
-    double ub = cs_latency_ms(8, false, 4);
-    double b = cs_latency_ms(8, true, 4);
+    double ub = cs_latency(8, false, 4).run.latency.mean_ms();
+    double b = cs_latency(8, true, 4).run.latency.mean_ms();
     std::printf("smoke latency, batch 8 (lUs): unbatched %.1f ms, batched "
                 "%.1f ms\n", ub, b);
     if (!(b < ub)) {
@@ -156,21 +164,39 @@ int main(int argc, char** argv) {
     std::printf("smoke ok\n");
     return 0;
   }
+  BenchReport report("micro_batch");
   std::printf("%-6s | %12s %12s %7s | %11s %11s %7s\n", "batch",
               "unbat ms", "batch ms", "speedup", "unbat cs/s", "batch cs/s",
               "gain");
   Csv csv("micro_batch.csv");
   csv.row("batch,unbatched_ms,batched_ms,unbatched_cs_per_s,batched_cs_per_s");
-  for (int x : {1, 2, 4, 8, 16}) {
-    double ub_ms = cs_latency_ms(x, false, 8);
-    double b_ms = cs_latency_ms(x, true, 8);
-    double ub_tp = cs_throughput(x, false);
-    double b_tp = cs_throughput(x, true);
+  std::vector<int> xs{1, 2, 4, 8, 16};
+  std::vector<std::function<CellResult()>> jobs;
+  for (int x : xs) {
+    jobs.push_back([x] { return cs_latency(x, false, 8); });
+    jobs.push_back([x] { return cs_latency(x, true, 8); });
+    jobs.push_back([x] { return cs_throughput(x, false); });
+    jobs.push_back([x] { return cs_throughput(x, true); });
+  }
+  auto cells = run_cells(std::move(jobs));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    int x = xs[i];
+    double ub_ms = cells[i * 4].run.latency.mean_ms();
+    double b_ms = cells[i * 4 + 1].run.latency.mean_ms();
+    double ub_tp = cells[i * 4 + 2].run.throughput();
+    double b_tp = cells[i * 4 + 3].run.throughput();
     std::printf("%-6d | %12.1f %12.1f %6.2fx | %11.1f %11.1f %6.2fx\n", x,
                 ub_ms, b_ms, ub_ms / b_ms, ub_tp, b_tp, b_tp / ub_tp);
     csv.row(std::to_string(x) + "," + std::to_string(ub_ms) + "," +
             std::to_string(b_ms) + "," + std::to_string(ub_tp) + "," +
             std::to_string(b_tp));
+    std::string base = "micro_batch.x";
+    base += std::to_string(x);
+    report.set(base + ".latency_speedup", ub_ms / b_ms);
+    report.add_cell(base + ".unbatched_lat", cells[i * 4]);
+    report.add_cell(base + ".batched_lat", cells[i * 4 + 1]);
+    report.add_cell(base + ".unbatched_tp", cells[i * 4 + 2]);
+    report.add_cell(base + ".batched_tp", cells[i * 4 + 3]);
   }
   hr();
   std::printf("a critical section costs create(4) + acquire(1) + puts + "

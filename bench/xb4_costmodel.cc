@@ -82,26 +82,35 @@ bool check_rtt_counts() {
   return ok;
 }
 
-double music_cs_ms(int batch) {
+CellResult music_cs(int batch) {
+  WallTimer wall;
   MusicWorld w(kSeed, sim::LatencyProfile::profile_lus(),
                core::PutMode::Quorum, 3, 1);
   auto workload =
       std::make_shared<wl::MusicCsWorkload>(w.client_ptrs(), "m", batch, 10);
-  auto r = wl::run_sequential(w.sim, workload, 8, sim::sec(7200));
-  return r.latency.mean_ms();
+  CellResult out;
+  out.run = wl::run_sequential(w.sim, workload, 8, sim::sec(7200));
+  out.events = w.sim.events_run();
+  out.wall_sec = wall.elapsed_sec();
+  return out;
 }
 
-double cdb_cs_ms(int batch) {
+CellResult cdb_cs(int batch) {
+  WallTimer wall;
   CdbWorld w(kSeed, sim::LatencyProfile::profile_lus(), 1);
   auto workload =
       std::make_shared<wl::CdbCsWorkload>(w.client_ptrs(), "m", batch, 10);
-  auto r = wl::run_sequential(w.sim, workload, 8, sim::sec(7200));
-  return r.latency.mean_ms();
+  CellResult out;
+  out.run = wl::run_sequential(w.sim, workload, 8, sim::sec(7200));
+  out.events = w.sim.events_run();
+  out.wall_sec = wall.elapsed_sec();
+  return out;
 }
 
 }  // namespace
 
 int main() {
+  BenchReport report("xb4");
   std::printf("SX-B4 cost model: MUSIC 2C+(x+1)Q vs exclusive-transactions "
               "2xC  (C = consensus, Q = quorum)\n");
   if (!check_rtt_counts()) return 1;
@@ -138,14 +147,27 @@ int main() {
               "meas MUSIC", "meas Cdb", "ratio");
   Csv csv("xb4.csv");
   csv.row("x,paper_model_ratio,measured_music_ms,measured_cdb_ms");
-  for (int x : {1, 3, 10, 30, 100}) {
+  std::vector<int> xs{1, 3, 10, 30, 100};
+  std::vector<std::function<CellResult()>> jobs;
+  for (int x : xs) {
+    jobs.push_back([x] { return music_cs(x); });
+    jobs.push_back([x] { return cdb_cs(x); });
+  }
+  auto cells = run_cells(std::move(jobs));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    int x = xs[i];
     double model_ratio = 2.0 * x / (3.0 + x);
-    double meas_music = music_cs_ms(x);
-    double meas_cdb = cdb_cs_ms(x);
+    double meas_music = cells[i * 2].run.latency.mean_ms();
+    double meas_cdb = cells[i * 2 + 1].run.latency.mean_ms();
     std::printf("%-6d | %13.2fx | %12.1f %12.1f %7.2fx\n", x, model_ratio,
                 meas_music, meas_cdb, meas_cdb / meas_music);
     csv.row(std::to_string(x) + "," + std::to_string(model_ratio) + "," +
             std::to_string(meas_music) + "," + std::to_string(meas_cdb));
+    std::string base = "xb4.x";
+    base += std::to_string(x);
+    report.set(base + ".model_ratio", model_ratio);
+    report.add_cell(base + ".music", cells[i * 2]);
+    report.add_cell(base + ".cdb", cells[i * 2 + 1]);
   }
   hr();
   std::printf("paper: ~2x for x >> 3 under C ~ Q; our measured Cdb consensus "

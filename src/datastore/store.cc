@@ -41,15 +41,22 @@ StoreReplica::StoreReplica(StoreCluster& cluster, sim::NodeId node, int site)
     : cluster_(cluster),
       node_(node),
       site_(site),
-      service_(cluster.simulation(), cluster.config().service) {}
+      service_(cluster.simulation(), cluster.config().service) {
+  if (size_t n = cfg().expected_keys; n != 0) {
+    table_.reserve(n);
+    acceptors_.reserve(n);
+  }
+}
 
 sim::Simulation& StoreReplica::sim() { return cluster_.simulation(); }
 const StoreConfig& StoreReplica::cfg() const { return cluster_.config(); }
 
 bool StoreReplica::apply_write(const Key& key, const Cell& cell) {
-  auto it = table_.find(key);
+  // Heterogeneous find: hashes the string once, no HashedKey construction
+  // on the (common) already-present path.
+  auto it = table_.find(std::string_view(key));
   if (it == table_.end()) {
-    table_.emplace(key, cell);
+    table_.emplace(HashedKey(key), cell);
     return true;
   }
   if (cell.ts > it->second.ts) {
@@ -60,25 +67,33 @@ bool StoreReplica::apply_write(const Key& key, const Cell& cell) {
 }
 
 std::optional<Cell> StoreReplica::local_read(const Key& key) const {
-  auto it = table_.find(key);
+  auto it = table_.find(std::string_view(key));
   if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+paxos::Acceptor<Cell>& StoreReplica::acceptor(const Key& key) {
+  auto it = acceptors_.find(std::string_view(key));
+  if (it == acceptors_.end()) {
+    it = acceptors_.emplace(HashedKey(key), paxos::Acceptor<Cell>{}).first;
+  }
   return it->second;
 }
 
 paxos::PrepareReply<Cell> StoreReplica::handle_prepare(const Key& key,
                                                        paxos::Ballot b) {
-  return acceptors_[key].on_prepare(b);
+  return acceptor(key).on_prepare(b);
 }
 
 paxos::AcceptReply StoreReplica::handle_accept(const Key& key,
                                                paxos::Proposal<Cell> proposal) {
-  return acceptors_[key].on_accept(std::move(proposal));
+  return acceptor(key).on_accept(std::move(proposal));
 }
 
 void StoreReplica::handle_commit(const Key& key, paxos::Ballot b,
                                  const Cell& cell) {
   apply_write(key, cell);
-  acceptors_[key].on_commit(b);
+  acceptor(key).on_commit(b);
 }
 
 void StoreReplica::set_down(bool down) {
@@ -272,7 +287,7 @@ sim::Task<Result<std::vector<Key>>> StoreReplica::scan_local_keys(Key prefix) {
     std::vector<Key> out;
     for (const auto& [k, cell] : table_) {
       (void)cell;
-      if (k.rfind(prefix, 0) == 0) out.push_back(k);
+      if (k.key().rfind(prefix, 0) == 0) out.push_back(k.key());
     }
     std::sort(out.begin(), out.end());
     p.set_value(std::move(out));
@@ -512,12 +527,12 @@ void StoreCluster::anti_entropy_round(int idx) {
       // network/service costs model the exchange.
       std::vector<std::pair<Key, Cell>> to_a, to_b;
       for (const auto& [k, cell] : bp->table_) {
-        auto ac = ap->local_read(k);
-        if (!ac || ac->ts < cell.ts) to_a.emplace_back(k, cell);
+        auto ac = ap->local_read(k.key());
+        if (!ac || ac->ts < cell.ts) to_a.emplace_back(k.key(), cell);
       }
       for (const auto& [k, cell] : ap->table_) {
-        auto bc = bp->local_read(k);
-        if (!bc || bc->ts < cell.ts) to_b.emplace_back(k, cell);
+        auto bc = bp->local_read(k.key());
+        if (!bc || bc->ts < cell.ts) to_b.emplace_back(k.key(), cell);
       }
       size_t a_bytes = 64, b_bytes = 64;
       for (auto& [k, c] : to_a) a_bytes += k.size() + c.value.size();

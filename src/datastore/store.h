@@ -23,6 +23,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +41,62 @@ namespace music::ds {
 
 /// Cassandra-style consistency levels used by MUSIC.
 enum class Consistency { One, Quorum, All };
+
+/// A key with its hash precomputed at construction.  Replica tables are keyed
+/// by HashedKey so the hot path (apply_write/local_read on every replicated
+/// write and read) hashes each key string once instead of on every probe,
+/// and lookups by plain Key go through the transparent overloads below
+/// without constructing a HashedKey (no string copy, no rehash churn).
+class HashedKey {
+ public:
+  explicit HashedKey(Key k) : hash_(hash_of(k)), key_(std::move(k)) {}
+
+  const Key& key() const { return key_; }
+  uint64_t hash() const { return hash_; }
+
+  /// FNV-1a, stable across platforms (same rationale as ring placement).
+  static uint64_t hash_of(std::string_view s) {
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  friend bool operator==(const HashedKey& a, const HashedKey& b) {
+    return a.hash_ == b.hash_ && a.key_ == b.key_;
+  }
+
+ private:
+  uint64_t hash_;
+  Key key_;
+};
+
+/// Transparent hasher: HashedKey returns its stored hash; plain strings are
+/// hashed on the fly (lookup-by-Key without constructing a HashedKey).
+struct HashedKeyHash {
+  using is_transparent = void;
+  size_t operator()(const HashedKey& k) const {
+    return static_cast<size_t>(k.hash());
+  }
+  size_t operator()(std::string_view s) const {
+    return static_cast<size_t>(HashedKey::hash_of(s));
+  }
+};
+
+struct HashedKeyEq {
+  using is_transparent = void;
+  bool operator()(const HashedKey& a, const HashedKey& b) const {
+    return a == b;
+  }
+  bool operator()(const HashedKey& a, std::string_view b) const {
+    return a.key() == b;
+  }
+  bool operator()(std::string_view a, const HashedKey& b) const {
+    return a == b.key();
+  }
+};
 
 /// A versioned value as stored at a replica: payload plus the scalar
 /// timestamp that orders it (MUSIC writes v2s-encoded vector timestamps).
@@ -117,6 +175,11 @@ struct StoreConfig {
   sim::Duration lwt_retry_backoff = sim::ms(4);
   /// Per-message framing overhead added to payload sizes.
   size_t overhead_bytes = 96;
+  /// Workload hint: expected distinct keys per replica.  When nonzero each
+  /// replica reserves its value table and Paxos acceptor table up front so
+  /// steady-state writes never rehash (benches and soak tests know their key
+  /// population; 0 keeps the default growth policy).
+  size_t expected_keys = 0;
   /// Compute model for each replica.  The 190us base cost calibrates a
   /// 3-node cluster's eventual-write capacity to the ~41k op/s the paper
   /// reports for CassaEV (Fig. 4a), i.e. real Cassandra's per-op overhead.
@@ -222,9 +285,13 @@ class StoreReplica {
   /// Sends `handler` to run on replica `to` and returns the reply future.
   /// Never fulfilled if the message or reply is lost.  `kind`/`reply_kind`
   /// tag the request and reply messages for per-type network counters.
-  template <typename Reply>
-  sim::Future<Reply> call(sim::NodeId to, size_t bytes,
-                          std::function<Reply(StoreReplica&)> handler,
+  ///
+  /// `Handler` is deduced (any callable Reply(StoreReplica&)), so the whole
+  /// request — handler captures, promise, framing — rides one pooled
+  /// InlineFn frame through the network instead of a std::function heap
+  /// allocation per hop.
+  template <typename Reply, typename Handler>
+  sim::Future<Reply> call(sim::NodeId to, size_t bytes, Handler handler,
                           size_t reply_bytes,
                           sim::MsgKind kind = sim::MsgKind::Generic,
                           sim::MsgKind reply_kind = sim::MsgKind::StoreAck);
@@ -248,12 +315,18 @@ class StoreReplica {
   void leave_hint(sim::NodeId target, const Key& key, const Cell& cell);
   void replay_hints();
 
+  /// The Paxos acceptor for `key`, created on first use (heterogeneous
+  /// lookup first, so the common repeat-LWT path never copies the key).
+  paxos::Acceptor<Cell>& acceptor(const Key& key);
+
   StoreCluster& cluster_;
   sim::NodeId node_;
   int site_;
   sim::ServiceNode service_;
-  std::unordered_map<Key, Cell> table_;
-  std::unordered_map<Key, paxos::Acceptor<Cell>> acceptors_;
+  std::unordered_map<HashedKey, Cell, HashedKeyHash, HashedKeyEq> table_;
+  std::unordered_map<HashedKey, paxos::Acceptor<Cell>, HashedKeyHash,
+                     HashedKeyEq>
+      acceptors_;
   int64_t ballot_round_ = 0;
   struct Hint {
     sim::NodeId target;
@@ -311,11 +384,13 @@ class StoreCluster {
 
 // ---- Template definition (needs StoreCluster complete). -------------------
 
-template <typename Reply>
+template <typename Reply, typename Handler>
 sim::Future<Reply> StoreReplica::call(sim::NodeId to, size_t bytes,
-                                      std::function<Reply(StoreReplica&)> handler,
-                                      size_t reply_bytes, sim::MsgKind kind,
+                                      Handler handler, size_t reply_bytes,
+                                      sim::MsgKind kind,
                                       sim::MsgKind reply_kind) {
+  static_assert(std::is_invocable_r_v<Reply, Handler&, StoreReplica&>,
+                "call<Reply> handler must be callable as Reply(StoreReplica&)");
   sim::Promise<Reply> p(sim());
   auto& net = cluster_.network();
   size_t framed = bytes + cfg().overhead_bytes;
@@ -332,7 +407,8 @@ sim::Future<Reply> StoreReplica::call(sim::NodeId to, size_t bytes,
         p.set_value(std::move(r));  // loopback reply: no network hop
       } else {
         target.cluster_.network().send(
-            to, from, reply_framed, [p, r = std::move(r)] { p.set_value(r); },
+            to, from, reply_framed,
+            [p, r = std::move(r)]() mutable { p.set_value(std::move(r)); },
             reply_kind);
       }
     });

@@ -1,0 +1,60 @@
+#include "par/par.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace music::par {
+
+size_t default_threads() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+namespace detail {
+
+void run_indexed(size_t n, size_t threads,
+                 const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (threads == 0) threads = default_threads();
+  threads = std::min(threads, n);
+
+  std::vector<std::exception_ptr> errors(n);
+  auto run_one = [&](size_t i) {
+    try {
+      body(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    // Work-stealing by atomic index: workers pull the next unclaimed world.
+    // Which thread runs which world varies run to run — that is fine, the
+    // result slot is fixed by index and worlds share no state.
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (;;) {
+          size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          run_one(i);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace music::par

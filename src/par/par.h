@@ -1,0 +1,62 @@
+// Deterministic multi-world parallel runner.
+//
+// The simulation kernel is strictly single-threaded: one Simulation, one
+// virtual clock, one rng stream per world.  Benches and soak tests, however,
+// run MANY independent worlds — one per (seed, config) cell of a sweep — and
+// those are embarrassingly parallel.  run_worlds() fans a vector of world
+// configs across a thread pool with the two properties the determinism story
+// needs:
+//
+//   * Each world runs START-TO-FINISH on exactly one worker thread.  The
+//     sim kernel's thread_local state (CurrentSimScope, the InlineFn
+//     CallablePool) is per-thread, so worlds never share kernel state and
+//     the pool's alloc/free thread-confinement rule holds by construction.
+//   * Results are keyed by INDEX, not by completion order.  Combined with
+//     per-world seeding (the config carries the seed; nothing is drawn from
+//     a shared rng), the output vector is bit-identical whether the sweep
+//     runs on 1 thread or N — scheduling only changes wall-clock time.
+//
+// Exceptions thrown by a world are captured per-index and the lowest-index
+// one is rethrown after every world finished, so error behaviour is also
+// thread-count invariant (no torn sweeps: the pool always drains).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace music::par {
+
+/// Worker threads used when run_worlds' `threads` argument is 0: the
+/// hardware concurrency, at least 1.
+size_t default_threads();
+
+namespace detail {
+
+/// Runs body(0) .. body(n-1), each call entirely on one thread, across
+/// `threads` workers (0 = default_threads()).  Captures per-index
+/// exceptions and rethrows the lowest-index one after all calls finished.
+void run_indexed(size_t n, size_t threads,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace detail
+
+/// Runs `fn(config)` for every config, in parallel across `threads` workers
+/// (0 = default_threads(); pass 1 to force sequential execution, e.g. to
+/// check invariance).  Returns one result per config, in config order.
+///
+/// `fn` must not touch shared mutable state: each call should build its own
+/// Simulation/world from its config (including the seed) and return a plain
+/// value.  R must be default-constructible and movable.
+template <typename Config, typename Fn>
+auto run_worlds(const std::vector<Config>& configs, Fn fn, size_t threads = 0)
+    -> std::vector<decltype(fn(std::declval<const Config&>()))> {
+  using R = decltype(fn(std::declval<const Config&>()));
+  std::vector<R> results(configs.size());
+  detail::run_indexed(configs.size(), threads,
+                      [&](size_t i) { results[i] = fn(configs[i]); });
+  return results;
+}
+
+}  // namespace music::par

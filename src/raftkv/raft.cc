@@ -384,20 +384,4 @@ RaftNode* RaftCluster::wait_for_leader(sim::Duration limit) {
   return leader();
 }
 
-void RaftCluster::post(sim::NodeId from, int to_id, size_t bytes,
-                       std::function<void(RaftNode&)> fn, sim::MsgKind kind) {
-  RaftNode& target = node(to_id);
-  if (from == target.node()) {
-    target.service().submit(bytes, [&target, fn = std::move(fn)] { fn(target); });
-    return;
-  }
-  net_.send(
-      from, target.node(), bytes,
-      [&target, bytes, fn = std::move(fn)] {
-        target.service().submit(bytes,
-                                [&target, fn = std::move(fn)] { fn(target); });
-      },
-      kind);
-}
-
 }  // namespace music::raftkv

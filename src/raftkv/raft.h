@@ -215,9 +215,27 @@ class RaftCluster {
   /// the leader or nullptr after `limit`.
   RaftNode* wait_for_leader(sim::Duration limit = sim::sec(30));
 
-  void post(sim::NodeId from, int to_id, size_t bytes,
-            std::function<void(RaftNode&)> fn,
-            sim::MsgKind kind = sim::MsgKind::Generic);
+  /// Sends a handler to run on node `to_id` (network + service queue).
+  /// `Fn` is deduced (any callable void(RaftNode&)) so the handler rides
+  /// the network's pooled InlineFn frames without a std::function
+  /// allocation per hop.
+  template <typename Fn>
+  void post(sim::NodeId from, int to_id, size_t bytes, Fn fn,
+            sim::MsgKind kind = sim::MsgKind::Generic) {
+    RaftNode& target = node(to_id);
+    if (from == target.node()) {
+      target.service().submit(
+          bytes, [&target, fn = std::move(fn)]() mutable { fn(target); });
+      return;
+    }
+    net_.send(
+        from, target.node(), bytes,
+        [&target, bytes, fn = std::move(fn)]() mutable {
+          target.service().submit(
+              bytes, [&target, fn = std::move(fn)]() mutable { fn(target); });
+        },
+        kind);
+  }
 
  private:
   void schedule_tick(RaftNode* node);

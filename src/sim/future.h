@@ -11,12 +11,12 @@
 
 #include <cassert>
 #include <coroutine>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_fn.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 #include "sim/time.h"
@@ -34,8 +34,8 @@ struct SharedState {
 
   Simulation* sim;
   std::optional<T> value;
-  std::vector<std::function<void()>> callbacks;
-  std::vector<std::function<void(const T&)>> value_callbacks;
+  std::vector<InlineFn> callbacks;
+  std::vector<InlineFnT<void(const T&)>> value_callbacks;
 
   void set(T v) {
     assert(!value.has_value() && "promise fulfilled twice");
@@ -48,12 +48,12 @@ struct SharedState {
     for (auto& cb : callbacks) sim->schedule(0, std::move(cb));
     callbacks.clear();
     for (auto& cb : value_callbacks) {
-      sim->schedule(0, [cb = std::move(cb), v = *value] { cb(v); });
+      sim->schedule(0, [cb = std::move(cb), v = *value]() mutable { cb(v); });
     }
     value_callbacks.clear();
   }
 
-  void on_ready(std::function<void()> cb) {
+  void on_ready(InlineFn cb) {
     if (value.has_value()) {
       sim->schedule(0, std::move(cb));
     } else {
@@ -61,9 +61,9 @@ struct SharedState {
     }
   }
 
-  void on_value(std::function<void(const T&)> cb) {
+  void on_value(InlineFnT<void(const T&)> cb) {
     if (value.has_value()) {
-      sim->schedule(0, [cb = std::move(cb), v = *value] { cb(v); });
+      sim->schedule(0, [cb = std::move(cb), v = *value]() mutable { cb(v); });
     } else {
       value_callbacks.push_back(std::move(cb));
     }
@@ -94,13 +94,11 @@ class Future {
   /// LIFETIME: the callback MUST NOT capture this Future (or anything
   /// holding it) — that forms a cycle that leaks if the promise is never
   /// fulfilled.  To consume the value, use on_value() instead.
-  void on_ready(std::function<void()> cb) const {
-    state_->on_ready(std::move(cb));
-  }
+  void on_ready(InlineFn cb) const { state_->on_ready(std::move(cb)); }
 
   /// Registers a callback receiving a copy of the value (as a fresh
   /// event).  Safe under never-fulfilled promises: no self-capture needed.
-  void on_value(std::function<void(const T&)> cb) const {
+  void on_value(InlineFnT<void(const T&)> cb) const {
     state_->on_value(std::move(cb));
   }
 

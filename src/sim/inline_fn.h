@@ -1,0 +1,278 @@
+// Allocation-free type-erased callables for the simulator hot path.
+//
+// Every scheduled event, network delivery, service-queue completion and RPC
+// continuation used to be a std::function — one heap allocation (plus a
+// cache-missing indirect destroy) per op, millions of times per bench run.
+// InlineFnT stores typical captures (<= 64 bytes, nothrow-movable) inline in
+// the object itself; larger captures go to a size-classed freelist pool that
+// recycles blocks instead of returning them to malloc, so the steady-state
+// event loop performs zero heap allocations either way.
+//
+// Semantics: move-only (ownership of the capture is unique, which is what
+// the kernel needs and what lets inline storage relocate by move), callable
+// once or many times, empty-callable invocation is a programming error
+// (asserted).  Construction from any callable F with a compatible signature
+// is implicit, so `schedule(d, [..]{..})` call sites read as before.
+//
+// THREADING: the pool is thread-local and blocks must be freed on the thread
+// that allocated them.  That is exactly the simulator's confinement rule —
+// a Simulation and everything scheduled on it lives on one OS thread
+// (par::run_worlds pins each world to a single worker) — so no callable
+// migrates across threads.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace music::sim {
+
+namespace detail {
+
+/// Thread-local size-classed freelist for out-of-line capture storage.
+/// Freed blocks are cached and reused; they return to the system only when
+/// the owning thread exits.
+class CallablePool {
+ public:
+  /// Smallest class covers captures just past the inline buffer; largest
+  /// avoids caching pathological one-off giants.
+  static constexpr size_t kClassSizes[] = {128, 256, 512, 1024};
+  static constexpr size_t kNumClasses =
+      sizeof(kClassSizes) / sizeof(kClassSizes[0]);
+
+  static CallablePool& instance() {
+    static thread_local CallablePool pool;
+    return pool;
+  }
+
+  void* alloc(size_t n) {
+    size_t cls = class_for(n);
+    if (cls == kNumClasses) {
+      ++fresh_;
+      return ::operator new(n);
+    }
+    if (FreeNode* node = free_[cls]) {
+      free_[cls] = node->next;
+      ++reused_;
+      return node;
+    }
+    ++fresh_;
+    return ::operator new(kClassSizes[cls]);
+  }
+
+  void dealloc(void* p, size_t n) {
+    size_t cls = class_for(n);
+    if (cls == kNumClasses) {
+      ::operator delete(p);
+      return;
+    }
+    FreeNode* node = ::new (p) FreeNode{free_[cls]};
+    free_[cls] = node;
+  }
+
+  /// Blocks taken from malloc / recycled from the freelist (diagnostics;
+  /// bench_kernel asserts the steady state stops paying `fresh`).
+  uint64_t fresh_allocs() const { return fresh_; }
+  uint64_t reused_allocs() const { return reused_; }
+
+  ~CallablePool() {
+    for (FreeNode*& head : free_) {
+      while (head != nullptr) {
+        FreeNode* next = head->next;
+        head->~FreeNode();
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static size_t class_for(size_t n) {
+    for (size_t i = 0; i < kNumClasses; ++i) {
+      if (n <= kClassSizes[i]) return i;
+    }
+    return kNumClasses;
+  }
+
+  FreeNode* free_[kNumClasses] = {};
+  uint64_t fresh_ = 0;
+  uint64_t reused_ = 0;
+};
+
+}  // namespace detail
+
+template <typename Sig>
+class InlineFnT;
+
+/// Move-only type-erased callable with 64 bytes of inline capture storage
+/// and pooled overflow.  See the file comment for the full contract.
+template <typename R, typename... Args>
+class InlineFnT<R(Args...)> {
+ public:
+  /// Captures up to this size (and alignof <= max_align_t, nothrow-movable)
+  /// live inside the object; anything bigger goes to the CallablePool.
+  static constexpr size_t kInlineBytes = 64;
+
+  InlineFnT() = default;
+  InlineFnT(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFnT> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFnT(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  /// Constructs a callable in place (after destroying any current one).
+  /// The kernel uses this to build events directly in their arena slot,
+  /// skipping a move.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFnT> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  void emplace(F&& f) {
+    reset();
+    if constexpr (stored_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+    } else {
+      void* p = detail::CallablePool::instance().alloc(sizeof(D));
+      ::new (p) D(std::forward<F>(f));
+      *reinterpret_cast<void**>(buf_) = p;
+    }
+    vt_ = &kVTable<D>;
+  }
+
+  InlineFnT(InlineFnT&& o) noexcept : vt_(o.vt_) {
+    if (vt_ != nullptr) {
+      // Most simulator captures (pointers, ints, small PODs) are trivially
+      // copyable: relocation is a fixed-size memcpy the compiler inlines,
+      // with no indirect call and no destructor bookkeeping.
+      if (vt_->trivial) {
+        std::memcpy(buf_, o.buf_, kInlineBytes);
+      } else {
+        vt_->relocate(o.buf_, buf_);
+      }
+    }
+    o.vt_ = nullptr;
+  }
+
+  InlineFnT& operator=(InlineFnT&& o) noexcept {
+    if (this != &o) {
+      reset();
+      vt_ = o.vt_;
+      if (vt_ != nullptr) {
+        if (vt_->trivial) {
+          std::memcpy(buf_, o.buf_, kInlineBytes);
+        } else {
+          vt_->relocate(o.buf_, buf_);
+        }
+      }
+      o.vt_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineFnT(const InlineFnT&) = delete;
+  InlineFnT& operator=(const InlineFnT&) = delete;
+
+  ~InlineFnT() { reset(); }
+
+  /// Destroys the held callable (frees its pool block), leaving empty.
+  void reset() {
+    if (vt_ != nullptr) {
+      if (!vt_->trivial) vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  /// True when a callable is held; invoking an empty InlineFnT is a bug.
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  R operator()(Args... args) {
+    assert(vt_ != nullptr && "invoking an empty InlineFn");
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* storage, Args&&... args);
+    /// Moves the callable from src storage to dst storage (inline: move-
+    /// construct + destroy source; pooled: copy the block pointer).
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    /// Inline, trivially copyable AND trivially destructible: relocation is
+    /// a memcpy of the buffer and destruction is a no-op, both handled by
+    /// the caller without going through the pointers above.
+    bool trivial;
+  };
+
+  template <typename D>
+  static constexpr bool stored_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static D* object(void* storage) {
+    if constexpr (stored_inline<D>()) {
+      return std::launder(reinterpret_cast<D*>(storage));
+    } else {
+      return static_cast<D*>(*reinterpret_cast<void**>(storage));
+    }
+  }
+
+  template <typename D>
+  static R invoke_thunk(void* storage, Args&&... args) {
+    return (*object<D>(storage))(std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static void relocate_thunk(void* src, void* dst) noexcept {
+    if constexpr (stored_inline<D>()) {
+      D* s = object<D>(src);
+      ::new (dst) D(std::move(*s));
+      s->~D();
+    } else {
+      *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
+    }
+  }
+
+  template <typename D>
+  static void destroy_thunk(void* storage) noexcept {
+    D* obj = object<D>(storage);
+    obj->~D();
+    if constexpr (!stored_inline<D>()) {
+      detail::CallablePool::instance().dealloc(
+          *reinterpret_cast<void**>(storage), sizeof(D));
+    }
+  }
+
+  template <typename D>
+  static constexpr bool trivially_relocatable() {
+    return stored_inline<D>() && std::is_trivially_copyable_v<D> &&
+           std::is_trivially_destructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr VTable kVTable{&invoke_thunk<D>, &relocate_thunk<D>,
+                                  &destroy_thunk<D>,
+                                  trivially_relocatable<D>()};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+/// The event-loop callable: what Simulation::schedule, Network::send,
+/// ServiceNode::submit and Disk::write_sync accept.
+using InlineFn = InlineFnT<void()>;
+
+}  // namespace music::sim

@@ -113,8 +113,8 @@ Duration Network::sample_delay(NodeId from, NodeId to, size_t bytes) {
   return std::max<Duration>(base, 1);
 }
 
-void Network::send(NodeId from, NodeId to, size_t bytes,
-                   std::function<void()> deliver, MsgKind kind) {
+void Network::send(NodeId from, NodeId to, size_t bytes, InlineFn deliver,
+                   MsgKind kind) {
   int sa = site_of(from);
   int sb = site_of(to);
   bool cross_site = sa != sb;
@@ -152,16 +152,6 @@ void Network::send(NodeId from, NodeId to, size_t bytes,
   }
   Duration d = sample_delay(from, to, bytes) + extra;
   NodeId dest = to;
-  auto deliver_once = [this, dest, kind](const std::function<void()>& fn) {
-    // The destination may have crashed (or been partitioned away) while the
-    // message was in flight; re-check on delivery.
-    if (down_.at(static_cast<size_t>(dest))) {
-      ++dropped_;
-      ++dropped_by_kind_[static_cast<size_t>(kind)];
-      return;
-    }
-    fn();
-  };
   if (duplicate) {
     // Both copies traverse the wire, but the endpoint continuations here are
     // single-shot (they fulfil RPC promises), i.e. the receiver dedups — so
@@ -170,19 +160,32 @@ void Network::send(NodeId from, NodeId to, size_t bytes,
     // wire-level accounting.
     ++duplicates_delivered_;
     Duration d2 = sample_delay(from, to, bytes) + extra;
-    auto fired = std::make_shared<bool>(false);
-    auto shared = std::make_shared<std::function<void()>>(std::move(deliver));
-    auto once = [deliver_once, fired, shared] {
-      if (*fired) return;
-      *fired = true;
-      deliver_once(*shared);
+    auto shared = std::make_shared<InlineFn>(std::move(deliver));
+    auto once = [this, dest, kind, shared] {
+      if (!*shared) return;                  // the other copy fired first
+      InlineFn fn = std::move(*shared);      // consume: single-shot
+      // The destination may have crashed while the message was in flight;
+      // re-check on delivery.
+      if (down_.at(static_cast<size_t>(dest))) {
+        ++dropped_;
+        ++dropped_by_kind_[static_cast<size_t>(kind)];
+        return;
+      }
+      fn();
     };
     sim_.schedule(d, once);
     sim_.schedule(d2, once);
     return;
   }
-  sim_.schedule(d, [deliver_once, deliver = std::move(deliver)] {
-    deliver_once(deliver);
+  sim_.schedule(d, [this, dest, kind, deliver = std::move(deliver)]() mutable {
+    // The destination may have crashed (or been partitioned away) while the
+    // message was in flight; re-check on delivery.
+    if (down_.at(static_cast<size_t>(dest))) {
+      ++dropped_;
+      ++dropped_by_kind_[static_cast<size_t>(kind)];
+      return;
+    }
+    deliver();
   });
 }
 

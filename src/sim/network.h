@@ -9,12 +9,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_fn.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
@@ -154,7 +154,7 @@ class Network {
   /// future, if any, is simply never fulfilled).  `kind` tags the message
   /// for per-type counters; if a tracer is attached to the simulation, the
   /// message is also attributed to the current trace context.
-  void send(NodeId from, NodeId to, size_t bytes, std::function<void()> deliver,
+  void send(NodeId from, NodeId to, size_t bytes, InlineFn deliver,
             MsgKind kind = MsgKind::Generic);
 
   /// Marks a node crashed (true) or alive (false).  Messages to/from crashed

@@ -16,11 +16,11 @@ Duration ServiceNode::cost_for(size_t bytes) const {
                                1000.0);
 }
 
-void ServiceNode::submit(size_t bytes, std::function<void()> work) {
+void ServiceNode::submit(size_t bytes, InlineFn work) {
   submit_cost(cost_for(bytes), std::move(work));
 }
 
-void ServiceNode::submit_cost(Duration cost, std::function<void()> work) {
+void ServiceNode::submit_cost(Duration cost, InlineFn work) {
   if (down_) return;
   Time start = std::max(sim_.now(), free_at_.top());
   free_at_.pop();
@@ -28,7 +28,7 @@ void ServiceNode::submit_cost(Duration cost, std::function<void()> work) {
   free_at_.push(end);
   busy_ += end - start;
   uint64_t epoch = epoch_;
-  sim_.schedule_at(end, [this, epoch, work = std::move(work)] {
+  sim_.schedule_at(end, [this, epoch, work = std::move(work)]() mutable {
     if (down_ || epoch != epoch_) return;  // node crashed meanwhile
     ++completed_;
     work();
@@ -46,7 +46,7 @@ void ServiceNode::set_down(bool down) {
 
 Disk::Disk(Simulation& sim, DiskConfig cfg) : sim_(sim), cfg_(cfg) {}
 
-void Disk::write_sync(size_t bytes, std::function<void()> done) {
+void Disk::write_sync(size_t bytes, InlineFn done) {
   if (down_) return;
   Duration cost =
       cfg_.fsync_base_us +
@@ -54,7 +54,7 @@ void Disk::write_sync(size_t bytes, std::function<void()> done) {
   Time start = std::max(sim_.now(), free_at_);
   free_at_ = start + cost;
   uint64_t epoch = epoch_;
-  sim_.schedule_at(free_at_, [this, epoch, done = std::move(done)] {
+  sim_.schedule_at(free_at_, [this, epoch, done = std::move(done)]() mutable {
     if (down_ || epoch != epoch_) return;
     ++completed_;
     done();

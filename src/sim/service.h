@@ -11,10 +11,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/inline_fn.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
 
@@ -42,10 +42,10 @@ class ServiceNode {
 
   /// Enqueues `work` with the cost derived from `bytes`; runs it when a
   /// worker has processed it (start delayed until a worker frees up).
-  void submit(size_t bytes, std::function<void()> work);
+  void submit(size_t bytes, InlineFn work);
 
   /// Enqueues `work` with an explicit cost.
-  void submit_cost(Duration cost, std::function<void()> work);
+  void submit_cost(Duration cost, InlineFn work);
 
   /// Crash / restart.  Going down discards queued and in-flight work.
   void set_down(bool down);
@@ -84,7 +84,7 @@ class Disk {
 
   /// Synchronously persists `bytes`, then runs `done`.  Requests queue FIFO
   /// behind one another (single device).
-  void write_sync(size_t bytes, std::function<void()> done);
+  void write_sync(size_t bytes, InlineFn done);
 
   /// Crash semantics as in ServiceNode.
   void set_down(bool down);

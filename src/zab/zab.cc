@@ -377,24 +377,6 @@ void ZabEnsemble::schedule_tick(ZabServer* srv) {
   });
 }
 
-void ZabEnsemble::post(sim::NodeId from, int to_id, size_t bytes,
-                       std::function<void(ZabServer&)> fn, sim::MsgKind kind) {
-  if (to_id < 0 || to_id >= num_servers()) return;  // unknown target: drop
-  ZabServer& target = server(to_id);
-  if (from == target.node()) {
-    // Loopback still pays the service cost.
-    target.service().submit(bytes, [&target, fn = std::move(fn)] { fn(target); });
-    return;
-  }
-  net_.send(
-      from, target.node(), bytes,
-      [&target, bytes, fn = std::move(fn)] {
-        target.service().submit(bytes,
-                                [&target, fn = std::move(fn)] { fn(target); });
-      },
-      kind);
-}
-
 // ---- ZkClient ---------------------------------------------------------------
 
 namespace {

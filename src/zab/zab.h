@@ -206,10 +206,28 @@ class ZabEnsemble {
 
   /// Sends a handler to run on server `id` (network + service queue).
   /// Out-of-range ids (e.g. an unknown leader) drop the message, exactly
-  /// like a message to a dead node.
-  void post(sim::NodeId from, int to_id, size_t bytes,
-            std::function<void(ZabServer&)> fn,
-            sim::MsgKind kind = sim::MsgKind::Generic);
+  /// like a message to a dead node.  `Fn` is deduced (any callable
+  /// void(ZabServer&)) so the handler rides the network's pooled InlineFn
+  /// frames without a std::function allocation per hop.
+  template <typename Fn>
+  void post(sim::NodeId from, int to_id, size_t bytes, Fn fn,
+            sim::MsgKind kind = sim::MsgKind::Generic) {
+    if (to_id < 0 || to_id >= num_servers()) return;  // unknown target: drop
+    ZabServer& target = server(to_id);
+    if (from == target.node()) {
+      // Loopback still pays the service cost.
+      target.service().submit(
+          bytes, [&target, fn = std::move(fn)]() mutable { fn(target); });
+      return;
+    }
+    net_.send(
+        from, target.node(), bytes,
+        [&target, bytes, fn = std::move(fn)]() mutable {
+          target.service().submit(
+              bytes, [&target, fn = std::move(fn)]() mutable { fn(target); });
+        },
+        kind);
+  }
 
  private:
   void schedule_tick(ZabServer* srv);

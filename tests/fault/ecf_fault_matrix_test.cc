@@ -16,6 +16,12 @@
 //   - stacked partitions: overlapping partitions (including a window where
 //     no quorum exists anywhere) injected and healed independently.
 //
+// The per-seed worlds are independent and deterministic, so each scenario
+// fans its seed list across par::run_worlds (one world per thread,
+// start-to-finish) and asserts the collected outcomes on the main thread —
+// the gtest failure text still names the seed.  MUSIC_FAULT_THREADS caps
+// the fan-out (default: hardware concurrency).
+//
 // Teeth check: a run with MusicConfig::test_skip_synchronization (fencing
 // deliberately broken) MUST trip the oracle on the exact same isolation
 // scenario that passes with fencing on.  A matrix that cannot fail proves
@@ -29,6 +35,7 @@
 #include "core/session.h"
 #include "fault/fault.h"
 #include "fault/nemesis.h"
+#include "par/par.h"
 #include "util/world.h"
 #include "verify/oracle.h"
 
@@ -49,6 +56,42 @@ std::vector<uint64_t> matrix_seeds() {
   for (int i = 1; i <= n; ++i) seeds.push_back(static_cast<uint64_t>(i));
   return seeds;
 }
+
+/// Worker-thread count for the seed fan (0 = par::default_threads()).
+size_t matrix_threads() {
+  if (const char* env = std::getenv("MUSIC_FAULT_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 0;
+}
+
+/// Per-seed scenario verdict, filled on the worker thread and asserted on
+/// the gtest main thread.  Worker code never touches gtest.
+struct SeedOutcome {
+  bool ok = true;
+  std::string detail;
+
+  void fail(const std::string& why) {
+    ok = false;
+    detail += why;
+    detail += "; ";
+  }
+  void check(bool cond, const char* what) {
+    if (!cond) fail(what);
+  }
+};
+
+/// Coroutine-safe outcome check: records the failure into the scenario's
+/// SeedOutcome and co_returns (gtest's ASSERT_* can't be used off the main
+/// thread or inside coroutines).
+#define CO_CHECK(out, cond)                   \
+  do {                                        \
+    if (!(cond)) {                            \
+      (out).fail("check failed: " #cond);     \
+      co_return;                              \
+    }                                         \
+  } while (0)
 
 /// Nemesis crash hooks wired to a MusicWorld: store crashes honour the
 /// amnesia-vs-durable distinction (amnesia wipes the replica's table and
@@ -137,6 +180,7 @@ struct IsolationOutcome {
   bool oracle_ok = false;
   std::string report;
   bool drove_to_end = false;
+  SeedOutcome out;
 };
 
 /// The holder's site is cut off mid-section; a peer at a connected site
@@ -162,15 +206,16 @@ IsolationOutcome run_isolation_scenario(uint64_t seed, bool skip_sync) {
   CheckedClient zombie(w.client(0), checker);   // site 0
   CheckedClient usurper(w.client(1), checker);  // site 1
 
-  IsolationOutcome out;
+  IsolationOutcome iso;
   auto drive = [&]() -> sim::Task<void> {
+    SeedOutcome& out = iso.out;
     const Key k = "iso";
     // The victim takes the lock and writes the pre-partition truth.
     auto ref1r = co_await zombie.create_lock_ref(k);
-    CO_ASSERT_TRUE(ref1r.ok());
+    CO_CHECK(out, ref1r.ok());
     LockRef ref1 = ref1r.value();
-    CO_ASSERT_TRUE((co_await zombie.acquire_lock_blocking(k, ref1)).ok());
-    CO_ASSERT_TRUE((co_await zombie.critical_put(k, ref1, Value("v1"))).ok());
+    CO_CHECK(out, (co_await zombie.acquire_lock_blocking(k, ref1)).ok());
+    CO_CHECK(out, (co_await zombie.critical_put(k, ref1, Value("v1"))).ok());
 
     // Isolate the holder's site (open-ended; healed below).
     fault::FaultSpec cut;
@@ -180,14 +225,14 @@ IsolationOutcome run_isolation_scenario(uint64_t seed, bool skip_sync) {
     nemesis.inject(cut);
 
     // Takeover over the surviving majority {1,2}: preempt, acquire, read.
-    CO_ASSERT_TRUE((co_await usurper.forced_release(k, ref1)).ok());
+    CO_CHECK(out, (co_await usurper.forced_release(k, ref1)).ok());
     auto ref2r = co_await usurper.create_lock_ref(k);
-    CO_ASSERT_TRUE(ref2r.ok());
+    CO_CHECK(out, ref2r.ok());
     LockRef ref2 = ref2r.value();
-    CO_ASSERT_TRUE((co_await usurper.acquire_lock_blocking(k, ref2)).ok());
+    CO_CHECK(out, (co_await usurper.acquire_lock_blocking(k, ref2)).ok());
     auto pre = co_await usurper.critical_get(k, ref2);
-    CO_ASSERT_TRUE(pre.ok());
-    CO_ASSERT_EQ(pre.value().data, "v1");
+    CO_CHECK(out, pre.ok());
+    CO_CHECK(out, pre.value().data == "v1");
 
     // Heal, then let the zombie write under its stale ref.  Its local
     // replica at site 0 never saw the forced release (LWT committed on
@@ -202,20 +247,27 @@ IsolationOutcome run_isolation_scenario(uint64_t seed, bool skip_sync) {
     // zombie value surfaces and the oracle flags Latest-State.
     co_await usurper.critical_get(k, ref2);
     co_await usurper.release_lock(k, ref2);
-    out.drove_to_end = true;
+    iso.drove_to_end = true;
   };
-  EXPECT_TRUE(w.runner.run(drive, sim::sec(300)));
-  out.oracle_ok = checker.ok();
-  out.report = checker.report();
-  return out;
+  iso.out.check(w.runner.run(drive, sim::sec(300)), "drive did not finish");
+  iso.oracle_ok = checker.ok();
+  iso.report = checker.report();
+  return iso;
 }
 
-class EcfFaultMatrix : public ::testing::TestWithParam<uint64_t> {};
-
-TEST_P(EcfFaultMatrix, HolderSiteIsolationIsFencedByTheSynchronization) {
-  auto out = run_isolation_scenario(GetParam(), /*skip_sync=*/false);
-  EXPECT_TRUE(out.drove_to_end);
-  EXPECT_TRUE(out.oracle_ok) << out.report;
+TEST(EcfFaultMatrix, HolderSiteIsolationIsFencedByTheSynchronization) {
+  auto seeds = matrix_seeds();
+  auto outs = par::run_worlds(
+      seeds,
+      [](const uint64_t& s) { return run_isolation_scenario(s, false); },
+      matrix_threads());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_TRUE(outs[i].out.ok)
+        << "seed " << seeds[i] << ": " << outs[i].out.detail;
+    EXPECT_TRUE(outs[i].drove_to_end) << "seed " << seeds[i];
+    EXPECT_TRUE(outs[i].oracle_ok)
+        << "seed " << seeds[i] << ": " << outs[i].report;
+  }
 }
 
 TEST(EcfFaultMatrixTeeth, WeakenedFencingTripsTheOracle) {
@@ -230,22 +282,23 @@ TEST(EcfFaultMatrixTeeth, WeakenedFencingTripsTheOracle) {
 
 // ---- Lock-holder crash mid-batch ------------------------------------------
 
-TEST_P(EcfFaultMatrix, HolderCrashMidBatchKeepsOkPrefixNotLockHolderTail) {
+SeedOutcome run_midbatch_scenario(uint64_t seed) {
   WorldOptions opt;
-  opt.seed = GetParam();
+  opt.seed = seed;
   MusicWorld w(opt);
   EcfChecker checker(w.sim);
   checker.set_lenient_stale_grants(true);
   CheckedClient holder(w.client(0), checker);
   CheckedClient usurper(w.client(1), checker);
 
+  SeedOutcome out;
   const Key k = "mb";
   bool flushed = false;
   std::vector<core::BatchOpResult> results;
   auto holder_life = [&]() -> sim::Task<void> {
     auto ref = co_await holder.create_lock_ref(k);
-    CO_ASSERT_TRUE(ref.ok());
-    CO_ASSERT_TRUE((co_await holder.acquire_lock_blocking(k, ref.value())).ok());
+    CO_CHECK(out, ref.ok());
+    CO_CHECK(out, (co_await holder.acquire_lock_blocking(k, ref.value())).ok());
     core::Session s(holder.inner(), k, ref.value());
     for (int i = 0; i < 10; ++i) {
       std::string val = "m";
@@ -262,7 +315,7 @@ TEST_P(EcfFaultMatrix, HolderCrashMidBatchKeepsOkPrefixNotLockHolderTail) {
     // Seed-staggered so the preemption lands at different points of the
     // batch (before it, mid-prefix, after it) across the matrix.
     co_await sim::sleep_for(
-        w.sim, sim::ms(40) + sim::ms(static_cast<int64_t>(GetParam()) * 17));
+        w.sim, sim::ms(40) + sim::ms(static_cast<int64_t>(seed) * 17));
     // Peek until the holder's ref is visible (its enqueue LWT may still be
     // in flight at wake-up time), then preempt it.
     LockRef victim = kNoLockRef;
@@ -274,47 +327,59 @@ TEST_P(EcfFaultMatrix, HolderCrashMidBatchKeepsOkPrefixNotLockHolderTail) {
       }
       co_await sim::sleep_for(w.sim, sim::ms(50));
     }
-    CO_ASSERT_TRUE(victim != kNoLockRef);
-    CO_ASSERT_TRUE((co_await usurper.forced_release(k, victim)).ok());
+    CO_CHECK(out, victim != kNoLockRef);
+    CO_CHECK(out, (co_await usurper.forced_release(k, victim)).ok());
     // Take over and prove the lock is usable after the crash.
     auto ref = co_await usurper.create_lock_ref(k);
-    CO_ASSERT_TRUE(ref.ok());
+    CO_CHECK(out, ref.ok());
     auto uacq = co_await usurper.acquire_lock_blocking(k, ref.value());
     if (!uacq.ok()) {
-      ADD_FAILURE() << "usurper acquire: " << to_string(uacq.status())
-                    << " at t=" << w.sim.now();
+      std::string why = "usurper acquire failed: ";
+      why += to_string(uacq.status());
+      out.fail(why);
       co_return;
     }
-    CO_ASSERT_TRUE(
-        (co_await usurper.critical_put(k, ref.value(), Value("took-over")))
-            .ok());
+    CO_CHECK(out,
+             (co_await usurper.critical_put(k, ref.value(), Value("took-over")))
+                 .ok());
     auto g = co_await usurper.critical_get(k, ref.value());
-    CO_ASSERT_TRUE(g.ok());
+    CO_CHECK(out, g.ok());
     co_await usurper.release_lock(k, ref.value());
   };
   sim::spawn(w.sim, holder_life());
   sim::spawn(w.sim, usurper_life());
   w.sim.run_until(sim::sec(120));
 
-  ASSERT_TRUE(flushed);
-  ASSERT_EQ(results.size(), 10u);
+  out.check(flushed, "holder flush never completed");
+  out.check(results.size() == 10u, "batch result count != 10");
   // Ok-prefix / NotLockHolder-tail: once the preemption cuts the batch, no
   // later sub-op may report success.
   bool preempted = false;
   for (size_t i = 0; i < results.size(); ++i) {
-    if (preempted) {
-      EXPECT_NE(results[i].status, OpStatus::Ok) << "op " << i;
+    if (preempted && results[i].status == OpStatus::Ok) {
+      out.fail("Ok after the preemption point at op " + std::to_string(i));
     }
     if (results[i].status == OpStatus::NotLockHolder) preempted = true;
   }
-  EXPECT_TRUE(checker.ok()) << checker.report();
+  if (!checker.ok()) out.fail(checker.report());
+  return out;
+}
+
+TEST(EcfFaultMatrix, HolderCrashMidBatchKeepsOkPrefixNotLockHolderTail) {
+  auto seeds = matrix_seeds();
+  auto outs = par::run_worlds(
+      seeds, [](const uint64_t& s) { return run_midbatch_scenario(s); },
+      matrix_threads());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_TRUE(outs[i].ok) << "seed " << seeds[i] << ": " << outs[i].detail;
+  }
 }
 
 // ---- Dead store majority ---------------------------------------------------
 
-TEST_P(EcfFaultMatrix, DeadMajorityStallsWithoutFalseAcksThenHeals) {
+SeedOutcome run_dead_majority_scenario(uint64_t seed) {
   WorldOptions opt;
-  opt.seed = GetParam();
+  opt.seed = seed;
   // Tight retry budget so the stalled op surfaces RetryExhausted well
   // before the outage ends (each attempt burns the store's 1.5s quorum
   // timeout; 4 attempts + capped backoff finish by ~t=10s < heal at 14s).
@@ -323,61 +388,77 @@ TEST_P(EcfFaultMatrix, DeadMajorityStallsWithoutFalseAcksThenHeals) {
   EcfChecker checker(w.sim);
   checker.set_lenient_stale_grants(true);
   fault::Nemesis nemesis(w.sim, w.net, world_hooks(w));
+  SeedOutcome out;
   std::string err;
   auto sched = fault::Schedule::parse(
       "at 2s crash store 1 for 12s; at 2s crash store 2 for 12s", &err);
-  ASSERT_TRUE(sched.has_value()) << err;
+  if (!sched.has_value()) {
+    out.fail("schedule parse: " + err);
+    return out;
+  }
   nemesis.arm(*sched);
   CheckedClient c(w.client(0), checker);
 
   auto drive = [&]() -> sim::Task<void> {
     const Key k = "dm";
     auto ref = co_await c.create_lock_ref(k);
-    CO_ASSERT_TRUE(ref.ok());
-    CO_ASSERT_TRUE((co_await c.acquire_lock_blocking(k, ref.value())).ok());
-    CO_ASSERT_TRUE(
-        (co_await c.critical_put(k, ref.value(), Value("before"))).ok());
+    CO_CHECK(out, ref.ok());
+    CO_CHECK(out, (co_await c.acquire_lock_blocking(k, ref.value())).ok());
+    CO_CHECK(out, (co_await c.critical_put(k, ref.value(), Value("before"))).ok());
 
     // Into the outage: two of three store replicas are down, so no value
     // quorum exists.  The op must fail loudly — RetryExhausted, the
     // distinct terminal status — rather than hang or return a false Ok.
     co_await sim::sleep_for(w.sim, sim::sec(3));
     auto mid = co_await c.critical_put(k, ref.value(), Value("during"));
-    CO_ASSERT_FALSE(mid.ok());
-    CO_ASSERT_EQ(mid.status(), OpStatus::RetryExhausted);
-    CO_ASSERT_TRUE(c.inner().stats().retry_exhausted > 0);
+    CO_CHECK(out, !mid.ok());
+    CO_CHECK(out, mid.status() == OpStatus::RetryExhausted);
+    CO_CHECK(out, c.inner().stats().retry_exhausted > 0);
 
     // After the (durable) restarts the same section finishes cleanly.
     while (w.sim.now() < sim::sec(15)) {
       co_await sim::sleep_for(w.sim, sim::ms(500));
     }
-    CO_ASSERT_TRUE(
-        (co_await c.critical_put(k, ref.value(), Value("after"))).ok());
+    CO_CHECK(out, (co_await c.critical_put(k, ref.value(), Value("after"))).ok());
     auto g = co_await c.critical_get(k, ref.value());
-    CO_ASSERT_TRUE(g.ok());
-    CO_ASSERT_EQ(g.value().data, "after");
+    CO_CHECK(out, g.ok());
+    CO_CHECK(out, g.value().data == "after");
     co_await c.release_lock(k, ref.value());
   };
-  EXPECT_TRUE(w.runner.run(drive, sim::sec(300)));
-  EXPECT_TRUE(checker.ok()) << checker.report();
-  EXPECT_EQ(nemesis.counters().store_crashes, 2u);
-  EXPECT_EQ(nemesis.counters().heals, 2u);
-  EXPECT_EQ(nemesis.open_faults(), 0u);
+  out.check(w.runner.run(drive, sim::sec(300)), "drive did not finish");
+  if (!checker.ok()) out.fail(checker.report());
+  out.check(nemesis.counters().store_crashes == 2u, "store crash count != 2");
+  out.check(nemesis.counters().heals == 2u, "heal count != 2");
+  out.check(nemesis.open_faults() == 0u, "faults left open");
   for (int i = 0; i < w.store.num_replicas(); ++i) {
-    EXPECT_FALSE(w.store.replica(i).down()) << i;
+    if (w.store.replica(i).down()) {
+      out.fail("replica " + std::to_string(i) + " still down");
+    }
+  }
+  return out;
+}
+
+TEST(EcfFaultMatrix, DeadMajorityStallsWithoutFalseAcksThenHeals) {
+  auto seeds = matrix_seeds();
+  auto outs = par::run_worlds(
+      seeds, [](const uint64_t& s) { return run_dead_majority_scenario(s); },
+      matrix_threads());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_TRUE(outs[i].ok) << "seed " << seeds[i] << ": " << outs[i].detail;
   }
 }
 
 // ---- Gray-link soak --------------------------------------------------------
 
-TEST_P(EcfFaultMatrix, GrayLinkSoakHoldsEcf) {
+SeedOutcome run_gray_link_scenario(uint64_t seed) {
   WorldOptions opt;
-  opt.seed = GetParam();
+  opt.seed = seed;
   opt.clients_per_site = 2;
   MusicWorld w(opt);
   EcfChecker checker(w.sim);
   checker.set_lenient_stale_grants(true);
   fault::Nemesis nemesis(w.sim, w.net, world_hooks(w));
+  SeedOutcome out;
   std::string err;
   auto sched = fault::Schedule::parse(
       "at 1s gray 0<>1 loss 0.25 delay 20ms for 25s; "
@@ -385,7 +466,10 @@ TEST_P(EcfFaultMatrix, GrayLinkSoakHoldsEcf) {
       "at 8s spike 0>2 delay 80ms for 6s; "
       "at 10s dup 2>0 prob 0.3 for 8s",
       &err);
-  ASSERT_TRUE(sched.has_value()) << err;
+  if (!sched.has_value()) {
+    out.fail("schedule parse: " + err);
+    return out;
+  }
   nemesis.arm(*sched);
 
   sim::Time end = sim::sec(30);
@@ -395,34 +479,46 @@ TEST_P(EcfFaultMatrix, GrayLinkSoakHoldsEcf) {
                worker_life(w,
                            CheckedClient(w.client(static_cast<size_t>(i)),
                                          checker),
-                           i, end, GetParam() * 1000 + static_cast<uint64_t>(i),
+                           i, end, seed * 1000 + static_cast<uint64_t>(i),
                            &completed));
   }
   sim::spawn(w.sim, janitor_life(w, CheckedClient(w.client(4), checker), end,
-                                 GetParam() * 7777));
+                                 seed * 7777));
   w.sim.run_until(end + sim::sec(120));
 
-  EXPECT_TRUE(checker.ok()) << checker.report();
-  EXPECT_GT(completed, 0);
+  if (!checker.ok()) out.fail(checker.report());
+  out.check(completed > 0, "no critical section completed");
   // Every scheduled fault was timed and has healed itself.
-  EXPECT_EQ(nemesis.counters().link_faults, 4u);
-  EXPECT_EQ(nemesis.counters().heals, 4u);
-  EXPECT_EQ(nemesis.open_faults(), 0u);
-  EXPECT_EQ(w.net.active_link_faults(), 0u);
+  out.check(nemesis.counters().link_faults == 4u, "link fault count != 4");
+  out.check(nemesis.counters().heals == 4u, "heal count != 4");
+  out.check(nemesis.open_faults() == 0u, "faults left open");
+  out.check(w.net.active_link_faults() == 0u, "link faults still active");
   // The gray links really degraded the wire.
-  EXPECT_GT(w.net.link_fault_drops(), 0u);
+  out.check(w.net.link_fault_drops() > 0u, "gray links dropped nothing");
+  return out;
+}
+
+TEST(EcfFaultMatrix, GrayLinkSoakHoldsEcf) {
+  auto seeds = matrix_seeds();
+  auto outs = par::run_worlds(
+      seeds, [](const uint64_t& s) { return run_gray_link_scenario(s); },
+      matrix_threads());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_TRUE(outs[i].ok) << "seed " << seeds[i] << ": " << outs[i].detail;
+  }
 }
 
 // ---- Stacked partitions ----------------------------------------------------
 
-TEST_P(EcfFaultMatrix, StackedPartitionChurnHoldsEcf) {
+SeedOutcome run_stacked_partition_scenario(uint64_t seed) {
   WorldOptions opt;
-  opt.seed = GetParam();
+  opt.seed = seed;
   opt.clients_per_site = 2;
   MusicWorld w(opt);
   EcfChecker checker(w.sim);
   checker.set_lenient_stale_grants(true);
   fault::Nemesis nemesis(w.sim, w.net, world_hooks(w));
+  SeedOutcome out;
   std::string err;
   // The first two overlap from 4s to 6s, a window where every cross-site
   // pair is cut and no quorum exists anywhere; they heal independently
@@ -432,7 +528,10 @@ TEST_P(EcfFaultMatrix, StackedPartitionChurnHoldsEcf) {
       "at 4s partition 1|0,2 for 4s; "
       "at 12s partition 2|0,1 for 3s",
       &err);
-  ASSERT_TRUE(sched.has_value()) << err;
+  if (!sched.has_value()) {
+    out.fail("schedule parse: " + err);
+    return out;
+  }
   nemesis.arm(*sched);
 
   sim::Time end = sim::sec(25);
@@ -442,22 +541,31 @@ TEST_P(EcfFaultMatrix, StackedPartitionChurnHoldsEcf) {
                worker_life(w,
                            CheckedClient(w.client(static_cast<size_t>(i)),
                                          checker),
-                           i, end, GetParam() * 2000 + static_cast<uint64_t>(i),
+                           i, end, seed * 2000 + static_cast<uint64_t>(i),
                            &completed));
   }
   sim::spawn(w.sim, janitor_life(w, CheckedClient(w.client(4), checker), end,
-                                 GetParam() * 8888));
+                                 seed * 8888));
   w.sim.run_until(end + sim::sec(120));
 
-  EXPECT_TRUE(checker.ok()) << checker.report();
-  EXPECT_GT(completed, 0);  // progress resumed once quorums returned
-  EXPECT_EQ(nemesis.counters().partitions, 3u);
-  EXPECT_EQ(nemesis.counters().heals, 3u);
-  EXPECT_EQ(w.net.active_partitions(), 0u);
+  if (!checker.ok()) out.fail(checker.report());
+  out.check(completed > 0, "no progress after quorums returned");
+  out.check(nemesis.counters().partitions == 3u, "partition count != 3");
+  out.check(nemesis.counters().heals == 3u, "heal count != 3");
+  out.check(w.net.active_partitions() == 0u, "partitions still active");
+  return out;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EcfFaultMatrix,
-                         ::testing::ValuesIn(matrix_seeds()));
+TEST(EcfFaultMatrix, StackedPartitionChurnHoldsEcf) {
+  auto seeds = matrix_seeds();
+  auto outs = par::run_worlds(
+      seeds,
+      [](const uint64_t& s) { return run_stacked_partition_scenario(s); },
+      matrix_threads());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_TRUE(outs[i].ok) << "seed " << seeds[i] << ": " << outs[i].detail;
+  }
+}
 
 }  // namespace
 }  // namespace music::verify

@@ -1,0 +1,153 @@
+// Unit tests for InlineFnT: inline vs pooled storage selection, move-only
+// ownership, capture lifecycle, and pool block recycling.
+#include "sim/inline_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+namespace music::sim {
+namespace {
+
+TEST(InlineFn, DefaultIsEmpty) {
+  InlineFn f;
+  EXPECT_FALSE(f);
+  InlineFn g(nullptr);
+  EXPECT_FALSE(g);
+}
+
+TEST(InlineFn, InvokesSmallCapture) {
+  int x = 0;
+  InlineFn f = [&x] { x = 42; };
+  ASSERT_TRUE(f);
+  f();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(InlineFn, ReturnsValuesAndTakesArguments) {
+  InlineFnT<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+  int calls = 0;
+  InlineFnT<void(const int&)> g = [&calls](const int& v) { calls += v; };
+  g(7);
+  EXPECT_EQ(calls, 7);
+}
+
+TEST(InlineFn, SmallCapturesStayOffThePool) {
+  auto& pool = detail::CallablePool::instance();
+  uint64_t fresh0 = pool.fresh_allocs();
+  uint64_t reused0 = pool.reused_allocs();
+  // 48 bytes of capture: comfortably inside the 64-byte inline buffer.
+  struct {
+    uint64_t a[6] = {1, 2, 3, 4, 5, 6};
+  } cap;
+  uint64_t sum = 0;
+  InlineFn f = [cap, &sum] {
+    for (uint64_t v : cap.a) sum += v;
+  };
+  f();
+  EXPECT_EQ(sum, 21u);
+  EXPECT_EQ(pool.fresh_allocs(), fresh0);
+  EXPECT_EQ(pool.reused_allocs(), reused0);
+}
+
+TEST(InlineFn, LargeCapturesGoToPoolAndBlocksAreRecycled) {
+  auto& pool = detail::CallablePool::instance();
+  struct Big {
+    unsigned char bytes[200];
+  };
+  Big big{};
+  big.bytes[0] = 7;
+  big.bytes[199] = 9;
+
+  uint64_t fresh0 = pool.fresh_allocs();
+  int sum = 0;
+  {
+    InlineFn f = [big, &sum] { sum = big.bytes[0] + big.bytes[199]; };
+    f();
+  }
+  EXPECT_EQ(sum, 16);
+  uint64_t fresh_after_first = pool.fresh_allocs();
+  EXPECT_GE(fresh_after_first, fresh0 + 1);  // overflowed to the pool
+
+  // The block was freed on destruction; the same size class must now be
+  // served from the freelist with no fresh allocation.
+  uint64_t reused0 = pool.reused_allocs();
+  {
+    InlineFn g = [big, &sum] { sum = 1; };
+    g();
+  }
+  EXPECT_EQ(pool.fresh_allocs(), fresh_after_first);
+  EXPECT_GE(pool.reused_allocs(), reused0 + 1);
+}
+
+TEST(InlineFn, HoldsMoveOnlyCallables) {
+  auto p = std::make_unique<int>(5);
+  InlineFnT<int()> f = [p = std::move(p)] { return *p; };
+  EXPECT_EQ(f(), 5);
+  InlineFnT<int()> g = std::move(f);
+  EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move): testing moved-from
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g(), 5);
+}
+
+/// Counts constructions, destructions, and invocations — including invoking
+/// a moved-from instance, which must never happen inside the kernel.
+struct Probe {
+  static int live;
+  static int calls;
+  static int calls_on_moved_from;
+  bool moved_from = false;
+
+  Probe() { ++live; }
+  Probe(Probe&& o) noexcept {
+    ++live;
+    o.moved_from = true;
+  }
+  Probe(const Probe&) = delete;
+  ~Probe() { --live; }
+  void operator()() {
+    ++calls;
+    if (moved_from) ++calls_on_moved_from;
+  }
+};
+int Probe::live = 0;
+int Probe::calls = 0;
+int Probe::calls_on_moved_from = 0;
+
+TEST(InlineFn, CaptureLifecycleAcrossMovesAndReset) {
+  Probe::live = 0;
+  Probe::calls = 0;
+  Probe::calls_on_moved_from = 0;
+  {
+    InlineFn a = Probe{};
+    InlineFn b = std::move(a);
+    EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move)
+    InlineFn c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(Probe::calls, 1);
+    EXPECT_EQ(Probe::calls_on_moved_from, 0);
+    c.reset();
+    EXPECT_FALSE(c);
+    EXPECT_EQ(Probe::live, 0);
+  }
+  EXPECT_EQ(Probe::live, 0);
+  EXPECT_EQ(Probe::calls, 1);
+}
+
+TEST(InlineFn, MoveAssignmentDestroysPreviousCallable) {
+  Probe::live = 0;
+  InlineFn a = Probe{};
+  EXPECT_EQ(Probe::live, 1);
+  int x = 0;
+  a = InlineFn([&x] { x = 1; });
+  EXPECT_EQ(Probe::live, 0);  // old capture destroyed by assignment
+  a();
+  EXPECT_EQ(x, 1);
+}
+
+}  // namespace
+}  // namespace music::sim

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against its committed baseline.
+
+Usage: check_perf.py <baseline.json> <current.json> [--max-regression 0.30]
+
+Fails (exit 1) when any throughput headline regresses by more than the
+allowed fraction versus the committed baseline.  Only rate-style headline
+metrics are compared -- absolute wall-clock and event counts vary with the
+configured workload size (--smoke vs full), while events/sec and speedup
+ratios are size-independent:
+
+  * ``speedup_events_per_sec``     (bench_kernel: fast path vs seed kernel)
+  * ``fastpath.events_per_sec``    (bench_kernel: absolute kernel rate)
+  * ``events_per_sec_aggregate``   (figure benches via BenchReport)
+
+The seed-baseline kernel's own rate is deliberately NOT compared: the seed
+kernel getting slower is not a regression in the code under test.
+
+The default tolerance (30%) absorbs host-speed differences between the
+machine that produced the committed baseline and the CI runner; a genuine
+fast-path regression (e.g. losing the alloc-free path or the wheel) costs
+2-4x and clears the threshold easily.
+"""
+
+import argparse
+import json
+import sys
+
+HEADLINE_KEYS = (
+    "speedup_events_per_sec",
+    "events_per_sec_aggregate",
+)
+
+
+def headline_metrics(doc):
+    """Extract the comparable rate metrics from one BENCH_*.json document."""
+    out = {}
+    for key in HEADLINE_KEYS:
+        if isinstance(doc.get(key), (int, float)):
+            out[key] = float(doc[key])
+    fast = doc.get("fastpath")
+    if isinstance(fast, dict) and isinstance(
+        fast.get("events_per_sec"), (int, float)
+    ):
+        out["fastpath.events_per_sec"] = float(fast["events_per_sec"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop vs baseline (default 0.30 = 30%%)",
+    )
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    base_m = headline_metrics(base)
+    cur_m = headline_metrics(cur)
+    if not base_m:
+        print(f"error: no headline metrics in baseline {args.baseline}")
+        return 2
+
+    failed = False
+    for key, b in sorted(base_m.items()):
+        c = cur_m.get(key)
+        if c is None:
+            print(f"FAIL {key}: present in baseline but missing from current")
+            failed = True
+            continue
+        floor = b * (1.0 - args.max_regression)
+        verdict = "ok  " if c >= floor else "FAIL"
+        print(
+            f"{verdict} {key}: current {c:.4g} vs baseline {b:.4g} "
+            f"(floor {floor:.4g})"
+        )
+        if c < floor:
+            failed = True
+
+    if failed:
+        print(
+            f"perf regression > {args.max_regression:.0%} vs "
+            f"{args.baseline}"
+        )
+        return 1
+    print(f"perf ok within {args.max_regression:.0%} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
