@@ -1,0 +1,223 @@
+// bench_scenarios: runs declarative scenario specs (scenarios/*.scn) as a
+// cell-grid sweep — the eval-harness half of the scenario matrix.  The same
+// binary doubles as the ctest family: --ctest caps the grid (1 seed, short
+// windows) so `ctest -L scenario` stays tier-1 fast while the nightly job
+// runs specs as written.
+//
+//   bench_scenarios [options] FILE.scn | DIR ...
+//     --ctest            reduced grid: seeds<=1, warmup<=1s, measure<=3s
+//     --threads N        worker threads (default MUSIC_BENCH_THREADS or all)
+//     --seeds N          cap seeds per grid point
+//     --base-seed N      override the spec's base_seed (ctest seed axis)
+//     --warmup-sec S     cap warmup (fractional ok)
+//     --measure-sec S    cap the measurement window
+//     --max-cells N      truncate the expanded grid
+//     --out-dir D        where <scenario>.csv / <scenario>.html land
+//
+// MUSIC_SCENARIO_SEEDS overrides the seed cap (like MUSIC_FAULT_SEEDS for
+// the fault matrix).  Exit: 0 all cells ok, 1 cell failures (oracle
+// violation or world error), 2 spec parse/usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "obs/export.h"
+#include "scenario/report.h"
+#include "scenario/run.h"
+#include "scenario/spec.h"
+
+namespace music {
+namespace {
+
+struct Args {
+  bool ctest = false;
+  size_t threads = 0;
+  int seeds = 0;
+  uint64_t base_seed = 0;  // 0 = spec's own
+  double warmup_sec = -1.0;
+  double measure_sec = -1.0;
+  size_t max_cells = 0;
+  std::string out_dir = ".";
+  std::vector<std::string> inputs;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: bench_scenarios [--ctest] [--threads N] [--seeds N] "
+               "[--base-seed N]\n"
+               "                       [--warmup-sec S] [--measure-sec S] "
+               "[--max-cells N]\n"
+               "                       [--out-dir D] FILE.scn|DIR ...\n");
+}
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atof(argv[++i]);
+      return true;
+    };
+    double v = 0;
+    if (arg == "--ctest") {
+      a->ctest = true;
+    } else if (arg == "--threads" && next(&v)) {
+      a->threads = static_cast<size_t>(v);
+    } else if (arg == "--seeds" && next(&v)) {
+      a->seeds = static_cast<int>(v);
+    } else if (arg == "--base-seed" && next(&v)) {
+      a->base_seed = static_cast<uint64_t>(v);
+    } else if (arg == "--warmup-sec" && next(&v)) {
+      a->warmup_sec = v;
+    } else if (arg == "--measure-sec" && next(&v)) {
+      a->measure_sec = v;
+    } else if (arg == "--max-cells" && next(&v)) {
+      a->max_cells = static_cast<size_t>(v);
+    } else if (arg == "--out-dir") {
+      if (i + 1 >= argc) return false;
+      a->out_dir = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    } else {
+      a->inputs.push_back(arg);
+    }
+  }
+  return !a->inputs.empty();
+}
+
+/// FILE args pass through; DIR args expand to their *.scn files, sorted.
+std::vector<std::string> collect_specs(const std::vector<std::string>& inputs) {
+  std::vector<std::string> files;
+  for (const std::string& in : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(in, ec)) {
+      std::vector<std::string> found;
+      for (const auto& e : std::filesystem::directory_iterator(in, ec)) {
+        if (e.path().extension() == ".scn") found.push_back(e.path().string());
+      }
+      std::sort(found.begin(), found.end());
+      files.insert(files.end(), found.begin(), found.end());
+    } else {
+      files.push_back(in);
+    }
+  }
+  return files;
+}
+
+scn::RunOptions make_options(const Args& a) {
+  scn::RunOptions opt;
+  opt.threads = a.threads != 0 ? a.threads : bench::bench_threads();
+  opt.max_seeds = a.seeds;
+  if (a.warmup_sec >= 0) {
+    opt.max_warmup = static_cast<sim::Duration>(a.warmup_sec * 1e6);
+    if (opt.max_warmup == 0) opt.max_warmup = 1;  // 0 means "no cap"
+  }
+  if (a.measure_sec >= 0) {
+    opt.max_measure = static_cast<sim::Duration>(a.measure_sec * 1e6);
+  }
+  opt.max_cells = a.max_cells;
+  if (a.ctest) {
+    // Reduced grid for the tier-1 ctest family; explicit flags still win.
+    if (opt.max_seeds == 0) opt.max_seeds = 1;
+    if (opt.max_warmup == 0) opt.max_warmup = sim::sec(1);
+    if (opt.max_measure == 0) opt.max_measure = sim::sec(3);
+  }
+  if (const char* env = std::getenv("MUSIC_SCENARIO_SEEDS")) {
+    int v = std::atoi(env);
+    if (v > 0) opt.max_seeds = v;
+  }
+  return opt;
+}
+
+int run_one(const std::string& path, const Args& args,
+            const scn::RunOptions& opt) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  scn::Diag diag;
+  auto spec = scn::ScenarioSpec::parse(buf.str(), &diag);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "%s:%d:%d: %s\n", path.c_str(), diag.line, diag.col,
+                 diag.message.c_str());
+    return 2;
+  }
+  if (args.base_seed != 0) spec->base_seed = args.base_seed;
+  std::string invalid = scn::validate(*spec);
+  if (!invalid.empty()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), invalid.c_str());
+    return 2;
+  }
+
+  // Run against the reduced spec so the report's cell list matches the
+  // cells that actually ran (run_sweep reduces identically).
+  scn::ScenarioSpec effective = scn::reduced(*spec, opt);
+  std::vector<scn::Cell> cells = scn::expand(effective);
+  std::printf("== %s: %zu cells (%s)\n", effective.name.c_str(), cells.size(),
+              path.c_str());
+  if (opt.max_cells > 0 && cells.size() > opt.max_cells) {
+    std::printf("   grid truncated to first %zu cells (--max-cells)\n",
+                opt.max_cells);
+  }
+  bench::WallTimer timer;
+  std::vector<scn::CellOutcome> outs = scn::run_sweep(effective, opt);
+
+  int rc = 0;
+  for (const scn::CellOutcome& o : outs) {
+    std::printf("  %-32s %-4s %8llu ops %9.1f ops/s %8.2f ms  %5.1f wan/op\n",
+                o.label.c_str(), o.ok ? "ok" : "FAIL",
+                static_cast<unsigned long long>(o.run.completed),
+                o.run.throughput(), o.run.latency.mean_ms(), o.wan_per_op());
+    if (!o.ok) {
+      rc = 1;
+      std::fprintf(stderr, "FAIL %s: %s\n", o.label.c_str(), o.error.c_str());
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(args.out_dir, ec);
+  std::string base = args.out_dir + "/" + effective.name;
+  bool wrote = obs::write_file(base + ".csv", scn::sweep_csv(effective, outs));
+  wrote = obs::write_file(base + ".html", scn::sweep_html(effective, outs)) &&
+          wrote;
+  size_t ok_cells = 0;
+  for (const auto& o : outs) ok_cells += o.ok ? 1 : 0;
+  std::printf("   %zu/%zu cells ok in %.1fs -> %s.{csv,html}%s\n", ok_cells,
+              outs.size(), timer.elapsed_sec(), base.c_str(),
+              wrote ? "" : " (write failed)");
+  return rc;
+}
+
+}  // namespace
+}  // namespace music
+
+int main(int argc, char** argv) {
+  music::Args args;
+  if (!music::parse_args(argc, argv, &args)) {
+    music::usage();
+    return 2;
+  }
+  auto files = music::collect_specs(args.inputs);
+  if (files.empty()) {
+    std::fprintf(stderr, "no .scn files found\n");
+    return 2;
+  }
+  auto opt = music::make_options(args);
+  int rc = 0;
+  for (const std::string& f : files) {
+    int r = music::run_one(f, args, opt);
+    if (r > rc) rc = r;
+  }
+  return rc;
+}

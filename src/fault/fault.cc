@@ -122,24 +122,32 @@ bool parse_link(std::string_view s, FaultSpec* spec) {
   return true;
 }
 
-bool fail(std::string* error, std::string msg) {
-  if (error) *error = std::move(msg);
+/// A clause-level parse failure: the message plus the offending token
+/// (a view into the script, so the caller can compute line/column).  An
+/// empty `where` blames the whole clause.
+struct ClauseError {
+  std::string message;
+  std::string_view where;
+};
+
+bool fail(ClauseError* err, std::string msg, std::string_view where = {}) {
+  if (err) {
+    err->message = std::move(msg);
+    err->where = where;
+  }
   return false;
 }
 
-/// Parses one ';'-separated clause into `spec`.
-bool parse_clause(std::string_view clause, FaultSpec* spec,
-                  std::string* error) {
+/// Parses one clause into `spec`.
+bool parse_clause(std::string_view clause, FaultSpec* spec, ClauseError* err) {
   auto toks = tokenize(clause);
-  std::string ctx = "in clause \"";
-  ctx += clause;
-  ctx += "\": ";
   if (toks.size() < 3 || toks[0] != "at") {
-    return fail(error, ctx + "expected \"at TIME spec\"");
+    return fail(err, "expected \"at TIME spec\"",
+                toks.empty() ? clause : toks[0]);
   }
   sim::Duration at;
   if (!parse_time(toks[1], &at)) {
-    return fail(error, ctx + "bad time \"" + std::string(toks[1]) + "\"");
+    return fail(err, "bad time \"" + std::string(toks[1]) + "\"", toks[1]);
   }
   spec->at = at;
 
@@ -147,28 +155,29 @@ bool parse_clause(std::string_view clause, FaultSpec* spec,
   size_t n = toks.size();
   if (n >= 2 && toks[n - 2] == "for") {
     if (!parse_time(toks[n - 1], &spec->duration)) {
-      return fail(error,
-                  ctx + "bad duration \"" + std::string(toks[n - 1]) + "\"");
+      return fail(err, "bad duration \"" + std::string(toks[n - 1]) + "\"",
+                  toks[n - 1]);
     }
     n -= 2;
   }
 
   std::string_view verb = toks[2];
   if (verb == "partition") {
-    if (n != 4) return fail(error, ctx + "partition wants SIDES (\"0|1,2\")");
+    if (n != 4) return fail(err, "partition wants SIDES (\"0|1,2\")", verb);
     std::string_view sides = toks[3];
     size_t bar = sides.find('|');
     if (bar == std::string_view::npos ||
         !parse_sites(sides.substr(0, bar), &spec->side_a) ||
         !parse_sites(sides.substr(bar + 1), &spec->side_b)) {
-      return fail(error, ctx + "bad sides \"" + std::string(sides) + "\"");
+      return fail(err, "bad sides \"" + std::string(sides) + "\"", sides);
     }
     spec->kind = FaultKind::Partition;
     return true;
   }
   if (verb == "blackhole") {
     if (n != 4 || !parse_link(toks[3], spec)) {
-      return fail(error, ctx + "blackhole wants LINK (\"0>1\" or \"0<>1\")");
+      return fail(err, "blackhole wants LINK (\"0>1\" or \"0<>1\")",
+                  n >= 4 ? toks[3] : verb);
     }
     spec->kind = FaultKind::Blackhole;
     return true;
@@ -176,26 +185,26 @@ bool parse_clause(std::string_view clause, FaultSpec* spec,
   if (verb == "gray") {
     if (n != 8 || !parse_link(toks[3], spec) || toks[4] != "loss" ||
         !parse_double(toks[5], &spec->loss) || toks[6] != "delay") {
-      return fail(error, ctx + "gray wants \"LINK loss FLOAT delay TIME\"");
+      return fail(err, "gray wants \"LINK loss FLOAT delay TIME\"", verb);
     }
     sim::Duration d;
     if (!parse_time(toks[7], &d)) {
-      return fail(error, ctx + "bad delay \"" + std::string(toks[7]) + "\"");
+      return fail(err, "bad delay \"" + std::string(toks[7]) + "\"", toks[7]);
     }
     spec->delay_ms = sim::to_ms(d);
     if (spec->loss < 0 || spec->loss > 1) {
-      return fail(error, ctx + "loss must be in [0,1]");
+      return fail(err, "loss must be in [0,1]", toks[5]);
     }
     spec->kind = FaultKind::GrayLink;
     return true;
   }
   if (verb == "spike") {
     if (n != 6 || !parse_link(toks[3], spec) || toks[4] != "delay") {
-      return fail(error, ctx + "spike wants \"LINK delay TIME\"");
+      return fail(err, "spike wants \"LINK delay TIME\"", verb);
     }
     sim::Duration d;
     if (!parse_time(toks[5], &d)) {
-      return fail(error, ctx + "bad delay \"" + std::string(toks[5]) + "\"");
+      return fail(err, "bad delay \"" + std::string(toks[5]) + "\"", toks[5]);
     }
     spec->delay_ms = sim::to_ms(d);
     spec->kind = FaultKind::LatencySpike;
@@ -205,7 +214,7 @@ bool parse_clause(std::string_view clause, FaultSpec* spec,
     if (n != 6 || !parse_link(toks[3], spec) || toks[4] != "prob" ||
         !parse_double(toks[5], &spec->dup_prob) || spec->dup_prob < 0 ||
         spec->dup_prob > 1) {
-      return fail(error, ctx + "dup wants \"LINK prob FLOAT\" in [0,1]");
+      return fail(err, "dup wants \"LINK prob FLOAT\" in [0,1]", verb);
     }
     spec->kind = FaultKind::Duplication;
     return true;
@@ -213,22 +222,36 @@ bool parse_clause(std::string_view clause, FaultSpec* spec,
   if (verb == "crash") {
     if (n < 5 || (toks[3] != "store" && toks[3] != "music") ||
         !parse_int(toks[4], &spec->replica) || spec->replica < 0) {
-      return fail(error, ctx + "crash wants \"(store|music) INT [amnesia]\"");
+      return fail(err, "crash wants \"(store|music) INT [amnesia]\"", verb);
     }
     spec->kind =
         toks[3] == "store" ? FaultKind::CrashStore : FaultKind::CrashMusic;
     if (n == 6) {
       if (toks[5] != "amnesia") {
-        return fail(error, ctx + "unknown crash flag \"" +
-                               std::string(toks[5]) + "\"");
+        return fail(err, "unknown crash flag \"" + std::string(toks[5]) + "\"",
+                    toks[5]);
       }
       spec->amnesia = true;
     } else if (n != 5) {
-      return fail(error, ctx + "trailing tokens after crash spec");
+      return fail(err, "trailing tokens after crash spec", toks[5]);
     }
     return true;
   }
-  return fail(error, ctx + "unknown fault \"" + std::string(verb) + "\"");
+  return fail(err, "unknown fault \"" + std::string(verb) + "\"", verb);
+}
+
+/// 1-based line/column of byte `offset` within `script`.
+void locate(std::string_view script, size_t offset, int* line, int* col) {
+  *line = 1;
+  *col = 1;
+  for (size_t i = 0; i < offset && i < script.size(); ++i) {
+    if (script[i] == '\n') {
+      ++*line;
+      *col = 1;
+    } else {
+      ++*col;
+    }
+  }
 }
 
 }  // namespace
@@ -281,24 +304,58 @@ std::string FaultSpec::describe() const {
   return out;
 }
 
+std::string ParseDiag::str() const {
+  std::string out = "line ";
+  out += std::to_string(line);
+  out += ", col ";
+  out += std::to_string(col);
+  out += ": ";
+  out += message;
+  return out;
+}
+
 std::optional<Schedule> Schedule::parse(std::string_view script,
-                                        std::string* error) {
+                                        ParseDiag* diag) {
   Schedule s;
-  while (!script.empty()) {
-    size_t semi = script.find(';');
-    std::string_view clause = script.substr(0, semi);
+  std::string_view rest = script;
+  while (!rest.empty()) {
+    size_t sep = rest.find_first_of(";\n");
+    std::string_view clause = rest.substr(0, sep);
     if (!tokenize(clause).empty()) {
       FaultSpec spec;
-      if (!parse_clause(clause, &spec, error)) return std::nullopt;
+      ClauseError err;
+      if (!parse_clause(clause, &spec, &err)) {
+        if (diag) {
+          // Blame the offending token when it points into the script,
+          // otherwise the start of the clause.
+          std::string_view where = err.where.empty() ? clause : err.where;
+          size_t offset = static_cast<size_t>(where.data() - script.data());
+          locate(script, offset, &diag->line, &diag->col);
+          diag->message = std::move(err.message);
+        }
+        return std::nullopt;
+      }
       s.specs_.push_back(std::move(spec));
     }
-    if (semi == std::string_view::npos) break;
-    script.remove_prefix(semi + 1);
+    if (sep == std::string_view::npos) break;
+    rest.remove_prefix(sep + 1);
   }
   if (s.specs_.empty()) {
-    if (error) *error = "empty schedule";
+    if (diag) {
+      diag->line = 1;
+      diag->col = 1;
+      diag->message = "empty schedule";
+    }
     return std::nullopt;
   }
+  return s;
+}
+
+std::optional<Schedule> Schedule::parse(std::string_view script,
+                                        std::string* error) {
+  ParseDiag diag;
+  auto s = parse(script, &diag);
+  if (!s.has_value() && error != nullptr) *error = diag.str();
   return s;
 }
 

@@ -77,11 +77,23 @@ struct FaultSpec {
   std::string describe() const;
 };
 
+/// Where and why a script failed to parse.  `line` and `col` are 1-based
+/// and point at the offending token (or the start of the offending clause
+/// when no single token is to blame).
+struct ParseDiag {
+  int line = 1;
+  int col = 1;
+  std::string message;
+
+  /// "line L, col C: message".
+  std::string str() const;
+};
+
 /// An ordered list of FaultSpecs.  Builder methods return *this so
 /// schedules compose fluently; parse() accepts the script DSL.
 class Schedule {
  public:
-  /// Parses the nemesis script DSL.  Clauses are ';'-separated:
+  /// Parses the nemesis script DSL.  Clauses are ';'- or newline-separated:
   ///
   ///   clause  := "at" TIME spec ["for" TIME]
   ///   spec    := "partition" SIDES            (SIDES := "0|1,2")
@@ -94,9 +106,15 @@ class Schedule {
   ///   TIME    := NUMBER ("us"|"ms"|"s")
   ///
   /// Returns nullopt on a malformed script; if `error` is non-null it
-  /// receives a description of the first problem.
+  /// receives a description of the first problem (with its line/column).
   static std::optional<Schedule> parse(std::string_view script,
                                        std::string* error = nullptr);
+
+  /// Same, but reports the first problem as a structured diagnostic with
+  /// 1-based line/column.  Malformed input never crashes and never silently
+  /// drops clauses: the first bad clause aborts the whole parse.
+  static std::optional<Schedule> parse(std::string_view script,
+                                       ParseDiag* diag);
 
   Schedule& add(FaultSpec spec);
 

@@ -1,0 +1,199 @@
+#include "scenario/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace music::scn {
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// First line of an error (reports can be multi-line; tables want one).
+std::string first_line(const std::string& s) {
+  size_t nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+}  // namespace
+
+std::string csv_header() {
+  return "scenario,protocol,profile,mix,clients,seed,ok,completed,failed,"
+         "throughput_ops_s,mean_ms,p50_ms,p99_ms,wan_msgs,msgs,wan_per_op,"
+         "events,violations,wall_sec,error";
+}
+
+std::string csv_row(const ScenarioSpec& spec, const Cell& cell,
+                    const CellOutcome& out) {
+  std::string row = spec.name;
+  row += ",";
+  row += to_string(cell.protocol());
+  row += ",";
+  row += cell.profile();
+  row += ",";
+  row += num(cell.mix());
+  row += ",";
+  row += std::to_string(cell.clients());
+  row += ",";
+  row += std::to_string(cell.seed);
+  row += ",";
+  row += out.ok ? "1" : "0";
+  row += ",";
+  row += std::to_string(out.run.completed);
+  row += ",";
+  row += std::to_string(out.run.failed);
+  row += ",";
+  row += num(out.run.throughput());
+  row += ",";
+  row += num(out.run.latency.mean_ms());
+  row += ",";
+  row += num(out.run.latency.percentile_ms(50));
+  row += ",";
+  row += num(out.run.latency.percentile_ms(99));
+  row += ",";
+  row += std::to_string(out.wan_msgs);
+  row += ",";
+  row += std::to_string(out.msgs);
+  row += ",";
+  row += num(out.wan_per_op());
+  row += ",";
+  row += std::to_string(out.events);
+  row += ",";
+  row += std::to_string(out.violations);
+  row += ",";
+  row += num(out.wall_sec);
+  row += ",";
+  // Errors may contain commas/newlines: quote and flatten.
+  std::string err = first_line(out.error);
+  std::replace(err.begin(), err.end(), '"', '\'');
+  row += "\"";
+  row += err;
+  row += "\"";
+  return row;
+}
+
+std::string sweep_csv(const ScenarioSpec& spec,
+                      const std::vector<CellOutcome>& outs) {
+  std::vector<Cell> cells = expand(spec);
+  std::string csv = csv_header();
+  csv += "\n";
+  size_t n = std::min(cells.size(), outs.size());
+  for (size_t i = 0; i < n; ++i) {
+    csv += csv_row(spec, cells[i], outs[i]);
+    csv += "\n";
+  }
+  return csv;
+}
+
+std::string sweep_html(const ScenarioSpec& spec,
+                       const std::vector<CellOutcome>& outs) {
+  std::vector<Cell> cells = expand(spec);
+  size_t n = std::min(cells.size(), outs.size());
+
+  double max_tput = 0.0;
+  size_t ok_cells = 0;
+  uint64_t total_ops = 0;
+  for (size_t i = 0; i < n; ++i) {
+    max_tput = std::max(max_tput, outs[i].run.throughput());
+    if (outs[i].ok) ++ok_cells;
+    total_ops += outs[i].run.completed;
+  }
+
+  std::string h;
+  h += "<!doctype html><html><head><meta charset=\"utf-8\">";
+  h += "<title>scenario ";
+  h += html_escape(spec.name);
+  h += "</title><style>";
+  h += "body{font-family:sans-serif;margin:2em;max-width:75em}";
+  h += "table{border-collapse:collapse;width:100%}";
+  h += "th,td{border:1px solid #ccc;padding:0.3em 0.6em;text-align:right;"
+       "font-size:0.9em}";
+  h += "th{background:#f0f0f0}td.l{text-align:left}";
+  h += "tr.bad{background:#fdd}";
+  h += ".bar{background:#7ab;height:0.8em;display:inline-block}";
+  h += "pre{background:#f8f8f8;padding:1em;border:1px solid #ddd}";
+  h += "</style></head><body>";
+  h += "<h1>scenario ";
+  h += html_escape(spec.name);
+  h += "</h1><p>";
+  h += std::to_string(n);
+  h += " cells (";
+  h += std::to_string(ok_cells);
+  h += " ok, ";
+  h += std::to_string(n - ok_cells);
+  h += " failed), ";
+  h += std::to_string(total_ops);
+  h += " completed ops. Grid: ";
+  h += std::to_string(spec.protocols.size());
+  h += " protocol(s) x ";
+  h += std::to_string(spec.topology.profiles.size());
+  h += " profile(s) x ";
+  h += std::to_string(spec.workload.mixes.size());
+  h += " mix(es) x ";
+  h += std::to_string(spec.workload.clients.size());
+  h += " client count(s) x ";
+  h += std::to_string(spec.seeds);
+  h += " seed(s).</p>";
+
+  h += "<table><tr><th>cell</th><th>ok</th><th>ops</th><th>failed</th>"
+       "<th>ops/s</th><th></th><th>mean ms</th><th>p50 ms</th><th>p99 ms</th>"
+       "<th>WAN msgs/op</th><th>events</th><th>error</th></tr>";
+  for (size_t i = 0; i < n; ++i) {
+    const CellOutcome& o = outs[i];
+    h += o.ok ? "<tr>" : "<tr class=\"bad\">";
+    h += "<td class=\"l\">";
+    h += html_escape(cells[i].label());
+    h += "</td><td>";
+    h += o.ok ? "yes" : "NO";
+    h += "</td><td>";
+    h += std::to_string(o.run.completed);
+    h += "</td><td>";
+    h += std::to_string(o.run.failed);
+    h += "</td><td>";
+    h += num(o.run.throughput());
+    h += "</td><td class=\"l\" style=\"min-width:8em\">";
+    double frac = max_tput > 0.0 ? o.run.throughput() / max_tput : 0.0;
+    h += "<span class=\"bar\" style=\"width:";
+    h += std::to_string(static_cast<int>(frac * 100.0));
+    h += "px\"></span>";
+    h += "</td><td>";
+    h += num(o.run.latency.mean_ms());
+    h += "</td><td>";
+    h += num(o.run.latency.percentile_ms(50));
+    h += "</td><td>";
+    h += num(o.run.latency.percentile_ms(99));
+    h += "</td><td>";
+    h += num(o.wan_per_op());
+    h += "</td><td>";
+    h += std::to_string(o.events);
+    h += "</td><td class=\"l\">";
+    h += html_escape(first_line(o.error));
+    h += "</td></tr>";
+  }
+  h += "</table>";
+
+  h += "<h2>spec</h2><pre>";
+  h += html_escape(spec.format());
+  h += "</pre></body></html>\n";
+  return h;
+}
+
+}  // namespace music::scn

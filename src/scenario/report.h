@@ -1,0 +1,32 @@
+// Sweep reporting: per-cell CSV plus a one-page HTML summary per sweep
+// (throughput/latency/WAN-RTT-count columns, failed cells highlighted).
+// Both renderers are pure string producers so tests can golden them; file
+// writing goes through obs::write_file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/run.h"
+#include "scenario/spec.h"
+
+namespace music::scn {
+
+/// Header line of the per-cell CSV (also the column contract for CI
+/// artifact consumers).
+std::string csv_header();
+
+/// One outcome as a CSV row matching csv_header().
+std::string csv_row(const ScenarioSpec& spec, const Cell& cell,
+                    const CellOutcome& out);
+
+/// Whole sweep as CSV: header + one row per cell, in expand() order.
+std::string sweep_csv(const ScenarioSpec& spec,
+                      const std::vector<CellOutcome>& outs);
+
+/// One self-contained HTML page: spec echo, grid shape, result table with
+/// throughput bars, red rows for failed cells, and totals.
+std::string sweep_html(const ScenarioSpec& spec,
+                       const std::vector<CellOutcome>& outs);
+
+}  // namespace music::scn

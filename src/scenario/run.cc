@@ -1,0 +1,565 @@
+#include "scenario/run.h"
+
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "core/client.h"
+#include "core/music.h"
+#include "datastore/store.h"
+#include "fault/fault.h"
+#include "fault/nemesis.h"
+#include "lockstore/lockstore.h"
+#include "obs/metrics.h"
+#include "par/par.h"
+#include "raftkv/txkv.h"
+#include "sim/simulation.h"
+#include "verify/oracle.h"
+#include "workload/driver.h"
+#include "workload/zipfian.h"
+#include "zab/zab.h"
+
+namespace music::scn {
+namespace {
+
+// ---- Shared cell plumbing --------------------------------------------------
+
+/// Key chooser shared by all protocol workloads: same keying, same key
+/// names, so cross-protocol cells of one sweep contend identically.
+struct KeyPick {
+  Keying keying;
+  uint64_t keys;
+  wl::Zipfian zipf;
+
+  KeyPick(Keying k, uint64_t n, double theta)
+      : keying(k), keys(n), zipf(n, theta) {}
+
+  Key next(sim::Rng& rng) {
+    uint64_t idx = 0;
+    switch (keying) {
+      case Keying::Uniform: idx = rng.next_u64() % keys; break;
+      case Keying::Zipfian: idx = zipf.next(rng); break;
+      case Keying::Single: idx = 0; break;
+    }
+    // Built stepwise (GCC 12 -Werror=restrict, see ds::Cell note).
+    std::string k = "k";
+    k += std::to_string(idx);
+    return k;
+  }
+};
+
+/// Unique-ish write payload padded to the spec's value size.  Values are
+/// distinct per (client, sequence) so the ECF oracle's Latest-State checks
+/// compare real candidates, not accidental duplicates.
+Value make_value(int cid, uint64_t seq, size_t value_size) {
+  std::string v = "v";
+  v += std::to_string(cid);
+  v += ".";
+  v += std::to_string(seq);
+  if (v.size() < value_size) v.resize(value_size, 'x');
+  return Value(v);
+}
+
+/// The arrival think-time hook for wl::DriverConfig (empty for Closed).
+std::function<sim::Duration(sim::Rng&, sim::Time)> think_fn(Arrival a) {
+  switch (a.kind) {
+    case ArrivalKind::Closed:
+      return {};
+    case ArrivalKind::Poisson: {
+      double mean_us = 1e6 / a.rate;
+      return [mean_us](sim::Rng& rng, sim::Time) {
+        return static_cast<sim::Duration>(rng.exponential(mean_us));
+      };
+    }
+    case ArrivalKind::Diurnal: {
+      double rate = a.rate;
+      double low = a.low;
+      double period = static_cast<double>(a.period);
+      return [rate, low, period](sim::Rng& rng, sim::Time now) {
+        // Peak at mid-period, trough (low x peak) at the period boundary.
+        double phase = 2.0 * 3.14159265358979323846 *
+                       (static_cast<double>(now) / period);
+        double frac = low + (1.0 - low) * 0.5 * (1.0 - std::cos(phase));
+        double r = rate * frac;
+        // At a zero trough the mean gap is unbounded; clamp to one period
+        // so clients re-check the (time-varying) rate at least once a cycle.
+        double mean_us = r > 1e-12 ? 1e6 / r : period;
+        if (mean_us > period) mean_us = period;
+        auto gap = static_cast<sim::Duration>(rng.exponential(mean_us));
+        if (gap > static_cast<sim::Duration>(period)) {
+          gap = static_cast<sim::Duration>(period);
+        }
+        return gap;
+      };
+    }
+  }
+  return {};
+}
+
+/// Per-site client counts for a cell.
+std::vector<int> cell_placement(const Cell& cell) {
+  return place_clients(cell.clients(), cell.point.workload.placement);
+}
+
+std::vector<int> node_sites(int n) {
+  std::vector<int> v;
+  for (int i = 0; i < n; ++i) v.push_back(i % 3);
+  return v;
+}
+
+// ---- Protocol workloads ----------------------------------------------------
+
+/// MUSIC/MSCP cell op: one critical section around a single criticalGet
+/// (read) or criticalPut (write) on a picked key, every transition reported
+/// to the armed oracle via CheckedClient.
+class MusicMixWorkload : public wl::Workload {
+ public:
+  MusicMixWorkload(std::vector<verify::CheckedClient> clients, double read_frac,
+                   KeyPick pick, size_t value_size, uint64_t seed)
+      : clients_(std::move(clients)),
+        read_frac_(read_frac),
+        pick_(std::move(pick)),
+        value_size_(value_size),
+        rng_(seed) {}
+
+  sim::Task<bool> run_once(int cid) override {
+    auto& c = clients_[static_cast<size_t>(cid) % clients_.size()];
+    Key key = pick_.next(rng_);
+    bool read = rng_.chance(read_frac_);
+    auto ref = co_await c.create_lock_ref(key);
+    if (!ref.ok()) co_return false;
+    auto acq = co_await c.acquire_lock_blocking(key, ref.value());
+    if (!acq.ok()) {
+      co_await c.inner().remove_lock_ref(key, ref.value());
+      co_return false;
+    }
+    bool ok;
+    if (read) {
+      auto g = co_await c.critical_get(key, ref.value());
+      // NotFound is a legitimate read of a never-written key.
+      ok = g.ok() || g.status() == OpStatus::NotFound;
+    } else {
+      ok = (co_await c.critical_put(key, ref.value(),
+                                    make_value(cid, seq_++, value_size_)))
+               .ok();
+    }
+    co_await c.release_lock(key, ref.value());
+    co_return ok;
+  }
+
+ private:
+  std::vector<verify::CheckedClient> clients_;
+  double read_frac_;
+  KeyPick pick_;
+  size_t value_size_;
+  sim::Rng rng_;
+  uint64_t seq_ = 0;
+};
+
+/// Zookeeper cell op: one sequentially-consistent getData / setData.
+class ZabMixWorkload : public wl::Workload {
+ public:
+  ZabMixWorkload(std::vector<zab::ZkClient*> clients, double read_frac,
+                 KeyPick pick, size_t value_size, uint64_t seed)
+      : clients_(std::move(clients)),
+        read_frac_(read_frac),
+        pick_(std::move(pick)),
+        value_size_(value_size),
+        rng_(seed) {}
+
+  sim::Task<bool> run_once(int cid) override {
+    auto* c = clients_[static_cast<size_t>(cid) % clients_.size()];
+    Key key = pick_.next(rng_);
+    if (rng_.chance(read_frac_)) {
+      auto g = co_await c->get_data(key);
+      co_return g.ok() || g.status() == OpStatus::NotFound;
+    }
+    co_return(co_await c->set_data(key,
+                                   make_value(cid, seq_++, value_size_)))
+        .ok();
+  }
+
+ private:
+  std::vector<zab::ZkClient*> clients_;
+  double read_frac_;
+  KeyPick pick_;
+  size_t value_size_;
+  sim::Rng rng_;
+  uint64_t seq_ = 0;
+};
+
+/// CockroachDB-substitute cell op: a leader read, or one single-update
+/// §X-B3 critical section (lock txn + update/unlock txn).
+class CdbMixWorkload : public wl::Workload {
+ public:
+  CdbMixWorkload(std::vector<raftkv::TxClient*> clients, double read_frac,
+                 KeyPick pick, size_t value_size, uint64_t seed)
+      : clients_(std::move(clients)),
+        read_frac_(read_frac),
+        pick_(std::move(pick)),
+        value_size_(value_size),
+        rng_(seed) {}
+
+  sim::Task<bool> run_once(int cid) override {
+    auto* c = clients_[static_cast<size_t>(cid) % clients_.size()];
+    Key key = pick_.next(rng_);
+    if (rng_.chance(read_frac_)) {
+      auto g = co_await c->select(key);
+      co_return g.ok() || g.status() == OpStatus::NotFound;
+    }
+    std::string lock_key = "l";
+    lock_key += key;
+    co_return(co_await c->critical_section(
+                  lock_key, key, make_value(cid, seq_++, value_size_), 1))
+        .ok();
+  }
+
+ private:
+  std::vector<raftkv::TxClient*> clients_;
+  double read_frac_;
+  KeyPick pick_;
+  size_t value_size_;
+  sim::Rng rng_;
+  uint64_t seq_ = 0;
+};
+
+// ---- Cell execution --------------------------------------------------------
+
+KeyPick cell_keypick(const Cell& cell) {
+  const WorkloadBlock& w = cell.point.workload;
+  return KeyPick(w.keying, w.keys, w.zipf_theta);
+}
+
+wl::DriverConfig cell_driver(const Cell& cell) {
+  wl::DriverConfig cfg;
+  cfg.clients = cell.clients();
+  cfg.warmup = cell.point.workload.warmup;
+  cfg.measure = cell.point.workload.measure;
+  cfg.drain = sim::sec(10);
+  cfg.think = think_fn(cell.point.workload.arrival);
+  return cfg;
+}
+
+void collect_net(sim::Simulation& sim, sim::Network& net, CellOutcome* out) {
+  obs::MetricsRegistry reg;
+  net.export_metrics(reg);
+  out->msgs = reg.counter("net.msgs.sent").value;
+  out->wan_msgs = reg.counter("net.msgs.wan").value;
+  out->bytes = reg.counter("net.bytes.sent").value;
+  out->events = sim.events_run();
+}
+
+/// Arms the nemesis with the cell's fault schedule (already validated at
+/// spec level; a parse failure here is an internal error).
+bool arm_faults(const Cell& cell, fault::Nemesis& nemesis, CellOutcome* out) {
+  if (cell.point.faults.empty()) return true;
+  std::string err;
+  auto sched = fault::Schedule::parse(cell.point.faults, &err);
+  if (!sched.has_value()) {
+    out->error = "internal: fault schedule re-parse failed: " + err;
+    return false;
+  }
+  nemesis.arm(*sched);
+  return true;
+}
+
+CellOutcome run_music_cell(const Cell& cell, core::PutMode mode) {
+  CellOutcome out;
+  out.label = cell.label();
+
+  sim::Simulation sim(cell.seed);
+  sim::NetworkConfig nc;
+  nc.profile = profile_by_name(cell.profile());
+  sim::Network net(sim, nc);
+  ds::StoreConfig sc;
+  sc.expected_keys = 4096;
+  ds::StoreCluster store(sim, net, sc,
+                         node_sites(cell.point.topology.store_nodes));
+  ls::LockStore locks(store);
+
+  core::MusicConfig mc;
+  mc.put_mode = mode;
+  mc.holder_timeout = sim::sec(8);  // abandoned sections recover under faults
+  mc.fd_interval = sim::sec(2);
+  std::vector<std::unique_ptr<core::MusicReplica>> replicas;
+  for (int site = 0; site < 3; ++site) {
+    replicas.push_back(
+        std::make_unique<core::MusicReplica>(store, locks, mc, site));
+    replicas.back()->start_failure_detector();
+  }
+
+  verify::EcfChecker checker(sim);
+  // Forced releases under faults can grant from a stale local view; ECF
+  // makes no promises to such holders (keep strict when fault-free).
+  if (!cell.point.faults.empty()) checker.set_lenient_stale_grants(true);
+
+  fault::NemesisHooks hooks;
+  hooks.crash_store = [&store](int replica, bool down, bool amnesia) {
+    if (down && amnesia) store.replica(replica).wipe_state();
+    store.replica(replica).set_down(down);
+  };
+  hooks.crash_music = [&replicas](int replica, bool down, bool amnesia) {
+    replicas.at(static_cast<size_t>(replica))->set_down(down, amnesia);
+  };
+  fault::Nemesis nemesis(sim, net, hooks);
+  if (!arm_faults(cell, nemesis, &out)) return out;
+
+  // Clients placed per the spec; preference order encodes holder_site.
+  std::vector<std::unique_ptr<core::MusicClient>> clients;
+  std::vector<verify::CheckedClient> checked;
+  std::vector<int> per_site = cell_placement(cell);
+  for (int site = 0; site < 3; ++site) {
+    for (int i = 0; i < per_site[static_cast<size_t>(site)]; ++i) {
+      int first = cell.point.topology.holder_site >= 0
+                      ? cell.point.topology.holder_site
+                      : site;
+      std::vector<core::MusicReplica*> prefs{
+          replicas[static_cast<size_t>(first)].get()};
+      for (int j = 0; j < 3; ++j) {
+        if (j != first) {
+          prefs.push_back(replicas[static_cast<size_t>(j)].get());
+        }
+      }
+      clients.push_back(std::make_unique<core::MusicClient>(
+          sim, net, prefs, core::ClientConfig{}, site));
+      checked.emplace_back(*clients.back(), checker);
+    }
+  }
+
+  KeyPick pick = cell_keypick(cell);
+  auto w = std::make_shared<MusicMixWorkload>(
+      std::move(checked), cell.mix(), std::move(pick),
+      cell.point.workload.value_size, cell.seed ^ 0x5CE7A810ull);
+  out.run = wl::run_closed_loop(sim, w, cell_driver(cell));
+  nemesis.heal_all();  // close any open-ended faults before inspection
+
+  collect_net(sim, net, &out);
+  out.violations = checker.violations().size();
+  out.ok = checker.ok();
+  if (!out.ok) out.error = checker.report();
+  return out;
+}
+
+CellOutcome run_zab_cell(const Cell& cell) {
+  CellOutcome out;
+  out.label = cell.label();
+
+  sim::Simulation sim(cell.seed);
+  sim::NetworkConfig nc;
+  nc.profile = profile_by_name(cell.profile());
+  sim::Network net(sim, nc);
+  zab::ZabEnsemble ens(sim, net, zab::ZabConfig{}, {0, 1, 2});
+  ens.start();
+
+  fault::Nemesis nemesis(sim, net, {});
+  if (!arm_faults(cell, nemesis, &out)) return out;
+
+  std::vector<std::unique_ptr<zab::ZkClient>> clients;
+  std::vector<zab::ZkClient*> ptrs;
+  std::vector<int> per_site = cell_placement(cell);
+  for (int site = 0; site < 3; ++site) {
+    for (int i = 0; i < per_site[static_cast<size_t>(site)]; ++i) {
+      clients.push_back(std::make_unique<zab::ZkClient>(ens, site));
+      ptrs.push_back(clients.back().get());
+    }
+  }
+
+  auto w = std::make_shared<ZabMixWorkload>(
+      std::move(ptrs), cell.mix(), cell_keypick(cell),
+      cell.point.workload.value_size, cell.seed ^ 0x5CE7A810ull);
+  out.run = wl::run_closed_loop(sim, w, cell_driver(cell));
+  nemesis.heal_all();
+
+  collect_net(sim, net, &out);
+  out.ok = true;  // no MUSIC ops: the ECF oracle is vacuous for this cell
+  return out;
+}
+
+CellOutcome run_cdb_cell(const Cell& cell) {
+  CellOutcome out;
+  out.label = cell.label();
+
+  sim::Simulation sim(cell.seed);
+  sim::NetworkConfig nc;
+  nc.profile = profile_by_name(cell.profile());
+  sim::Network net(sim, nc);
+  raftkv::RaftCluster cluster(sim, net, raftkv::RaftConfig{}, {0, 1, 2});
+  cluster.start();
+  cluster.wait_for_leader();
+
+  fault::Nemesis nemesis(sim, net, {});
+  if (!arm_faults(cell, nemesis, &out)) return out;
+
+  std::vector<std::unique_ptr<raftkv::TxClient>> clients;
+  std::vector<raftkv::TxClient*> ptrs;
+  std::vector<int> per_site = cell_placement(cell);
+  int id = 0;
+  for (int site = 0; site < 3; ++site) {
+    for (int i = 0; i < per_site[static_cast<size_t>(site)]; ++i) {
+      // Built stepwise (GCC 12 -Werror=restrict, see ds::Cell note).
+      std::string name = "c";
+      name += std::to_string(id++);
+      clients.push_back(
+          std::make_unique<raftkv::TxClient>(cluster, site, name));
+      ptrs.push_back(clients.back().get());
+    }
+  }
+
+  auto w = std::make_shared<CdbMixWorkload>(
+      std::move(ptrs), cell.mix(), cell_keypick(cell),
+      cell.point.workload.value_size, cell.seed ^ 0x5CE7A810ull);
+  out.run = wl::run_closed_loop(sim, w, cell_driver(cell));
+  nemesis.heal_all();
+
+  collect_net(sim, net, &out);
+  out.ok = true;  // no MUSIC ops: the ECF oracle is vacuous for this cell
+  return out;
+}
+
+}  // namespace
+
+uint64_t CellOutcome::checksum() const {
+  uint64_t h = 14695981039346656037ull;
+  auto mix_byte = [&h](uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  auto mix = [&mix_byte](uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<uint8_t>(v >> (i * 8)));
+  };
+  for (char c : label) mix_byte(static_cast<uint8_t>(c));
+  mix(run.completed);
+  mix(run.failed);
+  mix(static_cast<uint64_t>(run.measured));
+  mix(run.latency.count());
+  // Mean is sum/count of integer microsecond samples: deterministic.
+  mix(static_cast<uint64_t>(std::llround(run.latency.mean_ms() * 1000.0)));
+  mix(events);
+  mix(msgs);
+  mix(wan_msgs);
+  mix(bytes);
+  mix(violations);
+  mix(ok ? 1 : 0);
+  return h;
+}
+
+std::string validate(const ScenarioSpec& spec) {
+  bool music_only = true;
+  for (Protocol p : spec.protocols) {
+    if (p != Protocol::Music && p != Protocol::Mscp) music_only = false;
+  }
+  if (spec.faults.empty()) return "";
+  std::string err;
+  auto sched = fault::Schedule::parse(spec.faults, &err);
+  if (!sched.has_value()) return "fault schedule: " + err;
+  for (const fault::FaultSpec& f : sched->specs()) {
+    if (f.kind == fault::FaultKind::CrashStore) {
+      if (!music_only) {
+        return "crash store faults need a music/mscp-only protocol list "
+               "(no store replicas exist in zab/raftkv cells)";
+      }
+      if (f.replica < 0 || f.replica >= spec.topology.store_nodes) {
+        return "crash store " + std::to_string(f.replica) +
+               ": no such replica (store_nodes " +
+               std::to_string(spec.topology.store_nodes) + ")";
+      }
+    }
+    if (f.kind == fault::FaultKind::CrashMusic) {
+      if (!music_only) {
+        return "crash music faults need a music/mscp-only protocol list";
+      }
+      if (f.replica < 0 || f.replica >= 3) {
+        return "crash music " + std::to_string(f.replica) +
+               ": no such replica";
+      }
+    }
+    for (int site : f.side_a) {
+      if (site < 0 || site >= 3) {
+        return "partition names site " + std::to_string(site) +
+               " (sites are 0..2)";
+      }
+    }
+    for (int site : f.side_b) {
+      if (site < 0 || site >= 3) {
+        return "partition names site " + std::to_string(site) +
+               " (sites are 0..2)";
+      }
+    }
+    if (f.from_site >= 3 || f.to_site >= 3) {
+      return "link fault names a site past 2 (sites are 0..2)";
+    }
+  }
+  return "";
+}
+
+sim::LatencyProfile profile_by_name(const std::string& name) {
+  if (name == "11") return sim::LatencyProfile::profile_11();
+  if (name == "lUsEu") return sim::LatencyProfile::profile_luseu();
+  if (name == "local") {
+    // Fast co-located profile for unit tests: 1ms RTT everywhere.
+    return sim::LatencyProfile::uniform(3, 1.0, 0.2);
+  }
+  return sim::LatencyProfile::profile_lus();
+}
+
+CellOutcome run_cell(const Cell& cell) {
+  auto t0 = std::chrono::steady_clock::now();
+  CellOutcome out;
+  try {
+    std::string err = validate(cell.point);
+    if (!err.empty()) {
+      out.label = cell.label();
+      out.error = err;
+    } else {
+      switch (cell.protocol()) {
+        case Protocol::Music:
+          out = run_music_cell(cell, core::PutMode::Quorum);
+          break;
+        case Protocol::Mscp:
+          out = run_music_cell(cell, core::PutMode::Lwt);
+          break;
+        case Protocol::Zab:
+          out = run_zab_cell(cell);
+          break;
+        case Protocol::RaftKv:
+          out = run_cdb_cell(cell);
+          break;
+      }
+    }
+  } catch (const std::exception& e) {
+    out = CellOutcome{};
+    out.label = cell.label();
+    out.error = std::string("exception: ") + e.what();
+  }
+  out.wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+ScenarioSpec reduced(ScenarioSpec spec, const RunOptions& opt) {
+  if (opt.max_seeds > 0 && spec.seeds > opt.max_seeds) {
+    spec.seeds = opt.max_seeds;
+  }
+  if (opt.max_warmup > 0 && spec.workload.warmup > opt.max_warmup) {
+    spec.workload.warmup = opt.max_warmup;
+  }
+  if (opt.max_measure > 0 && spec.workload.measure > opt.max_measure) {
+    spec.workload.measure = opt.max_measure;
+  }
+  return spec;
+}
+
+std::vector<CellOutcome> run_sweep(const ScenarioSpec& spec,
+                                   const RunOptions& opt) {
+  std::vector<Cell> cells = expand(reduced(spec, opt));
+  if (opt.max_cells > 0 && cells.size() > opt.max_cells) {
+    cells.resize(opt.max_cells);
+  }
+  return par::run_worlds(
+      cells, [](const Cell& c) { return run_cell(c); }, opt.threads);
+}
+
+}  // namespace music::scn

@@ -1,0 +1,79 @@
+// The scenario compiler: turns one Cell of a ScenarioSpec grid into a
+// ready-to-run sim world (network profile, protocol deployment, placed
+// clients, armed nemesis, armed ECF oracle), runs it, and returns a
+// CellOutcome; run_sweep fans the whole grid across par::run_worlds.
+//
+// Every cell is deterministic from its seed: same spec + same seed =>
+// bit-identical CellOutcome (and checksum()) at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+#include "sim/network.h"
+#include "workload/stats.h"
+
+namespace music::scn {
+
+/// What one cell did.  Plain value, filled on the worker thread.
+struct CellOutcome {
+  std::string label;   // Cell::label()
+  bool ok = false;     // ran to completion with a clean oracle
+  std::string error;   // first problem (setup, run, or oracle report)
+
+  wl::RunResult run;       // throughput/latency over the measured window
+  uint64_t events = 0;     // sim events executed
+  uint64_t msgs = 0;       // net.msgs.sent
+  uint64_t wan_msgs = 0;   // net.msgs.wan (the paper's RTT-count currency)
+  uint64_t bytes = 0;      // net.bytes.sent
+  uint64_t violations = 0; // oracle violations (0 when ok)
+  double wall_sec = 0.0;   // host time (NOT in checksum)
+
+  /// WAN messages per completed operation (the §X-B4 cost metric).
+  double wan_per_op() const {
+    return run.completed > 0
+               ? static_cast<double>(wan_msgs) /
+                     static_cast<double>(run.completed)
+               : 0.0;
+  }
+
+  /// FNV-1a over the deterministic fields (label, op counts, event and
+  /// message totals, latency sample count and scaled mean).  Thread-count
+  /// and platform invariant; the goldens test pins these.
+  uint64_t checksum() const;
+};
+
+/// Caps applied to a spec before running (the ctest family runs a reduced
+/// grid; the nightly harness runs the spec as written).  0 = no cap.
+struct RunOptions {
+  size_t threads = 0;            // worker threads (0 = default)
+  int max_seeds = 0;             // clamp spec.seeds
+  sim::Duration max_warmup = 0;  // clamp workload.warmup
+  sim::Duration max_measure = 0; // clamp workload.measure
+  size_t max_cells = 0;          // truncate the expanded grid (logged)
+};
+
+/// Spec-level checks beyond the grammar: crash faults name replicas that
+/// exist, and crash clauses only combine with protocols whose replicas the
+/// nemesis can crash (music/mscp).  Empty string = valid.
+std::string validate(const ScenarioSpec& spec);
+
+/// The named WAN profile a spec's topology refers to ("11", "lUs",
+/// "lUsEu", or "local" — a fast co-located profile for unit tests).
+sim::LatencyProfile profile_by_name(const std::string& name);
+
+/// Builds and runs one cell's world, oracle armed.  Never throws: setup
+/// problems come back as ok=false with the error filled.
+CellOutcome run_cell(const Cell& cell);
+
+/// Applies `opt`'s caps to a copy of the spec (reduced grids for ctest).
+ScenarioSpec reduced(ScenarioSpec spec, const RunOptions& opt);
+
+/// Expands the (reduced) spec and fans run_cell over par::run_worlds.
+/// Outcomes are in expand() order regardless of thread count.
+std::vector<CellOutcome> run_sweep(const ScenarioSpec& spec,
+                                   const RunOptions& opt = {});
+
+}  // namespace music::scn

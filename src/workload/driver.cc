@@ -14,6 +14,10 @@ struct Accum {
   Samples latency;
   sim::Time warmup_end = 0;
   sim::Time end = 0;
+  // The arrival hook lives in the shared state (not a coroutine parameter)
+  // so client_loop frames that outlive run_closed_loop's stack frame keep
+  // it alive through their shared_ptr.
+  std::function<sim::Duration(sim::Rng&, sim::Time)> think;
 };
 
 sim::Task<void> client_loop(sim::Simulation& sim, std::shared_ptr<Workload> w,
@@ -21,6 +25,12 @@ sim::Task<void> client_loop(sim::Simulation& sim, std::shared_ptr<Workload> w,
                             std::shared_ptr<Accum> acc) {
   if (jitter > 0) co_await sim::sleep_for(sim, jitter);
   while (sim.now() < acc->end) {
+    if (acc->think) {
+      // Arrival gap: think time before the op, excluded from its latency.
+      sim::Duration gap = acc->think(sim.rng(), sim.now());
+      if (gap > 0) co_await sim::sleep_for(sim, gap);
+      if (sim.now() >= acc->end) break;
+    }
     sim::Time t0 = sim.now();
     bool ok = co_await w->run_once(cid);
     // Count only operations fully inside the measurement window.
@@ -59,6 +69,7 @@ RunResult run_closed_loop(sim::Simulation& sim, std::shared_ptr<Workload> w,
   auto acc = std::make_shared<Accum>();
   acc->warmup_end = sim.now() + cfg.warmup;
   acc->end = acc->warmup_end + cfg.measure;
+  acc->think = cfg.think;
   for (int c = 0; c < cfg.clients; ++c) {
     sim::Duration jitter =
         cfg.start_jitter > 0

@@ -4,8 +4,10 @@
 // with a single client.
 #pragma once
 
+#include <functional>
 #include <memory>
 
+#include "sim/rng.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 #include "workload/stats.h"
@@ -35,6 +37,14 @@ struct DriverConfig {
   sim::Duration drain = sim::sec(30);
   /// Client start jitter bound (avoids lockstep artifacts).
   sim::Duration start_jitter = sim::ms(5);
+  /// Arrival process: sampled before each operation as think time the
+  /// client sleeps through.  The default (no hook) is the classic
+  /// closed loop — the next op starts the moment the previous one
+  /// finishes.  The hook receives the simulation rng and the current
+  /// virtual time, so open-ish arrivals (Poisson inter-arrival gaps) and
+  /// time-varying ones (diurnal load) are both expressible.  Think time
+  /// is excluded from the recorded op latency.
+  std::function<sim::Duration(sim::Rng&, sim::Time)> think;
 };
 
 /// Runs the workload under `cfg.clients` concurrent clients and returns

@@ -70,7 +70,8 @@ TEST(ScheduleParse, FullScriptAllClauseKinds) {
 TEST(ScheduleParse, RejectsMalformedScripts) {
   std::string err;
   EXPECT_FALSE(Schedule::parse("", &err));
-  EXPECT_EQ(err, "empty schedule");
+  // The string overload carries the line/col prefix of the ParseDiag form.
+  EXPECT_EQ(err, "line 1, col 1: empty schedule");
   EXPECT_FALSE(Schedule::parse("partition 0|1", &err));  // missing "at TIME"
   EXPECT_FALSE(Schedule::parse("at 2x partition 0|1", &err));  // bad unit
   EXPECT_FALSE(Schedule::parse("at 2s explode 0", &err));

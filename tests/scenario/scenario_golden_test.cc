@@ -1,0 +1,94 @@
+// Determinism goldens for the scenario runner.
+//
+// One small multi-axis sweep (protocol x mix x seed on the local profile)
+// pinned two ways: every cell's checksum must be identical at 1 and 4
+// worker threads (thread-count invariance of par::run_worlds), and the
+// checksums themselves are pinned so any change to the scenario compiler,
+// the workload drivers, or the protocols underneath shows up as a diff.
+//
+// Regenerate after a deliberate semantic change with:
+//   MUSIC_REGEN_GOLDENS=1 ./scenario_golden_test
+// and paste the printed table over kGoldens below.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/run.h"
+#include "scenario/spec.h"
+
+namespace music::scn {
+namespace {
+
+const char kSweep[] =
+    "scenario golden\n"
+    "seeds 2\n"
+    "protocols music,mscp\n"
+    "topology {\n"
+    "  profiles local\n"
+    "}\n"
+    "workload {\n"
+    "  mixes 0,1\n"
+    "  clients 3\n"
+    "  keys 8\n"
+    "  keying uniform\n"
+    "  arrival closed\n"
+    "  value 10\n"
+    "  warmup 500ms\n"
+    "  measure 2s\n"
+    "}\n";
+
+struct Golden {
+  const char* label;
+  uint64_t checksum;
+};
+
+// Captured from the initial scenario runner; regenerate (see header
+// comment) when the runner's semantics deliberately change.
+constexpr Golden kGoldens[] = {
+    {"music/local/mix0/c3/s1", 0xaed5cfab1ed7a757ull},
+    {"music/local/mix0/c3/s2", 0xbf3c51e931abf63full},
+    {"music/local/mix1/c3/s1", 0xc8f537d3b2b50029ull},
+    {"music/local/mix1/c3/s2", 0x06f2ef7996236d9dull},
+    {"mscp/local/mix0/c3/s1", 0xf2de149396a8e44dull},
+    {"mscp/local/mix0/c3/s2", 0x3e0d14c88037b288ull},
+    {"mscp/local/mix1/c3/s1", 0x1fd5eb957eba3f43ull},
+    {"mscp/local/mix1/c3/s2", 0x94219a706852a1afull},
+};
+
+std::vector<CellOutcome> sweep(size_t threads) {
+  auto spec = ScenarioSpec::parse(kSweep);
+  EXPECT_TRUE(spec.has_value());
+  RunOptions opt;
+  opt.threads = threads;
+  return run_sweep(*spec, opt);
+}
+
+TEST(ScenarioGolden, ChecksumsMatchPinnedTableAndAreThreadCountInvariant) {
+  std::vector<CellOutcome> one = sweep(1);
+  std::vector<CellOutcome> four = sweep(4);
+  ASSERT_EQ(one.size(), std::size(kGoldens));
+  ASSERT_EQ(four.size(), one.size());
+
+  bool regen = std::getenv("MUSIC_REGEN_GOLDENS") != nullptr;
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_TRUE(one[i].ok) << one[i].label << ": " << one[i].error;
+    // Thread-count invariance: same cell, same bits, any worker count.
+    EXPECT_EQ(one[i].label, four[i].label);
+    EXPECT_EQ(one[i].checksum(), four[i].checksum()) << one[i].label;
+
+    if (regen) {
+      std::printf("    {\"%s\", 0x%016llxull},\n", one[i].label.c_str(),
+                  static_cast<unsigned long long>(one[i].checksum()));
+      continue;
+    }
+    EXPECT_EQ(one[i].label, kGoldens[i].label);
+    EXPECT_EQ(one[i].checksum(), kGoldens[i].checksum) << one[i].label;
+  }
+}
+
+}  // namespace
+}  // namespace music::scn

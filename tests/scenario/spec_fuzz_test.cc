@@ -1,0 +1,177 @@
+// Property fuzz for the scenario grammar: seeded random valid specs must
+// survive parse(format(spec)) == spec for every seed, and a sample of the
+// small runnable ones must execute cleanly under the armed ECF oracle.
+//
+// Generator values are drawn from exact-decimal pools so the %.10g float
+// formatting in format() is an identity, which is what makes round-trip
+// equality (not just approximate equality) the right assertion.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario/run.h"
+#include "scenario/spec.h"
+#include "sim/rng.h"
+
+namespace music::scn {
+namespace {
+
+template <typename T>
+T pick(sim::Rng& rng, const std::vector<T>& pool) {
+  return pool[static_cast<size_t>(
+      rng.uniform_int(0, static_cast<int64_t>(pool.size()) - 1))];
+}
+
+/// A random non-empty subsequence of `pool`, order preserved.
+template <typename T>
+std::vector<T> pick_subset(sim::Rng& rng, const std::vector<T>& pool) {
+  std::vector<T> out;
+  for (const T& v : pool) {
+    if (rng.chance(0.5)) out.push_back(v);
+  }
+  if (out.empty()) out.push_back(pick(rng, pool));
+  return out;
+}
+
+/// Builds a random spec that the grammar accepts.  Every choice comes from
+/// a pool the canonical formatter reproduces exactly.
+ScenarioSpec random_spec(uint64_t seed) {
+  sim::Rng rng(seed);
+  ScenarioSpec s;
+  s.name = "fuzz-" + std::to_string(seed);
+  s.seeds = static_cast<int>(rng.uniform_int(1, 5));
+  s.base_seed = static_cast<uint64_t>(rng.uniform_int(1, 1000));
+  s.protocols = pick_subset(
+      rng, std::vector<Protocol>{Protocol::Music, Protocol::Mscp,
+                                 Protocol::Zab, Protocol::RaftKv});
+
+  s.topology.profiles = pick_subset(
+      rng, std::vector<std::string>{"11", "lUs", "lUsEu", "local"});
+  s.topology.holder_site = static_cast<int>(rng.uniform_int(-1, 2));
+  s.topology.store_nodes = static_cast<int>(rng.uniform_int(3, 9));
+
+  s.workload.mixes =
+      pick_subset(rng, std::vector<double>{0, 0.25, 0.5, 0.75, 1});
+  s.workload.clients = pick_subset(rng, std::vector<int>{1, 2, 3, 6, 12});
+  if (rng.chance(0.5)) {
+    // Exactly 3 weights summing to > 0 (zero-weight sites are legal).
+    do {
+      s.workload.placement = {static_cast<int>(rng.uniform_int(0, 3)),
+                              static_cast<int>(rng.uniform_int(0, 3)),
+                              static_cast<int>(rng.uniform_int(0, 3))};
+    } while (s.workload.placement[0] + s.workload.placement[1] +
+                 s.workload.placement[2] ==
+             0);
+  }
+  s.workload.keys =
+      static_cast<uint64_t>(pick(rng, std::vector<int>{1, 8, 64, 4096}));
+  switch (rng.uniform_int(0, 2)) {
+    case 0: s.workload.keying = Keying::Uniform; break;
+    case 1: s.workload.keying = Keying::Single; break;
+    default:
+      s.workload.keying = Keying::Zipfian;
+      // Only emitted (and parsed back) for zipfian, so only set it there.
+      s.workload.zipf_theta = pick(rng, std::vector<double>{0.5, 0.9, 0.99});
+      break;
+  }
+  switch (rng.uniform_int(0, 2)) {
+    case 0: s.workload.arrival.kind = ArrivalKind::Closed; break;
+    case 1:
+      s.workload.arrival.kind = ArrivalKind::Poisson;
+      s.workload.arrival.rate =
+          pick(rng, std::vector<double>{1, 2.5, 10, 50});
+      break;
+    default:
+      s.workload.arrival.kind = ArrivalKind::Diurnal;
+      s.workload.arrival.rate =
+          pick(rng, std::vector<double>{1, 2.5, 10, 50});
+      s.workload.arrival.period =
+          pick(rng, std::vector<sim::Duration>{sim::sec(5), sim::sec(10),
+                                               sim::ms(2500)});
+      s.workload.arrival.low =
+          pick(rng, std::vector<double>{0, 0.1, 0.25, 0.5});
+      break;
+  }
+  s.workload.value_size =
+      static_cast<size_t>(pick(rng, std::vector<int>{1, 10, 128}));
+  s.workload.warmup =
+      pick(rng, std::vector<sim::Duration>{0, sim::ms(500), sim::sec(1),
+                                           sim::sec(2)});
+  s.workload.measure =
+      pick(rng, std::vector<sim::Duration>{sim::ms(500), sim::sec(2),
+                                           sim::sec(10)});
+
+  if (rng.chance(0.4)) {
+    // Canonical clauses only (single spaces), matching the normalized form
+    // parse() stores.  Mix of network and crash faults.
+    std::vector<std::string> clauses;
+    if (rng.chance(0.5)) clauses.push_back("at 2s partition 0|1,2 for 1s");
+    if (rng.chance(0.5)) clauses.push_back("at 3s blackhole 0>1 for 500ms");
+    if (rng.chance(0.5)) clauses.push_back("at 4s crash store 1 for 1s");
+    if (clauses.empty()) clauses.push_back("at 1s spike 0<>2 delay 50ms for 1s");
+    std::string script;
+    for (const std::string& c : clauses) {
+      if (!script.empty()) script += "; ";
+      script += c;
+    }
+    s.faults = script;
+  }
+  return s;
+}
+
+TEST(SpecFuzz, ParseFormatRoundTripsForTwoHundredSeeds) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    ScenarioSpec spec = random_spec(seed);
+    std::string text = spec.format();
+    Diag d;
+    auto again = ScenarioSpec::parse(text, &d);
+    ASSERT_TRUE(again.has_value())
+        << "seed " << seed << ": " << d.str() << "\n" << text;
+    EXPECT_EQ(*again, spec) << "seed " << seed << "\n" << text;
+    // format is a fixed point of the round trip.
+    EXPECT_EQ(again->format(), text) << "seed " << seed;
+  }
+}
+
+TEST(SpecFuzz, GeneratedSpecsExpandToTheirAdvertisedGrid) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    ScenarioSpec spec = random_spec(seed);
+    auto cells = expand(spec);
+    EXPECT_EQ(cells.size(), spec.num_cells()) << "seed " << seed;
+    for (const Cell& c : cells) {
+      EXPECT_EQ(c.point.num_cells(), 1u);
+    }
+  }
+}
+
+/// Shrinks a random spec into something that runs in well under a second:
+/// local profile, music only, short windows, no faults.
+ScenarioSpec runnable(ScenarioSpec spec) {
+  spec.protocols = {Protocol::Music};
+  spec.topology.profiles = {"local"};
+  spec.topology.store_nodes = 3;
+  spec.seeds = 1;
+  spec.workload.mixes = {spec.workload.mixes[0]};
+  spec.workload.clients = {std::min(spec.workload.clients[0], 4)};
+  spec.workload.warmup = sim::ms(200);
+  spec.workload.measure = sim::sec(1);
+  spec.faults.clear();
+  return spec;
+}
+
+TEST(SpecFuzz, RandomSpecsRunCleanUnderTheArmedOracle) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ScenarioSpec spec = runnable(random_spec(seed));
+    ASSERT_EQ(validate(spec), "") << "seed " << seed;
+    Cell cell = expand(spec).at(0);
+    CellOutcome out = run_cell(cell);
+    EXPECT_TRUE(out.ok) << "seed " << seed << " " << out.label << ": "
+                        << out.error;
+    EXPECT_EQ(out.violations, 0u) << out.label;
+    EXPECT_GT(out.run.completed, 0u) << out.label;
+  }
+}
+
+}  // namespace
+}  // namespace music::scn

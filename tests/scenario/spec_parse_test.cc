@@ -1,0 +1,318 @@
+// Scenario grammar: round trips, canonical form, grid expansion, client
+// placement, and — the negative half — malformed specs and malformed fault
+// scripts coming back as line/column diagnostics, never a crash and never a
+// silently dropped clause.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault.h"
+#include "scenario/run.h"
+#include "scenario/spec.h"
+
+namespace music::scn {
+namespace {
+
+const char kFull[] =
+    "# a full spec\n"
+    "scenario full\n"
+    "seeds 2\n"
+    "base_seed 7\n"
+    "protocols music,mscp,zab,raftkv\n"
+    "\n"
+    "topology {\n"
+    "  profiles lUs,lUsEu\n"
+    "  holder_site 1\n"
+    "  store_nodes 5\n"
+    "}\n"
+    "\n"
+    "workload {\n"
+    "  mixes 0,0.5,1\n"
+    "  clients 2,4\n"
+    "  placement 1,0,2\n"
+    "  keys 64\n"
+    "  keying zipfian 0.99\n"
+    "  arrival diurnal 20 period 10s low 0.25\n"
+    "  value 16\n"
+    "  warmup 500ms\n"
+    "  measure 2s\n"
+    "}\n"
+    "\n"
+    "faults {\n"
+    "  at 3s partition 0|1,2 for 2s\n"
+    "  at 8s crash store 1 for 1s\n"
+    "}\n";
+
+TEST(SpecParse, FullSpecRoundTrips) {
+  Diag d;
+  auto spec = ScenarioSpec::parse(kFull, &d);
+  ASSERT_TRUE(spec.has_value()) << d.str();
+
+  EXPECT_EQ(spec->name, "full");
+  EXPECT_EQ(spec->seeds, 2);
+  EXPECT_EQ(spec->base_seed, 7u);
+  ASSERT_EQ(spec->protocols.size(), 4u);
+  EXPECT_EQ(spec->protocols[3], Protocol::RaftKv);
+  EXPECT_EQ(spec->topology.holder_site, 1);
+  EXPECT_EQ(spec->topology.store_nodes, 5);
+  EXPECT_EQ(spec->workload.mixes.size(), 3u);
+  EXPECT_EQ(spec->workload.placement, (std::vector<int>{1, 0, 2}));
+  EXPECT_EQ(spec->workload.keying, Keying::Zipfian);
+  EXPECT_DOUBLE_EQ(spec->workload.zipf_theta, 0.99);
+  EXPECT_EQ(spec->workload.arrival.kind, ArrivalKind::Diurnal);
+  EXPECT_EQ(spec->workload.arrival.period, sim::sec(10));
+  EXPECT_DOUBLE_EQ(spec->workload.arrival.low, 0.25);
+  EXPECT_EQ(spec->workload.warmup, sim::ms(500));
+  // Fault clauses arrive normalized, none dropped.
+  EXPECT_EQ(spec->faults,
+            "at 3s partition 0|1,2 for 2s; at 8s crash store 1 for 1s");
+
+  // parse(format(spec)) == spec, and format is a fixed point.
+  std::string text = spec->format();
+  Diag d2;
+  auto again = ScenarioSpec::parse(text, &d2);
+  ASSERT_TRUE(again.has_value()) << d2.str();
+  EXPECT_EQ(*again, *spec);
+  EXPECT_EQ(again->format(), text);
+}
+
+TEST(SpecParse, MinimalSpecGetsDefaultsAndRoundTrips) {
+  auto spec = ScenarioSpec::parse("scenario tiny\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->name, "tiny");
+  EXPECT_EQ(spec->seeds, 1);
+  EXPECT_EQ(spec->protocols, (std::vector<Protocol>{Protocol::Music}));
+  EXPECT_EQ(spec->topology.profiles, (std::vector<std::string>{"lUs"}));
+  EXPECT_TRUE(spec->faults.empty());
+
+  auto again = ScenarioSpec::parse(spec->format());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *spec);
+}
+
+TEST(SpecParse, SemicolonFaultClausesOnOneLineStayIntact) {
+  auto spec = ScenarioSpec::parse(
+      "scenario s\nfaults {\n"
+      "  at 1s crash music 0 for 1s; at 2s   crash music 1 for 1s\n"
+      "}\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->faults,
+            "at 1s crash music 0 for 1s; at 2s crash music 1 for 1s");
+  auto sched = fault::Schedule::parse(spec->faults);
+  ASSERT_TRUE(sched.has_value());
+  EXPECT_EQ(sched->size(), 2u);
+}
+
+TEST(SpecParse, ExpansionOrderAndSeeds) {
+  auto spec = ScenarioSpec::parse(
+      "scenario grid\nseeds 2\nbase_seed 10\nprotocols music,zab\n"
+      "topology {\n  profiles lUs\n}\n"
+      "workload {\n  mixes 0,1\n  clients 3\n}\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->num_cells(), 2u * 1u * 2u * 1u * 2u);
+  auto cells = expand(*spec);
+  ASSERT_EQ(cells.size(), 8u);
+  // protocols-major, then profile, mix, clients, seeds-minor.
+  EXPECT_EQ(cells[0].label(), "music/lUs/mix0/c3/s10");
+  EXPECT_EQ(cells[1].label(), "music/lUs/mix0/c3/s11");
+  EXPECT_EQ(cells[2].label(), "music/lUs/mix1/c3/s10");
+  EXPECT_EQ(cells[4].label(), "zab/lUs/mix0/c3/s10");
+  // Cells are self-contained single points.
+  EXPECT_EQ(cells[4].point.num_cells(), 1u);
+  EXPECT_EQ(cells[4].seed, 10u);
+}
+
+TEST(SpecParse, PlaceClientsApportionment) {
+  // Even spread by default.
+  EXPECT_EQ(place_clients(6, {}), (std::vector<int>{2, 2, 2}));
+  // Largest remainder, ties to the lower site.
+  EXPECT_EQ(place_clients(4, {}), (std::vector<int>{2, 1, 1}));
+  EXPECT_EQ(place_clients(1, {}), (std::vector<int>{1, 0, 0}));
+  // Zero-weight sites get exactly zero clients.
+  EXPECT_EQ(place_clients(5, {1, 0, 2}), (std::vector<int>{2, 0, 3}));
+  EXPECT_EQ(place_clients(1, {0, 0, 1}), (std::vector<int>{0, 0, 1}));
+  // Everything sums to the total.
+  for (int total = 0; total <= 17; ++total) {
+    auto v = place_clients(total, {3, 1, 2});
+    EXPECT_EQ(v[0] + v[1] + v[2], total) << total;
+  }
+}
+
+// ---- Negative paths: scenario grammar --------------------------------------
+
+Diag expect_bad(const std::string& text) {
+  Diag d;
+  auto spec = ScenarioSpec::parse(text, &d);
+  EXPECT_FALSE(spec.has_value()) << "accepted: " << text;
+  EXPECT_FALSE(d.message.empty());
+  return d;
+}
+
+TEST(SpecParseNegative, UnknownDirectivePointsAtTheToken) {
+  Diag d = expect_bad("scenario x\nbogus 1\n");
+  EXPECT_EQ(d.line, 2);
+  EXPECT_EQ(d.col, 1);
+}
+
+TEST(SpecParseNegative, MissingName) {
+  Diag d = expect_bad("seeds 2\n");
+  EXPECT_EQ(d.message, "missing \"scenario NAME\"");
+}
+
+TEST(SpecParseNegative, UnknownProtocolPointsAtTheList) {
+  Diag d = expect_bad("scenario x\nprotocols music,etcd\n");
+  EXPECT_EQ(d.line, 2);
+  EXPECT_EQ(d.col, 11);  // the value token
+  EXPECT_NE(d.message.find("etcd"), std::string::npos);
+}
+
+TEST(SpecParseNegative, UnknownProfile) {
+  Diag d = expect_bad("scenario x\ntopology {\n  profiles mars\n}\n");
+  EXPECT_EQ(d.line, 3);
+  EXPECT_EQ(d.col, 12);
+}
+
+TEST(SpecParseNegative, UnknownBlockKeyInsideTopology) {
+  Diag d = expect_bad("scenario x\ntopology {\n  leader 0\n}\n");
+  EXPECT_EQ(d.line, 3);
+  EXPECT_EQ(d.col, 3);
+}
+
+TEST(SpecParseNegative, MixOutOfRange) {
+  Diag d = expect_bad("scenario x\nworkload {\n  mixes 0.5,1.5\n}\n");
+  EXPECT_EQ(d.line, 3);
+  EXPECT_NE(d.message.find("1.5"), std::string::npos);
+}
+
+TEST(SpecParseNegative, ZipfThetaOutOfRange) {
+  Diag d = expect_bad("scenario x\nworkload {\n  keying zipfian 1.2\n}\n");
+  EXPECT_EQ(d.line, 3);
+  EXPECT_EQ(d.col, 18);
+}
+
+TEST(SpecParseNegative, ArrivalWrongShape) {
+  Diag d = expect_bad("scenario x\nworkload {\n  arrival poisson\n}\n");
+  EXPECT_EQ(d.line, 3);
+}
+
+TEST(SpecParseNegative, BadTimeSuffix) {
+  Diag d = expect_bad("scenario x\nworkload {\n  measure 5m\n}\n");
+  EXPECT_EQ(d.line, 3);
+  EXPECT_EQ(d.col, 11);
+  EXPECT_NE(d.message.find("5m"), std::string::npos);
+}
+
+TEST(SpecParseNegative, PlacementWrongArityAndZeroSum) {
+  EXPECT_EQ(expect_bad("scenario x\nworkload {\n  placement 1,2\n}\n").line, 3);
+  Diag d = expect_bad("scenario x\nworkload {\n  placement 0,0,0\n}\n");
+  EXPECT_NE(d.message.find("zero"), std::string::npos);
+}
+
+TEST(SpecParseNegative, UnterminatedBlock) {
+  Diag d = expect_bad("scenario x\nworkload {\n  keys 4\n");
+  EXPECT_NE(d.message.find("unterminated"), std::string::npos);
+}
+
+TEST(SpecParseNegative, StrayClosingBrace) {
+  Diag d = expect_bad("scenario x\n}\n");
+  EXPECT_EQ(d.line, 2);
+}
+
+TEST(SpecParseNegative, BadFaultClauseCarriesFilePosition) {
+  // The bad token ("quickly") sits on file line 4, column 6.
+  Diag d = expect_bad(
+      "scenario x\n"
+      "faults {\n"
+      "  at 2s partition 0|1,2 for 2s\n"
+      "  at quickly crash store 1\n"
+      "}\n");
+  EXPECT_EQ(d.line, 4);
+  EXPECT_EQ(d.col, 6);
+}
+
+// ---- Negative paths: the fault schedule DSL --------------------------------
+
+fault::ParseDiag expect_bad_schedule(const std::string& script) {
+  fault::ParseDiag d;
+  auto s = fault::Schedule::parse(script, &d);
+  EXPECT_FALSE(s.has_value()) << "accepted: " << script;
+  EXPECT_FALSE(d.message.empty());
+  return d;
+}
+
+TEST(FaultParseNegative, BadTimePointsAtToken) {
+  fault::ParseDiag d = expect_bad_schedule("at soon partition 0|1,2");
+  EXPECT_EQ(d.line, 1);
+  EXPECT_EQ(d.col, 4);
+}
+
+TEST(FaultParseNegative, SecondClauseReportsItsLine) {
+  fault::ParseDiag d = expect_bad_schedule(
+      "at 1s partition 0|1,2 for 1s\nat 2s crash disk 1");
+  EXPECT_EQ(d.line, 2);
+  EXPECT_GT(d.col, 1);
+}
+
+TEST(FaultParseNegative, SemicolonClausesReportColumnPastTheFirst) {
+  fault::ParseDiag d =
+      expect_bad_schedule("at 1s crash store 0; at 2s explode 1");
+  EXPECT_EQ(d.line, 1);
+  EXPECT_GT(d.col, 20);  // inside the second clause
+}
+
+TEST(FaultParseNegative, NoSilentClauseDrop) {
+  // A trailing bad clause must fail the WHOLE parse, not yield a schedule
+  // with the good prefix.
+  auto s = fault::Schedule::parse("at 1s crash store 0 for 1s; nonsense");
+  EXPECT_FALSE(s.has_value());
+  std::string err;
+  EXPECT_FALSE(
+      fault::Schedule::parse("at 1s crash store 0 for 1s; nonsense", &err)
+          .has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+}
+
+TEST(FaultParseNegative, StringOverloadCarriesLineCol) {
+  std::string err;
+  auto s = fault::Schedule::parse("at 1s\nat 2s partition 0|1,2 fur 2s", &err);
+  EXPECT_FALSE(s.has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+}
+
+// ---- Spec-level validation (beyond the grammar) ----------------------------
+
+TEST(SpecValidate, CrashFaultsNeedMusicProtocols) {
+  auto spec = ScenarioSpec::parse(
+      "scenario x\nprotocols music,zab\n"
+      "faults {\n  at 1s crash store 0 for 1s\n}\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_NE(validate(*spec).find("music/mscp"), std::string::npos);
+}
+
+TEST(SpecValidate, CrashReplicaMustExist) {
+  auto spec = ScenarioSpec::parse(
+      "scenario x\nprotocols music\ntopology {\n  store_nodes 3\n}\n"
+      "faults {\n  at 1s crash store 5 for 1s\n}\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_NE(validate(*spec).find("no such replica"), std::string::npos);
+}
+
+TEST(SpecValidate, PartitionSitesAreBounded) {
+  auto spec = ScenarioSpec::parse(
+      "scenario x\nprotocols music\n"
+      "faults {\n  at 1s partition 0|1,7 for 1s\n}\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_NE(validate(*spec).find("site"), std::string::npos);
+}
+
+TEST(SpecValidate, CleanSpecPasses) {
+  auto spec = ScenarioSpec::parse(kFull);
+  ASSERT_TRUE(spec.has_value());
+  // kFull includes crash faults with zab/raftkv in the list: invalid.
+  EXPECT_FALSE(validate(*spec).empty());
+  spec->protocols = {Protocol::Music, Protocol::Mscp};
+  EXPECT_EQ(validate(*spec), "");
+}
+
+}  // namespace
+}  // namespace music::scn

@@ -1,0 +1,97 @@
+// Workload-generator edge cases, driven end to end through the scenario
+// compiler: zero-client sites, a single-key keyspace under full contention,
+// a 100% read mix over never-written keys, and open-loop (poisson/diurnal)
+// arrivals actually pacing the load instead of free-running.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/run.h"
+#include "scenario/spec.h"
+
+namespace music::scn {
+namespace {
+
+/// A 1s local-profile music cell with the given workload-block lines.
+CellOutcome run_local(const std::string& workload_lines) {
+  std::string text =
+      "scenario edge\n"
+      "protocols music\n"
+      "topology {\n"
+      "  profiles local\n"
+      "}\n"
+      "workload {\n"
+      "  warmup 200ms\n"
+      "  measure 1s\n";  // defaults; later lines in `workload_lines` win
+  text += workload_lines;
+  text += "}\n";
+  Diag d;
+  auto spec = ScenarioSpec::parse(text, &d);
+  EXPECT_TRUE(spec.has_value()) << d.str();
+  EXPECT_EQ(validate(*spec), "");
+  return run_cell(expand(*spec).at(0));
+}
+
+TEST(ArrivalEdge, ZeroClientSitesAreLegalAndRun) {
+  // All clients pinned to site 2; sites 0 and 1 host zero clients.
+  EXPECT_EQ(place_clients(2, {0, 0, 1}), (std::vector<int>{0, 0, 2}));
+  CellOutcome out = run_local(
+      "  mixes 0.5\n  clients 2\n  placement 0,0,1\n  keys 8\n");
+  EXPECT_TRUE(out.ok) << out.error;
+  EXPECT_GT(out.run.completed, 0u);
+  EXPECT_EQ(out.violations, 0u);
+}
+
+TEST(ArrivalEdge, SingleKeyKeyspaceSerializesCleanly) {
+  // Every client contends on one key; the oracle must stay clean.
+  CellOutcome single = run_local(
+      "  mixes 0\n  clients 4\n  keys 64\n  keying single\n");
+  EXPECT_TRUE(single.ok) << single.error;
+  EXPECT_GT(single.run.completed, 0u);
+
+  // keys 1 with uniform keying is the same degenerate keyspace.
+  CellOutcome one = run_local("  mixes 0\n  clients 4\n  keys 1\n");
+  EXPECT_TRUE(one.ok) << one.error;
+  EXPECT_GT(one.run.completed, 0u);
+}
+
+TEST(ArrivalEdge, PureReadMixOverUnwrittenKeysSucceeds) {
+  // 100% reads against keys nothing ever wrote: NotFound is a successful
+  // outcome for a read, so nothing may count as failed.
+  CellOutcome out = run_local("  mixes 1\n  clients 3\n  keys 16\n");
+  EXPECT_TRUE(out.ok) << out.error;
+  EXPECT_GT(out.run.completed, 0u);
+  EXPECT_EQ(out.run.failed, 0u);
+}
+
+TEST(ArrivalEdge, PoissonArrivalPacesTheLoad) {
+  // Closed loop on the local profile free-runs; a 5 ops/s/client poisson
+  // process must complete far fewer ops in the same window.
+  CellOutcome closed = run_local("  mixes 1\n  clients 2\n  keys 8\n");
+  CellOutcome paced = run_local(
+      "  mixes 1\n  clients 2\n  keys 8\n  arrival poisson 5\n");
+  ASSERT_TRUE(closed.ok) << closed.error;
+  ASSERT_TRUE(paced.ok) << paced.error;
+  // ~5 ops/s x 2 clients x 1s measured => on the order of 10 ops.
+  EXPECT_GT(paced.run.completed, 0u);
+  EXPECT_LT(paced.run.completed, 40u);
+  EXPECT_GT(closed.run.completed, paced.run.completed * 4);
+}
+
+TEST(ArrivalEdge, DiurnalTroughCompletesLessThanFlatPeak) {
+  // Diurnal with a deep trough averages well under the flat poisson rate
+  // at the same peak.
+  CellOutcome flat = run_local(
+      "  mixes 1\n  clients 4\n  keys 8\n  arrival poisson 50\n"
+      "  measure 4s\n");
+  CellOutcome wavy = run_local(
+      "  mixes 1\n  clients 4\n  keys 8\n"
+      "  arrival diurnal 50 period 4s low 0\n  measure 4s\n");
+  ASSERT_TRUE(flat.ok) << flat.error;
+  ASSERT_TRUE(wavy.ok) << wavy.error;
+  EXPECT_GT(wavy.run.completed, 0u);
+  EXPECT_LT(wavy.run.completed, flat.run.completed);
+}
+
+}  // namespace
+}  // namespace music::scn
