@@ -1,0 +1,165 @@
+// Multi-group MUSIC: N independent lock/data groups behind one keyspace.
+//
+// A Cluster instantiates, over one simulated network, a configurable number
+// of MUSIC *groups* — each its own data-store replica set (one replica per
+// site), lock store and per-site MUSIC replicas, exactly the world every
+// single-group test builds — and a consistent-hash ring (cluster/ring.h)
+// partitioning the keyspace into shards served by those groups.  This is
+// Spinnaker's shard-per-consensus-group design (PAPERS.md) applied to
+// MUSIC's lock domains: keys in different shards coordinate through
+// different lock queues and never contend.
+//
+// Routing is epoch-guarded.  The authoritative ShardMap lives here behind a
+// shared_ptr snapshot; cluster::Client (cluster/client.h) caches a snapshot
+// and every dispatch passes through admit(shard, cached_epoch), which
+// rejects with WrongShard when the shard is frozen mid-move or the caller's
+// snapshot predates the shard's last move.  Epochs are tracked per shard:
+// moving shard 7 does not invalidate cached routes to shard 3, so a move
+// only disturbs traffic that actually touches the moving shard.
+//
+// Shard move protocol (move_shard):
+//   1. freeze   — new ops on the shard are rejected with WrongShard
+//   2. drain    — wait for admitted in-flight ops to complete
+//   3. copy     — enumerate the shard's data-store rows (!d/!sf/!st/!lq) at
+//                 the source group and quorum-copy them, timestamps
+//                 preserved, to the destination group.  Copying the !lq
+//                 lock-queue row carries the guard counter AND the live
+//                 queue, so current holders keep holding and future
+//                 lockRefs keep increasing — no forced release is needed
+//                 and the ECF oracle's monotone-grant invariant holds
+//                 across the move.
+//   4. flip     — reassign the shard, bump the map epoch, republish the
+//                 snapshot, unfreeze.
+// Source rows are not deleted (the old group's copies go stale and
+// harmless; its failure detector only ever touches its own store).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cluster/shardmap.h"
+#include "core/client.h"
+#include "core/music.h"
+#include "datastore/store.h"
+#include "lockstore/lockstore.h"
+#include "obs/metrics.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace music::cluster {
+
+struct ClusterConfig {
+  /// Shards on the ring (>= 1).
+  int shards = 1;
+  /// MUSIC groups; 0 = one group per shard.  Shard s starts at group
+  /// s % groups.
+  int groups = 0;
+  /// Virtual nodes per shard on the ring.
+  int vnodes = 64;
+  /// Store replicas per group, interleaved across the 3 sites.
+  int store_nodes_per_group = 3;
+  /// Replica every shared client prefers first; -1 = site-local.
+  int holder_site = -1;
+  /// Start each group's failure detector (as production MUSIC runs).
+  bool failure_detector = true;
+  core::MusicConfig music;
+  ds::StoreConfig store;
+  core::ClientConfig client;
+};
+
+/// Cluster-level counters (tests and the bench read these).
+struct ClusterStats {
+  uint64_t moves = 0;               // completed shard moves
+  uint64_t moved_rows = 0;          // data-store rows copied by those moves
+  uint64_t admitted = 0;            // ops admitted through the epoch gate
+  uint64_t wrong_shard_rejects = 0; // ops bounced (frozen or stale epoch)
+};
+
+/// One MUSIC group: store + lock store + per-site replicas, plus one shared
+/// core client per site (routing fans many logical clients into these).
+struct Group {
+  std::unique_ptr<ds::StoreCluster> store;
+  std::unique_ptr<ls::LockStore> locks;
+  std::vector<std::unique_ptr<core::MusicReplica>> replicas;  // per site
+  std::vector<std::unique_ptr<core::MusicClient>> clients;    // per site
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, sim::Network& net, ClusterConfig cfg);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulation& simulation() { return sim_; }
+  const ClusterConfig& config() const { return cfg_; }
+  int num_shards() const { return cfg_.shards; }
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+
+  /// The current routing snapshot.  Clients cache the shared_ptr and
+  /// refresh on WrongShard; the Ring inside never changes, only the
+  /// shard -> group assignment and epoch do.
+  std::shared_ptr<const ShardMap> snapshot() const { return snapshot_; }
+
+  /// Admission gate: Ok admits the op against `shard` (callers MUST pair
+  /// with complete()); WrongShard when the shard is frozen mid-move or
+  /// `cached_epoch` predates the shard's last move.
+  Status admit(int shard, uint64_t cached_epoch);
+  /// Marks an admitted op finished (drain accounting).
+  void complete(int shard);
+
+  Group& group(int g) { return groups_.at(static_cast<size_t>(g)); }
+  /// The shared core client for `group` at `site`.
+  core::MusicClient& client_at(int g, int site) {
+    return *group(g).clients.at(static_cast<size_t>(site));
+  }
+
+  /// Moves `shard` to `to_group` (freeze / drain / copy / flip; see the
+  /// file comment).  One move per shard at a time; a concurrent second
+  /// move of the same shard fails with Conflict.  Copy rounds retry on
+  /// transient store failures, so a move launched under faults completes
+  /// once the fault heals.
+  sim::Task<Status> move_shard(int shard, int to_group);
+
+  // ---- Nemesis targeting (per-group fault hooks). ---------------------------
+
+  void set_down_store(int g, int replica, bool down, bool amnesia);
+  void set_down_music(int g, int site, bool down, bool amnesia);
+
+  // ---- Introspection. --------------------------------------------------------
+
+  const ClusterStats& stats() const { return stats_; }
+  /// Sum of MusicStats::critical_puts across every replica of every group
+  /// (the bench_cluster headline numerator).
+  uint64_t total_critical_puts() const;
+  /// Publishes cluster.* gauges/counters plus per-group critical-put
+  /// counters ("cluster.g<N>.critical_puts") into `reg`.
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
+ private:
+  void rebuild_snapshot();
+  /// All data-store row keys belonging to `shard` at group `g`, across the
+  /// MUSIC row prefixes, unioned over that group's replicas and sorted.
+  std::vector<Key> shard_rows(int g, int shard) const;
+  /// Quorum-copies `rows` (full data-store keys) from group `from` to
+  /// group `to`, preserving cell timestamps.  Retries transient failures.
+  sim::Task<Status> copy_rows(int from, int to, std::vector<Key> rows);
+
+  sim::Simulation& sim_;
+  sim::Network& net_;
+  ClusterConfig cfg_;
+  std::vector<Group> groups_;
+  Ring ring_;
+  uint64_t epoch_ = 0;
+  std::vector<int> group_of_shard_;
+  std::vector<uint64_t> shard_epoch_;  // map epoch at the shard's last move
+  std::vector<uint8_t> frozen_;
+  std::vector<int64_t> inflight_;
+  std::shared_ptr<const ShardMap> snapshot_;
+  ClusterStats stats_;
+};
+
+}  // namespace music::cluster

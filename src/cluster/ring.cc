@@ -1,0 +1,63 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+#include <string>
+
+namespace music::cluster {
+
+uint64_t Ring::point_hash(int shard, int vnode) {
+  // Built stepwise (GCC 12 -Werror=restrict, see ds::Cell note).
+  std::string tag = "shard:";
+  tag += std::to_string(shard);
+  tag += "#";
+  tag += std::to_string(vnode);
+  return placement_hash(ds::HashedKey::hash_of(tag));
+}
+
+Ring::Ring(int shards, int vnodes) : shards_(shards), vnodes_(vnodes) {
+  if (shards <= 0 || vnodes <= 0) {
+    shards_ = 0;
+    vnodes_ = 0;
+    return;
+  }
+  points_.reserve(static_cast<size_t>(shards) * static_cast<size_t>(vnodes));
+  for (int s = 0; s < shards; ++s) {
+    for (int v = 0; v < vnodes; ++v) {
+      points_.push_back(Point{point_hash(s, v), s});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+int Ring::shard_for_hash(uint64_t h) const {
+  if (points_.empty()) return -1;
+  // First point strictly after h clockwise; a key hashing exactly onto a
+  // point belongs to that point's shard (lower_bound), wrapping past the
+  // last point to the first.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, uint64_t v) { return p.hash < v; });
+  if (it == points_.end()) it = points_.begin();
+  return it->shard;
+}
+
+uint64_t Ring::layout_checksum() const {
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<uint8_t>(v >> (i * 8));
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<uint64_t>(shards_));
+  mix(static_cast<uint64_t>(vnodes_));
+  for (const Point& p : points_) {
+    mix(p.hash);
+    mix(static_cast<uint64_t>(p.shard));
+  }
+  return h;
+}
+
+}  // namespace music::cluster

@@ -1,0 +1,79 @@
+// Consistent-hash ring mapping MUSIC keys to shards.
+//
+// Each shard owns `vnodes` points on a 64-bit hash circle (Spinnaker-style
+// shard-per-consensus-group placement; see PAPERS.md).  A key belongs to the
+// shard owning the first ring point at or clockwise-after the key's hash.
+// Virtual nodes smooth the per-shard keyspace share so a 64-shard ring
+// splits a Zipfian keyspace roughly evenly without coordinated placement.
+//
+// Hashing is FNV-1a (the same stable, platform-independent function the
+// data store uses for replica placement) followed by a splitmix64-style
+// finalizer, applied identically to ring points and keys.  The finalizer
+// matters: raw FNV-1a has weak trailing-byte avalanche, so keys sharing a
+// stem ("job-1", "job-2", ...) land in one narrow hash band and a shard's
+// virtual nodes ("shard:3#0", "shard:3#1", ...) collapse into what is
+// effectively a single ring point — no smoothing at all.  Everything is
+// still deterministic and platform-independent, so ring layouts stay
+// bit-identical across machines and pinnable by golden checksum.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "datastore/store.h"  // ds::HashedKey::hash_of
+
+namespace music::cluster {
+
+/// The ring: an immutable sorted point table built at construction.
+class Ring {
+ public:
+  /// An empty ring (routes nothing; shard_of returns -1).
+  Ring() = default;
+
+  /// A ring of `shards` shards, each with `vnodes` points.
+  Ring(int shards, int vnodes);
+
+  int shards() const { return shards_; }
+  int vnodes() const { return vnodes_; }
+  bool empty() const { return points_.empty(); }
+
+  /// The shard owning `key`; -1 on an empty ring.
+  int shard_of(std::string_view key) const {
+    return shard_for_hash(placement_hash(ds::HashedKey::hash_of(key)));
+  }
+
+  /// Finalizer applied to every FNV hash before it touches the circle
+  /// (splitmix64's mixer — full avalanche on every input bit).
+  static uint64_t placement_hash(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  /// The shard owning an already-computed key hash.  Exposed so tests can
+  /// place probes exactly on virtual-node boundaries.
+  int shard_for_hash(uint64_t h) const;
+
+  /// The hash of one virtual node's ring point ("shard:<s>#<v>").  Lets
+  /// tests construct boundary keys without reimplementing the layout.
+  static uint64_t point_hash(int shard, int vnode);
+
+  /// FNV-1a over the sorted point table — pins the exact layout in goldens.
+  uint64_t layout_checksum() const;
+
+ private:
+  struct Point {
+    uint64_t hash = 0;
+    int shard = -1;
+  };
+
+  int shards_ = 0;
+  int vnodes_ = 0;
+  std::vector<Point> points_;  // sorted by (hash, shard)
+};
+
+}  // namespace music::cluster

@@ -1,0 +1,46 @@
+// The versioned routing table: which MUSIC group serves each shard, at
+// which map epoch.
+//
+// A ShardMap is an immutable snapshot.  The Cluster holds the authoritative
+// copy behind a shared_ptr and republishes a new snapshot whenever a shard
+// moves; clients cache the shared_ptr and route against their (possibly
+// stale) snapshot until an admission gate rejects them with WrongShard, at
+// which point they refresh.  Epochs are global and monotonic: every shard
+// move bumps the map epoch by one.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cluster/ring.h"
+
+namespace music::cluster {
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+  ShardMap(uint64_t epoch, Ring ring, std::vector<int> group_of_shard)
+      : epoch_(epoch),
+        ring_(std::move(ring)),
+        group_of_shard_(std::move(group_of_shard)) {}
+
+  uint64_t epoch() const { return epoch_; }
+  const Ring& ring() const { return ring_; }
+  int shards() const { return ring_.shards(); }
+
+  /// The shard owning `key`; -1 on an empty ring.
+  int route(std::string_view key) const { return ring_.shard_of(key); }
+
+  /// The group currently serving `shard`.
+  int group_of(int shard) const {
+    return group_of_shard_.at(static_cast<size_t>(shard));
+  }
+
+ private:
+  uint64_t epoch_ = 0;
+  Ring ring_;
+  std::vector<int> group_of_shard_;
+};
+
+}  // namespace music::cluster

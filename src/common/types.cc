@@ -22,6 +22,8 @@ std::string_view to_string(OpStatus s) {
       return "Conflict";
     case OpStatus::RetryExhausted:
       return "RetryExhausted";
+    case OpStatus::WrongShard:
+      return "WrongShard";
   }
   return "Unknown";
 }

@@ -80,6 +80,14 @@ enum class OpStatus {
   /// quorum round timed out, retry elsewhere" from "the client gave up".
   /// Deliberately NOT retryable: the budget is already spent.
   RetryExhausted,
+  /// Cluster routing layer only (src/cluster/): the op was dispatched with a
+  /// stale ShardMap epoch, or its shard is frozen mid-move.  Retryable at
+  /// the CLUSTER layer (refresh the map, re-route) — cluster::Client does
+  /// that internally and surfaces WrongShard only when its re-route budget
+  /// is spent.  Core replicas never emit it, so it is deliberately NOT in
+  /// is_retryable(): by the time a caller of the core client sees it, the
+  /// retry already happened.
+  WrongShard,
 };
 
 /// Human-readable status name (logs, test diagnostics).

@@ -103,6 +103,11 @@ void StoreReplica::set_down(bool down) {
 
 bool StoreReplica::down() const { return service_.down(); }
 
+void StoreReplica::advance_ballot_past(ScalarTs ts) {
+  if (ts < 0) return;
+  ballot_round_ = std::max(ballot_round_, ts / paxos::kMaxProposers + 1);
+}
+
 void StoreReplica::wipe_state() {
   table_.clear();
   acceptors_.clear();
@@ -294,6 +299,16 @@ sim::Task<Result<std::vector<Key>>> StoreReplica::scan_local_keys(Key prefix) {
   });
   if (down()) co_return Result<std::vector<Key>>::Err(OpStatus::Timeout);
   co_return Result<std::vector<Key>>::Ok(co_await p.future());
+}
+
+std::vector<Key> StoreReplica::local_keys_with_prefix(
+    std::string_view prefix) const {
+  std::vector<Key> out;
+  for (const auto& [k, cell] : table_) {
+    (void)cell;
+    if (k.key().rfind(prefix, 0) == 0) out.push_back(k.key());
+  }
+  return out;
 }
 
 sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,

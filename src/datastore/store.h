@@ -256,10 +256,23 @@ class StoreReplica {
   /// (an eventual scan — may be stale; backs MUSIC's getAllKeys helper).
   sim::Task<Result<std::vector<Key>>> scan_local_keys(Key prefix);
 
+  /// Synchronous local-table key enumeration (no service cost, no network):
+  /// keys starting with `prefix`, unsorted.  For control-plane inspection —
+  /// the cluster layer's shard-move row census — not the data path.
+  std::vector<Key> local_keys_with_prefix(std::string_view prefix) const;
+
   /// Crash / restart this replica (table survives; Paxos state survives —
   /// i.e. crash-recovery with persistent storage, as Cassandra provides).
   void set_down(bool down);
   bool down() const;
+
+  /// Advances this coordinator's LWT ballot round strictly past `ts`.  LWT
+  /// commits stamp cells with their ballot, and apply_write is LWW — so a
+  /// row imported from another replica set (cluster shard move) with a high
+  /// foreign-ballot timestamp would shadow every locally-committed update
+  /// until local ballots catch up.  The importing layer calls this on every
+  /// replica after a copy so future LWT commits always stamp above imports.
+  void advance_ballot_past(ScalarTs ts);
 
   /// Amnesia crash: discards the table, Paxos acceptor state and queued
   /// hints, as if the node restarted from an empty disk.  NOTE: losing

@@ -1,5 +1,7 @@
 #include "rest/rest.h"
 
+#include "cluster/client.h"
+
 namespace music::rest {
 
 namespace {
@@ -19,10 +21,143 @@ Json status_reply(OpStatus s) {
 
 }  // namespace
 
+/// The gateway's view of a client.  core::MusicClient and cluster::Client
+/// expose the same op surface, so both adapters are pure forwarding; the
+/// verb code below never branches on the deployment shape.
+class RestGateway::Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual sim::Task<Result<LockRef>> create_lock_ref(Key key) = 0;
+  virtual sim::Task<Status> acquire_lock(Key key, LockRef ref) = 0;
+  virtual sim::Task<Status> critical_put(Key key, LockRef ref,
+                                         Value value) = 0;
+  virtual sim::Task<Result<Value>> critical_get(Key key, LockRef ref) = 0;
+  virtual sim::Task<Status> critical_delete(Key key, LockRef ref) = 0;
+  virtual sim::Task<std::vector<core::BatchOpResult>> execute_batch(
+      Key key, LockRef ref, std::vector<core::BatchOp> ops) = 0;
+  virtual sim::Task<Status> release_lock(Key key, LockRef ref) = 0;
+  virtual sim::Task<Status> forced_release(Key key, LockRef ref) = 0;
+  virtual sim::Task<Status> put(Key key, Value value) = 0;
+  virtual sim::Task<Result<Value>> get(Key key) = 0;
+  virtual sim::Task<Result<std::vector<Key>>> get_all_keys(Key prefix) = 0;
+  virtual int shard_count() const = 0;
+  virtual uint64_t map_epoch() const = 0;
+};
+
+namespace {
+
+class CoreBackend final : public RestGateway::Backend {
+ public:
+  explicit CoreBackend(core::MusicClient& c) : c_(c) {}
+  sim::Task<Result<LockRef>> create_lock_ref(Key key) override {
+    co_return co_await c_.create_lock_ref(std::move(key));
+  }
+  sim::Task<Status> acquire_lock(Key key, LockRef ref) override {
+    co_return co_await c_.acquire_lock(std::move(key), ref);
+  }
+  sim::Task<Status> critical_put(Key key, LockRef ref, Value value) override {
+    co_return co_await c_.critical_put(std::move(key), ref, std::move(value));
+  }
+  sim::Task<Result<Value>> critical_get(Key key, LockRef ref) override {
+    co_return co_await c_.critical_get(std::move(key), ref);
+  }
+  sim::Task<Status> critical_delete(Key key, LockRef ref) override {
+    co_return co_await c_.critical_delete(std::move(key), ref);
+  }
+  sim::Task<std::vector<core::BatchOpResult>> execute_batch(
+      Key key, LockRef ref, std::vector<core::BatchOp> ops) override {
+    co_return co_await c_.execute_batch(std::move(key), ref, std::move(ops));
+  }
+  sim::Task<Status> release_lock(Key key, LockRef ref) override {
+    co_return co_await c_.release_lock(std::move(key), ref);
+  }
+  sim::Task<Status> forced_release(Key key, LockRef ref) override {
+    co_return co_await c_.forced_release(std::move(key), ref);
+  }
+  sim::Task<Status> put(Key key, Value value) override {
+    co_return co_await c_.put(std::move(key), std::move(value));
+  }
+  sim::Task<Result<Value>> get(Key key) override {
+    co_return co_await c_.get(std::move(key));
+  }
+  sim::Task<Result<std::vector<Key>>> get_all_keys(Key prefix) override {
+    co_return co_await c_.get_all_keys(std::move(prefix));
+  }
+  int shard_count() const override { return 1; }
+  uint64_t map_epoch() const override { return 0; }
+
+ private:
+  core::MusicClient& c_;
+};
+
+class ClusterBackend final : public RestGateway::Backend {
+ public:
+  explicit ClusterBackend(cluster::Client& c) : c_(c) {}
+  sim::Task<Result<LockRef>> create_lock_ref(Key key) override {
+    co_return co_await c_.create_lock_ref(std::move(key));
+  }
+  sim::Task<Status> acquire_lock(Key key, LockRef ref) override {
+    co_return co_await c_.acquire_lock(std::move(key), ref);
+  }
+  sim::Task<Status> critical_put(Key key, LockRef ref, Value value) override {
+    co_return co_await c_.critical_put(std::move(key), ref, std::move(value));
+  }
+  sim::Task<Result<Value>> critical_get(Key key, LockRef ref) override {
+    co_return co_await c_.critical_get(std::move(key), ref);
+  }
+  sim::Task<Status> critical_delete(Key key, LockRef ref) override {
+    co_return co_await c_.critical_delete(std::move(key), ref);
+  }
+  sim::Task<std::vector<core::BatchOpResult>> execute_batch(
+      Key key, LockRef ref, std::vector<core::BatchOp> ops) override {
+    co_return co_await c_.execute_batch(std::move(key), ref, std::move(ops));
+  }
+  sim::Task<Status> release_lock(Key key, LockRef ref) override {
+    co_return co_await c_.release_lock(std::move(key), ref);
+  }
+  sim::Task<Status> forced_release(Key key, LockRef ref) override {
+    co_return co_await c_.forced_release(std::move(key), ref);
+  }
+  sim::Task<Status> put(Key key, Value value) override {
+    co_return co_await c_.put(std::move(key), std::move(value));
+  }
+  sim::Task<Result<Value>> get(Key key) override {
+    co_return co_await c_.get(std::move(key));
+  }
+  sim::Task<Result<std::vector<Key>>> get_all_keys(Key prefix) override {
+    co_return co_await c_.get_all_keys(std::move(prefix));
+  }
+  int shard_count() const override { return c_.cluster().num_shards(); }
+  uint64_t map_epoch() const override {
+    return c_.cluster().snapshot()->epoch();
+  }
+
+ private:
+  cluster::Client& c_;
+};
+
+}  // namespace
+
+RestGateway::RestGateway(core::MusicClient& client)
+    : backend_(std::make_unique<CoreBackend>(client)) {}
+
+RestGateway::RestGateway(cluster::Client& client)
+    : backend_(std::make_unique<ClusterBackend>(client)) {}
+
+RestGateway::~RestGateway() = default;
+
 sim::Task<Json> RestGateway::handle_json(Json request) {
   if (!request.is_object()) co_return error_reply("body must be an object");
   const std::string& op = request["op"].as_string();
   if (op.empty()) co_return error_reply("missing op");
+  if (op == "status") {
+    // Keyless deployment introspection: how the keyspace is sharded and
+    // which ShardMap epoch is current (1 / 0 for a core-backed gateway).
+    Json reply = status_reply(OpStatus::Ok);
+    reply.set("shard_count", static_cast<int64_t>(backend_->shard_count()));
+    reply.set("map_epoch", static_cast<int64_t>(backend_->map_epoch()));
+    co_return reply;
+  }
   if (!request["key"].is_string() || request["key"].as_string().empty()) {
     co_return error_reply("missing key");
   }
@@ -30,52 +165,52 @@ sim::Task<Json> RestGateway::handle_json(Json request) {
   LockRef ref = request["lockRef"].as_int(kNoLockRef);
 
   if (op == "createLockRef") {
-    auto r = co_await client_.create_lock_ref(key);
+    auto r = co_await backend_->create_lock_ref(key);
     Json reply = status_reply(r.status());
     if (r.ok()) reply.set("lockRef", r.value());
     co_return reply;
   }
   if (op == "acquireLock") {
     if (ref == kNoLockRef) co_return error_reply("missing lockRef");
-    auto st = co_await client_.acquire_lock(key, ref);
+    auto st = co_await backend_->acquire_lock(key, ref);
     co_return status_reply(st.status());
   }
   if (op == "criticalPut") {
     if (ref == kNoLockRef) co_return error_reply("missing lockRef");
     if (!request["value"].is_string()) co_return error_reply("missing value");
-    auto st = co_await client_.critical_put(key, ref,
+    auto st = co_await backend_->critical_put(key, ref,
                                             Value(request["value"].as_string()));
     co_return status_reply(st.status());
   }
   if (op == "criticalGet") {
     if (ref == kNoLockRef) co_return error_reply("missing lockRef");
-    auto r = co_await client_.critical_get(key, ref);
+    auto r = co_await backend_->critical_get(key, ref);
     Json reply = status_reply(r.status());
     if (r.ok()) reply.set("value", r.value().data);
     co_return reply;
   }
   if (op == "criticalDelete") {
     if (ref == kNoLockRef) co_return error_reply("missing lockRef");
-    auto st = co_await client_.critical_delete(key, ref);
+    auto st = co_await backend_->critical_delete(key, ref);
     co_return status_reply(st.status());
   }
   if (op == "releaseLock") {
     if (ref == kNoLockRef) co_return error_reply("missing lockRef");
-    auto st = co_await client_.release_lock(key, ref);
+    auto st = co_await backend_->release_lock(key, ref);
     co_return status_reply(st.status());
   }
   if (op == "forcedRelease") {
     if (ref == kNoLockRef) co_return error_reply("missing lockRef");
-    auto st = co_await client_.forced_release(key, ref);
+    auto st = co_await backend_->forced_release(key, ref);
     co_return status_reply(st.status());
   }
   if (op == "put") {
     if (!request["value"].is_string()) co_return error_reply("missing value");
-    auto st = co_await client_.put(key, Value(request["value"].as_string()));
+    auto st = co_await backend_->put(key, Value(request["value"].as_string()));
     co_return status_reply(st.status());
   }
   if (op == "get") {
-    auto r = co_await client_.get(key);
+    auto r = co_await backend_->get(key);
     Json reply = status_reply(r.status());
     if (r.ok()) reply.set("value", r.value().data);
     co_return reply;
@@ -112,7 +247,7 @@ sim::Task<Json> RestGateway::handle_json(Json request) {
       }
       is_get.push_back(sub == "get");
     }
-    auto rs = co_await client_.execute_batch(key, ref, std::move(ops));
+    auto rs = co_await backend_->execute_batch(key, ref, std::move(ops));
     Json reply = status_reply(core::batch_status(rs));
     Json results;
     for (size_t i = 0; i < rs.size(); ++i) {
@@ -127,7 +262,7 @@ sim::Task<Json> RestGateway::handle_json(Json request) {
     co_return reply;
   }
   if (op == "getAllKeys") {
-    auto r = co_await client_.get_all_keys(key);
+    auto r = co_await backend_->get_all_keys(key);
     Json reply = status_reply(r.status());
     if (r.ok()) {
       Json keys;

@@ -7,7 +7,8 @@
 //
 //   { "op":  "createLockRef" | "acquireLock" | "criticalPut" |
 //            "criticalGet"   | "criticalDelete" | "releaseLock" |
-//            "forcedRelease" | "put" | "get" | "getAllKeys" | "batch",
+//            "forcedRelease" | "put" | "get" | "getAllKeys" | "batch" |
+//            "status",
 //     "key": "...", "lockRef": 7, "value": "..." }
 //
 // Reply: { "status": "Ok"|..., "lockRef": n?, "value": "..."?, "keys": []? }
@@ -22,21 +23,34 @@
 //
 // Reply: { "status": <roll-up>, "results": [ { "status": ..., "value"? }, … ] }
 //
+// A gateway can be bound to a plain core::MusicClient (one MUSIC group) or
+// to a cluster::Client (sharded deployment) — every verb then routes
+// through the ShardMap with the WrongShard retry discipline.  "status"
+// (keyless) reports the deployment shape: shard_count and map_epoch are
+// 1/0 when core-backed.
+//
 // Malformed bodies get {"status":"BadRequest","error":...} without touching
 // the store.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/client.h"
 #include "rest/json.h"
 
+namespace music::cluster {
+class Client;
+}  // namespace music::cluster
+
 namespace music::rest {
 
-/// JSON-over-"HTTP" gateway bound to one MusicClient.
+/// JSON-over-"HTTP" gateway bound to one MusicClient or cluster::Client.
 class RestGateway {
  public:
-  explicit RestGateway(core::MusicClient& client) : client_(client) {}
+  explicit RestGateway(core::MusicClient& client);
+  explicit RestGateway(cluster::Client& client);
+  ~RestGateway();
 
   /// Handles one request body; returns the reply body.  Never throws;
   /// syntactic problems come back as status "BadRequest".
@@ -45,8 +59,13 @@ class RestGateway {
   /// Typed layer used by handle() (exposed for tests): Json in, Json out.
   sim::Task<Json> handle_json(Json request);
 
+  /// Backend-polymorphic op surface (core- or cluster-bound), defined in
+  /// rest.cc so verb handling stays single-path.  Public only so the
+  /// concrete adapters in rest.cc can derive from it.
+  class Backend;
+
  private:
-  core::MusicClient& client_;
+  std::unique_ptr<Backend> backend_;
 };
 
 }  // namespace music::rest

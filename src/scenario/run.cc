@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "cluster/client.h"
+#include "cluster/cluster.h"
 #include "core/client.h"
 #include "core/music.h"
 #include "datastore/store.h"
@@ -151,6 +153,54 @@ class MusicMixWorkload : public wl::Workload {
 
  private:
   std::vector<verify::CheckedClient> clients_;
+  double read_frac_;
+  KeyPick pick_;
+  size_t value_size_;
+  sim::Rng rng_;
+  uint64_t seq_ = 0;
+};
+
+/// Sharded MUSIC/MSCP cell op: the same critical section as
+/// MusicMixWorkload, but through cluster::Client — shard routing, the
+/// WrongShard retry discipline and the oracle instrumentation all live in
+/// the client, so the workload body is protocol-identical.
+class ClusterMixWorkload : public wl::Workload {
+ public:
+  ClusterMixWorkload(std::vector<std::unique_ptr<cluster::Client>> clients,
+                     double read_frac, KeyPick pick, size_t value_size,
+                     uint64_t seed)
+      : clients_(std::move(clients)),
+        read_frac_(read_frac),
+        pick_(std::move(pick)),
+        value_size_(value_size),
+        rng_(seed) {}
+
+  sim::Task<bool> run_once(int cid) override {
+    auto& c = *clients_[static_cast<size_t>(cid) % clients_.size()];
+    Key key = pick_.next(rng_);
+    bool read = rng_.chance(read_frac_);
+    auto ref = co_await c.create_lock_ref(key);
+    if (!ref.ok()) co_return false;
+    auto acq = co_await c.acquire_lock_blocking(key, ref.value());
+    if (!acq.ok()) {
+      co_await c.remove_lock_ref(key, ref.value());
+      co_return false;
+    }
+    bool ok;
+    if (read) {
+      auto g = co_await c.critical_get(key, ref.value());
+      ok = g.ok() || g.status() == OpStatus::NotFound;
+    } else {
+      ok = (co_await c.critical_put(key, ref.value(),
+                                    make_value(cid, seq_++, value_size_)))
+               .ok();
+    }
+    co_await c.release_lock(key, ref.value());
+    co_return ok;
+  }
+
+ private:
+  std::vector<std::unique_ptr<cluster::Client>> clients_;
   double read_frac_;
   KeyPick pick_;
   size_t value_size_;
@@ -342,6 +392,70 @@ CellOutcome run_music_cell(const Cell& cell, core::PutMode mode) {
   return out;
 }
 
+CellOutcome run_cluster_cell(const Cell& cell, core::PutMode mode) {
+  CellOutcome out;
+  out.label = cell.label();
+
+  sim::Simulation sim(cell.seed);
+  sim::NetworkConfig nc;
+  nc.profile = profile_by_name(cell.profile());
+  sim::Network net(sim, nc);
+
+  cluster::ClusterConfig cc;
+  cc.shards = cell.shards();
+  cc.store_nodes_per_group = cell.point.topology.store_nodes;
+  cc.holder_site = cell.point.topology.holder_site;
+  cc.store.expected_keys = 4096;
+  cc.music.put_mode = mode;
+  cc.music.holder_timeout = sim::sec(8);
+  cc.music.fd_interval = sim::sec(2);
+  cluster::Cluster cluster(sim, net, cc);
+
+  verify::EcfChecker checker(sim);
+  if (!cell.point.faults.empty()) checker.set_lenient_stale_grants(true);
+
+  fault::NemesisHooks hooks;
+  // Site-correlated targeting: replica index r goes down in EVERY group —
+  // the way a zone outage lands on a sharded deployment (each group has
+  // one store replica and one MUSIC replica per site).
+  hooks.crash_store = [&cluster](int replica, bool down, bool amnesia) {
+    for (int g = 0; g < cluster.num_groups(); ++g) {
+      cluster.set_down_store(g, replica, down, amnesia);
+    }
+  };
+  hooks.crash_music = [&cluster](int replica, bool down, bool amnesia) {
+    for (int g = 0; g < cluster.num_groups(); ++g) {
+      cluster.set_down_music(g, replica, down, amnesia);
+    }
+  };
+  fault::Nemesis nemesis(sim, net, hooks);
+  if (!arm_faults(cell, nemesis, &out)) return out;
+
+  // One shard-aware client per logical client (cheap: they fan into the
+  // cluster's shared per-site core clients).
+  std::vector<std::unique_ptr<cluster::Client>> clients;
+  std::vector<int> per_site = cell_placement(cell);
+  for (int site = 0; site < 3; ++site) {
+    for (int i = 0; i < per_site[static_cast<size_t>(site)]; ++i) {
+      clients.push_back(
+          std::make_unique<cluster::Client>(cluster, site, &checker));
+    }
+  }
+
+  KeyPick pick = cell_keypick(cell);
+  auto w = std::make_shared<ClusterMixWorkload>(
+      std::move(clients), cell.mix(), std::move(pick),
+      cell.point.workload.value_size, cell.seed ^ 0x5CE7A810ull);
+  out.run = wl::run_closed_loop(sim, w, cell_driver(cell));
+  nemesis.heal_all();
+
+  collect_net(sim, net, &out);
+  out.violations = checker.violations().size();
+  out.ok = checker.ok();
+  if (!out.ok) out.error = checker.report();
+  return out;
+}
+
 CellOutcome run_zab_cell(const Cell& cell) {
   CellOutcome out;
   out.label = cell.label();
@@ -450,6 +564,13 @@ std::string validate(const ScenarioSpec& spec) {
   for (Protocol p : spec.protocols) {
     if (p != Protocol::Music && p != Protocol::Mscp) music_only = false;
   }
+  for (int s : spec.topology.shards) {
+    if (s != 1 && !music_only) {
+      return "shards > 1 needs a music/mscp-only protocol list (the "
+             "cluster layer shards MUSIC groups; zab/raftkv cells have no "
+             "shard ring)";
+    }
+  }
   if (spec.faults.empty()) return "";
   std::string err;
   auto sched = fault::Schedule::parse(spec.faults, &err);
@@ -513,12 +634,15 @@ CellOutcome run_cell(const Cell& cell) {
       out.label = cell.label();
       out.error = err;
     } else {
+      bool sharded = cell.shards() != 1;
       switch (cell.protocol()) {
         case Protocol::Music:
-          out = run_music_cell(cell, core::PutMode::Quorum);
+          out = sharded ? run_cluster_cell(cell, core::PutMode::Quorum)
+                        : run_music_cell(cell, core::PutMode::Quorum);
           break;
         case Protocol::Mscp:
-          out = run_music_cell(cell, core::PutMode::Lwt);
+          out = sharded ? run_cluster_cell(cell, core::PutMode::Lwt)
+                        : run_music_cell(cell, core::PutMode::Lwt);
           break;
         case Protocol::Zab:
           out = run_zab_cell(cell);

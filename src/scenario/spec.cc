@@ -189,6 +189,24 @@ bool apply_topology(Parser& p, const Line& l, TopologyBlock* t) {
     t->store_nodes = static_cast<int>(v);
     return true;
   }
+  if (key == "shards") {
+    if (!want_values(p, l, 1)) return false;
+    std::vector<std::string_view> parts;
+    if (!split_list(l.val().text, &parts)) {
+      return p.fail_tok(l.number, l.val(), "bad shard list");
+    }
+    t->shards.clear();
+    for (auto part : parts) {
+      int64_t v;
+      if (!parse_i64(part, &v) || v < 1 || v > 1024) {
+        return p.fail_tok(l.number, l.val(),
+                          "bad shard count \"" + std::string(part) +
+                              "\" (want 1..1024)");
+      }
+      t->shards.push_back(static_cast<int>(v));
+    }
+    return true;
+  }
   return p.fail_tok(l.number, l.key(),
                     "unknown topology key \"" + std::string(key) + "\"");
 }
@@ -581,6 +599,12 @@ std::string ScenarioSpec::format() const {
   out += "\n";
   out += "  holder_site " + std::to_string(topology.holder_site) + "\n";
   out += "  store_nodes " + std::to_string(topology.store_nodes) + "\n";
+  out += "  shards ";
+  for (size_t i = 0; i < topology.shards.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(topology.shards[i]);
+  }
+  out += "\n";
   out += "}\n\nworkload {\n";
   out += "  mixes ";
   for (size_t i = 0; i < workload.mixes.size(); ++i) {
@@ -649,8 +673,8 @@ std::string ScenarioSpec::format() const {
 
 size_t ScenarioSpec::num_cells() const {
   return protocols.size() * topology.profiles.size() *
-         workload.mixes.size() * workload.clients.size() *
-         static_cast<size_t>(seeds);
+         topology.shards.size() * workload.mixes.size() *
+         workload.clients.size() * static_cast<size_t>(seeds);
 }
 
 std::string Cell::label() const {
@@ -661,6 +685,12 @@ std::string Cell::label() const {
   out += float_str(mix());
   out += "/c";
   out += std::to_string(clients());
+  if (shards() != 1) {
+    // Only sharded cells carry the segment: single-shard labels (and the
+    // golden checksums pinned to them) are unchanged from PR 6.
+    out += "/sh";
+    out += std::to_string(shards());
+  }
   out += "/s";
   out += std::to_string(seed);
   return out;
@@ -671,19 +701,22 @@ std::vector<Cell> expand(const ScenarioSpec& spec) {
   cells.reserve(spec.num_cells());
   for (Protocol proto : spec.protocols) {
     for (const std::string& profile : spec.topology.profiles) {
-      for (double mix : spec.workload.mixes) {
-        for (int clients : spec.workload.clients) {
-          for (int s = 0; s < spec.seeds; ++s) {
-            Cell cell;
-            cell.point = spec;
-            cell.point.protocols = {proto};
-            cell.point.topology.profiles = {profile};
-            cell.point.workload.mixes = {mix};
-            cell.point.workload.clients = {clients};
-            cell.point.seeds = 1;
-            cell.seed = spec.base_seed + static_cast<uint64_t>(s);
-            cell.point.base_seed = cell.seed;
-            cells.push_back(std::move(cell));
+      for (int shards : spec.topology.shards) {
+        for (double mix : spec.workload.mixes) {
+          for (int clients : spec.workload.clients) {
+            for (int s = 0; s < spec.seeds; ++s) {
+              Cell cell;
+              cell.point = spec;
+              cell.point.protocols = {proto};
+              cell.point.topology.profiles = {profile};
+              cell.point.topology.shards = {shards};
+              cell.point.workload.mixes = {mix};
+              cell.point.workload.clients = {clients};
+              cell.point.seeds = 1;
+              cell.seed = spec.base_seed + static_cast<uint64_t>(s);
+              cell.point.base_seed = cell.seed;
+              cells.push_back(std::move(cell));
+            }
           }
         }
       }

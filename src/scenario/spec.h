@@ -93,6 +93,10 @@ struct TopologyBlock {
   int holder_site = -1;
   /// Store replicas, interleaved across the 3 sites.
   int store_nodes = 3;
+  /// Consistent-hash shard counts (cluster layer); sweep axis.  1 = the
+  /// classic single-group world; > 1 builds a cluster::Cluster with one
+  /// MUSIC group per shard (music/mscp only).
+  std::vector<int> shards{1};
 
   bool operator==(const TopologyBlock&) const = default;
 };
@@ -144,7 +148,8 @@ struct ScenarioSpec {
   /// Canonical text form; parse(format()) reproduces *this exactly.
   std::string format() const;
 
-  /// Grid size: |protocols| x |profiles| x |mixes| x |clients| x seeds.
+  /// Grid size: |protocols| x |profiles| x |shards| x |mixes| x |clients|
+  /// x seeds.
   size_t num_cells() const;
 };
 
@@ -159,14 +164,17 @@ struct Cell {
   const std::string& profile() const { return point.topology.profiles.at(0); }
   double mix() const { return point.workload.mixes.at(0); }
   int clients() const { return point.workload.clients.at(0); }
+  int shards() const { return point.topology.shards.at(0); }
 
   /// "music/lUs/mix0.5/c4/s1" — stable row id for CSV and test output.
+  /// Sharded cells insert a "/sh<N>" segment before the seed (only when
+  /// shards != 1, so pre-cluster labels are unchanged).
   std::string label() const;
 };
 
 /// Expands a spec into its cell grid, protocols-major, seeds-minor.  The
 /// order is deterministic and documented (docs/SCENARIOS.md): protocol,
-/// then profile, then mix, then clients, then seed.
+/// then profile, then shards, then mix, then clients, then seed.
 std::vector<Cell> expand(const ScenarioSpec& spec);
 
 /// Splits `total` clients across 3 sites by `weights` (empty = {1,1,1}):

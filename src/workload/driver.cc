@@ -67,6 +67,10 @@ sim::Task<void> sequential_loop(sim::Simulation& sim,
 RunResult run_closed_loop(sim::Simulation& sim, std::shared_ptr<Workload> w,
                           DriverConfig cfg) {
   auto acc = std::make_shared<Accum>();
+  if (cfg.max_latency_samples > 0) {
+    acc->latency.enable_reservoir(cfg.max_latency_samples,
+                                  cfg.latency_sample_seed);
+  }
   acc->warmup_end = sim.now() + cfg.warmup;
   acc->end = acc->warmup_end + cfg.measure;
   acc->think = cfg.think;

@@ -45,6 +45,14 @@ struct DriverConfig {
   /// time-varying ones (diurnal load) are both expressible.  Think time
   /// is excluded from the recorded op latency.
   std::function<sim::Duration(sim::Rng&, sim::Time)> think;
+  /// Per-run cap on retained latency samples (0 = keep every sample).
+  /// Above the cap, samples are reservoir-subsampled (wl::Samples); the
+  /// completed/failed counts — and so throughput — remain exact.  Set this
+  /// for very large worlds (the cluster bench records millions of ops).
+  size_t max_latency_samples = 0;
+  /// Seed for the reservoir's private rng (decorrelates parallel worlds;
+  /// deliberately NOT drawn from the sim rng, which must stay untouched).
+  uint64_t latency_sample_seed = 0;
 };
 
 /// Runs the workload under `cfg.clients` concurrent clients and returns

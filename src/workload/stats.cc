@@ -56,9 +56,28 @@ std::vector<std::pair<double, double>> Samples::cdf(int points) const {
   return out;
 }
 
+void Samples::enable_reservoir(size_t cap, uint64_t seed) {
+  cap_ = cap;
+  // splitmix64 init: a zero seed must still produce a usable stream.
+  rstate_ = seed + 0x9E3779B97F4A7C15ull;
+}
+
+uint64_t Samples::next_u64() {
+  // splitmix64 — self-contained so reservoir sampling never consumes from
+  // (or reorders) the deterministic sim rng streams.
+  rstate_ += 0x9E3779B97F4A7C15ull;
+  uint64_t z = rstate_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 void Samples::merge(const Samples& other) {
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());
+  // recorded() stays exact across merges; the retained union may exceed
+  // cap_, which only makes the percentile estimate better.
+  seen_ += other.seen_;
   sorted_ = false;
 }
 

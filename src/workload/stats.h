@@ -1,6 +1,13 @@
 // Latency/throughput statistics for the benchmark harness: mean, standard
 // deviation, percentiles and CDFs, matching what the paper reports (mean
 // plus standard deviation when > 5%, latency CDFs in Fig. 8).
+//
+// By default every sample is retained exactly.  For very large runs (the
+// sharded cluster bench drives 10^4 clients) enable_reservoir() switches to
+// Vitter's Algorithm R: a fixed-size uniform reservoir replaces the
+// unbounded vector once more than `cap` samples arrive, while recorded()
+// keeps the exact arrival count — throughput stays exact, percentiles
+// become estimates over an unbiased subsample.
 #pragma once
 
 #include <cstddef>
@@ -15,9 +22,34 @@ namespace music::wl {
 /// An accumulating sample set of durations (microseconds).
 class Samples {
  public:
-  void add(sim::Duration d) { samples_.push_back(d); }
+  void add(sim::Duration d) {
+    seen_ += 1;
+    if (cap_ == 0 || samples_.size() < cap_) {
+      samples_.push_back(d);
+      sorted_ = false;
+      return;
+    }
+    // Algorithm R: keep each of the `seen_` arrivals with probability
+    // cap/seen.  The rng is private to this object — reservoir decisions
+    // must never perturb the sim's seeded streams.
+    uint64_t j = next_u64() % seen_;
+    if (j < cap_) {
+      samples_[static_cast<size_t>(j)] = d;
+      sorted_ = false;
+    }
+  }
+
+  /// Caps retained samples at `cap` (0 = keep everything, the default).
+  /// Call before the first add(); enabling mid-stream would bias the
+  /// already-full vector.  `seed` decorrelates reservoirs across clients.
+  void enable_reservoir(size_t cap, uint64_t seed = 0);
+
+  /// Retained sample count (== recorded() until a reservoir overflows).
   size_t count() const { return samples_.size(); }
+  /// Exact number of samples ever added.
+  uint64_t recorded() const { return seen_; }
   bool empty() const { return samples_.empty(); }
+  size_t reservoir_cap() const { return cap_; }
 
   /// Mean in milliseconds.
   double mean_ms() const;
@@ -31,13 +63,20 @@ class Samples {
   /// CDF as (latency_ms, cumulative_fraction) pairs at `points` quantiles.
   std::vector<std::pair<double, double>> cdf(int points = 50) const;
 
-  /// Merges another sample set into this one.
+  /// Merges another sample set into this one.  Exact when neither side
+  /// overflowed a reservoir; otherwise the merged set is the union of the
+  /// retained subsamples (and recorded() stays exact).
   void merge(const Samples& other);
 
  private:
   void ensure_sorted() const;
+  uint64_t next_u64();
+
   std::vector<sim::Duration> samples_;
   mutable bool sorted_ = false;
+  size_t cap_ = 0;       // 0 = exact (no reservoir)
+  uint64_t seen_ = 0;    // exact arrivals
+  uint64_t rstate_ = 0;  // private splitmix64 state (never the sim rng)
 };
 
 /// Result of a driver run.

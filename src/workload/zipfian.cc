@@ -1,15 +1,59 @@
 #include "workload/zipfian.h"
 
+#include <bit>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
 
 namespace music::wl {
+namespace {
 
-double Zipfian::zeta(uint64_t n, double theta) {
+// Process-wide memo: the par runner constructs generators from worker
+// threads, so the table is mutex-guarded.  Keyed on theta's bit pattern —
+// exact-same-double semantics, no epsilon surprises.
+std::mutex g_zeta_mu;
+std::map<std::pair<uint64_t, uint64_t>, double>& zeta_table() {
+  static std::map<std::pair<uint64_t, uint64_t>, double> table;
+  return table;
+}
+uint64_t g_zeta_computations = 0;
+
+double zeta_raw(uint64_t n, double theta) {
   double sum = 0.0;
   for (uint64_t i = 1; i <= n; ++i) {
     sum += 1.0 / std::pow(static_cast<double>(i), theta);
   }
   return sum;
+}
+
+}  // namespace
+
+double Zipfian::zeta(uint64_t n, double theta) {
+  std::pair<uint64_t, uint64_t> key{n, std::bit_cast<uint64_t>(theta)};
+  {
+    std::lock_guard<std::mutex> lock(g_zeta_mu);
+    auto it = zeta_table().find(key);
+    if (it != zeta_table().end()) return it->second;
+  }
+  // Compute outside the lock: a 10^6-term sum must not serialise the
+  // parallel world builders behind one mutex.  Duplicate concurrent
+  // misses converge to the same value, so last-writer-wins is benign.
+  double sum = zeta_raw(n, theta);
+  std::lock_guard<std::mutex> lock(g_zeta_mu);
+  zeta_table()[key] = sum;
+  g_zeta_computations += 1;
+  return sum;
+}
+
+size_t Zipfian::zeta_cache_size() {
+  std::lock_guard<std::mutex> lock(g_zeta_mu);
+  return zeta_table().size();
+}
+
+uint64_t Zipfian::zeta_cache_computations() {
+  std::lock_guard<std::mutex> lock(g_zeta_mu);
+  return g_zeta_computations;
 }
 
 Zipfian::Zipfian(uint64_t n, double theta)

@@ -3,6 +3,11 @@
 //
 // Implements the Gray et al. rejection-inversion-free method YCSB uses
 // (precomputed zeta), with the standard YCSB skew constant 0.99.
+//
+// The zeta normaliser is O(n) to compute, and the cluster bench builds one
+// generator per client (10^4 of them, identical (n, theta)).  zeta() is
+// therefore memoised process-wide behind a mutex: the table is computed
+// once per distinct (n, theta) and every later construction is O(1).
 #pragma once
 
 #include <cstdint>
@@ -22,9 +27,16 @@ class Zipfian {
 
   uint64_t n() const { return n_; }
 
- private:
+  /// The generalized harmonic number H_{n,theta}, memoised per (n, theta).
+  /// Public so tests can compare the hot-key mass against 1 / zeta(n).
   static double zeta(uint64_t n, double theta);
 
+  /// Distinct (n, theta) entries currently memoised.
+  static size_t zeta_cache_size();
+  /// O(n) zeta computations actually performed (cache misses).
+  static uint64_t zeta_cache_computations();
+
+ private:
   uint64_t n_;
   double theta_;
   double alpha_;

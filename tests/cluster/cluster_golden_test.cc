@@ -1,0 +1,98 @@
+// Determinism goldens for the SHARDED scenario runner.
+//
+// A shards-axis sweep (music/mscp x shards 1,4 on the local profile) pinned
+// the same two ways as tests/scenario/scenario_golden_test.cc: every cell's
+// checksum must be identical at 1 and 4 worker threads (a sharded world —
+// ring routing, epoch gate, parallel batch fan-out and all — is still a
+// pure function of its seed), and the checksums are pinned so a change to
+// the ring layout, the admission gate or the cluster client's retry
+// discipline shows up as a diff.
+//
+// Regenerate after a deliberate semantic change with:
+//   MUSIC_REGEN_GOLDENS=1 ./cluster_golden_test
+// and paste the printed table over kGoldens below.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/run.h"
+#include "scenario/spec.h"
+
+namespace music::scn {
+namespace {
+
+const char kSweep[] =
+    "scenario cluster-golden\n"
+    "seeds 2\n"
+    "protocols music,mscp\n"
+    "topology {\n"
+    "  profiles local\n"
+    "  shards 1,4\n"
+    "}\n"
+    "workload {\n"
+    "  mixes 0\n"
+    "  clients 3\n"
+    "  keys 8\n"
+    "  keying uniform\n"
+    "  arrival closed\n"
+    "  value 10\n"
+    "  warmup 500ms\n"
+    "  measure 2s\n"
+    "}\n";
+
+struct Golden {
+  const char* label;
+  uint64_t checksum;
+};
+
+// Captured from the initial cluster layer; regenerate (see header comment)
+// when the sharded runner's semantics deliberately change.  The sh1 labels
+// carry no "/sh" segment and run the classic single-group path — pinning
+// them here guards the dispatch seam too.
+constexpr Golden kGoldens[] = {
+    {"music/local/mix0/c3/s1", 0xaed5cfab1ed7a757ull},
+    {"music/local/mix0/c3/s2", 0xbf3c51e931abf63full},
+    {"music/local/mix0/c3/sh4/s1", 0xb35ae0e625343f1full},
+    {"music/local/mix0/c3/sh4/s2", 0x0b2cb9c1cca47c4bull},
+    {"mscp/local/mix0/c3/s1", 0xf2de149396a8e44dull},
+    {"mscp/local/mix0/c3/s2", 0x3e0d14c88037b288ull},
+    {"mscp/local/mix0/c3/sh4/s1", 0xceda97e2740ce4fdull},
+    {"mscp/local/mix0/c3/sh4/s2", 0x2618f74b676a9f0bull},
+};
+
+std::vector<CellOutcome> sweep(size_t threads) {
+  auto spec = ScenarioSpec::parse(kSweep);
+  EXPECT_TRUE(spec.has_value());
+  RunOptions opt;
+  opt.threads = threads;
+  return run_sweep(*spec, opt);
+}
+
+TEST(ClusterGolden, ShardedChecksumsMatchPinnedTableAndThreadCount) {
+  std::vector<CellOutcome> one = sweep(1);
+  std::vector<CellOutcome> four = sweep(4);
+  ASSERT_EQ(one.size(), std::size(kGoldens));
+  ASSERT_EQ(four.size(), one.size());
+
+  bool regen = std::getenv("MUSIC_REGEN_GOLDENS") != nullptr;
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_TRUE(one[i].ok) << one[i].label << ": " << one[i].error;
+    EXPECT_EQ(one[i].label, four[i].label);
+    EXPECT_EQ(one[i].checksum(), four[i].checksum()) << one[i].label;
+
+    if (regen) {
+      std::printf("    {\"%s\", 0x%016llxull},\n", one[i].label.c_str(),
+                  static_cast<unsigned long long>(one[i].checksum()));
+      continue;
+    }
+    EXPECT_EQ(one[i].label, kGoldens[i].label);
+    EXPECT_EQ(one[i].checksum(), kGoldens[i].checksum) << one[i].label;
+  }
+}
+
+}  // namespace
+}  // namespace music::scn

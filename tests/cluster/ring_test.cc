@@ -1,0 +1,109 @@
+// Consistent-hash ring edge cases: empty ring, single shard, virtual-node
+// boundary ownership, wraparound, full coverage and the pinned layout
+// checksum (the ring is part of the persistent routing contract — an
+// accidental layout change would re-home keys across shard moves).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "cluster/ring.h"
+
+namespace music::cluster {
+namespace {
+
+TEST(Ring, EmptyRingRoutesNowhere) {
+  Ring empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.shard_of("anything"), -1);
+  EXPECT_EQ(empty.shard_for_hash(42), -1);
+  // Degenerate constructions collapse to the empty ring, not UB.
+  EXPECT_TRUE(Ring(0, 64).empty());
+  EXPECT_TRUE(Ring(4, 0).empty());
+}
+
+TEST(Ring, SingleShardOwnsEveryKey) {
+  Ring one(1, 64);
+  EXPECT_FALSE(one.empty());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(one.shard_of("k" + std::to_string(i)), 0);
+  }
+}
+
+TEST(Ring, VirtualNodeBoundaryKeyBelongsToThatPoint) {
+  // A key hashing EXACTLY onto a virtual node's ring position is owned by
+  // that virtual node's shard (lower_bound semantics: first point with
+  // hash >= key hash).
+  Ring ring(8, 16);
+  for (int s = 0; s < 8; ++s) {
+    for (int v = 0; v < 16; ++v) {
+      EXPECT_EQ(ring.shard_for_hash(Ring::point_hash(s, v)), s)
+          << "shard " << s << " vnode " << v;
+    }
+  }
+}
+
+TEST(Ring, WrapsPastTheLastPoint) {
+  Ring ring(8, 16);
+  // No virtual node hashes to UINT64_MAX (FNV of short strings), so the
+  // max hash falls past every point and wraps to the first one — the same
+  // owner hash 0 resolves to.
+  EXPECT_EQ(ring.shard_for_hash(~0ull), ring.shard_for_hash(0));
+}
+
+TEST(Ring, EveryShardOwnsSomeKeys) {
+  Ring ring(8, 64);
+  std::set<int> seen;
+  for (int i = 0; i < 4096; ++i) {
+    int s = ring.shard_of("key" + std::to_string(i));
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 8);
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Ring, RoutingIsPureFunctionOfShardsAndVnodes) {
+  Ring a(16, 64);
+  Ring b(16, 64);
+  for (int i = 0; i < 1000; ++i) {
+    std::string k = "k" + std::to_string(i);
+    EXPECT_EQ(a.shard_of(k), b.shard_of(k));
+  }
+  EXPECT_EQ(a.layout_checksum(), b.layout_checksum());
+  // Different geometry, different layout.
+  EXPECT_NE(a.layout_checksum(), Ring(16, 32).layout_checksum());
+  EXPECT_NE(a.layout_checksum(), Ring(8, 64).layout_checksum());
+}
+
+TEST(Ring, LayoutChecksumMatchesPinnedGolden) {
+  // Pinned layout: regenerate with MUSIC_REGEN_GOLDENS=1 ./cluster_ring_test
+  // after a DELIBERATE hash/layout change (which re-homes every key).
+  struct Golden {
+    int shards;
+    int vnodes;
+    uint64_t checksum;
+  };
+  constexpr Golden kGoldens[] = {
+      {1, 64, 0xc69d74c6f721d34aull},
+      {4, 64, 0xddabc202fbb3e599ull},
+      {16, 64, 0x17899e5e43048f01ull},
+      {64, 64, 0x8747fa9faa10c2bcull},
+  };
+  bool regen = std::getenv("MUSIC_REGEN_GOLDENS") != nullptr;
+  for (const Golden& g : kGoldens) {
+    uint64_t got = Ring(g.shards, g.vnodes).layout_checksum();
+    if (regen) {
+      std::printf("      {%d, %d, 0x%016llxull},\n", g.shards, g.vnodes,
+                  static_cast<unsigned long long>(got));
+      continue;
+    }
+    EXPECT_EQ(got, g.checksum) << g.shards << " shards";
+  }
+}
+
+}  // namespace
+}  // namespace music::cluster

@@ -1,0 +1,58 @@
+// Shared fixture for cluster-layer tests: a sharded MUSIC deployment
+// (cluster::Cluster over the sim fabric) plus the TaskRunner idiom from
+// tests/util/world.h.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/client.h"
+#include "cluster/cluster.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+#include "util/world.h"
+#include "verify/oracle.h"
+
+namespace music::test {
+
+struct ClusterWorldOptions {
+  uint64_t seed = 1;
+  cluster::ClusterConfig cluster{};
+
+  ClusterWorldOptions() {
+    // The fast co-located profile: cluster tests exercise routing and
+    // moves, not WAN latency shape.
+    net.profile = sim::LatencyProfile::uniform(3, 1.0, 0.2);
+  }
+
+  sim::NetworkConfig net{};
+};
+
+/// A sharded deployment plus one ECF checker shared by all shard-aware
+/// clients made through make_client().
+class ClusterWorld {
+ public:
+  explicit ClusterWorld(ClusterWorldOptions opt = ClusterWorldOptions())
+      : options(std::move(opt)),
+        sim(options.seed),
+        net(sim, options.net),
+        cluster(sim, net, options.cluster),
+        checker(sim),
+        runner(sim) {}
+
+  cluster::Client& make_client(int site) {
+    clients.push_back(
+        std::make_unique<cluster::Client>(cluster, site, &checker));
+    return *clients.back();
+  }
+
+  ClusterWorldOptions options;
+  sim::Simulation sim;
+  sim::Network net;
+  cluster::Cluster cluster;
+  verify::EcfChecker checker;
+  std::vector<std::unique_ptr<cluster::Client>> clients;
+  TaskRunner runner;
+};
+
+}  // namespace music::test

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/world.h"
 #include "util/world.h"
 
 namespace music::rest {
 namespace {
 
+using test::ClusterWorld;
+using test::ClusterWorldOptions;
 using test::MusicWorld;
 
 TEST(Rest, Listing1DrivenEntirelyByJson) {
@@ -228,6 +231,94 @@ TEST(Rest, BatchUnderUngrantedRefReportsPerOpStatuses) {
     }
   });
   ASSERT_TRUE(ok);
+}
+
+// ---- The sharded binding: every verb routes through cluster::Client. -------
+
+TEST(RestCluster, StatusReportsDeploymentShapeForBothBindings) {
+  MusicWorld w;
+  RestGateway core_gw(w.client(0));
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    auto r = co_await core_gw.handle_json(Json().set("op", "status"));
+    CO_ASSERT_EQ(r["status"].as_string(), "Ok");
+    EXPECT_EQ(r["shard_count"].as_int(), 1);
+    EXPECT_EQ(r["map_epoch"].as_int(), 0);
+  });
+  ASSERT_TRUE(ok);
+
+  ClusterWorldOptions opt;
+  opt.cluster.shards = 4;
+  ClusterWorld cw(opt);
+  RestGateway gw(cw.make_client(0));
+  ok = cw.runner.run([&]() -> sim::Task<void> {
+    auto r = co_await gw.handle_json(Json().set("op", "status"));
+    CO_ASSERT_EQ(r["status"].as_string(), "Ok");
+    EXPECT_EQ(r["shard_count"].as_int(), 4);
+    EXPECT_EQ(r["map_epoch"].as_int(), 0);
+
+    // After a shard move the epoch shows through the same endpoint.
+    int shard = cw.cluster.snapshot()->route("k");
+    int src = cw.cluster.snapshot()->group_of(shard);
+    CO_ASSERT_TRUE((co_await cw.cluster.move_shard(
+                        shard, (src + 1) % cw.cluster.num_groups()))
+                       .ok());
+    auto r2 = co_await gw.handle_json(Json().set("op", "status"));
+    EXPECT_EQ(r2["map_epoch"].as_int(), 1);
+  });
+  ASSERT_TRUE(ok);
+}
+
+TEST(RestCluster, Listing1FlowOverAShardedDeployment) {
+  ClusterWorldOptions opt;
+  opt.cluster.shards = 4;
+  ClusterWorld cw(opt);
+  RestGateway gw(cw.make_client(0));
+  bool ok = cw.runner.run([&]() -> sim::Task<void> {
+    auto created = Json::parse(co_await gw.handle(
+        R"({"op":"createLockRef","key":"k"})"));
+    CO_ASSERT_TRUE(created.has_value());
+    CO_ASSERT_EQ((*created)["status"].as_string(), "Ok");
+    int64_t ref = (*created)["lockRef"].as_int();
+
+    Json acq;
+    acq.set("op", "acquireLock").set("key", "k").set("lockRef", ref);
+    std::string status;
+    for (int i = 0; i < 64 && status != "Ok"; ++i) {
+      status = (co_await gw.handle_json(acq))["status"].as_string();
+      if (status != "Ok") co_await sim::sleep_for(cw.sim, sim::ms(5));
+    }
+    CO_ASSERT_EQ(status, "Ok");
+
+    Json put;
+    put.set("op", "criticalPut").set("key", "k").set("lockRef", ref)
+        .set("value", "42");
+    EXPECT_EQ((co_await gw.handle_json(put))["status"].as_string(), "Ok");
+    Json get;
+    get.set("op", "criticalGet").set("key", "k").set("lockRef", ref);
+    auto gr = co_await gw.handle_json(get);
+    CO_ASSERT_EQ(gr["status"].as_string(), "Ok");
+    EXPECT_EQ(gr["value"].as_string(), "42");
+    Json rel;
+    rel.set("op", "releaseLock").set("key", "k").set("lockRef", ref);
+    EXPECT_EQ((co_await gw.handle_json(rel))["status"].as_string(), "Ok");
+
+    // Eventual ops and key listing fan out across groups behind the same
+    // JSON surface.
+    for (int i = 0; i < 3; ++i) {
+      auto pr = Json::parse(co_await gw.handle(
+          R"({"op":"put","key":"job-)" + std::to_string(i) +
+          R"(","value":"pending"})"));
+      CO_ASSERT_TRUE(pr.has_value());
+      EXPECT_EQ((*pr)["status"].as_string(), "Ok");
+    }
+    co_await sim::sleep_for(cw.sim, sim::sec(1));
+    auto keys = Json::parse(co_await gw.handle(
+        R"({"op":"getAllKeys","key":"job-"})"));
+    CO_ASSERT_TRUE(keys.has_value());
+    EXPECT_EQ((*keys)["keys"].as_array().size(), 3u);
+  });
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(cw.checker.ok()) << cw.checker.report();
 }
 
 }  // namespace

@@ -122,6 +122,45 @@ TEST(SpecParse, ExpansionOrderAndSeeds) {
   EXPECT_EQ(cells[4].seed, 10u);
 }
 
+TEST(SpecParse, ShardsAxisRoundTripsAndExpands) {
+  auto spec = ScenarioSpec::parse(
+      "scenario sh\nseeds 2\nprotocols music\n"
+      "topology {\n  profiles local\n  shards 1,4,16\n}\n"
+      "workload {\n  mixes 0\n  clients 3\n}\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->topology.shards, (std::vector<int>{1, 4, 16}));
+  EXPECT_EQ(spec->num_cells(), 1u * 1u * 3u * 1u * 1u * 2u);
+
+  auto cells = expand(*spec);
+  ASSERT_EQ(cells.size(), 6u);
+  // shards expands between profile and mix; the label carries "/sh<N>"
+  // right before the seed, and sh1 keeps the classic label so pre-cluster
+  // goldens stay pinned.
+  EXPECT_EQ(cells[0].label(), "music/local/mix0/c3/s1");
+  EXPECT_EQ(cells[0].shards(), 1);
+  EXPECT_EQ(cells[2].label(), "music/local/mix0/c3/sh4/s1");
+  EXPECT_EQ(cells[2].shards(), 4);
+  EXPECT_EQ(cells[4].label(), "music/local/mix0/c3/sh16/s1");
+  EXPECT_EQ(cells[4].point.topology.shards, (std::vector<int>{16}));
+
+  // parse(format(spec)) == spec with the shards line intact.
+  auto again = ScenarioSpec::parse(spec->format());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *spec);
+  EXPECT_NE(spec->format().find("shards 1,4,16"), std::string::npos);
+}
+
+TEST(SpecParse, ShardsDefaultToOne) {
+  auto spec = ScenarioSpec::parse("scenario tiny\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->topology.shards, (std::vector<int>{1}));
+  // A default spec formats without mentioning shards only if format() emits
+  // it — either way it must round trip.
+  auto again = ScenarioSpec::parse(spec->format());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->topology.shards, (std::vector<int>{1}));
+}
+
 TEST(SpecParse, PlaceClientsApportionment) {
   // Even spread by default.
   EXPECT_EQ(place_clients(6, {}), (std::vector<int>{2, 2, 2}));
@@ -176,6 +215,13 @@ TEST(SpecParseNegative, UnknownBlockKeyInsideTopology) {
   Diag d = expect_bad("scenario x\ntopology {\n  leader 0\n}\n");
   EXPECT_EQ(d.line, 3);
   EXPECT_EQ(d.col, 3);
+}
+
+TEST(SpecParseNegative, ShardCountOutOfRange) {
+  Diag d = expect_bad("scenario x\ntopology {\n  shards 0\n}\n");
+  EXPECT_EQ(d.line, 3);
+  EXPECT_NE(d.message.find("shard"), std::string::npos);
+  expect_bad("scenario x\ntopology {\n  shards 4,2000\n}\n");
 }
 
 TEST(SpecParseNegative, MixOutOfRange) {
@@ -303,6 +349,22 @@ TEST(SpecValidate, PartitionSitesAreBounded) {
       "faults {\n  at 1s partition 0|1,7 for 1s\n}\n");
   ASSERT_TRUE(spec.has_value());
   EXPECT_NE(validate(*spec).find("site"), std::string::npos);
+}
+
+TEST(SpecValidate, ShardsNeedMusicProtocols) {
+  // zab/raftkv cells have no shard ring; a sharded sweep must be
+  // music/mscp-only.
+  auto spec = ScenarioSpec::parse(
+      "scenario x\nprotocols music,zab\n"
+      "topology {\n  shards 1,4\n}\n");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_NE(validate(*spec).find("shards"), std::string::npos);
+
+  auto ok = ScenarioSpec::parse(
+      "scenario x\nprotocols music,mscp\n"
+      "topology {\n  shards 1,4\n}\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(validate(*ok), "");
 }
 
 TEST(SpecValidate, CleanSpecPasses) {

@@ -80,6 +80,55 @@ TEST(Samples, MergeEmptyIsANoOp) {
   EXPECT_DOUBLE_EQ(empty.mean_ms(), 3.0);
 }
 
+TEST(Samples, ReservoirCapsRetentionButCountsExactly) {
+  Samples s;
+  s.enable_reservoir(100, /*seed=*/7);
+  for (int v = 1; v <= 10000; ++v) s.add(sim::ms((v % 200) + 1));
+  EXPECT_EQ(s.recorded(), 10000u);  // throughput numerator stays exact
+  EXPECT_EQ(s.count(), 100u);       // retention capped at the reservoir
+  EXPECT_EQ(s.reservoir_cap(), 100u);
+  // The stream is uniform over [1, 200] ms; an unbiased 100-sample
+  // reservoir lands near the true mean of 100.5 ms.
+  EXPECT_NEAR(s.mean_ms(), 100.5, 25.0);
+  EXPECT_GE(s.min_ms(), 1.0);
+  EXPECT_LE(s.max_ms(), 200.0);
+}
+
+TEST(Samples, ExactModeRetainsEverySample) {
+  Samples s;  // cap 0: the pre-reservoir default
+  for (int v = 1; v <= 1000; ++v) s.add(sim::ms(v));
+  EXPECT_EQ(s.recorded(), 1000u);
+  EXPECT_EQ(s.count(), 1000u);
+  EXPECT_DOUBLE_EQ(s.percentile_ms(100), 1000.0);
+}
+
+TEST(Samples, ReservoirSeedsDecorrelate) {
+  Samples a;
+  Samples b;
+  a.enable_reservoir(50, 1);
+  b.enable_reservoir(50, 2);
+  for (int v = 1; v <= 5000; ++v) {
+    a.add(sim::ms(v));
+    b.add(sim::ms(v));
+  }
+  EXPECT_EQ(a.recorded(), b.recorded());
+  EXPECT_EQ(a.count(), b.count());
+  // Same stream, different seeds: the retained subsamples differ (the
+  // medians of two independent 50-of-5000 draws almost surely do).
+  EXPECT_NE(a.percentile_ms(50), b.percentile_ms(50));
+}
+
+TEST(Samples, MergeAfterReservoirKeepsExactRecordedCount) {
+  Samples a;
+  a.enable_reservoir(10, 3);
+  for (int v = 1; v <= 100; ++v) a.add(sim::ms(v));
+  Samples b;
+  for (int v = 1; v <= 5; ++v) b.add(sim::ms(v));
+  a.merge(b);
+  EXPECT_EQ(a.recorded(), 105u);  // exact across the merge
+  EXPECT_EQ(a.count(), 15u);      // union of retained subsamples
+}
+
 TEST(Samples, CdfIsMonotoneAndEndsAtMax) {
   Samples s;
   for (int v = 1; v <= 100; ++v) s.add(sim::ms(v));
