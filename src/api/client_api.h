@@ -1,0 +1,69 @@
+// The shared client surface: Table I (+ the non-ECF conveniences) as an
+// abstract interface, implemented by both core::MusicClient (one MUSIC
+// group) and cluster::Client (N groups behind a ShardMap).  Anything that
+// drives MUSIC on behalf of an application — the REST gateway, the
+// coordination recipes — binds this seam and works against either client
+// unchanged.
+//
+// The interface deliberately stops at the op surface plus the two pieces of
+// routing introspection the gateway's status verb reports (shard_count /
+// map_epoch, identity defaults for the single-group client).  Client-
+// specific machinery — retry config, replica preference, the session layer's
+// with_lock template — stays on the concrete classes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "wire/messages.h"
+
+namespace music::api {
+
+class ClientApi {
+ public:
+  virtual ~ClientApi() = default;
+
+  /// The simulation this client's coroutines run on (both backends have
+  /// one: the TCP deployment drives it from the EventLoop).
+  virtual sim::Simulation& simulation() = 0;
+  /// The site this client issues from (spans, proximity order).
+  virtual int site() const = 0;
+
+  // ---- Table I operations. ---------------------------------------------------
+
+  virtual sim::Task<Result<LockRef>> create_lock_ref(Key key) = 0;
+  /// One acquireLock poll (Ok / NotYetHolder / NotLockHolder / errors).
+  virtual sim::Task<Status> acquire_lock(Key key, LockRef ref) = 0;
+  /// Polls acquireLock with back-off until granted, preempted, or the poll
+  /// budget is exhausted.
+  virtual sim::Task<Status> acquire_lock_blocking(Key key, LockRef ref) = 0;
+  virtual sim::Task<Status> critical_put(Key key, LockRef ref, Value value) = 0;
+  virtual sim::Task<Result<Value>> critical_get(Key key, LockRef ref) = 0;
+  virtual sim::Task<Status> critical_delete(Key key, LockRef ref) = 0;
+  /// Ships `ops` as one batch under `ref`; always returns one result per op.
+  virtual sim::Task<std::vector<wire::BatchOpResult>> execute_batch(
+      Key key, LockRef ref, std::vector<wire::BatchOp> ops) = 0;
+  virtual sim::Task<Status> release_lock(Key key, LockRef ref) = 0;
+  /// §VII: evicts a lockRef that was never granted.
+  virtual sim::Task<Status> remove_lock_ref(Key key, LockRef ref) = 0;
+  /// Preempts another client's lock (Portal ownership transfer, §VII-b).
+  virtual sim::Task<Status> forced_release(Key key, LockRef ref) = 0;
+
+  // ---- Non-ECF conveniences. ------------------------------------------------
+
+  virtual sim::Task<Status> put(Key key, Value value) = 0;
+  virtual sim::Task<Result<Value>> get(Key key) = 0;
+  virtual sim::Task<Result<std::vector<Key>>> get_all_keys(Key prefix) = 0;
+
+  // ---- Routing introspection (REST status verb). ----------------------------
+
+  /// Shards behind this client (1 for the single-group core client).
+  virtual int shard_count() const { return 1; }
+  /// Epoch of the client's cached routing snapshot (0 when unsharded).
+  virtual uint64_t map_epoch() const { return 0; }
+};
+
+}  // namespace music::api

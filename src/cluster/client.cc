@@ -28,6 +28,13 @@ sim::Task<RouteGrant> Client::admit_route(Key key) {
       co_return RouteGrant(shard,
                            &cluster_.client_at(map_->group_of(shard), site_));
     }
+    // The unified retry surface (common/types.h): the routing layer owns
+    // exactly the statuses its own machinery can cure — WrongShard (refresh
+    // the snapshot, re-route) and the transient set.  Anything else is a
+    // final answer no amount of re-routing fixes.
+    if (!is_retryable(gate.status(), RetryLayer::kCluster)) {
+      co_return RouteGrant();
+    }
     // WrongShard: the shard is frozen mid-move or our snapshot is stale.
     // Refresh and retry — the move protocol guarantees the freeze window
     // is bounded by the drain, so bounded backoff converges.

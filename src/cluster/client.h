@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/client_api.h"
 #include "cluster/cluster.h"
 #include "core/client.h"
 #include "core/music.h"
@@ -63,7 +64,7 @@ struct RouteGrant {
   bool ok() const { return client != nullptr; }
 };
 
-class Client {
+class Client : public api::ClientApi {
  public:
   /// A client at `site`.  With a checker, every observable ECF transition
   /// is reported (the cluster-layer CheckedClient; instrumentation points
@@ -76,36 +77,41 @@ class Client {
   Client& operator=(const Client&) = delete;
   Client(Client&&) = default;
 
-  int site() const { return site_; }
+  int site() const override { return site_; }
+  sim::Simulation& simulation() override { return sim_; }
   const ClusterClientStats& stats() const { return stats_; }
-  /// The epoch of this client's cached routing snapshot.
-  uint64_t map_epoch() const { return map_->epoch(); }
+  /// The current ShardMap epoch (api::ClientApi introspection; reports the
+  /// cluster's live snapshot, not this client's possibly-stale cache, so
+  /// the REST status verb shows a move the moment it commits).
+  uint64_t map_epoch() const override { return cluster_.snapshot()->epoch(); }
+  /// Shards behind the routing layer (api::ClientApi introspection).
+  int shard_count() const override { return cluster_.num_shards(); }
   Cluster& cluster() { return cluster_; }
 
   // ---- Table I operations, shard-routed. ------------------------------------
 
-  sim::Task<Result<LockRef>> create_lock_ref(Key key);
-  sim::Task<Status> acquire_lock(Key key, LockRef ref);
-  sim::Task<Status> acquire_lock_blocking(Key key, LockRef ref);
-  sim::Task<Status> critical_put(Key key, LockRef ref, Value value);
-  sim::Task<Result<Value>> critical_get(Key key, LockRef ref);
-  sim::Task<Status> critical_delete(Key key, LockRef ref);
+  sim::Task<Result<LockRef>> create_lock_ref(Key key) override;
+  sim::Task<Status> acquire_lock(Key key, LockRef ref) override;
+  sim::Task<Status> acquire_lock_blocking(Key key, LockRef ref) override;
+  sim::Task<Status> critical_put(Key key, LockRef ref, Value value) override;
+  sim::Task<Result<Value>> critical_get(Key key, LockRef ref) override;
+  sim::Task<Status> critical_delete(Key key, LockRef ref) override;
   /// Single-shard batch under one lockRef (all ops must route to `key`'s
   /// shard — Batch below splits multi-shard op sets).
   sim::Task<std::vector<core::BatchOpResult>> execute_batch(
-      Key key, LockRef ref, std::vector<core::BatchOp> ops);
-  sim::Task<Status> release_lock(Key key, LockRef ref);
-  sim::Task<Status> remove_lock_ref(Key key, LockRef ref);
-  sim::Task<Status> forced_release(Key key, LockRef ref);
+      Key key, LockRef ref, std::vector<core::BatchOp> ops) override;
+  sim::Task<Status> release_lock(Key key, LockRef ref) override;
+  sim::Task<Status> remove_lock_ref(Key key, LockRef ref) override;
+  sim::Task<Status> forced_release(Key key, LockRef ref) override;
 
   // ---- Non-ECF conveniences. ------------------------------------------------
 
-  sim::Task<Status> put(Key key, Value value);
-  sim::Task<Result<Value>> get(Key key);
+  sim::Task<Status> put(Key key, Value value) override;
+  sim::Task<Result<Value>> get(Key key) override;
   /// Fans the prefix scan out to every group and merges (sorted, deduped).
   /// May include keys whose authoritative shard moved away from a group —
   /// source rows survive a move — which dedup absorbs.
-  sim::Task<Result<std::vector<Key>>> get_all_keys(Key prefix);
+  sim::Task<Result<std::vector<Key>>> get_all_keys(Key prefix) override;
 
  private:
   friend class Batch;

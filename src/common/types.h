@@ -84,9 +84,10 @@ enum class OpStatus {
   /// stale ShardMap epoch, or its shard is frozen mid-move.  Retryable at
   /// the CLUSTER layer (refresh the map, re-route) — cluster::Client does
   /// that internally and surfaces WrongShard only when its re-route budget
-  /// is spent.  Core replicas never emit it, so it is deliberately NOT in
-  /// is_retryable(): by the time a caller of the core client sees it, the
-  /// retry already happened.
+  /// is spent.  Core replicas never emit it, so at RetryLayer::kCore it is
+  /// NOT retryable: by the time a caller of the core client sees it, the
+  /// retry already happened.  is_retryable(s, RetryLayer::kCluster) is the
+  /// predicate the routing layer itself uses.
   WrongShard,
 };
 
@@ -99,6 +100,25 @@ std::string_view to_string(OpStatus s);
 /// retryable here — acquireLock polls on it, but data ops must surface it.
 constexpr bool is_retryable(OpStatus s) {
   return s == OpStatus::Nack || s == OpStatus::Timeout;
+}
+
+/// Which retry discipline applies to a status.  The core client retries only
+/// transient back-end failures; the cluster routing layer additionally owns
+/// the statuses its own machinery can cure: WrongShard (refresh the ShardMap
+/// and re-route) and Conflict (a shard frozen mid-move or a racing admin op
+/// that resolves when the move epoch completes).
+enum class RetryLayer {
+  kCore,
+  kCluster,
+};
+
+/// Layer-aware retry predicate: one predicate for every retry loop in the
+/// tree instead of per-layer status switches.  kCore is exactly
+/// is_retryable(s); kCluster adds WrongShard and Conflict.
+constexpr bool is_retryable(OpStatus s, RetryLayer layer) {
+  if (is_retryable(s)) return true;
+  return layer == RetryLayer::kCluster &&
+         (s == OpStatus::WrongShard || s == OpStatus::Conflict);
 }
 
 /// Result of an operation that may carry a T.  ok() implies has_value() for

@@ -9,20 +9,33 @@ namespace music::core {
 
 namespace {
 
-/// Replica-side request wrapper: runs the dispatched coroutine and ships
-/// the response back over the network.  Captureless lambda coroutine with
-/// by-value user-ctor parameters (the GCC-12-safe shape).
-sim::Task<void> serve(MusicReplica& rep, Request req, sim::NodeId client,
-                      sim::Promise<Response> reply) {
+/// Replica-side request wrapper: runs the dispatched coroutine and hands
+/// the response to the transport's completion.  Named free-function
+/// coroutine with by-value user-ctor parameters (the GCC-12-safe shape).
+sim::Task<void> serve_transport(MusicReplica& rep, wire::Request req,
+                                net::RespondFn respond) {
   Response resp = co_await execute(rep, std::move(req));
-  size_t bytes = resp.bytes();
-  rep.net_ref().send(
-      rep.node(), client, bytes,
-      [reply, resp = std::move(resp)] { reply.set_value(resp); },
-      sim::MsgKind::ClientReply);
+  respond(std::move(resp));
 }
 
 }  // namespace
+
+/// The replica-side serving glue both transports share: dispatch each
+/// arriving Request through execute() as a fresh coroutine.
+net::ServeRequestFn serve_request_fn(MusicReplica& rep) {
+  MusicReplica* target = &rep;
+  return [target](wire::Request req, net::RespondFn respond) {
+    sim::spawn(target->sim_ref(),
+               serve_transport(*target, std::move(req), std::move(respond)));
+  };
+}
+
+/// Binds `rep` as a client-seam endpoint of `transport` (shared by the
+/// MusicClient sim ctor and hosting code that assembles transports by hand).
+void bind_replica(net::SimTransport& transport, MusicReplica& rep) {
+  transport.bind(rep.node(), net::SimEndpoint{&rep.service(),
+                                              serve_request_fn(rep), nullptr});
+}
 
 sim::Task<Response> execute(MusicReplica& replica, Request req) {
   switch (req.op) {
@@ -85,19 +98,38 @@ MusicClient::MusicClient(sim::Simulation& sim, sim::Network& net,
                          std::vector<MusicReplica*> replicas, ClientConfig cfg,
                          int site)
     : sim_(sim),
-      net_(net),
-      replicas_(std::move(replicas)),
       cfg_(cfg),
+      site_(site),
       node_(net.add_node(site)),
       rng_(0x636c69656e74ull ^ (static_cast<uint64_t>(node_) * 0x9e3779b9ull)),
-      health_(replicas_.size()) {}
+      health_(replicas.size()) {
+  own_transport_ = std::make_unique<net::SimTransport>(sim, net);
+  peers_.reserve(replicas.size());
+  for (MusicReplica* rep : replicas) {
+    peers_.push_back(rep->node());
+    bind_replica(*own_transport_, *rep);
+  }
+  transport_ = own_transport_.get();
+}
 
-MusicReplica* MusicClient::pick_replica(int attempt) {
-  size_t n = replicas_.size();
+MusicClient::MusicClient(sim::Simulation& sim, net::Transport& transport,
+                         std::vector<net::PeerId> peers, ClientConfig cfg,
+                         int site, net::PeerId node)
+    : sim_(sim),
+      cfg_(cfg),
+      site_(site),
+      node_(node),
+      rng_(0x636c69656e74ull ^ (static_cast<uint64_t>(node_) * 0x9e3779b9ull)),
+      peers_(std::move(peers)),
+      transport_(&transport),
+      health_(peers_.size()) {}
+
+int MusicClient::pick_replica(int attempt) {
+  size_t n = peers_.size();
   std::vector<size_t> eligible;
   eligible.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    if (replicas_[i]->down()) continue;
+    if (!transport_->peer_up(peers_[i])) continue;
     if (health_[i].quarantined_until > sim_.now()) continue;
     eligible.push_back(i);
   }
@@ -105,28 +137,25 @@ MusicReplica* MusicClient::pick_replica(int attempt) {
     // Everything healthy is quarantined; probe the up replicas anyway
     // rather than stalling the operation.
     for (size_t i = 0; i < n; ++i) {
-      if (!replicas_[i]->down()) eligible.push_back(i);
+      if (transport_->peer_up(peers_[i])) eligible.push_back(i);
     }
   }
-  if (eligible.empty()) return nullptr;
-  return replicas_[eligible[static_cast<size_t>(attempt) % eligible.size()]];
+  if (eligible.empty()) return -1;
+  return static_cast<int>(
+      eligible[static_cast<size_t>(attempt) % eligible.size()]);
 }
 
-void MusicClient::note_result(const MusicReplica& rep, bool responsive) {
-  for (size_t i = 0; i < replicas_.size(); ++i) {
-    if (replicas_[i] != &rep) continue;
-    ReplicaHealth& h = health_[i];
-    if (responsive) {
-      h.consecutive_failures = 0;
-      h.quarantined_until = 0;
-      return;
-    }
-    ++h.consecutive_failures;
-    if (h.consecutive_failures >= cfg_.health_fail_threshold) {
-      if (sim_.now() >= h.quarantined_until) ++stats_.demotions;
-      h.quarantined_until = sim_.now() + cfg_.health_quarantine;
-    }
+void MusicClient::note_result(size_t idx, bool responsive) {
+  ReplicaHealth& h = health_[idx];
+  if (responsive) {
+    h.consecutive_failures = 0;
+    h.quarantined_until = 0;
     return;
+  }
+  ++h.consecutive_failures;
+  if (h.consecutive_failures >= cfg_.health_fail_threshold) {
+    if (sim_.now() >= h.quarantined_until) ++stats_.demotions;
+    h.quarantined_until = sim_.now() + cfg_.health_quarantine;
   }
 }
 
@@ -143,21 +172,10 @@ sim::Duration MusicClient::next_backoff(sim::Duration prev) {
   return decorrelated_backoff(cfg_, rng_, prev);
 }
 
-sim::Task<Response> MusicClient::invoke(MusicReplica& rep, Request req) {
-  sim::Promise<Response> reply(sim_);
-  sim::NodeId me = node_;
-  size_t framed = req.bytes() + cfg_.overhead_bytes;
-  MusicReplica* target = &rep;
-  net_.send(
-      me, rep.node(), framed,
-      [target, me, req = std::move(req), reply]() mutable {
-        target->service().submit(
-            req.bytes(), [target, me, req = std::move(req), reply] {
-              sim::spawn(target->sim_ref(), serve(*target, req, me, reply));
-            });
-      },
-      sim::MsgKind::ClientRequest);
-  auto got = co_await sim::await_with_timeout<Response>(sim_, reply.future(),
+sim::Task<Response> MusicClient::invoke(net::PeerId peer, Request req) {
+  auto reply =
+      transport_->invoke(node_, peer, std::move(req), cfg_.overhead_bytes);
+  auto got = co_await sim::await_with_timeout<Response>(sim_, reply,
                                                         cfg_.request_timeout);
   if (!got) co_return Response(OpStatus::Timeout);
   co_return *got;
@@ -168,11 +186,11 @@ sim::Task<Response> MusicClient::with_retries(Request req) {
       cfg_.op_deadline > 0 ? sim_.now() + cfg_.op_deadline : sim::kTimeNever;
   sim::Duration pause = cfg_.retry_backoff_base;
   for (int attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
-    MusicReplica* rep = pick_replica(attempt);
-    if (rep == nullptr) continue;  // everything down: fail fast, no sleeps
+    int idx = pick_replica(attempt);
+    if (idx < 0) continue;  // everything down: fail fast, no sleeps
     ++stats_.attempts;
-    Response r = co_await invoke(*rep, req);
-    note_result(*rep, !is_retryable(r.status));
+    Response r = co_await invoke(peers_[static_cast<size_t>(idx)], req);
+    note_result(static_cast<size_t>(idx), !is_retryable(r.status));
     if (!is_retryable(r.status)) co_return r;
     ++stats_.retries;
     if (sim_.now() >= deadline) {
@@ -187,7 +205,7 @@ sim::Task<Response> MusicClient::with_retries(Request req) {
 }
 
 sim::Task<Result<LockRef>> MusicClient::create_lock_ref(Key key) {
-  sim::OpSpan span(sim_, "client.create_lock_ref", net_.site_of(node_), node_,
+  sim::OpSpan span(sim_, "client.create_lock_ref", site_, node_,
                    key);
   // NOTE: a retried createLockRef whose first attempt actually committed
   // (ack lost) leaves an orphan lockRef in the queue; §IV-B: it is removed
@@ -202,13 +220,13 @@ sim::Task<Status> MusicClient::acquire_lock(Key key, LockRef ref) {
   // A single poll at the preferred replica; NotYetHolder is a normal
   // outcome, not a failure (acquire_lock_blocking drives the polling).
   Response r = co_await invoke(
-      *replicas_.front(),
+      peers_.front(),
       Request(Request::Op::AcquireLock, std::move(key), ref, Value()));
   co_return Status(r.status);
 }
 
 sim::Task<Status> MusicClient::acquire_lock_blocking(Key key, LockRef ref) {
-  sim::OpSpan span(sim_, "client.acquire_lock", net_.site_of(node_), node_,
+  sim::OpSpan span(sim_, "client.acquire_lock", site_, node_,
                    key);
   // Listing 1: while (acquireLock(key, lockRef) != true) skip;  — with the
   // paper's "standard back-off mechanisms".
@@ -216,13 +234,14 @@ sim::Task<Status> MusicClient::acquire_lock_blocking(Key key, LockRef ref) {
   for (int attempt = 0; attempt < cfg_.max_poll_attempts; ++attempt) {
     // Stick with one replica for 8 polls before rotating; the health table
     // steers polls away from dead/gray replicas.
-    MusicReplica* rep = pick_replica(attempt / 8);
-    if (rep == nullptr) continue;
+    int idx = pick_replica(attempt / 8);
+    if (idx < 0) continue;
     ++stats_.attempts;
     Response r = co_await invoke(
-        *rep, Request(Request::Op::AcquireLock, key, ref, Value()));
+        peers_[static_cast<size_t>(idx)],
+        Request(Request::Op::AcquireLock, key, ref, Value()));
     last = r.status;
-    note_result(*rep, !is_retryable(last));
+    note_result(static_cast<size_t>(idx), !is_retryable(last));
     // Poll again on NotYetHolder (not yet first in queue) and on the
     // transient statuses; everything else is a final answer.
     if (!is_retryable(last) && last != OpStatus::NotYetHolder) {
@@ -235,7 +254,7 @@ sim::Task<Status> MusicClient::acquire_lock_blocking(Key key, LockRef ref) {
 
 sim::Task<Status> MusicClient::critical_put(Key key, LockRef ref,
                                             Value value) {
-  sim::OpSpan span(sim_, "client.critical_put", net_.site_of(node_), node_,
+  sim::OpSpan span(sim_, "client.critical_put", site_, node_,
                    key);
   Response r = co_await with_retries(Request(
       Request::Op::CriticalPut, std::move(key), ref, std::move(value)));
@@ -243,7 +262,7 @@ sim::Task<Status> MusicClient::critical_put(Key key, LockRef ref,
 }
 
 sim::Task<Result<Value>> MusicClient::critical_get(Key key, LockRef ref) {
-  sim::OpSpan span(sim_, "client.critical_get", net_.site_of(node_), node_,
+  sim::OpSpan span(sim_, "client.critical_get", site_, node_,
                    key);
   Response r = co_await with_retries(
       Request(Request::Op::CriticalGet, std::move(key), ref, Value()));
@@ -252,7 +271,7 @@ sim::Task<Result<Value>> MusicClient::critical_get(Key key, LockRef ref) {
 }
 
 sim::Task<Status> MusicClient::critical_delete(Key key, LockRef ref) {
-  sim::OpSpan span(sim_, "client.critical_delete", net_.site_of(node_), node_,
+  sim::OpSpan span(sim_, "client.critical_delete", site_, node_,
                    key);
   Response r = co_await with_retries(
       Request(Request::Op::CriticalDelete, std::move(key), ref, Value()));
@@ -261,7 +280,7 @@ sim::Task<Status> MusicClient::critical_delete(Key key, LockRef ref) {
 
 sim::Task<std::vector<BatchOpResult>> MusicClient::execute_batch(
     Key key, LockRef ref, std::vector<BatchOp> ops) {
-  sim::OpSpan span(sim_, "client.batch", net_.site_of(node_), node_, key);
+  sim::OpSpan span(sim_, "client.batch", site_, node_, key);
   size_t n = ops.size();
   Response r = co_await with_retries(
       Request(Request::Op::Batch, std::move(key), ref, std::move(ops)));
@@ -274,7 +293,7 @@ sim::Task<std::vector<BatchOpResult>> MusicClient::execute_batch(
 }
 
 sim::Task<Status> MusicClient::release_lock(Key key, LockRef ref) {
-  sim::OpSpan span(sim_, "client.release_lock", net_.site_of(node_), node_,
+  sim::OpSpan span(sim_, "client.release_lock", site_, node_,
                    key);
   Response r = co_await with_retries(
       Request(Request::Op::ReleaseLock, std::move(key), ref, Value()));
@@ -286,7 +305,7 @@ sim::Task<Status> MusicClient::remove_lock_ref(Key key, LockRef ref) {
 }
 
 sim::Task<Status> MusicClient::forced_release(Key key, LockRef ref) {
-  sim::OpSpan span(sim_, "client.forced_release", net_.site_of(node_), node_,
+  sim::OpSpan span(sim_, "client.forced_release", site_, node_,
                    key);
   Response r = co_await with_retries(
       Request(Request::Op::ForcedRelease, std::move(key), ref, Value()));
@@ -294,7 +313,7 @@ sim::Task<Status> MusicClient::forced_release(Key key, LockRef ref) {
 }
 
 sim::Task<Status> MusicClient::put(Key key, Value value) {
-  sim::OpSpan span(sim_, "client.put_eventual", net_.site_of(node_), node_,
+  sim::OpSpan span(sim_, "client.put_eventual", site_, node_,
                    key);
   Response r = co_await with_retries(Request(
       Request::Op::PutEventual, std::move(key), 0, std::move(value)));
@@ -302,7 +321,7 @@ sim::Task<Status> MusicClient::put(Key key, Value value) {
 }
 
 sim::Task<Result<Value>> MusicClient::get(Key key) {
-  sim::OpSpan span(sim_, "client.get_eventual", net_.site_of(node_), node_,
+  sim::OpSpan span(sim_, "client.get_eventual", site_, node_,
                    key);
   Response r = co_await with_retries(
       Request(Request::Op::GetEventual, std::move(key), 0, Value()));

@@ -7,17 +7,23 @@
 // told it is no longer the lockholder.  acquire_lock_blocking implements
 // Listing 1's polling loop with back-off.
 //
-// Client-to-replica calls are shipped as plain Request/Response data (not
-// callables): requests serialize naturally onto the simulated network, and
-// data structs with user-declared constructors are the coroutine-parameter
-// shape GCC 12 compiles correctly (see the note on ds::Cell).
+// Client-to-replica calls are shipped as wire::Request/Response data (not
+// callables) through the net::Transport seam: the sim backend moves the
+// structs in-memory, the TCP backend frames them through wire/codec.h, and
+// this file is identical either way.  Data structs with user-declared
+// constructors are the coroutine-parameter shape GCC 12 compiles correctly
+// (see the note on ds::Cell).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "api/client_api.h"
 #include "core/music.h"
+#include "net/sim_transport.h"
+#include "net/transport.h"
 #include "sim/future.h"
 #include "sim/rng.h"
 #include "sim/span.h"
@@ -63,65 +69,10 @@ struct ClientStats {
   uint64_t demotions = 0;          // replica quarantine transitions
 };
 
-/// The wire request a client sends to a MUSIC replica (Fig. 1's
-/// client-to-MUSIC hop).
-struct Request {
-  enum class Op {
-    CreateLockRef,
-    AcquireLock,
-    CriticalPut,
-    CriticalGet,
-    CriticalDelete,
-    ReleaseLock,
-    ForcedRelease,
-    PutEventual,
-    GetEventual,
-    GetAllKeys,
-    /// An ordered vector of critical puts/gets/deletes under one lockRef,
-    /// shipped as one request (the pipelined-session wire op).
-    Batch,
-  };
-
-  Op op = Op::GetEventual;
-  Key key;
-  LockRef ref = kNoLockRef;
-  Value value;
-  std::vector<BatchOp> batch;  // Op::Batch only
-
-  Request() = default;
-  Request(Op o, Key k, LockRef r, Value v)
-      : op(o), key(std::move(k)), ref(r), value(std::move(v)) {}
-  Request(Op o, Key k, LockRef r, std::vector<BatchOp> ops)
-      : op(o), key(std::move(k)), ref(r), batch(std::move(ops)) {}
-
-  /// Payload size for network/CPU cost accounting.
-  size_t bytes() const {
-    size_t n = key.size() + value.size() + 24;
-    for (const auto& b : batch) n += b.key.size() + b.value.size() + 8;
-    return n;
-  }
-};
-
-/// The reply.
-struct Response {
-  OpStatus status = OpStatus::Timeout;
-  LockRef ref = kNoLockRef;
-  Value value;
-  std::vector<Key> keys;
-  std::vector<BatchOpResult> batch;  // per-sub-op outcomes (Op::Batch)
-
-  Response() = default;
-  explicit Response(OpStatus s) : status(s) {}
-  Response(OpStatus s, LockRef r, Value v, std::vector<Key> ks)
-      : status(s), ref(r), value(std::move(v)), keys(std::move(ks)) {}
-
-  size_t bytes() const {
-    size_t n = value.size() + 32;
-    for (const auto& k : keys) n += k.size();
-    for (const auto& b : batch) n += b.value.size() + 8;
-    return n;
-  }
-};
+/// The client-seam messages: defined in wire/messages.h (the transport
+/// vocabulary); aliased here so client-side code keeps its historical names.
+using Request = wire::Request;
+using Response = wire::Response;
 
 /// Executes a Request against a replica (the replica-side dispatcher used
 /// by MusicClient; also handy for tests driving a replica directly).
@@ -135,36 +86,59 @@ sim::Task<Response> execute(MusicReplica& replica, Request req);
 sim::Duration decorrelated_backoff(const ClientConfig& cfg, sim::Rng& rng,
                                    sim::Duration prev);
 
+/// The serving glue for a MUSIC replica on ANY transport: a ServeRequestFn
+/// that dispatches each arriving Request through execute() as a fresh
+/// coroutine (musicd hands this to TcpTransport::listen_for).
+net::ServeRequestFn serve_request_fn(MusicReplica& rep);
+
+/// Binds `rep` as a client-seam endpoint of `transport`: requests landing on
+/// rep.node() are dispatched through execute().  The MusicClient sim ctor
+/// does this for its replicas; hosts that assemble a shared SimTransport by
+/// hand (multiple clients, musicd's in-process half) use it directly.
+void bind_replica(net::SimTransport& transport, MusicReplica& rep);
+
 /// A MUSIC client.  Issues non-blocking requests to a MUSIC replica of its
 /// choice (Fig. 1); replicas are tried in the given preference order.
-class MusicClient {
+/// Implements the shared api::ClientApi surface (api/client_api.h), so
+/// gateways and recipes bind it interchangeably with cluster::Client.
+class MusicClient : public api::ClientApi {
  public:
-  /// `replicas` in preference (proximity) order; the first is "local".
+  /// Sim-world convenience: `replicas` in preference (proximity) order, the
+  /// first is "local".  Builds a private SimTransport with every replica
+  /// bound as a serving endpoint — bit-identical to the pre-seam wiring.
   MusicClient(sim::Simulation& sim, sim::Network& net,
               std::vector<MusicReplica*> replicas, ClientConfig cfg, int site);
+
+  /// Transport-seam form: `peers` are the serving replicas' transport
+  /// addresses in preference order and `node` is this client's own address
+  /// (the musicd gateway injects a TcpTransport here).
+  MusicClient(sim::Simulation& sim, net::Transport& transport,
+              std::vector<net::PeerId> peers, ClientConfig cfg, int site,
+              net::PeerId node);
 
   MusicClient(const MusicClient&) = delete;
   MusicClient& operator=(const MusicClient&) = delete;
 
   sim::NodeId node() const { return node_; }
-  sim::Simulation& simulation() { return sim_; }
+  int site() const override { return site_; }
+  sim::Simulation& simulation() override { return sim_; }
   const ClientConfig& config() const { return cfg_; }
   const ClientStats& stats() const { return stats_; }
 
   // ---- Table I operations with the §III retry discipline. ------------------
 
-  sim::Task<Result<LockRef>> create_lock_ref(Key key);
+  sim::Task<Result<LockRef>> create_lock_ref(Key key) override;
 
   /// One acquireLock poll (Ok / NotYetHolder / NotLockHolder / errors).
-  sim::Task<Status> acquire_lock(Key key, LockRef ref);
+  sim::Task<Status> acquire_lock(Key key, LockRef ref) override;
 
   /// Polls acquireLock with back-off until granted (Ok), preempted
   /// (NotLockHolder) or the poll budget is exhausted (Timeout).
-  sim::Task<Status> acquire_lock_blocking(Key key, LockRef ref);
+  sim::Task<Status> acquire_lock_blocking(Key key, LockRef ref) override;
 
-  sim::Task<Status> critical_put(Key key, LockRef ref, Value value);
-  sim::Task<Result<Value>> critical_get(Key key, LockRef ref);
-  sim::Task<Status> critical_delete(Key key, LockRef ref);
+  sim::Task<Status> critical_put(Key key, LockRef ref, Value value) override;
+  sim::Task<Result<Value>> critical_get(Key key, LockRef ref) override;
+  sim::Task<Status> critical_delete(Key key, LockRef ref) override;
 
   /// Ships `ops` as one Batch request under `ref`, with the usual retry
   /// discipline (the whole batch is re-sent on Nack/Timeout; re-stamping
@@ -172,20 +146,20 @@ class MusicClient {
   /// one result per op — on a wire-level failure every entry carries the
   /// failing status.  Most callers use Session (see core/session.h) rather
   /// than building op vectors by hand.
-  sim::Task<std::vector<BatchOpResult>> execute_batch(Key key, LockRef ref,
-                                                      std::vector<BatchOp> ops);
+  sim::Task<std::vector<BatchOpResult>> execute_batch(
+      Key key, LockRef ref, std::vector<BatchOp> ops) override;
 
-  sim::Task<Status> release_lock(Key key, LockRef ref);
+  sim::Task<Status> release_lock(Key key, LockRef ref) override;
   /// §VII: evicts a lockRef that was never granted.
-  sim::Task<Status> remove_lock_ref(Key key, LockRef ref);
+  sim::Task<Status> remove_lock_ref(Key key, LockRef ref) override;
   /// Preempts another client's lock (Portal ownership transfer, §VII-b).
-  sim::Task<Status> forced_release(Key key, LockRef ref);
+  sim::Task<Status> forced_release(Key key, LockRef ref) override;
 
   // ---- Non-ECF conveniences. ------------------------------------------------
 
-  sim::Task<Status> put(Key key, Value value);
-  sim::Task<Result<Value>> get(Key key);
-  sim::Task<Result<std::vector<Key>>> get_all_keys(Key prefix);
+  sim::Task<Status> put(Key key, Value value) override;
+  sim::Task<Result<Value>> get(Key key) override;
+  sim::Task<Result<std::vector<Key>>> get_all_keys(Key prefix) override;
 
   // ---- Composite helper. -----------------------------------------------------
 
@@ -204,35 +178,40 @@ class MusicClient {
     sim::Time quarantined_until = 0;
   };
 
-  /// Sends `req` to `rep` and awaits the Response, with a timeout.
-  sim::Task<Response> invoke(MusicReplica& rep, Request req);
+  /// Sends `req` to `peer` through the transport and awaits the Response,
+  /// with a timeout.
+  sim::Task<Response> invoke(net::PeerId peer, Request req);
 
   /// Runs `req` against replicas in preference order with the retry rules:
   /// Nack/Timeout -> jittered backoff, next replica; anything else is
   /// final.  Exhausting max_attempts or op_deadline -> RetryExhausted.
   sim::Task<Response> with_retries(Request req);
 
-  /// The replica to use for attempt number `attempt`: rotates the
+  /// The peers_ index to use for attempt number `attempt`: rotates the
   /// preference order over replicas that are up and not quarantined,
   /// falling back to any up replica when everything healthy is demoted.
-  /// nullptr when every replica is down.
-  MusicReplica* pick_replica(int attempt);
+  /// -1 when every replica is down.
+  int pick_replica(int attempt);
 
   /// Feeds one attempt's outcome into the health table.
-  void note_result(const MusicReplica& rep, bool responsive);
+  void note_result(size_t idx, bool responsive);
 
   /// Decorrelated-jitter growth: uniform in [base, min(cap, 3 x prev)].
   sim::Duration next_backoff(sim::Duration prev);
 
   sim::Simulation& sim_;
-  sim::Network& net_;
-  std::vector<MusicReplica*> replicas_;
   ClientConfig cfg_;
+  int site_;
   sim::NodeId node_;
   /// Seeded from the node id, NOT forked from the simulation rng: a fork
   /// draws from (and so perturbs) the parent stream, which would shift
   /// every seeded test that predates client-side jitter.
   sim::Rng rng_;
+  /// Serving replicas, in preference order, as transport addresses.
+  std::vector<net::PeerId> peers_;
+  /// Owned sim backend (null when a transport was injected).
+  std::unique_ptr<net::SimTransport> own_transport_;
+  net::Transport* transport_;
   std::vector<ReplicaHealth> health_;
   ClientStats stats_;
 };

@@ -34,6 +34,7 @@
 #include "sim/network.h"
 #include "sim/service.h"
 #include "sim/task.h"
+#include "wire/messages.h"
 
 namespace music::core {
 
@@ -72,42 +73,11 @@ struct MusicConfig {
   bool test_skip_synchronization = false;
 };
 
-/// One operation of a Batch request: a critical put/get/delete to run under
-/// the batch's lockRef.  (User ctors: see ds::Cell note.)
-struct BatchOp {
-  enum class Kind { Put, Get, Delete };
-
-  Kind kind = Kind::Get;
-  Key key;
-  Value value;  // Put payload; ignored for Get/Delete
-
-  BatchOp() = default;
-  BatchOp(Kind k, Key key_, Value v)
-      : kind(k), key(std::move(key_)), value(std::move(v)) {}
-};
-
-/// Per-sub-op outcome of a Batch, aligned with the request's op vector.
-/// (User ctors: see ds::Cell note.)
-struct BatchOpResult {
-  OpStatus status = OpStatus::Timeout;
-  Value value;  // Get payload when status == Ok
-
-  BatchOpResult() = default;
-  explicit BatchOpResult(OpStatus s) : status(s) {}
-  BatchOpResult(OpStatus s, Value v) : status(s), value(std::move(v)) {}
-};
-
-/// Rolls per-sub-op statuses up to one batch-level status: the first status
-/// that is neither Ok nor NotFound (a Get on an absent key is a normal
-/// answer, not a batch failure), else Ok.
-inline OpStatus batch_status(const std::vector<BatchOpResult>& results) {
-  for (const auto& r : results) {
-    if (r.status != OpStatus::Ok && r.status != OpStatus::NotFound) {
-      return r.status;
-    }
-  }
-  return OpStatus::Ok;
-}
+/// Batch vocabulary: defined in wire/messages.h (it crosses the client
+/// seam); aliased here so replica-side code keeps its historical names.
+using BatchOp = wire::BatchOp;
+using BatchOpResult = wire::BatchOpResult;
+using wire::batch_status;
 
 /// Diagnostic counters exposed by a replica (tests and benches read these).
 struct MusicStats {

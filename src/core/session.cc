@@ -9,7 +9,7 @@ namespace {
 /// Fire-and-forget release for handles dropped while holding the lock
 /// (sim::spawn only takes Task<void>).  Takes the client by pointer and the
 /// identifiers by value: the CriticalSection is gone by the time this runs.
-sim::Task<void> release_detached(MusicClient* client, Key key, LockRef ref) {
+sim::Task<void> release_detached(api::ClientApi* client, Key key, LockRef ref) {
   co_await client->release_lock(std::move(key), ref);
 }
 

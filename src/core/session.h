@@ -39,10 +39,14 @@ namespace music::core {
 /// enqueue and return the op's index into results(); flush() ships the
 /// batch.  After a flush, the next enqueue starts a fresh batch (the
 /// session object is reusable for as long as the lock is held).
+///
+/// Session (and CriticalSection below) bind the shared api::ClientApi seam,
+/// not the concrete client: the same handle code runs over one MUSIC group
+/// (core::MusicClient) or a sharded deployment (cluster::Client).
 class Session {
  public:
   /// Usually obtained via CriticalSection::session().
-  Session(MusicClient& client, Key key, LockRef ref)
+  Session(api::ClientApi& client, Key key, LockRef ref)
       : client_(client), key_(std::move(key)), ref_(ref) {}
 
   /// Enqueues a critical put of `key` (any key, not just the lock's).
@@ -89,7 +93,7 @@ class Session {
     return ops_.size() - 1;
   }
 
-  MusicClient& client_;
+  api::ClientApi& client_;
   Key key_;
   LockRef ref_;
   std::vector<BatchOp> ops_;
@@ -103,7 +107,7 @@ class Session {
 /// fire-and-forget (prefer an explicit exit(), which reports the status).
 class CriticalSection {
  public:
-  CriticalSection(MusicClient& client, Key key)
+  CriticalSection(api::ClientApi& client, Key key)
       : client_(&client), key_(std::move(key)) {}
 
   CriticalSection(CriticalSection&& other) noexcept
@@ -159,7 +163,7 @@ class CriticalSection {
     if (s == OpStatus::NotLockHolder) abandon();
   }
 
-  MusicClient* client_;
+  api::ClientApi* client_;
   Key key_;
   LockRef ref_ = kNoLockRef;
   bool held_ = false;
@@ -169,8 +173,7 @@ class CriticalSection {
 
 template <typename F>
 sim::Task<Status> MusicClient::with_lock(Key key, F& body) {
-  sim::OpSpan span(sim_, "client.critical_section", net_.site_of(node_),
-                   node_, key);
+  sim::OpSpan span(sim_, "client.critical_section", site_, node_, key);
   CriticalSection cs(*this, std::move(key));
   auto acq = co_await cs.enter();
   if (!acq.ok()) co_return acq;

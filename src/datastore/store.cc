@@ -33,6 +33,11 @@ int need_for(Consistency level, int rf) {
   return rf;
 }
 
+// Cell <-> WireCell: same shape, different layer (wire must not depend on
+// the datastore).
+wire::WireCell to_wire(const Cell& c) { return wire::WireCell(c.value, c.ts); }
+Cell from_wire(const wire::WireCell& c) { return Cell(c.value, c.ts); }
+
 }  // namespace
 
 // ---- StoreReplica ----------------------------------------------------------
@@ -96,6 +101,57 @@ void StoreReplica::handle_commit(const Key& key, paxos::Ballot b,
   acceptor(key).on_commit(b);
 }
 
+wire::StoreReply StoreReplica::serve_store(const wire::StoreRequest& msg) {
+  wire::StoreReply r;
+  switch (msg.op) {
+    case wire::StoreOp::Write:
+      apply_write(msg.key, from_wire(msg.cell));
+      r.ok = true;
+      break;
+    case wire::StoreOp::Read: {
+      auto c = local_read(msg.key);
+      r.ok = true;
+      r.from = static_cast<int32_t>(node_);
+      if (c) {
+        r.has_cell = true;
+        r.cell = to_wire(*c);
+      }
+      break;
+    }
+    case wire::StoreOp::Prepare: {
+      paxos::PrepareReply<Cell> pr = handle_prepare(msg.key, msg.ballot);
+      r.ok = pr.promised;
+      r.ballot = pr.promised_ballot;
+      if (pr.in_progress) {
+        r.has_cell = true;
+        r.cell = to_wire(pr.in_progress->value);
+        r.cell_ballot = pr.in_progress->ballot;
+      }
+      break;
+    }
+    case wire::StoreOp::Accept: {
+      paxos::AcceptReply ar = handle_accept(
+          msg.key, paxos::Proposal<Cell>{msg.ballot, from_wire(msg.cell)});
+      r.ok = ar.accepted;
+      r.ballot = ar.promised_ballot;
+      break;
+    }
+    case wire::StoreOp::Commit:
+      handle_commit(msg.key, msg.ballot, from_wire(msg.cell));
+      r.ok = true;
+      break;
+  }
+  return r;
+}
+
+sim::Future<wire::StoreReply> StoreReplica::call_store(
+    sim::NodeId to, wire::StoreRequest msg, size_t bytes, size_t reply_bytes,
+    sim::MsgKind kind, sim::MsgKind reply_kind) {
+  return cluster_.transport().store_call(node_, to, std::move(msg), bytes,
+                                         reply_bytes, cfg().overhead_bytes,
+                                         kind, reply_kind);
+}
+
 void StoreReplica::set_down(bool down) {
   service_.set_down(down);
   cluster_.network().set_node_down(node_, down);
@@ -122,24 +178,19 @@ sim::Task<Status> StoreReplica::put(Key key, Cell cell, Consistency level) {
   size_t bytes = cell.value.size() + key.size();
   // One write round: a WAN round trip unless a single (local) ack suffices.
   if (level != Consistency::One) sim::trace_rtts(sim(), 1);
-  std::vector<sim::Future<bool>> acks;
+  std::vector<sim::Future<wire::StoreReply>> acks;
   acks.reserve(targets.size());
   for (sim::NodeId t : targets) {
-    if (cfg().hinted_handoff && !cluster_.network().deliverable(node_, t)) {
+    if (cfg().hinted_handoff && !cluster_.transport().reachable(node_, t)) {
       leave_hint(t, key, cell);
       continue;
     }
-    acks.push_back(call<bool>(
-        t, bytes,
-        [key, cell](StoreReplica& r) {
-          r.apply_write(key, cell);
-          return true;
-        },
-        /*reply_bytes=*/16, sim::MsgKind::StoreWrite));
+    acks.push_back(call_store(t, wire::StoreRequest::write(key, to_wire(cell)),
+                              bytes,
+                              /*reply_bytes=*/16, sim::MsgKind::StoreWrite));
   }
-  auto got = co_await sim::await_count<bool>(sim(), std::move(acks),
-                                             static_cast<size_t>(need),
-                                             cfg().op_timeout);
+  auto got = co_await sim::await_count<wire::StoreReply>(
+      sim(), std::move(acks), static_cast<size_t>(need), cfg().op_timeout);
   if (got.size() < static_cast<size_t>(need)) co_return OpStatus::Timeout;
   co_return Status::Ok();
 }
@@ -153,21 +204,19 @@ sim::Task<Result<Cell>> StoreReplica::read_internal(
 
 auto StoreReplica::issue_reads(const Key& key,
                                const std::vector<sim::NodeId>& targets)
-    -> std::vector<sim::Future<ReadRep>> {
-  std::vector<sim::Future<ReadRep>> reps;
+    -> std::vector<sim::Future<wire::StoreReply>> {
+  std::vector<sim::Future<wire::StoreReply>> reps;
   reps.reserve(targets.size());
   for (sim::NodeId t : targets) {
-    reps.push_back(call<ReadRep>(
-        t, key.size(),
-        [key](StoreReplica& r) { return ReadRep{r.local_read(key), r.node()}; },
-        /*reply_bytes=*/64, sim::MsgKind::StoreRead));
+    reps.push_back(call_store(t, wire::StoreRequest::read(key), key.size(),
+                              /*reply_bytes=*/64, sim::MsgKind::StoreRead));
   }
   return reps;
 }
 
 sim::Task<Result<Cell>> StoreReplica::resolve_read(
-    Key key, int need, std::vector<sim::Future<ReadRep>> reps) {
-  auto got = co_await sim::await_count<ReadRep>(
+    Key key, int need, std::vector<sim::Future<wire::StoreReply>> reps) {
+  auto got = co_await sim::await_count<wire::StoreReply>(
       sim(), reps, static_cast<size_t>(need), cfg().op_timeout);
   if (got.size() < static_cast<size_t>(need)) {
     co_return Result<Cell>::Err(OpStatus::Timeout);
@@ -175,23 +224,19 @@ sim::Task<Result<Cell>> StoreReplica::resolve_read(
   // Winner: highest timestamp among respondents.
   std::optional<Cell> best;
   for (const auto& rep : got) {
-    if (rep.cell && (!best || rep.cell->ts > best->ts)) best = rep.cell;
+    if (rep.has_cell && (!best || rep.cell.ts > best->ts)) {
+      best = from_wire(rep.cell);
+    }
   }
   if (best && cfg().read_repair) {
     // Push the winner to respondents that returned something older (fire
     // and forget; this is how eventual replicas converge besides the
     // write-to-all fan-out).
     for (const auto& rep : got) {
-      if (!rep.cell || rep.cell->ts < best->ts) {
-        Key k = key;
-        Cell c = *best;
-        call<bool>(
-            rep.from, c.value.size() + k.size(),
-            [k, c](StoreReplica& r) {
-              r.apply_write(k, c);
-              return true;
-            },
-            16, sim::MsgKind::StoreRepair);
+      if (!rep.has_cell || rep.cell.ts < best->ts) {
+        call_store(rep.from, wire::StoreRequest::write(key, to_wire(*best)),
+                   best->value.size() + key.size(), 16,
+                   sim::MsgKind::StoreRepair);
       }
     }
   }
@@ -232,31 +277,27 @@ sim::Task<std::vector<Status>> StoreReplica::put_cells(
   // wait, so the replies overlap and N independent keys cost one WAN round
   // trip, not N.
   if (level != Consistency::One && !writes.empty()) sim::trace_rtts(sim(), 1);
-  std::vector<std::vector<sim::Future<bool>>> acks(writes.size());
+  std::vector<std::vector<sim::Future<wire::StoreReply>>> acks(writes.size());
   for (size_t i = 0; i < writes.size(); ++i) {
     const Key& key = writes[i].key;
     const Cell& cell = writes[i].cell;
     size_t bytes = cell.value.size() + key.size();
     for (sim::NodeId t : cluster_.placement(key)) {
-      if (cfg().hinted_handoff && !cluster_.network().deliverable(node_, t)) {
+      if (cfg().hinted_handoff && !cluster_.transport().reachable(node_, t)) {
         leave_hint(t, key, cell);
         continue;
       }
-      acks[i].push_back(call<bool>(
-          t, bytes,
-          [key, cell](StoreReplica& r) {
-            r.apply_write(key, cell);
-            return true;
-          },
-          /*reply_bytes=*/16, sim::MsgKind::StoreWrite));
+      acks[i].push_back(
+          call_store(t, wire::StoreRequest::write(key, to_wire(cell)), bytes,
+                     /*reply_bytes=*/16, sim::MsgKind::StoreWrite));
     }
   }
   std::vector<Status> out;
   out.reserve(writes.size());
   for (size_t i = 0; i < writes.size(); ++i) {
-    auto got = co_await sim::await_count<bool>(sim(), std::move(acks[i]),
-                                               static_cast<size_t>(need),
-                                               cfg().op_timeout);
+    auto got = co_await sim::await_count<wire::StoreReply>(
+        sim(), std::move(acks[i]), static_cast<size_t>(need),
+        cfg().op_timeout);
     out.push_back(got.size() < static_cast<size_t>(need)
                       ? Status::Err(OpStatus::Timeout)
                       : Status::Ok());
@@ -273,7 +314,7 @@ sim::Task<std::vector<Result<Cell>>> StoreReplica::get_cells(
   // One shared read round (see put_cells): issue every key's fan-out before
   // resolving any quorum.
   if (!keys.empty()) sim::trace_rtts(sim(), 1);
-  std::vector<std::vector<sim::Future<ReadRep>>> reps;
+  std::vector<std::vector<sim::Future<wire::StoreReply>>> reps;
   reps.reserve(keys.size());
   for (const Key& key : keys) {
     reps.push_back(issue_reads(key, cluster_.placement(key)));
@@ -332,14 +373,13 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
 
     // ---- Round 1: prepare / promise.
     sim::trace_rtts(sim(), 1);
-    std::vector<sim::Future<paxos::PrepareReply<Cell>>> prepares;
+    std::vector<sim::Future<wire::StoreReply>> prepares;
     for (sim::NodeId t : targets) {
-      prepares.push_back(call<paxos::PrepareReply<Cell>>(
-          t, key.size() + small,
-          [key, b](StoreReplica& r) { return r.handle_prepare(key, b); },
-          small, sim::MsgKind::PaxosPrepare));
+      prepares.push_back(call_store(t, wire::StoreRequest::prepare(key, b),
+                                    key.size() + small, small,
+                                    sim::MsgKind::PaxosPrepare));
     }
-    auto promises = co_await sim::await_count<paxos::PrepareReply<Cell>>(
+    auto promises = co_await sim::await_count<wire::StoreReply>(
         sim(), std::move(prepares), static_cast<size_t>(q), cfg().op_timeout);
     if (promises.size() < static_cast<size_t>(q)) {
       co_return Result<LwtOutcome>::Err(OpStatus::Timeout);
@@ -347,14 +387,14 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
     bool refused = false;
     std::optional<paxos::Proposal<Cell>> in_progress;
     for (const auto& pr : promises) {
-      if (!pr.promised) {
+      if (!pr.ok) {
         refused = true;
-        ballot_round_ =
-            std::max(ballot_round_, paxos::ballot_round(pr.promised_ballot));
+        ballot_round_ = std::max(ballot_round_, paxos::ballot_round(pr.ballot));
       }
-      if (pr.in_progress &&
-          (!in_progress || pr.in_progress->ballot > in_progress->ballot)) {
-        in_progress = pr.in_progress;
+      if (pr.has_cell &&
+          (!in_progress || pr.cell_ballot > in_progress->ballot)) {
+        in_progress =
+            paxos::Proposal<Cell>{pr.cell_ballot, from_wire(pr.cell)};
       }
     }
     if (refused) continue;  // lost to a higher ballot; retry
@@ -364,35 +404,29 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
       // retry our own operation from scratch.
       paxos::Proposal<Cell> replay{b, in_progress->value};
       sim::trace_rtts(sim(), 1);
-      std::vector<sim::Future<paxos::AcceptReply>> accs;
+      std::vector<sim::Future<wire::StoreReply>> accs;
       for (sim::NodeId t : targets) {
-        accs.push_back(call<paxos::AcceptReply>(
-            t, key.size() + replay.value.value.size(),
-            [key, replay](StoreReplica& r) {
-              return r.handle_accept(key, replay);
-            },
-            small, sim::MsgKind::PaxosAccept));
+        accs.push_back(call_store(
+            t, wire::StoreRequest::accept(key, to_wire(replay.value), b),
+            key.size() + replay.value.value.size(), small,
+            sim::MsgKind::PaxosAccept));
       }
-      auto ack = co_await sim::await_count<paxos::AcceptReply>(
+      auto ack = co_await sim::await_count<wire::StoreReply>(
           sim(), std::move(accs), static_cast<size_t>(q), cfg().op_timeout);
       bool all_ok = ack.size() >= static_cast<size_t>(q);
-      for (const auto& a : ack) all_ok = all_ok && a.accepted;
+      for (const auto& a : ack) all_ok = all_ok && a.ok;
       if (all_ok) {
         Cell cell = replay.value;
         sim::trace_rtts(sim(), 1);
-        std::vector<sim::Future<bool>> commits;
+        std::vector<sim::Future<wire::StoreReply>> commits;
         for (sim::NodeId t : targets) {
-          commits.push_back(call<bool>(
-              t, key.size() + cell.value.size(),
-              [key, b, cell](StoreReplica& r) {
-                r.handle_commit(key, b, cell);
-                return true;
-              },
-              16, sim::MsgKind::PaxosCommit));
+          commits.push_back(call_store(
+              t, wire::StoreRequest::commit(key, to_wire(cell), b),
+              key.size() + cell.value.size(), 16, sim::MsgKind::PaxosCommit));
         }
-        co_await sim::await_count<bool>(sim(), std::move(commits),
-                                        static_cast<size_t>(q),
-                                        cfg().op_timeout);
+        co_await sim::await_count<wire::StoreReply>(sim(), std::move(commits),
+                                                    static_cast<size_t>(q),
+                                                    cfg().op_timeout);
       }
       continue;  // now retry our own update
     }
@@ -412,43 +446,38 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
     Cell cell{d.new_value, d.ts.value_or(static_cast<ScalarTs>(b))};
 
     // ---- Round 3: propose / accept.
-    paxos::Proposal<Cell> prop{b, cell};
     sim::trace_rtts(sim(), 1);
-    std::vector<sim::Future<paxos::AcceptReply>> accs;
+    std::vector<sim::Future<wire::StoreReply>> accs;
     for (sim::NodeId t : targets) {
-      accs.push_back(call<paxos::AcceptReply>(
-          t, key.size() + cell.value.size(),
-          [key, prop](StoreReplica& r) { return r.handle_accept(key, prop); },
-          small, sim::MsgKind::PaxosAccept));
+      accs.push_back(
+          call_store(t, wire::StoreRequest::accept(key, to_wire(cell), b),
+                     key.size() + cell.value.size(), small,
+                     sim::MsgKind::PaxosAccept));
     }
-    auto acks = co_await sim::await_count<paxos::AcceptReply>(
+    auto acks = co_await sim::await_count<wire::StoreReply>(
         sim(), std::move(accs), static_cast<size_t>(q), cfg().op_timeout);
     if (acks.size() < static_cast<size_t>(q)) {
       co_return Result<LwtOutcome>::Err(OpStatus::Timeout);
     }
     bool accepted = true;
     for (const auto& a : acks) {
-      if (!a.accepted) {
+      if (!a.ok) {
         accepted = false;
-        ballot_round_ =
-            std::max(ballot_round_, paxos::ballot_round(a.promised_ballot));
+        ballot_round_ = std::max(ballot_round_, paxos::ballot_round(a.ballot));
       }
     }
     if (!accepted) continue;  // raced with a competitor; retry
 
     // ---- Round 4: commit.
     sim::trace_rtts(sim(), 1);
-    std::vector<sim::Future<bool>> commits;
+    std::vector<sim::Future<wire::StoreReply>> commits;
     for (sim::NodeId t : targets) {
-      commits.push_back(call<bool>(
-          t, key.size() + cell.value.size(),
-          [key, b, cell](StoreReplica& r) {
-            r.handle_commit(key, b, cell);
-            return true;
-          },
-          16, sim::MsgKind::PaxosCommit));
+      commits.push_back(
+          call_store(t, wire::StoreRequest::commit(key, to_wire(cell), b),
+                     key.size() + cell.value.size(), 16,
+                     sim::MsgKind::PaxosCommit));
     }
-    auto done = co_await sim::await_count<bool>(
+    auto done = co_await sim::await_count<wire::StoreReply>(
         sim(), std::move(commits), static_cast<size_t>(q), cfg().op_timeout);
     if (done.size() < static_cast<size_t>(q)) {
       // Accepted but commit acknowledgment failed: a later LWT will replay
@@ -474,17 +503,12 @@ void StoreReplica::replay_hints() {
   for (size_t i = 0; i < n && !down(); ++i) {
     Hint h = std::move(hints_.front());
     hints_.pop_front();
-    if (!cluster_.network().deliverable(node_, h.target)) {
+    if (!cluster_.transport().reachable(node_, h.target)) {
       hints_.push_back(std::move(h));  // still unreachable; keep the hint
       continue;
     }
-    call<bool>(
-        h.target, h.key.size() + h.cell.value.size(),
-        [key = h.key, cell = h.cell](StoreReplica& r) {
-          r.apply_write(key, cell);
-          return true;
-        },
-        16, sim::MsgKind::Hint);
+    call_store(h.target, wire::StoreRequest::write(h.key, to_wire(h.cell)),
+               h.key.size() + h.cell.value.size(), 16, sim::MsgKind::Hint);
   }
   if (hints_.empty() || down()) {
     hint_loop_running_ = false;
@@ -496,13 +520,34 @@ void StoreReplica::replay_hints() {
 // ---- StoreCluster ----------------------------------------------------------
 
 StoreCluster::StoreCluster(sim::Simulation& sim, sim::Network& net,
-                           StoreConfig cfg, const std::vector<int>& node_sites)
+                           StoreConfig cfg, const std::vector<int>& node_sites,
+                           net::Transport* transport)
     : sim_(sim), net_(net), cfg_(std::move(cfg)) {
   assert(static_cast<int>(node_sites.size()) >= cfg_.replication_factor);
   for (int site : node_sites) {
     sim::NodeId id = net_.add_node(site);
     replicas_.push_back(std::make_unique<StoreReplica>(*this, id, site));
     by_node_[id] = replicas_.back().get();
+  }
+  if (transport != nullptr) {
+    // Injected backend (musicd over TCP): the host binds/registers replicas
+    // with its transport itself.
+    transport_ = transport;
+  } else {
+    // Default: a private SimTransport over this cluster's network, every
+    // replica bound as a store endpoint — bit-identical to the pre-seam
+    // direct wiring.
+    own_transport_ = std::make_unique<net::SimTransport>(sim_, net_);
+    for (auto& r : replicas_) {
+      StoreReplica* rep = r.get();
+      own_transport_->bind(
+          rep->node(),
+          net::SimEndpoint{&rep->service(), nullptr,
+                           [rep](const wire::StoreRequest& m) {
+                             return rep->serve_store(m);
+                           }});
+    }
+    transport_ = own_transport_.get();
   }
 }
 

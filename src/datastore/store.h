@@ -30,6 +30,8 @@
 
 #include "common/types.h"
 #include "common/v2s.h"
+#include "net/sim_transport.h"
+#include "net/transport.h"
 #include "paxos/paxos.h"
 #include "sim/future.h"
 #include "sim/network.h"
@@ -215,6 +217,12 @@ class StoreReplica {
   /// Commit: applies the cell to the table and clears the Paxos slot.
   void handle_commit(const Key& key, paxos::Ballot b, const Cell& cell);
 
+  /// The replica-side wire dispatcher: every inter-replica message lands
+  /// here (via the cluster's Transport) and is mapped onto the typed
+  /// handlers above.  Synchronous — store handlers are plain state
+  /// transitions.
+  wire::StoreReply serve_store(const wire::StoreRequest& msg);
+
   // ---- Coordinator-side operations (this node is the Cassandra
   // ---- coordinator the MUSIC replica or client connected to).
 
@@ -287,27 +295,18 @@ class StoreReplica {
  private:
   friend class StoreCluster;
 
-  struct ReadRep {
-    std::optional<Cell> cell;
-    sim::NodeId from;
-  };
-
   sim::Simulation& sim();
   const StoreConfig& cfg() const;
 
-  /// Sends `handler` to run on replica `to` and returns the reply future.
-  /// Never fulfilled if the message or reply is lost.  `kind`/`reply_kind`
-  /// tag the request and reply messages for per-type network counters.
-  ///
-  /// `Handler` is deduced (any callable Reply(StoreReplica&)), so the whole
-  /// request — handler captures, promise, framing — rides one pooled
-  /// InlineFn frame through the network instead of a std::function heap
-  /// allocation per hop.
-  template <typename Reply, typename Handler>
-  sim::Future<Reply> call(sim::NodeId to, size_t bytes, Handler handler,
-                          size_t reply_bytes,
-                          sim::MsgKind kind = sim::MsgKind::Generic,
-                          sim::MsgKind reply_kind = sim::MsgKind::StoreAck);
+  /// Ships `msg` to replica `to` through the cluster's Transport and
+  /// returns the reply future.  Never fulfilled if the message or reply is
+  /// lost.  `bytes`/`reply_bytes` are the payload costs (framing overhead
+  /// is added by the transport); `kind`/`reply_kind` tag the hops for
+  /// per-type network counters.
+  sim::Future<wire::StoreReply> call_store(
+      sim::NodeId to, wire::StoreRequest msg, size_t bytes, size_t reply_bytes,
+      sim::MsgKind kind = sim::MsgKind::Generic,
+      sim::MsgKind reply_kind = sim::MsgKind::StoreAck);
 
   /// Internal quorum/CL read used by both get() and the LWT read phase.
   sim::Task<Result<Cell>> read_internal(const Key& key, int need,
@@ -316,14 +315,14 @@ class StoreReplica {
   /// Fans a read for `key` out to `targets`; returns the reply futures
   /// without awaiting.  Batched reads issue all keys' fan-outs first so
   /// their network rounds overlap.
-  std::vector<sim::Future<ReadRep>> issue_reads(
+  std::vector<sim::Future<wire::StoreReply>> issue_reads(
       const Key& key, const std::vector<sim::NodeId>& targets);
 
   /// Awaits `need` of the issued replies and picks the winner (read-repair
   /// as in read_internal).  The key is taken by value: the caller's frame
   /// may hold it in a container that mutates while this task is suspended.
-  sim::Task<Result<Cell>> resolve_read(Key key, int need,
-                                       std::vector<sim::Future<ReadRep>> reps);
+  sim::Task<Result<Cell>> resolve_read(
+      Key key, int need, std::vector<sim::Future<wire::StoreReply>> reps);
 
   void leave_hint(sim::NodeId target, const Key& key, const Cell& cell);
   void replay_hints();
@@ -358,11 +357,18 @@ class StoreCluster {
   /// For multi-node-per-site clusters, list nodes interleaved by site
   /// (s0,s1,s2,s0,s1,s2,...) so ring placement puts each key's RF replicas
   /// on distinct sites, as the paper's deployments do.
+  ///
+  /// `transport` overrides the inter-replica fabric (the musicd deployment
+  /// injects a TcpTransport here); null builds the default SimTransport
+  /// over `net`, which is bit-identical to the pre-seam RPC path.
   StoreCluster(sim::Simulation& sim, sim::Network& net, StoreConfig cfg,
-               const std::vector<int>& node_sites);
+               const std::vector<int>& node_sites,
+               net::Transport* transport = nullptr);
 
   sim::Simulation& simulation() { return sim_; }
   sim::Network& network() { return net_; }
+  /// The fabric replicas reach each other through.
+  net::Transport& transport() { return *transport_; }
   const StoreConfig& config() const { return cfg_; }
 
   int num_replicas() const { return static_cast<int>(replicas_.size()); }
@@ -393,46 +399,9 @@ class StoreCluster {
   StoreConfig cfg_;
   std::vector<std::unique_ptr<StoreReplica>> replicas_;
   std::unordered_map<sim::NodeId, StoreReplica*> by_node_;
+  /// Owned default fabric (null when an external transport was injected).
+  std::unique_ptr<net::SimTransport> own_transport_;
+  net::Transport* transport_;
 };
-
-// ---- Template definition (needs StoreCluster complete). -------------------
-
-template <typename Reply, typename Handler>
-sim::Future<Reply> StoreReplica::call(sim::NodeId to, size_t bytes,
-                                      Handler handler, size_t reply_bytes,
-                                      sim::MsgKind kind,
-                                      sim::MsgKind reply_kind) {
-  static_assert(std::is_invocable_r_v<Reply, Handler&, StoreReplica&>,
-                "call<Reply> handler must be callable as Reply(StoreReplica&)");
-  sim::Promise<Reply> p(sim());
-  auto& net = cluster_.network();
-  size_t framed = bytes + cfg().overhead_bytes;
-  size_t reply_framed = reply_bytes + cfg().overhead_bytes;
-  sim::NodeId from = node_;
-  auto deliver = [this, to, framed, reply_framed, from, p, reply_kind,
-                  handler = std::move(handler)]() mutable {
-    StoreReplica& target = cluster_.by_node(to);
-    target.service().submit(framed, [&target, to, from, reply_framed, p,
-                                     reply_kind,
-                                     handler = std::move(handler)]() mutable {
-      Reply r = handler(target);
-      if (to == from) {
-        p.set_value(std::move(r));  // loopback reply: no network hop
-      } else {
-        target.cluster_.network().send(
-            to, from, reply_framed,
-            [p, r = std::move(r)]() mutable { p.set_value(std::move(r)); },
-            reply_kind);
-      }
-    });
-  };
-  if (to == node_) {
-    // Loopback: skip the network but still pay the service cost.
-    deliver();
-  } else {
-    net.send(from, to, framed, std::move(deliver), kind);
-  }
-  return p.future();
-}
 
 }  // namespace music::ds

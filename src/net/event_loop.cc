@@ -1,0 +1,91 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "sim/time.h"
+
+namespace music::net {
+
+namespace {
+
+int64_t monotonic_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(sim::Simulation& sim)
+    : sim_(sim), epfd_(epoll_create1(0)), start_ns_(monotonic_ns()) {}
+
+EventLoop::~EventLoop() {
+  if (epfd_ >= 0) close(epfd_);
+}
+
+sim::Time EventLoop::elapsed_us() const {
+  return (monotonic_ns() - start_ns_) / 1000;
+}
+
+void EventLoop::add_fd(int fd, uint32_t events, IoFn fn) {
+  auto holder = std::make_unique<IoFn>(std::move(fn));
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  handlers_[fd] = std::move(holder);
+}
+
+void EventLoop::mod_fd(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::del_fd(int fd) {
+  epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::advance_sim() {
+  // Run due timers, then pin the sim clock to wall time so everything
+  // protocol code schedules "now" lands in the present.
+  sim_.run_until(elapsed_us());
+}
+
+void EventLoop::poll_once(int timeout_ms) {
+  advance_sim();
+  sim::Time next = sim_.peek_next_event_at();
+  if (next != sim::kTimeNever) {
+    sim::Time gap_us = next - elapsed_us();
+    int ms = gap_us <= 0 ? 0 : static_cast<int>(gap_us / 1000 + 1);
+    if (ms < timeout_ms) timeout_ms = ms;
+  }
+  epoll_event events[64];
+  int n = epoll_wait(epfd_, events, 64, timeout_ms);
+  for (int i = 0; i < n; ++i) {
+    // Re-look-up per event: an earlier handler in this batch may have
+    // removed (or replaced) this fd.
+    auto it = handlers_.find(events[i].data.fd);
+    if (it == handlers_.end()) continue;
+    IoFn* fn = it->second.get();
+    (*fn)(events[i].events);
+  }
+  advance_sim();
+}
+
+void EventLoop::run() {
+  running_ = 1;
+  while (running_) {
+    // 50ms cap keeps stop() (e.g. from a signal handler) responsive even
+    // with no sockets and no sim timers pending.
+    poll_once(50);
+  }
+}
+
+}  // namespace music::net

@@ -1,0 +1,75 @@
+// The real-time host for the TCP backend: epoll over real sockets, fused
+// with a sim::Simulation that supplies timers, futures and the coroutine
+// scheduler to protocol code.
+//
+// Protocol libraries (client, datastore, lockstore) run unchanged over TCP
+// because everything they need from "the simulator" — schedule(), Promise,
+// await_with_timeout — is clock-driven, and this loop drives that clock
+// from wall time: each iteration advances the simulation to the elapsed
+// real time, then sleeps in epoll_wait until either a socket is ready or
+// the simulation's next timer is due (peek_next_event_at).  Sim time
+// therefore tracks real microseconds since run() started, and a retry
+// backoff of sim::ms(5) is a real 5ms pause.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/simulation.h"
+
+namespace music::net {
+
+/// Epoll + simulation hybrid loop.  Single-threaded, like the sim.
+class EventLoop {
+ public:
+  /// Called with the epoll event mask when the fd is ready.
+  using IoFn = std::function<void(uint32_t events)>;
+
+  explicit EventLoop(sim::Simulation& sim);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...).  The loop does not
+  /// own the fd; unregister with del_fd before closing it.
+  void add_fd(int fd, uint32_t events, IoFn fn);
+  /// Changes the watched event mask of a registered fd.
+  void mod_fd(int fd, uint32_t events);
+  /// Unregisters a fd (safe from inside any IoFn, including its own).
+  void del_fd(int fd);
+
+  /// Runs until stop(): dispatch ready sockets, advance the simulation to
+  /// elapsed real time, sleep until the next socket or sim timer.
+  void run();
+
+  /// Makes run() return after the current iteration.  Async-signal-safe
+  /// (the loop wakes at least every poll interval).
+  void stop() { running_ = 0; }
+
+  /// One iteration (poll with `timeout_ms` cap, dispatch, advance sim);
+  /// lets tests and custom loops interleave their own work.
+  void poll_once(int timeout_ms);
+
+  /// Microseconds of wall time since construction == the sim-time target
+  /// the loop advances to.
+  sim::Time elapsed_us() const;
+
+  sim::Simulation& simulation() { return sim_; }
+
+ private:
+  void advance_sim();
+
+  sim::Simulation& sim_;
+  int epfd_;
+  volatile std::sig_atomic_t running_ = 0;
+  /// unique_ptr keeps handler addresses stable across rehash; dispatch
+  /// re-looks-up the fd so a handler removed mid-batch is skipped.
+  std::unordered_map<int, std::unique_ptr<IoFn>> handlers_;
+  int64_t start_ns_;
+};
+
+}  // namespace music::net

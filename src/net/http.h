@@ -1,0 +1,81 @@
+// A minimal HTTP/1.1 server over the EventLoop, for the REST gateway's
+// real-socket deployment (music_gateway).  Supports what the gateway and
+// its probes need and nothing more: request line + headers + Content-Length
+// bodies, keep-alive, one request at a time per connection.
+//
+// The handler is asynchronous: it receives the request plus a respond
+// callback, because gateway verbs are sim coroutines that suspend on the
+// wire.  A connection parses no further requests until the in-flight one is
+// answered.  The respond callback tolerates its connection having died in
+// the meantime (the response is dropped) but must not outlive the server —
+// handlers resume from the same EventLoop the server runs on, so stopping
+// the loop before destroying the server guarantees that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/event_loop.h"
+
+namespace music::net {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // as sent, e.g. "/v1/music"
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  /// Called with the response when the handler is done (any thread-free
+  /// context; the server is single-threaded over its EventLoop).
+  using Respond = std::function<void(HttpResponse)>;
+  using Handler = std::function<void(const HttpRequest&, Respond)>;
+
+  HttpServer(EventLoop& loop, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral).  Returns the bound port, or 0
+  /// on failure.
+  uint16_t listen(uint16_t port);
+
+ private:
+  struct Conn {
+    uint64_t id = 0;
+    int fd = -1;
+    bool busy = false;  // a request is in flight; parse no further
+    std::string inbuf;
+    std::string outbuf;
+  };
+
+  void on_accept(uint32_t events);
+  void on_conn_io(uint64_t conn_id, uint32_t events);
+  void close_conn(uint64_t conn_id);
+  /// Parses and serves complete requests in the buffer; false = malformed
+  /// (caller kills the connection).
+  bool drain(Conn& c);
+  /// Completion path for an async handler: writes the response on conn
+  /// `conn_id` (no-op if it is gone) and resumes parsing.
+  void finish(uint64_t conn_id, HttpResponse resp);
+  void flush(Conn& c);
+
+  EventLoop& loop_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 1;
+};
+
+}  // namespace music::net

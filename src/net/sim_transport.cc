@@ -1,0 +1,84 @@
+#include "net/sim_transport.h"
+
+#include <utility>
+
+namespace music::net {
+
+// NOTE on both paths below: the schedule sequence (network hops, service
+// submits, their costs and kinds) must stay exactly what protocol code
+// issued before the transport seam existed — the determinism goldens pin
+// seeded runs bit-for-bit.  Change the event shape here and every golden
+// moves.
+
+sim::Future<wire::Response> SimTransport::invoke(PeerId self, PeerId peer,
+                                                wire::Request req,
+                                                size_t overhead_bytes) {
+  sim::Promise<wire::Response> reply(sim_);
+  size_t framed = req.bytes() + overhead_bytes;
+  size_t serve_bytes = req.bytes();  // CPU cost excludes framing overhead
+  net_.send(
+      self, peer, framed,
+      [this, self, peer, serve_bytes, reply,
+       req = std::move(req)]() mutable {
+        auto it = endpoints_.find(peer);
+        if (it == endpoints_.end() || it->second.service == nullptr) return;
+        SimEndpoint* ep = &it->second;
+        ep->service->submit(serve_bytes, [this, self, peer, reply, ep,
+                                          req = std::move(req)]() mutable {
+          if (!ep->serve_request) return;
+          RespondFn respond = [this, self, peer,
+                               reply](wire::Response resp) {
+            size_t bytes = resp.bytes();
+            net_.send(
+                peer, self, bytes,
+                [reply, resp = std::move(resp)] { reply.set_value(resp); },
+                sim::MsgKind::ClientReply);
+          };
+          ep->serve_request(std::move(req), std::move(respond));
+        });
+      },
+      sim::MsgKind::ClientRequest);
+  return reply.future();
+}
+
+sim::Future<wire::StoreReply> SimTransport::store_call(
+    PeerId self, PeerId peer, wire::StoreRequest msg, size_t bytes,
+    size_t reply_bytes, size_t overhead_bytes, sim::MsgKind kind,
+    sim::MsgKind reply_kind) {
+  sim::Promise<wire::StoreReply> p(sim_);
+  size_t framed = bytes + overhead_bytes;
+  size_t reply_framed = reply_bytes + overhead_bytes;
+  auto deliver = [this, self, peer, framed, reply_framed, p, reply_kind,
+                  msg = std::move(msg)]() mutable {
+    auto it = endpoints_.find(peer);
+    if (it == endpoints_.end() || it->second.service == nullptr) return;
+    SimEndpoint* ep = &it->second;
+    ep->service->submit(framed, [this, self, peer, reply_framed, p, reply_kind,
+                                 ep, msg = std::move(msg)]() mutable {
+      wire::StoreReply r = ep->serve_store(msg);
+      if (peer == self) {
+        p.set_value(std::move(r));  // loopback reply: no network hop
+      } else {
+        net_.send(
+            peer, self, reply_framed,
+            [p, r = std::move(r)]() mutable { p.set_value(std::move(r)); },
+            reply_kind);
+      }
+    });
+  };
+  if (peer == self) {
+    // Loopback: skip the network but still pay the service cost.
+    deliver();
+  } else {
+    net_.send(self, peer, framed, std::move(deliver), kind);
+  }
+  return p.future();
+}
+
+bool SimTransport::peer_up(PeerId peer) const {
+  auto it = endpoints_.find(peer);
+  return it != endpoints_.end() && it->second.service != nullptr &&
+         !it->second.service->down();
+}
+
+}  // namespace music::net

@@ -1,0 +1,70 @@
+// SimTransport: the deterministic in-memory Transport backend.
+//
+// A registry of endpoints (service node + serve callbacks, keyed by the
+// sim NodeId) over one sim::Network.  Messages are moved as structs — no
+// serialization — and every hop replicates, event for event, the sequence
+// protocol code issued before the seam existed:
+//
+//   invoke:      net.send(req.bytes()+overhead)  ->  service.submit(req.bytes())
+//                -> serve_request -> net.send(resp.bytes()) -> promise
+//   store_call:  net.send(bytes+overhead) -> service.submit(bytes+overhead)
+//                -> serve_store -> net.send(reply_bytes+overhead) -> promise
+//                (self-calls skip both network hops but pay the service cost)
+//
+// Because the schedule calls (count, order, costs, message kinds) are
+// unchanged, seeded runs through SimTransport are bit-identical to the
+// pre-seam tree — the property the determinism goldens pin.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/transport.h"
+#include "sim/service.h"
+
+namespace music::net {
+
+/// One registered node of the fabric.
+struct SimEndpoint {
+  /// The serving node's compute model (queueing + crash flag).  Required.
+  sim::ServiceNode* service = nullptr;
+  /// Client-seam handler (null for store-only nodes).
+  ServeRequestFn serve_request;
+  /// Store-seam handler (null for client-seam-only nodes).
+  ServeStoreFn serve_store;
+};
+
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::Simulation& sim, sim::Network& net)
+      : sim_(sim), net_(net) {}
+
+  /// Registers (or replaces) the endpoint for `node`.
+  void bind(PeerId node, SimEndpoint ep) { endpoints_[node] = std::move(ep); }
+
+  sim::Future<wire::Response> invoke(PeerId self, PeerId peer,
+                                     wire::Request req,
+                                     size_t overhead_bytes) override;
+
+  sim::Future<wire::StoreReply> store_call(PeerId self, PeerId peer,
+                                           wire::StoreRequest msg, size_t bytes,
+                                           size_t reply_bytes,
+                                           size_t overhead_bytes,
+                                           sim::MsgKind kind,
+                                           sim::MsgKind reply_kind) override;
+
+  bool peer_up(PeerId peer) const override;
+
+  bool reachable(PeerId self, PeerId peer) const override {
+    return net_.deliverable(self, peer);
+  }
+
+  sim::Simulation& simulation() { return sim_; }
+  sim::Network& network() { return net_; }
+
+ private:
+  sim::Simulation& sim_;
+  sim::Network& net_;
+  std::unordered_map<PeerId, SimEndpoint> endpoints_;
+};
+
+}  // namespace music::net

@@ -1,0 +1,462 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace music::net {
+
+namespace {
+
+constexpr sim::Duration kReconnectBackoff = sim::ms(200);
+
+bool set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(EventLoop& loop)
+    : loop_(loop), sim_(loop.simulation()) {}
+
+TcpTransport::~TcpTransport() {
+  for (auto& l : listeners_) {
+    if (l.fd >= 0) {
+      loop_.del_fd(l.fd);
+      close(l.fd);
+    }
+  }
+  for (auto& [id, p] : peers_) {
+    if (p->fd >= 0) {
+      loop_.del_fd(p->fd);
+      close(p->fd);
+    }
+  }
+  for (auto& [id, c] : inconns_) {
+    loop_.del_fd(c->fd);
+    close(c->fd);
+  }
+}
+
+// ---- Local endpoints -------------------------------------------------------
+
+void TcpTransport::bind_local(PeerId id, ServeRequestFn serve_request,
+                              ServeStoreFn serve_store) {
+  local_[id] =
+      LocalEndpoint{std::move(serve_request), std::move(serve_store)};
+}
+
+void TcpTransport::dispatch_local_invoke(const LocalEndpoint& ep,
+                                         wire::Request req,
+                                         sim::Promise<wire::Response> reply) {
+  RespondFn respond = [reply](wire::Response resp) mutable {
+    reply.set_value(std::move(resp));
+  };
+  ep.serve_request(std::move(req), std::move(respond));
+}
+
+// ---- Listening side --------------------------------------------------------
+
+uint16_t TcpTransport::listen_for(PeerId id, uint16_t port,
+                                  ServeRequestFn serve_request,
+                                  ServeStoreFn serve_store) {
+  bind_local(id, std::move(serve_request), std::move(serve_store));
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 64) != 0 || !set_nonblocking(fd)) {
+    close(fd);
+    return 0;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  uint16_t bound = ntohs(addr.sin_port);
+
+  size_t idx = listeners_.size();
+  listeners_.push_back(Listener{fd, id});
+  loop_.add_fd(fd, EPOLLIN, [this, idx](uint32_t) { on_accept(idx); });
+  return bound;
+}
+
+void TcpTransport::on_accept(size_t listener_idx) {
+  const Listener& l = listeners_[listener_idx];
+  while (true) {
+    int cfd = accept(l.fd, nullptr, nullptr);
+    if (cfd < 0) break;  // EAGAIN or error: done for this wakeup
+    if (!set_nonblocking(cfd)) {
+      close(cfd);
+      continue;
+    }
+    set_nodelay(cfd);
+    uint64_t cid = next_conn_id_++;
+    auto conn = std::make_unique<InConn>();
+    conn->id = cid;
+    conn->fd = cfd;
+    conn->serves = l.serves;
+    inconns_[cid] = std::move(conn);
+    loop_.add_fd(cfd, EPOLLIN,
+                 [this, cid](uint32_t ev) { on_inconn_io(cid, ev); });
+  }
+}
+
+void TcpTransport::close_inconn(uint64_t conn_id) {
+  auto it = inconns_.find(conn_id);
+  if (it == inconns_.end()) return;
+  loop_.del_fd(it->second->fd);
+  close(it->second->fd);
+  inconns_.erase(it);
+}
+
+void TcpTransport::on_inconn_io(uint64_t conn_id, uint32_t events) {
+  auto it = inconns_.find(conn_id);
+  if (it == inconns_.end()) return;
+  InConn& c = *it->second;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_inconn(conn_id);
+    return;
+  }
+  if (events & EPOLLIN) {
+    char buf[16384];
+    while (true) {
+      ssize_t n = read(c.fd, buf, sizeof(buf));
+      if (n > 0) {
+        c.inbuf.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      close_inconn(conn_id);  // EOF or hard error
+      return;
+    }
+    if (!drain_serving(c)) {
+      close_inconn(conn_id);  // malformed frame: kill the connection
+      return;
+    }
+    // drain_serving may have dispatched handlers that closed this conn.
+    if (inconns_.find(conn_id) == inconns_.end()) return;
+  }
+  if (events & EPOLLOUT) flush_inconn(c);
+}
+
+bool TcpTransport::drain_serving(InConn& c) {
+  while (true) {
+    wire::FrameView fv;
+    wire::FrameStatus st = wire::peel_frame(c.inbuf.data(), c.inbuf.size(), fv);
+    if (st == wire::FrameStatus::NeedMore) return true;
+    if (st == wire::FrameStatus::Bad) return false;
+    auto lit = local_.find(c.serves);
+    const LocalEndpoint* ep = lit == local_.end() ? nullptr : &lit->second;
+    switch (fv.type) {
+      case wire::FrameType::ClientRequest: {
+        auto req = wire::parse_request(fv.payload);
+        if (!req) return false;
+        if (ep != nullptr && ep->serve_request) {
+          uint64_t cid = c.id;
+          uint64_t rid = fv.req_id;
+          RespondFn respond = [this, cid, rid](wire::Response resp) {
+            send_on_inconn(cid, wire::encode_response(rid, resp));
+          };
+          ep->serve_request(std::move(*req), std::move(respond));
+        }
+        break;
+      }
+      case wire::FrameType::StoreRequest: {
+        auto msg = wire::parse_store_request(fv.payload);
+        if (!msg) return false;
+        if (ep != nullptr && ep->serve_store) {
+          wire::StoreReply reply = ep->serve_store(*msg);
+          send_on_inconn(c.id, wire::encode_store_reply(fv.req_id, reply));
+        }
+        break;
+      }
+      default:
+        return false;  // responses never arrive on a serving connection
+    }
+    c.inbuf.erase(0, fv.frame_bytes);
+  }
+}
+
+void TcpTransport::send_on_inconn(uint64_t conn_id, std::string frame) {
+  auto it = inconns_.find(conn_id);
+  if (it == inconns_.end()) return;  // requester went away: reply dropped
+  InConn& c = *it->second;
+  c.outbuf.append(frame);
+  flush_inconn(c);
+}
+
+void TcpTransport::flush_inconn(InConn& c) {
+  while (!c.outbuf.empty()) {
+    ssize_t n = write(c.fd, c.outbuf.data(), c.outbuf.size());
+    if (n > 0) {
+      c.outbuf.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    uint64_t cid = c.id;
+    close_inconn(cid);
+    return;
+  }
+  loop_.mod_fd(c.fd, EPOLLIN | (c.outbuf.empty() ? 0u : uint32_t{EPOLLOUT}));
+}
+
+// ---- Outbound side ---------------------------------------------------------
+
+void TcpTransport::route(PeerId id, std::string host, uint16_t port) {
+  auto p = std::make_unique<Peer>();
+  p->host = std::move(host);
+  p->port = port;
+  peers_[id] = std::move(p);
+  start_connect(id);
+}
+
+void TcpTransport::start_connect(PeerId id) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return;
+  Peer& p = *it->second;
+  p.reconnect_pending = false;
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 || !set_nonblocking(fd)) {
+    if (fd >= 0) close(fd);
+    schedule_reconnect(id);
+    return;
+  }
+  set_nodelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(p.port);
+  if (inet_pton(AF_INET, p.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    schedule_reconnect(id);
+    return;
+  }
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    close(fd);
+    schedule_reconnect(id);
+    return;
+  }
+  p.fd = fd;
+  p.connected = (rc == 0);
+  p.connecting = (rc != 0);
+  uint32_t mask = p.connecting ? (EPOLLIN | EPOLLOUT)
+                               : static_cast<uint32_t>(EPOLLIN);
+  loop_.add_fd(fd, mask, [this, id](uint32_t ev) { on_peer_io(id, ev); });
+}
+
+void TcpTransport::schedule_reconnect(PeerId id) {
+  auto it = peers_.find(id);
+  if (it == peers_.end() || it->second->reconnect_pending) return;
+  it->second->reconnect_pending = true;
+  sim_.schedule(kReconnectBackoff, [this, id] { start_connect(id); });
+}
+
+void TcpTransport::fail_peer(PeerId id) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return;
+  Peer& p = *it->second;
+  if (p.fd >= 0) {
+    loop_.del_fd(p.fd);
+    close(p.fd);
+    p.fd = -1;
+  }
+  p.connected = false;
+  p.connecting = false;
+  p.inbuf.clear();
+  p.outbuf.clear();
+  // Dropping the promises leaves their futures unfulfilled: exactly the
+  // sim's loss semantics — the callers' awaits time out and they retry.
+  p.pending_invoke.clear();
+  p.pending_store.clear();
+  schedule_reconnect(id);
+}
+
+void TcpTransport::on_peer_io(PeerId id, uint32_t events) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return;
+  Peer& p = *it->second;
+  if (p.connecting && (events & (EPOLLOUT | EPOLLERR | EPOLLHUP))) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(p.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      fail_peer(id);
+      return;
+    }
+    p.connecting = false;
+    p.connected = true;
+    loop_.mod_fd(p.fd, EPOLLIN | (p.outbuf.empty() ? 0u : uint32_t{EPOLLOUT}));
+  }
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    fail_peer(id);
+    return;
+  }
+  if (events & EPOLLIN) {
+    char buf[16384];
+    while (true) {
+      ssize_t n = read(p.fd, buf, sizeof(buf));
+      if (n > 0) {
+        p.inbuf.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      fail_peer(id);
+      return;
+    }
+    if (!drain_peer(p)) {
+      fail_peer(id);
+      return;
+    }
+  }
+  if ((events & EPOLLOUT) && p.connected) flush_peer(id);
+}
+
+bool TcpTransport::drain_peer(Peer& p) {
+  while (true) {
+    wire::FrameView fv;
+    wire::FrameStatus st = wire::peel_frame(p.inbuf.data(), p.inbuf.size(), fv);
+    if (st == wire::FrameStatus::NeedMore) return true;
+    if (st == wire::FrameStatus::Bad) return false;
+    switch (fv.type) {
+      case wire::FrameType::ClientResponse: {
+        auto resp = wire::parse_response(fv.payload);
+        if (!resp) return false;
+        auto pit = p.pending_invoke.find(fv.req_id);
+        if (pit != p.pending_invoke.end()) {
+          pit->second.set_value(std::move(*resp));
+          p.pending_invoke.erase(pit);
+        }
+        break;
+      }
+      case wire::FrameType::StoreReply: {
+        auto reply = wire::parse_store_reply(fv.payload);
+        if (!reply) return false;
+        auto pit = p.pending_store.find(fv.req_id);
+        if (pit != p.pending_store.end()) {
+          pit->second.set_value(std::move(*reply));
+          p.pending_store.erase(pit);
+        }
+        break;
+      }
+      default:
+        return false;  // requests never arrive on an outbound connection
+    }
+    p.inbuf.erase(0, fv.frame_bytes);
+  }
+}
+
+void TcpTransport::send_to_peer(Peer& p, std::string frame) {
+  p.outbuf.append(frame);
+  if (!p.connected) return;  // flushed on connect completion
+  while (!p.outbuf.empty()) {
+    ssize_t n = write(p.fd, p.outbuf.data(), p.outbuf.size());
+    if (n > 0) {
+      p.outbuf.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Hard write error: the next epoll wakeup (EPOLLERR/HUP) tears the
+    // connection down; stop pushing bytes now.
+    return;
+  }
+  loop_.mod_fd(p.fd, EPOLLIN | (p.outbuf.empty() ? 0u : uint32_t{EPOLLOUT}));
+}
+
+void TcpTransport::flush_peer(PeerId id) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return;
+  send_to_peer(*it->second, std::string());
+}
+
+// ---- Transport -------------------------------------------------------------
+
+sim::Future<wire::Response> TcpTransport::invoke(PeerId self, PeerId peer,
+                                                 wire::Request req,
+                                                 size_t overhead_bytes) {
+  (void)self;
+  (void)overhead_bytes;  // real framing bills itself
+  sim::Promise<wire::Response> reply(sim_);
+  auto lit = local_.find(peer);
+  if (lit != local_.end()) {
+    if (lit->second.serve_request) {
+      dispatch_local_invoke(lit->second, std::move(req), reply);
+    }
+    return reply.future();
+  }
+  auto pit = peers_.find(peer);
+  if (pit == peers_.end() || !pit->second->connected) {
+    return reply.future();  // no route / link down: lost, caller times out
+  }
+  uint64_t id = next_req_id_++;
+  pit->second->pending_invoke.emplace(id, reply);
+  send_to_peer(*pit->second, wire::encode_request(id, req));
+  return reply.future();
+}
+
+sim::Future<wire::StoreReply> TcpTransport::store_call(
+    PeerId self, PeerId peer, wire::StoreRequest msg, size_t bytes,
+    size_t reply_bytes, size_t overhead_bytes, sim::MsgKind kind,
+    sim::MsgKind reply_kind) {
+  (void)self;
+  (void)bytes;
+  (void)reply_bytes;
+  (void)overhead_bytes;
+  (void)kind;
+  (void)reply_kind;  // byte/kind accounting is the sim backend's concern
+  sim::Promise<wire::StoreReply> p(sim_);
+  auto lit = local_.find(peer);
+  if (lit != local_.end()) {
+    if (lit->second.serve_store) {
+      // set_value schedules the fulfilment as a fresh event, so local calls
+      // keep the async discipline protocol code assumes.
+      p.set_value(lit->second.serve_store(msg));
+    }
+    return p.future();
+  }
+  auto pit = peers_.find(peer);
+  if (pit == peers_.end() || !pit->second->connected) {
+    return p.future();
+  }
+  uint64_t id = next_req_id_++;
+  pit->second->pending_store.emplace(id, p);
+  send_to_peer(*pit->second, wire::encode_store_request(id, msg));
+  return p.future();
+}
+
+bool TcpTransport::peer_up(PeerId peer) const {
+  if (local_.find(peer) != local_.end()) return true;
+  auto it = peers_.find(peer);
+  return it != peers_.end() && it->second->connected;
+}
+
+bool TcpTransport::reachable(PeerId self, PeerId peer) const {
+  (void)self;
+  return peer_up(peer);
+}
+
+int TcpTransport::connected_peers() const {
+  int n = 0;
+  for (const auto& [id, p] : peers_) n += p->connected ? 1 : 0;
+  return n;
+}
+
+}  // namespace music::net

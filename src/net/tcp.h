@@ -1,0 +1,146 @@
+// TcpTransport: the real-socket Transport backend (the musicd deployment
+// path).
+//
+// The same wire structs protocol code hands to SimTransport are framed
+// through wire/codec.h and shipped over non-blocking TCP driven by an
+// EventLoop.  Topology is explicit and per-node:
+//
+//   * listen_for(id, port, ...) — serve node `id`'s seams on a listening
+//     socket (one port per hosted node, so frames need no addressing
+//     beyond the connection they arrive on);
+//   * bind_local(id, ...)      — serve node `id` in-process only
+//     (self-calls and co-hosted nodes short-circuit, no socket);
+//   * route(id, host, port)    — reach remote node `id` at host:port over
+//     one outbound connection, auto-reconnecting with backoff.
+//
+// Loss model matches the sim's: a request sent while the route is down, or
+// whose connection dies before the reply, leaves the future unfulfilled —
+// callers already bound every wait with await_with_timeout.  A malformed
+// frame kills its connection (never the process).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/transport.h"
+#include "wire/codec.h"
+
+namespace music::net {
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(EventLoop& loop);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Serves node `id` on a listening TCP socket bound to 127.0.0.1:`port`
+  /// (0 = ephemeral).  Also registers the handlers as a local endpoint, so
+  /// in-process calls to `id` short-circuit.  Returns the bound port, or 0
+  /// on failure.
+  uint16_t listen_for(PeerId id, uint16_t port, ServeRequestFn serve_request,
+                      ServeStoreFn serve_store);
+
+  /// Registers node `id` as served in-process, without a socket.
+  void bind_local(PeerId id, ServeRequestFn serve_request,
+                  ServeStoreFn serve_store);
+
+  /// Routes calls for node `id` to the process listening at host:port.
+  /// Connects immediately and reconnects with backoff after any failure.
+  void route(PeerId id, std::string host, uint16_t port);
+
+  // ---- Transport -----------------------------------------------------------
+
+  sim::Future<wire::Response> invoke(PeerId self, PeerId peer,
+                                     wire::Request req,
+                                     size_t overhead_bytes) override;
+
+  sim::Future<wire::StoreReply> store_call(PeerId self, PeerId peer,
+                                           wire::StoreRequest msg, size_t bytes,
+                                           size_t reply_bytes,
+                                           size_t overhead_bytes,
+                                           sim::MsgKind kind,
+                                           sim::MsgKind reply_kind) override;
+
+  /// Local nodes are always up; remote nodes are up while their connection
+  /// is established.
+  bool peer_up(PeerId peer) const override;
+  bool reachable(PeerId self, PeerId peer) const override;
+
+  EventLoop& loop() { return loop_; }
+
+  /// Connections currently established to remote peers (diagnostics).
+  int connected_peers() const;
+
+ private:
+  struct LocalEndpoint {
+    ServeRequestFn serve_request;
+    ServeStoreFn serve_store;
+  };
+
+  /// One outbound route (and its connection state + in-flight requests).
+  struct Peer {
+    std::string host;
+    uint16_t port = 0;
+    int fd = -1;
+    bool connected = false;      // TCP established
+    bool connecting = false;     // nonblocking connect in flight
+    bool reconnect_pending = false;
+    std::string inbuf;
+    std::string outbuf;
+    std::unordered_map<uint64_t, sim::Promise<wire::Response>> pending_invoke;
+    std::unordered_map<uint64_t, sim::Promise<wire::StoreReply>> pending_store;
+  };
+
+  /// One accepted (serving) connection.
+  struct InConn {
+    uint64_t id = 0;
+    int fd = -1;
+    PeerId serves = -1;
+    std::string inbuf;
+    std::string outbuf;
+  };
+
+  struct Listener {
+    int fd = -1;
+    PeerId serves = -1;
+  };
+
+  void start_connect(PeerId id);
+  void on_peer_io(PeerId id, uint32_t events);
+  void fail_peer(PeerId id);
+  void schedule_reconnect(PeerId id);
+  void send_to_peer(Peer& p, std::string frame);
+  void flush_peer(PeerId id);
+
+  void on_accept(size_t listener_idx);
+  void on_inconn_io(uint64_t conn_id, uint32_t events);
+  void close_inconn(uint64_t conn_id);
+  void send_on_inconn(uint64_t conn_id, std::string frame);
+  void flush_inconn(InConn& c);
+
+  /// Peels and dispatches every complete frame in a serving connection's
+  /// buffer; false = protocol violation, caller must kill the connection.
+  bool drain_serving(InConn& c);
+  /// Same for an outbound connection (responses/replies).
+  bool drain_peer(Peer& p);
+
+  void dispatch_local_invoke(const LocalEndpoint& ep, wire::Request req,
+                             sim::Promise<wire::Response> reply);
+
+  EventLoop& loop_;
+  sim::Simulation& sim_;
+  std::unordered_map<PeerId, LocalEndpoint> local_;
+  std::unordered_map<PeerId, std::unique_ptr<Peer>> peers_;
+  std::vector<Listener> listeners_;
+  std::unordered_map<uint64_t, std::unique_ptr<InConn>> inconns_;
+  uint64_t next_conn_id_ = 1;
+  uint64_t next_req_id_ = 1;
+};
+
+}  // namespace music::net

@@ -1,0 +1,87 @@
+// The messaging seam: protocol code sends wire messages through this API
+// and never touches a concrete backend.
+//
+// Two implementations exist:
+//   * SimTransport (net/sim_transport.h) — a thin adapter over sim::Network
+//     + sim::ServiceNode that moves the structs in-memory.  Its event
+//     sequence is exactly the one protocol code used to issue directly, so
+//     every seeded test and determinism golden stays bit-identical.
+//   * TcpTransport (net/tcp.h) — an epoll event-loop backend that frames
+//     the same structs through wire/codec.h over real sockets, with
+//     reconnect and per-peer write queues (the musicd deployment path).
+//
+// The loss model is the sim's: a request or reply that is dropped (dead
+// peer, severed connection) leaves the returned future unfulfilled forever.
+// Callers already bound every wait with await_with_timeout/await_count, so
+// both backends get the §III failure semantics for free.
+//
+// PeerId is the sim's NodeId namespace: over TCP, each process assigns the
+// same ids the equivalent sim world would (the musicd topology builds the
+// full StoreCluster locally, so ids agree across processes by construction).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/future.h"
+#include "sim/network.h"
+#include "wire/messages.h"
+
+namespace music::net {
+
+/// A transport endpoint address: a node of the messaging fabric.
+using PeerId = sim::NodeId;
+
+/// Completes a served client request (ships the Response back to the
+/// caller).  May be invoked from a coroutine any time after the serve
+/// callback returned.
+using RespondFn = std::function<void(wire::Response)>;
+
+/// Serves one client-seam request.  The implementation dispatches (usually
+/// spawning a coroutine) and calls `respond` exactly once when the response
+/// is ready; dropping `respond` without calling it models a crashed server
+/// (the caller times out).
+using ServeRequestFn = std::function<void(wire::Request, RespondFn)>;
+
+/// Serves one store-seam request synchronously: replica-side handlers
+/// (apply_write, local_read, the Paxos phases) are plain state transitions,
+/// so the reply is computed inline on the serving node.
+using ServeStoreFn = std::function<wire::StoreReply(const wire::StoreRequest&)>;
+
+/// The abstract messaging API.  Byte counts are supplied by the caller (the
+/// protocol layer knows its framing economics); `overhead_bytes` is the
+/// per-message framing surcharge applied to network transfer (but not to
+/// the serving node's CPU cost, matching the sim's historical accounting).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Client seam: sends `req` from `self` to the serving peer and resolves
+  /// with its Response.  Never fulfilled on loss — bound the wait.
+  virtual sim::Future<wire::Response> invoke(PeerId self, PeerId peer,
+                                             wire::Request req,
+                                             size_t overhead_bytes) = 0;
+
+  /// Store seam: sends `msg` from `self` to replica `peer` and resolves
+  /// with its StoreReply.  `bytes`/`reply_bytes` are the request/reply
+  /// payload costs; `kind`/`reply_kind` tag the hops for per-type network
+  /// counters.  A self-call (peer == self) skips the network but still pays
+  /// the serving cost.  Never fulfilled on loss — bound the wait.
+  virtual sim::Future<wire::StoreReply> store_call(
+      PeerId self, PeerId peer, wire::StoreRequest msg, size_t bytes,
+      size_t reply_bytes, size_t overhead_bytes, sim::MsgKind kind,
+      sim::MsgKind reply_kind) = 0;
+
+  /// Whether `peer`'s process is accepting work (replica-selection hint;
+  /// the sim backend reads the service-node crash flag, TCP reads the
+  /// connection state).  Advisory: a send to a down peer is simply lost.
+  virtual bool peer_up(PeerId peer) const = 0;
+
+  /// Whether messages from `self` currently reach `peer` (link-level:
+  /// partitions and blackholes count, queueing does not).  Drives hinted
+  /// handoff — a write coordinator leaves a hint instead of sending into a
+  /// known-dead link.
+  virtual bool reachable(PeerId self, PeerId peer) const = 0;
+};
+
+}  // namespace music::net

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "api/client_api.h"
 #include "core/client.h"
 #include "core/session.h"
 
@@ -26,7 +27,7 @@ namespace music::recipes {
 /// A geo-replicated atomic counter.
 class AtomicCounter {
  public:
-  AtomicCounter(core::MusicClient& client, Key key)
+  AtomicCounter(api::ClientApi& client, Key key)
       : client_(client), key_(std::move(key)) {}
 
   /// Atomically adds `delta` and returns the new value.
@@ -40,7 +41,7 @@ class AtomicCounter {
   sim::Task<Result<int64_t>> get();
 
  private:
-  core::MusicClient& client_;
+  api::ClientApi& client_;
   Key key_;
 };
 
@@ -48,7 +49,7 @@ class AtomicCounter {
 /// key; every mutation is atomic and reads-latest across sites.
 class AtomicMap {
  public:
-  AtomicMap(core::MusicClient& client, Key key)
+  AtomicMap(api::ClientApi& client, Key key)
       : client_(client), key_(std::move(key)) {}
 
   sim::Task<Status> put_field(const std::string& field, const std::string& v);
@@ -68,14 +69,14 @@ class AtomicMap {
       const std::string& s);
 
  private:
-  core::MusicClient& client_;
+  api::ClientApi& client_;
   Key key_;
 };
 
 /// A geo-replicated FIFO queue under one MUSIC key.
 class DistributedQueue {
  public:
-  DistributedQueue(core::MusicClient& client, Key key)
+  DistributedQueue(api::ClientApi& client, Key key)
       : client_(client), key_(std::move(key)) {}
 
   sim::Task<Status> push(const std::string& item);
@@ -84,7 +85,7 @@ class DistributedQueue {
   sim::Task<Result<size_t>> size();
 
  private:
-  core::MusicClient& client_;
+  api::ClientApi& client_;
   Key key_;
 };
 
@@ -96,7 +97,7 @@ class DistributedQueue {
 /// correctness always comes from the lock itself).
 class LeaderElection {
  public:
-  LeaderElection(core::MusicClient& client, Key key, std::string me)
+  LeaderElection(api::ClientApi& client, Key key, std::string me)
       : client_(client), key_(std::move(key)), me_(std::move(me)) {}
 
   /// Blocks (polls) until this candidate is elected.
@@ -109,7 +110,7 @@ class LeaderElection {
   sim::Task<Result<std::string>> current_leader();
 
  private:
-  core::MusicClient& client_;
+  api::ClientApi& client_;
   Key key_;
   std::string me_;
   LockRef ref_ = kNoLockRef;

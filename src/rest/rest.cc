@@ -1,14 +1,29 @@
 #include "rest/rest.h"
 
-#include "cluster/client.h"
-
 namespace music::rest {
 
 namespace {
 
+/// THE error table: every status a verb can surface, its HTTP mapping, and
+/// its stable code.  Order matches the OpStatus enum so the lookup is an
+/// index when statuses are in range (guarded below).
+constexpr ErrorMapping kErrorTable[] = {
+    {OpStatus::Ok, 200, "ok"},
+    {OpStatus::Timeout, 504, "timeout"},
+    {OpStatus::Nack, 503, "nack"},
+    {OpStatus::NotLockHolder, 409, "not_lock_holder"},
+    {OpStatus::NotYetHolder, 409, "not_yet_holder"},
+    {OpStatus::CsExpired, 409, "cs_expired"},
+    {OpStatus::NotFound, 404, "not_found"},
+    {OpStatus::Conflict, 409, "conflict"},
+    {OpStatus::RetryExhausted, 504, "retry_exhausted"},
+    {OpStatus::WrongShard, 503, "wrong_shard"},
+};
+
 Json error_reply(const std::string& what) {
   Json r;
   r.set("status", "BadRequest");
+  r.set("code", std::string(kBadRequestCode));
   r.set("error", what);
   return r;
 }
@@ -16,135 +31,27 @@ Json error_reply(const std::string& what) {
 Json status_reply(OpStatus s) {
   Json r;
   r.set("status", std::string(to_string(s)));
+  r.set("code", std::string(error_mapping(s).code));
   return r;
 }
 
 }  // namespace
 
-/// The gateway's view of a client.  core::MusicClient and cluster::Client
-/// expose the same op surface, so both adapters are pure forwarding; the
-/// verb code below never branches on the deployment shape.
-class RestGateway::Backend {
- public:
-  virtual ~Backend() = default;
-  virtual sim::Task<Result<LockRef>> create_lock_ref(Key key) = 0;
-  virtual sim::Task<Status> acquire_lock(Key key, LockRef ref) = 0;
-  virtual sim::Task<Status> critical_put(Key key, LockRef ref,
-                                         Value value) = 0;
-  virtual sim::Task<Result<Value>> critical_get(Key key, LockRef ref) = 0;
-  virtual sim::Task<Status> critical_delete(Key key, LockRef ref) = 0;
-  virtual sim::Task<std::vector<core::BatchOpResult>> execute_batch(
-      Key key, LockRef ref, std::vector<core::BatchOp> ops) = 0;
-  virtual sim::Task<Status> release_lock(Key key, LockRef ref) = 0;
-  virtual sim::Task<Status> forced_release(Key key, LockRef ref) = 0;
-  virtual sim::Task<Status> put(Key key, Value value) = 0;
-  virtual sim::Task<Result<Value>> get(Key key) = 0;
-  virtual sim::Task<Result<std::vector<Key>>> get_all_keys(Key prefix) = 0;
-  virtual int shard_count() const = 0;
-  virtual uint64_t map_epoch() const = 0;
-};
+const ErrorMapping& error_mapping(OpStatus s) {
+  auto idx = static_cast<size_t>(s);
+  static_assert(std::size(kErrorTable) ==
+                static_cast<size_t>(OpStatus::WrongShard) + 1);
+  if (idx >= std::size(kErrorTable)) idx = static_cast<size_t>(OpStatus::Nack);
+  return kErrorTable[idx];
+}
 
-namespace {
-
-class CoreBackend final : public RestGateway::Backend {
- public:
-  explicit CoreBackend(core::MusicClient& c) : c_(c) {}
-  sim::Task<Result<LockRef>> create_lock_ref(Key key) override {
-    co_return co_await c_.create_lock_ref(std::move(key));
+int http_status_for_code(std::string_view code) {
+  if (code == kBadRequestCode) return 400;
+  for (const ErrorMapping& m : kErrorTable) {
+    if (m.code == code) return m.http_status;
   }
-  sim::Task<Status> acquire_lock(Key key, LockRef ref) override {
-    co_return co_await c_.acquire_lock(std::move(key), ref);
-  }
-  sim::Task<Status> critical_put(Key key, LockRef ref, Value value) override {
-    co_return co_await c_.critical_put(std::move(key), ref, std::move(value));
-  }
-  sim::Task<Result<Value>> critical_get(Key key, LockRef ref) override {
-    co_return co_await c_.critical_get(std::move(key), ref);
-  }
-  sim::Task<Status> critical_delete(Key key, LockRef ref) override {
-    co_return co_await c_.critical_delete(std::move(key), ref);
-  }
-  sim::Task<std::vector<core::BatchOpResult>> execute_batch(
-      Key key, LockRef ref, std::vector<core::BatchOp> ops) override {
-    co_return co_await c_.execute_batch(std::move(key), ref, std::move(ops));
-  }
-  sim::Task<Status> release_lock(Key key, LockRef ref) override {
-    co_return co_await c_.release_lock(std::move(key), ref);
-  }
-  sim::Task<Status> forced_release(Key key, LockRef ref) override {
-    co_return co_await c_.forced_release(std::move(key), ref);
-  }
-  sim::Task<Status> put(Key key, Value value) override {
-    co_return co_await c_.put(std::move(key), std::move(value));
-  }
-  sim::Task<Result<Value>> get(Key key) override {
-    co_return co_await c_.get(std::move(key));
-  }
-  sim::Task<Result<std::vector<Key>>> get_all_keys(Key prefix) override {
-    co_return co_await c_.get_all_keys(std::move(prefix));
-  }
-  int shard_count() const override { return 1; }
-  uint64_t map_epoch() const override { return 0; }
-
- private:
-  core::MusicClient& c_;
-};
-
-class ClusterBackend final : public RestGateway::Backend {
- public:
-  explicit ClusterBackend(cluster::Client& c) : c_(c) {}
-  sim::Task<Result<LockRef>> create_lock_ref(Key key) override {
-    co_return co_await c_.create_lock_ref(std::move(key));
-  }
-  sim::Task<Status> acquire_lock(Key key, LockRef ref) override {
-    co_return co_await c_.acquire_lock(std::move(key), ref);
-  }
-  sim::Task<Status> critical_put(Key key, LockRef ref, Value value) override {
-    co_return co_await c_.critical_put(std::move(key), ref, std::move(value));
-  }
-  sim::Task<Result<Value>> critical_get(Key key, LockRef ref) override {
-    co_return co_await c_.critical_get(std::move(key), ref);
-  }
-  sim::Task<Status> critical_delete(Key key, LockRef ref) override {
-    co_return co_await c_.critical_delete(std::move(key), ref);
-  }
-  sim::Task<std::vector<core::BatchOpResult>> execute_batch(
-      Key key, LockRef ref, std::vector<core::BatchOp> ops) override {
-    co_return co_await c_.execute_batch(std::move(key), ref, std::move(ops));
-  }
-  sim::Task<Status> release_lock(Key key, LockRef ref) override {
-    co_return co_await c_.release_lock(std::move(key), ref);
-  }
-  sim::Task<Status> forced_release(Key key, LockRef ref) override {
-    co_return co_await c_.forced_release(std::move(key), ref);
-  }
-  sim::Task<Status> put(Key key, Value value) override {
-    co_return co_await c_.put(std::move(key), std::move(value));
-  }
-  sim::Task<Result<Value>> get(Key key) override {
-    co_return co_await c_.get(std::move(key));
-  }
-  sim::Task<Result<std::vector<Key>>> get_all_keys(Key prefix) override {
-    co_return co_await c_.get_all_keys(std::move(prefix));
-  }
-  int shard_count() const override { return c_.cluster().num_shards(); }
-  uint64_t map_epoch() const override {
-    return c_.cluster().snapshot()->epoch();
-  }
-
- private:
-  cluster::Client& c_;
-};
-
-}  // namespace
-
-RestGateway::RestGateway(core::MusicClient& client)
-    : backend_(std::make_unique<CoreBackend>(client)) {}
-
-RestGateway::RestGateway(cluster::Client& client)
-    : backend_(std::make_unique<ClusterBackend>(client)) {}
-
-RestGateway::~RestGateway() = default;
+  return 500;
+}
 
 sim::Task<Json> RestGateway::handle_json(Json request) {
   if (!request.is_object()) co_return error_reply("body must be an object");
@@ -154,8 +61,8 @@ sim::Task<Json> RestGateway::handle_json(Json request) {
     // Keyless deployment introspection: how the keyspace is sharded and
     // which ShardMap epoch is current (1 / 0 for a core-backed gateway).
     Json reply = status_reply(OpStatus::Ok);
-    reply.set("shard_count", static_cast<int64_t>(backend_->shard_count()));
-    reply.set("map_epoch", static_cast<int64_t>(backend_->map_epoch()));
+    reply.set("shard_count", static_cast<int64_t>(client_.shard_count()));
+    reply.set("map_epoch", static_cast<int64_t>(client_.map_epoch()));
     co_return reply;
   }
   if (!request["key"].is_string() || request["key"].as_string().empty()) {
@@ -165,52 +72,52 @@ sim::Task<Json> RestGateway::handle_json(Json request) {
   LockRef ref = request["lockRef"].as_int(kNoLockRef);
 
   if (op == "createLockRef") {
-    auto r = co_await backend_->create_lock_ref(key);
+    auto r = co_await client_.create_lock_ref(key);
     Json reply = status_reply(r.status());
     if (r.ok()) reply.set("lockRef", r.value());
     co_return reply;
   }
   if (op == "acquireLock") {
     if (ref == kNoLockRef) co_return error_reply("missing lockRef");
-    auto st = co_await backend_->acquire_lock(key, ref);
+    auto st = co_await client_.acquire_lock(key, ref);
     co_return status_reply(st.status());
   }
   if (op == "criticalPut") {
     if (ref == kNoLockRef) co_return error_reply("missing lockRef");
     if (!request["value"].is_string()) co_return error_reply("missing value");
-    auto st = co_await backend_->critical_put(key, ref,
+    auto st = co_await client_.critical_put(key, ref,
                                             Value(request["value"].as_string()));
     co_return status_reply(st.status());
   }
   if (op == "criticalGet") {
     if (ref == kNoLockRef) co_return error_reply("missing lockRef");
-    auto r = co_await backend_->critical_get(key, ref);
+    auto r = co_await client_.critical_get(key, ref);
     Json reply = status_reply(r.status());
     if (r.ok()) reply.set("value", r.value().data);
     co_return reply;
   }
   if (op == "criticalDelete") {
     if (ref == kNoLockRef) co_return error_reply("missing lockRef");
-    auto st = co_await backend_->critical_delete(key, ref);
+    auto st = co_await client_.critical_delete(key, ref);
     co_return status_reply(st.status());
   }
   if (op == "releaseLock") {
     if (ref == kNoLockRef) co_return error_reply("missing lockRef");
-    auto st = co_await backend_->release_lock(key, ref);
+    auto st = co_await client_.release_lock(key, ref);
     co_return status_reply(st.status());
   }
   if (op == "forcedRelease") {
     if (ref == kNoLockRef) co_return error_reply("missing lockRef");
-    auto st = co_await backend_->forced_release(key, ref);
+    auto st = co_await client_.forced_release(key, ref);
     co_return status_reply(st.status());
   }
   if (op == "put") {
     if (!request["value"].is_string()) co_return error_reply("missing value");
-    auto st = co_await backend_->put(key, Value(request["value"].as_string()));
+    auto st = co_await client_.put(key, Value(request["value"].as_string()));
     co_return status_reply(st.status());
   }
   if (op == "get") {
-    auto r = co_await backend_->get(key);
+    auto r = co_await client_.get(key);
     Json reply = status_reply(r.status());
     if (r.ok()) reply.set("value", r.value().data);
     co_return reply;
@@ -221,7 +128,7 @@ sim::Task<Json> RestGateway::handle_json(Json request) {
     if (!ops_json.is_array()) co_return error_reply("missing ops array");
     // Validate every entry before executing anything: a malformed batch is
     // rejected whole, without touching the store.
-    std::vector<core::BatchOp> ops;
+    std::vector<wire::BatchOp> ops;
     std::vector<bool> is_get;
     ops.reserve(ops_json.as_array().size());
     for (const Json& e : ops_json.as_array()) {
@@ -235,24 +142,25 @@ sim::Task<Json> RestGateway::handle_json(Json request) {
         if (!e["value"].is_string()) {
           co_return error_reply("batch put missing value");
         }
-        ops.emplace_back(core::BatchOp::Kind::Put, std::move(sub_key),
+        ops.emplace_back(wire::BatchOp::Kind::Put, std::move(sub_key),
                          Value(e["value"].as_string()));
       } else if (sub == "get") {
-        ops.emplace_back(core::BatchOp::Kind::Get, std::move(sub_key), Value());
+        ops.emplace_back(wire::BatchOp::Kind::Get, std::move(sub_key), Value());
       } else if (sub == "delete") {
-        ops.emplace_back(core::BatchOp::Kind::Delete, std::move(sub_key),
+        ops.emplace_back(wire::BatchOp::Kind::Delete, std::move(sub_key),
                          Value());
       } else {
         co_return error_reply("unknown batch op '" + sub + "'");
       }
       is_get.push_back(sub == "get");
     }
-    auto rs = co_await backend_->execute_batch(key, ref, std::move(ops));
-    Json reply = status_reply(core::batch_status(rs));
+    auto rs = co_await client_.execute_batch(key, ref, std::move(ops));
+    Json reply = status_reply(wire::batch_status(rs));
     Json results;
     for (size_t i = 0; i < rs.size(); ++i) {
       Json entry;
       entry.set("status", std::string(to_string(rs[i].status)));
+      entry.set("code", std::string(error_mapping(rs[i].status).code));
       if (is_get[i] && rs[i].status == OpStatus::Ok) {
         entry.set("value", rs[i].value.data);
       }
@@ -262,7 +170,7 @@ sim::Task<Json> RestGateway::handle_json(Json request) {
     co_return reply;
   }
   if (op == "getAllKeys") {
-    auto r = co_await backend_->get_all_keys(key);
+    auto r = co_await client_.get_all_keys(key);
     Json reply = status_reply(r.status());
     if (r.ok()) {
       Json keys;

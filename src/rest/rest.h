@@ -1,9 +1,10 @@
 // The MUSIC REST front end (§VI, Fig. 1): MUSIC "is provided ... as a
 // multi-site REST web service".
 //
-// RestGateway translates JSON request bodies into Table I operations via a
-// MusicClient and formats JSON replies, mirroring the ONAP deployment where
-// non-JVM services drive MUSIC over HTTP.  Request shape:
+// RestGateway translates JSON request bodies into Table I operations via
+// the shared api::ClientApi seam and formats JSON replies, mirroring the
+// ONAP deployment where non-JVM services drive MUSIC over HTTP.  Request
+// shape:
 //
 //   { "op":  "createLockRef" | "acquireLock" | "criticalPut" |
 //            "criticalGet"   | "criticalDelete" | "releaseLock" |
@@ -11,7 +12,13 @@
 //            "status",
 //     "key": "...", "lockRef": 7, "value": "..." }
 //
-// Reply: { "status": "Ok"|..., "lockRef": n?, "value": "..."?, "keys": []? }
+// Reply: { "status": "Ok"|..., "code": "ok"|..., "lockRef": n?,
+//          "value": "..."?, "keys": []? }
+//
+// Every reply carries a stable machine-readable "code" drawn from ONE
+// OpStatus -> (HTTP status, code) table (error_mapping below; documented in
+// docs/API.md).  The real-socket gateway maps replies to HTTP statuses with
+// http_status_for_code — no second switch anywhere.
 //
 // "batch" ships an ordered vector of critical ops under one lockRef (one
 // wire request, coalesced quorum rounds server-side):
@@ -23,34 +30,48 @@
 //
 // Reply: { "status": <roll-up>, "results": [ { "status": ..., "value"? }, … ] }
 //
-// A gateway can be bound to a plain core::MusicClient (one MUSIC group) or
-// to a cluster::Client (sharded deployment) — every verb then routes
-// through the ShardMap with the WrongShard retry discipline.  "status"
-// (keyless) reports the deployment shape: shard_count and map_epoch are
-// 1/0 when core-backed.
+// A gateway binds any api::ClientApi — a plain core::MusicClient (one MUSIC
+// group) or a cluster::Client (sharded deployment; every verb then routes
+// through the ShardMap with the WrongShard retry discipline).  "status"
+// (keyless) reports the deployment shape via the interface's shard_count /
+// map_epoch.
 //
-// Malformed bodies get {"status":"BadRequest","error":...} without touching
-// the store.
+// Malformed bodies get {"status":"BadRequest","code":"bad_request",...}
+// without touching the store.
 #pragma once
 
-#include <memory>
 #include <string>
+#include <string_view>
 
-#include "core/client.h"
+#include "api/client_api.h"
 #include "rest/json.h"
-
-namespace music::cluster {
-class Client;
-}  // namespace music::cluster
 
 namespace music::rest {
 
-/// JSON-over-"HTTP" gateway bound to one MusicClient or cluster::Client.
+/// One row of the REST error table: how an OpStatus crosses the HTTP
+/// boundary.  `code` is the stable machine-readable identifier clients
+/// switch on (the human-readable "status" string is for eyes and logs).
+struct ErrorMapping {
+  OpStatus status;
+  int http_status;
+  std::string_view code;
+};
+
+/// The single OpStatus -> (HTTP status, JSON error code) mapping, shared by
+/// every reply path (docs/API.md lists it verbatim).
+const ErrorMapping& error_mapping(OpStatus s);
+
+/// Reply code for syntactically invalid requests (no OpStatus involved).
+inline constexpr std::string_view kBadRequestCode = "bad_request";
+
+/// HTTP status for a reply produced by RestGateway::handle, looked up by
+/// its "code" field (bad_request included).  Unknown codes map to 500.
+int http_status_for_code(std::string_view code);
+
+/// JSON-over-HTTP gateway bound to any api::ClientApi implementation.
 class RestGateway {
  public:
-  explicit RestGateway(core::MusicClient& client);
-  explicit RestGateway(cluster::Client& client);
-  ~RestGateway();
+  explicit RestGateway(api::ClientApi& client) : client_(client) {}
 
   /// Handles one request body; returns the reply body.  Never throws;
   /// syntactic problems come back as status "BadRequest".
@@ -59,13 +80,8 @@ class RestGateway {
   /// Typed layer used by handle() (exposed for tests): Json in, Json out.
   sim::Task<Json> handle_json(Json request);
 
-  /// Backend-polymorphic op surface (core- or cluster-bound), defined in
-  /// rest.cc so verb handling stays single-path.  Public only so the
-  /// concrete adapters in rest.cc can derive from it.
-  class Backend;
-
  private:
-  std::unique_ptr<Backend> backend_;
+  api::ClientApi& client_;
 };
 
 }  // namespace music::rest

@@ -182,6 +182,13 @@ class Simulation {
   /// True when no events are pending.
   bool idle() const { return wheel_count_ == 0 && heap_.empty(); }
 
+  /// Timestamp of the next pending event, or kTimeNever when idle.  Lets a
+  /// real-time host (the TCP backend's event loop) sleep in epoll exactly
+  /// until the simulation's next timer instead of polling.
+  Time peek_next_event_at() {
+    return idle() ? kTimeNever : next_event_at();
+  }
+
   /// Number of pending events (diagnostics).
   size_t pending() const { return wheel_count_ + heap_.size(); }
 

@@ -1,0 +1,320 @@
+#include "wire/codec.h"
+
+#include <cstring>
+#include <limits>
+
+namespace music::wire {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitive writers: little-endian, byte-wise (alignment- and UB-safe).
+
+void put_u8(std::string& out, uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void put_u16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_i64(std::string& out, int64_t v) { put_u64(out, static_cast<uint64_t>(v)); }
+
+void put_bytes(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+void put_value(std::string& out, const Value& v) {
+  put_bytes(out, v.data);
+  put_u64(out, static_cast<uint64_t>(v.logical_size));
+}
+
+void put_cell(std::string& out, const WireCell& c) {
+  put_value(out, c.value);
+  put_i64(out, c.ts);
+}
+
+// ---------------------------------------------------------------------------
+// Primitive readers: a bounds-checked cursor.  Every get_* returns false on
+// truncation and leaves the cursor untouched on failure, so parse_* can
+// simply chain `&&`.
+
+struct Reader {
+  const char* p;
+  size_t left;
+
+  explicit Reader(std::string_view s) : p(s.data()), left(s.size()) {}
+
+  bool get_u8(uint8_t& v) {
+    if (left < 1) return false;
+    v = static_cast<uint8_t>(*p);
+    ++p;
+    --left;
+    return true;
+  }
+
+  bool get_u32(uint32_t& v) {
+    if (left < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    p += 4;
+    left -= 4;
+    return true;
+  }
+
+  bool get_u64(uint64_t& v) {
+    if (left < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    p += 8;
+    left -= 8;
+    return true;
+  }
+
+  bool get_i64(int64_t& v) {
+    uint64_t u;
+    if (!get_u64(u)) return false;
+    v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool get_bool(bool& v) {
+    uint8_t b;
+    if (!get_u8(b)) return false;
+    if (b > 1) return false;  // canonical bools only
+    v = b != 0;
+    return true;
+  }
+
+  bool get_bytes(std::string& out) {
+    uint32_t n;
+    if (!get_u32(n)) return false;
+    if (left < n) return false;
+    out.assign(p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+
+  bool get_value(Value& v) {
+    uint64_t logical;
+    if (!get_bytes(v.data) || !get_u64(logical)) return false;
+    v.logical_size = static_cast<size_t>(logical);
+    return true;
+  }
+
+  bool get_cell(WireCell& c) { return get_value(c.value) && get_i64(c.ts); }
+
+  /// A vector length.  Bounded by the remaining payload (each element costs
+  /// at least one byte in every layout we use, so a count beyond `left` is
+  /// corrupt — reject before reserving memory for it).
+  bool get_count(uint32_t& n) { return get_u32(n) && n <= left; }
+
+  bool done() const { return left == 0; }
+};
+
+// ---------------------------------------------------------------------------
+// Frame header.
+
+std::string make_frame(FrameType type, uint64_t req_id, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  // len = version + type + flags + req_id + payload.
+  put_u32(out, static_cast<uint32_t>(kFrameHeaderBytes - 4 + payload.size()));
+  put_u8(out, kWireVersion);
+  put_u8(out, static_cast<uint8_t>(type));
+  put_u16(out, 0);  // flags
+  put_u64(out, req_id);
+  out += payload;
+  return out;
+}
+
+// Enum range checks (one place per enum, next to the casts that trust them).
+bool valid_op(uint8_t v) { return v <= static_cast<uint8_t>(Request::Op::Batch); }
+bool valid_batch_kind(uint8_t v) { return v <= static_cast<uint8_t>(BatchOp::Kind::Delete); }
+bool valid_store_op(uint8_t v) { return v <= static_cast<uint8_t>(StoreOp::Commit); }
+bool valid_status(uint8_t v) { return v <= static_cast<uint8_t>(OpStatus::WrongShard); }
+
+}  // namespace
+
+FrameStatus peel_frame(const char* data, size_t size, FrameView& out) {
+  if (size < 4) return FrameStatus::NeedMore;
+  Reader r(std::string_view(data, size));
+  uint32_t len = 0;
+  r.get_u32(len);
+  if (len < kFrameHeaderBytes - 4 || len > kMaxFrameBytes) return FrameStatus::Bad;
+  // Validate whatever header bytes have already arrived before asking for
+  // more, so a hostile length prefix on a garbage frame is rejected without
+  // buffering megabytes first.
+  uint8_t version = 0, type = 0;
+  if (r.left >= 1) {
+    r.get_u8(version);
+    if (version != kWireVersion) return FrameStatus::Bad;
+  }
+  if (r.left >= 1) {
+    r.get_u8(type);
+    if (type < static_cast<uint8_t>(FrameType::ClientRequest) ||
+        type > static_cast<uint8_t>(FrameType::StoreReply)) {
+      return FrameStatus::Bad;
+    }
+  }
+  if (size < 4 + static_cast<size_t>(len)) return FrameStatus::NeedMore;
+  uint8_t flags_a = 0, flags_b = 0;
+  uint64_t req_id = 0;
+  r.get_u8(flags_a);
+  r.get_u8(flags_b);
+  if (flags_a != 0 || flags_b != 0) return FrameStatus::Bad;
+  r.get_u64(req_id);
+  out.type = static_cast<FrameType>(type);
+  out.req_id = req_id;
+  out.frame_bytes = 4 + static_cast<size_t>(len);
+  out.payload = std::string_view(data + kFrameHeaderBytes, out.frame_bytes - kFrameHeaderBytes);
+  return FrameStatus::Ok;
+}
+
+// ---------------------------------------------------------------------------
+// Client request / response.
+
+std::string encode_request(uint64_t req_id, const Request& req) {
+  std::string p;
+  put_u8(p, static_cast<uint8_t>(req.op));
+  put_bytes(p, req.key);
+  put_i64(p, req.ref);
+  put_value(p, req.value);
+  put_u32(p, static_cast<uint32_t>(req.batch.size()));
+  for (const auto& b : req.batch) {
+    put_u8(p, static_cast<uint8_t>(b.kind));
+    put_bytes(p, b.key);
+    put_value(p, b.value);
+  }
+  return make_frame(FrameType::ClientRequest, req_id, p);
+}
+
+std::optional<Request> parse_request(std::string_view payload) {
+  Reader r(payload);
+  Request req;
+  uint8_t op;
+  if (!r.get_u8(op) || !valid_op(op)) return std::nullopt;
+  req.op = static_cast<Request::Op>(op);
+  uint32_t n;
+  if (!r.get_bytes(req.key) || !r.get_i64(req.ref) || !r.get_value(req.value) ||
+      !r.get_count(n)) {
+    return std::nullopt;
+  }
+  req.batch.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    BatchOp b;
+    uint8_t kind;
+    if (!r.get_u8(kind) || !valid_batch_kind(kind) || !r.get_bytes(b.key) ||
+        !r.get_value(b.value)) {
+      return std::nullopt;
+    }
+    b.kind = static_cast<BatchOp::Kind>(kind);
+    req.batch.push_back(std::move(b));
+  }
+  if (!r.done()) return std::nullopt;
+  return req;
+}
+
+std::string encode_response(uint64_t req_id, const Response& resp) {
+  std::string p;
+  put_u8(p, static_cast<uint8_t>(resp.status));
+  put_i64(p, resp.ref);
+  put_value(p, resp.value);
+  put_u32(p, static_cast<uint32_t>(resp.keys.size()));
+  for (const auto& k : resp.keys) put_bytes(p, k);
+  put_u32(p, static_cast<uint32_t>(resp.batch.size()));
+  for (const auto& b : resp.batch) {
+    put_u8(p, static_cast<uint8_t>(b.status));
+    put_value(p, b.value);
+  }
+  return make_frame(FrameType::ClientResponse, req_id, p);
+}
+
+std::optional<Response> parse_response(std::string_view payload) {
+  Reader r(payload);
+  Response resp;
+  uint8_t status;
+  if (!r.get_u8(status) || !valid_status(status)) return std::nullopt;
+  resp.status = static_cast<OpStatus>(status);
+  uint32_t nkeys;
+  if (!r.get_i64(resp.ref) || !r.get_value(resp.value) || !r.get_count(nkeys)) {
+    return std::nullopt;
+  }
+  resp.keys.reserve(nkeys);
+  for (uint32_t i = 0; i < nkeys; ++i) {
+    Key k;
+    if (!r.get_bytes(k)) return std::nullopt;
+    resp.keys.push_back(std::move(k));
+  }
+  uint32_t nbatch;
+  if (!r.get_count(nbatch)) return std::nullopt;
+  resp.batch.reserve(nbatch);
+  for (uint32_t i = 0; i < nbatch; ++i) {
+    BatchOpResult b;
+    uint8_t s;
+    if (!r.get_u8(s) || !valid_status(s) || !r.get_value(b.value)) return std::nullopt;
+    b.status = static_cast<OpStatus>(s);
+    resp.batch.push_back(std::move(b));
+  }
+  if (!r.done()) return std::nullopt;
+  return resp;
+}
+
+// ---------------------------------------------------------------------------
+// Store request / reply.
+
+std::string encode_store_request(uint64_t req_id, const StoreRequest& msg) {
+  std::string p;
+  put_u8(p, static_cast<uint8_t>(msg.op));
+  put_bytes(p, msg.key);
+  put_cell(p, msg.cell);
+  put_i64(p, msg.ballot);
+  return make_frame(FrameType::StoreRequest, req_id, p);
+}
+
+std::optional<StoreRequest> parse_store_request(std::string_view payload) {
+  Reader r(payload);
+  StoreRequest msg;
+  uint8_t op;
+  if (!r.get_u8(op) || !valid_store_op(op)) return std::nullopt;
+  msg.op = static_cast<StoreOp>(op);
+  if (!r.get_bytes(msg.key) || !r.get_cell(msg.cell) || !r.get_i64(msg.ballot)) {
+    return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;
+  return msg;
+}
+
+std::string encode_store_reply(uint64_t req_id, const StoreReply& msg) {
+  std::string p;
+  put_u8(p, msg.ok ? 1 : 0);
+  put_i64(p, msg.ballot);
+  put_u8(p, msg.has_cell ? 1 : 0);
+  put_cell(p, msg.cell);
+  put_i64(p, msg.cell_ballot);
+  put_u32(p, static_cast<uint32_t>(msg.from));
+  return make_frame(FrameType::StoreReply, req_id, p);
+}
+
+std::optional<StoreReply> parse_store_reply(std::string_view payload) {
+  Reader r(payload);
+  StoreReply msg;
+  uint32_t from;
+  if (!r.get_bool(msg.ok) || !r.get_i64(msg.ballot) || !r.get_bool(msg.has_cell) ||
+      !r.get_cell(msg.cell) || !r.get_i64(msg.cell_ballot) || !r.get_u32(from)) {
+    return std::nullopt;
+  }
+  msg.from = static_cast<int32_t>(from);
+  if (!r.done()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace music::wire

@@ -1,0 +1,97 @@
+// Length-prefixed, versioned binary framing for the wire messages.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------------
+//        0     4  len      — bytes that FOLLOW the length field (header rest
+//                            + payload); bounded by kMaxFrameBytes
+//        4     1  version  — kWireVersion; unknown versions are rejected
+//        5     1  type     — FrameType discriminator for the payload
+//        6     2  flags    — reserved, must be 0 (room for compression etc.)
+//        8     8  req_id   — correlates a response frame to its request on a
+//                            multiplexed connection
+//       16   len-12 payload — type-specific body
+//
+// Inside payloads: integers are fixed-width little-endian written byte-wise
+// (no type punning, UB-free on any alignment), strings/blobs are a u32
+// length followed by raw bytes, Value is blob + u64 logical_size, vectors
+// are a u32 count followed by elements.
+//
+// Parsing is strict: truncated frames, trailing payload garbage, out-of-range
+// enum values, non-zero flags and oversized length prefixes are all rejected
+// by returning nullopt / FrameStatus::Bad — never by crashing.  A reader
+// that gets Bad must drop the connection (framing is lost).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "wire/messages.h"
+
+namespace music::wire {
+
+/// Codec version stamped into every frame.  Bump on any incompatible layout
+/// change; parsers reject frames from versions they do not speak.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Hard ceiling on `len` (bytes after the length field).  Anything larger is
+/// a corrupt or hostile frame — reject before buffering.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Bytes before the payload: len(4) + version(1) + type(1) + flags(2) +
+/// req_id(8).
+inline constexpr size_t kFrameHeaderBytes = 16;
+
+/// Payload discriminator.
+enum class FrameType : uint8_t {
+  ClientRequest = 1,   // wire::Request
+  ClientResponse = 2,  // wire::Response
+  StoreRequest = 3,    // wire::StoreRequest
+  StoreReply = 4,      // wire::StoreReply
+};
+
+/// One complete frame as seen by a reader, pointing into the reader's
+/// buffer.  Valid only until the buffer is consumed.
+struct FrameView {
+  FrameType type = FrameType::ClientRequest;
+  uint64_t req_id = 0;
+  std::string_view payload;
+  /// Total bytes this frame occupies in the buffer (4 + len): how much the
+  /// caller must consume before peeling the next frame.
+  size_t frame_bytes = 0;
+};
+
+/// Result of trying to peel one frame off the front of a byte buffer.
+enum class FrameStatus {
+  /// A complete, well-formed frame header; `out` is filled in.  The payload
+  /// itself still needs parse_*().
+  Ok,
+  /// Not enough buffered bytes yet — read more and retry.
+  NeedMore,
+  /// Unrecoverable framing error (bad version, bad type, oversized or
+  /// undersized length, non-zero flags).  Drop the connection.
+  Bad,
+};
+
+/// Examines the front of [data, data+size) for one frame.  Does not consume;
+/// on Ok the caller advances by out.frame_bytes.
+FrameStatus peel_frame(const char* data, size_t size, FrameView& out);
+
+/// Encoders: one full frame (header + payload) ready to write to a socket.
+std::string encode_request(uint64_t req_id, const Request& req);
+std::string encode_response(uint64_t req_id, const Response& resp);
+std::string encode_store_request(uint64_t req_id, const StoreRequest& msg);
+std::string encode_store_reply(uint64_t req_id, const StoreReply& msg);
+
+/// Payload parsers, fed FrameView::payload.  nullopt on any malformation:
+/// truncation, trailing bytes, out-of-range enums.
+std::optional<Request> parse_request(std::string_view payload);
+std::optional<Response> parse_response(std::string_view payload);
+std::optional<StoreRequest> parse_store_request(std::string_view payload);
+std::optional<StoreReply> parse_store_reply(std::string_view payload);
+
+}  // namespace music::wire

@@ -1,0 +1,194 @@
+// The wire vocabulary: every message that crosses a process boundary.
+//
+// Two seams carry all MUSIC traffic (Fig. 1):
+//   * the client seam — Request/Response between a client library and a
+//     MUSIC replica (Table I operations, plus the PR 3 Batch op), and
+//   * the store seam — StoreRequest/StoreReply between data-store replicas
+//     (replicated writes, reads, and the three LWT Paxos phases).
+//
+// These structs are the single source of truth for both transports: the sim
+// backend moves them in-memory (zero serialization, costs charged from the
+// explicit byte counts protocol code supplies), the TCP backend frames them
+// through wire/codec.h.  They deliberately depend only on the common
+// vocabulary types — no sim, no datastore — so the codec and the net layer
+// sit below every protocol library.
+//
+// NOTE on the user-declared constructors: these types cross Task<> coroutine
+// boundaries by value, and GCC 12 miscompiles by-value *aggregate* coroutine
+// parameters with non-trivial members (see the note on ds::Cell).  Keep the
+// constructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "common/v2s.h"
+
+namespace music::wire {
+
+/// One operation of a Batch request: a critical put/get/delete to run under
+/// the batch's lockRef.
+struct BatchOp {
+  enum class Kind : uint8_t { Put, Get, Delete };
+
+  Kind kind = Kind::Get;
+  Key key;
+  Value value;  // Put payload; ignored for Get/Delete
+
+  BatchOp() = default;
+  BatchOp(Kind k, Key key_, Value v)
+      : kind(k), key(std::move(key_)), value(std::move(v)) {}
+};
+
+/// Per-sub-op outcome of a Batch, aligned with the request's op vector.
+struct BatchOpResult {
+  OpStatus status = OpStatus::Timeout;
+  Value value;  // Get payload when status == Ok
+
+  BatchOpResult() = default;
+  explicit BatchOpResult(OpStatus s) : status(s) {}
+  BatchOpResult(OpStatus s, Value v) : status(s), value(std::move(v)) {}
+};
+
+/// Rolls per-sub-op statuses up to one batch-level status: the first status
+/// that is neither Ok nor NotFound (a Get on an absent key is a normal
+/// answer, not a batch failure), else Ok.
+inline OpStatus batch_status(const std::vector<BatchOpResult>& results) {
+  for (const auto& r : results) {
+    if (r.status != OpStatus::Ok && r.status != OpStatus::NotFound) {
+      return r.status;
+    }
+  }
+  return OpStatus::Ok;
+}
+
+/// The request a client sends to a MUSIC replica (Fig. 1's client-to-MUSIC
+/// hop).
+struct Request {
+  enum class Op : uint8_t {
+    CreateLockRef,
+    AcquireLock,
+    CriticalPut,
+    CriticalGet,
+    CriticalDelete,
+    ReleaseLock,
+    ForcedRelease,
+    PutEventual,
+    GetEventual,
+    GetAllKeys,
+    /// An ordered vector of critical puts/gets/deletes under one lockRef,
+    /// shipped as one request (the pipelined-session wire op).
+    Batch,
+  };
+
+  Op op = Op::GetEventual;
+  Key key;
+  LockRef ref = kNoLockRef;
+  Value value;
+  std::vector<BatchOp> batch;  // Op::Batch only
+
+  Request() = default;
+  Request(Op o, Key k, LockRef r, Value v)
+      : op(o), key(std::move(k)), ref(r), value(std::move(v)) {}
+  Request(Op o, Key k, LockRef r, std::vector<BatchOp> ops)
+      : op(o), key(std::move(k)), ref(r), batch(std::move(ops)) {}
+
+  /// Payload size for network/CPU cost accounting.
+  size_t bytes() const {
+    size_t n = key.size() + value.size() + 24;
+    for (const auto& b : batch) n += b.key.size() + b.value.size() + 8;
+    return n;
+  }
+};
+
+/// The reply.
+struct Response {
+  OpStatus status = OpStatus::Timeout;
+  LockRef ref = kNoLockRef;
+  Value value;
+  std::vector<Key> keys;
+  std::vector<BatchOpResult> batch;  // per-sub-op outcomes (Op::Batch)
+
+  Response() = default;
+  explicit Response(OpStatus s) : status(s) {}
+  Response(OpStatus s, LockRef r, Value v, std::vector<Key> ks)
+      : status(s), ref(r), value(std::move(v)), keys(std::move(ks)) {}
+
+  size_t bytes() const {
+    size_t n = value.size() + 32;
+    for (const auto& k : keys) n += k.size();
+    for (const auto& b : batch) n += b.value.size() + 8;
+    return n;
+  }
+};
+
+/// A versioned value as it crosses the store seam: the payload plus the
+/// scalar timestamp that orders it (the mirror of ds::Cell, kept separate so
+/// the wire layer does not depend on the datastore).
+struct WireCell {
+  Value value;
+  ScalarTs ts = -1;
+
+  WireCell() = default;
+  WireCell(Value v, ScalarTs t) : value(std::move(v)), ts(t) {}
+};
+
+/// The five inter-replica store operations.  Write carries the replicated
+/// put (also read-repair pushes and hint replays, distinguished only by the
+/// MsgKind tag for counters); Read fetches the replica's local cell; the
+/// Paxos trio are Cassandra's LWT phases.
+enum class StoreOp : uint8_t { Write, Read, Prepare, Accept, Commit };
+
+/// One message between store replicas.
+struct StoreRequest {
+  StoreOp op = StoreOp::Read;
+  Key key;
+  WireCell cell;       // Write/Accept/Commit payload
+  int64_t ballot = -1;  // Prepare/Accept/Commit
+
+  StoreRequest() = default;
+  StoreRequest(StoreOp o, Key k, WireCell c, int64_t b)
+      : op(o), key(std::move(k)), cell(std::move(c)), ballot(b) {}
+
+  static StoreRequest write(Key k, WireCell c) {
+    return StoreRequest(StoreOp::Write, std::move(k), std::move(c), -1);
+  }
+  static StoreRequest read(Key k) {
+    return StoreRequest(StoreOp::Read, std::move(k), WireCell(), -1);
+  }
+  static StoreRequest prepare(Key k, int64_t b) {
+    return StoreRequest(StoreOp::Prepare, std::move(k), WireCell(), b);
+  }
+  static StoreRequest accept(Key k, WireCell c, int64_t b) {
+    return StoreRequest(StoreOp::Accept, std::move(k), std::move(c), b);
+  }
+  static StoreRequest commit(Key k, WireCell c, int64_t b) {
+    return StoreRequest(StoreOp::Commit, std::move(k), std::move(c), b);
+  }
+};
+
+/// The reply to any StoreRequest.  Field meaning by op:
+///   Write/Commit: ok = acknowledged.
+///   Read:         ok = served; has_cell/cell = the replica's local view;
+///                 from = responder (read-repair needs the stale node's id).
+///   Prepare:      ok = promised; ballot = acceptor's promise; has_cell +
+///                 cell + cell_ballot = an accepted-but-uncommitted proposal
+///                 the coordinator must replay.
+///   Accept:       ok = accepted; ballot = acceptor's promise.
+struct StoreReply {
+  bool ok = false;
+  int64_t ballot = -1;
+  bool has_cell = false;
+  WireCell cell;
+  int64_t cell_ballot = -1;
+  int32_t from = -1;
+
+  StoreReply() = default;
+  StoreReply(bool o, int64_t b) : ok(o), ballot(b) {}
+};
+
+}  // namespace music::wire

@@ -1,0 +1,136 @@
+// musicd: one MUSIC site as a real process.
+//
+// Hosts site N of the paper's 3-site deployment (Fig. 1) over TCP: the
+// site's store replica and MUSIC replica listen on real sockets, and the
+// store coordinator reaches the other sites' store replicas through
+// TcpTransport routes.  Three musicd processes on loopback form the same
+// world every sim test runs in-memory — same protocol code, same wire
+// structs, framed through wire/codec.h instead of moved by sim::Network.
+//
+// Every process constructs the FULL world (3 store nodes + 3 MUSIC
+// replicas) in the same order, so node ids agree across processes; only the
+// hosted site's replicas are served, the rest are inert locals.  Port
+// layout is explicit and symmetric — each process gets the whole map:
+//
+//   musicd --site 1 --store-ports 7001,7002,7003 --music-ports 7101,7102,7103
+//
+// serves store node 1 on 7002 and MUSIC replica (site 1) on 7102, and
+// routes store nodes 0 and 2 to 127.0.0.1:7001 / 127.0.0.1:7003.
+// SIGINT/SIGTERM stop the loop and exit cleanly (the demo asserts this).
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/music.h"
+#include "datastore/store.h"
+#include "lockstore/lockstore.h"
+#include "net/event_loop.h"
+#include "net/tcp.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace {
+
+music::net::EventLoop* g_loop = nullptr;
+
+void on_signal(int) {
+  if (g_loop != nullptr) g_loop->stop();
+}
+
+std::vector<uint16_t> parse_ports(const char* arg) {
+  std::vector<uint16_t> ports;
+  std::string s(arg);
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    ports.push_back(static_cast<uint16_t>(
+        strtoul(s.substr(pos, comma - pos).c_str(), nullptr, 10)));
+    pos = comma + 1;
+  }
+  return ports;
+}
+
+int usage() {
+  fprintf(stderr,
+          "usage: musicd --site N --store-ports p0,p1,p2 "
+          "--music-ports m0,m1,m2 [--host H]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int site = -1;
+  std::vector<uint16_t> store_ports, music_ports;
+  std::string host = "127.0.0.1";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (strcmp(argv[i], "--site") == 0) site = atoi(argv[++i]);
+    else if (strcmp(argv[i], "--store-ports") == 0)
+      store_ports = parse_ports(argv[++i]);
+    else if (strcmp(argv[i], "--music-ports") == 0)
+      music_ports = parse_ports(argv[++i]);
+    else if (strcmp(argv[i], "--host") == 0) host = argv[++i];
+  }
+  constexpr int kSites = 3;
+  if (site < 0 || site >= kSites ||
+      store_ports.size() != kSites || music_ports.size() != kSites) {
+    return usage();
+  }
+
+  using namespace music;
+
+  // The same world every sim test builds, in the same construction order:
+  // store nodes get ids 0..2, MUSIC replicas 3..5 — identical in all three
+  // processes, so a node id names the same role everywhere.
+  sim::Simulation sim(1);
+  net::EventLoop loop(sim);
+  net::TcpTransport tcp(loop);
+  sim::Network net(sim, sim::NetworkConfig{});  // id registry only; the
+                                                // fabric is the TcpTransport
+  ds::StoreCluster store(sim, net, ds::StoreConfig{},
+                         std::vector<int>{0, 1, 2}, &tcp);
+  ls::LockStore locks(store);
+  std::vector<std::unique_ptr<core::MusicReplica>> reps;
+  for (int s = 0; s < kSites; ++s) {
+    reps.push_back(std::make_unique<core::MusicReplica>(
+        store, locks, core::MusicConfig{}, s));
+  }
+
+  // Serve this site's two roles; everything else is reached by route.
+  ds::StoreReplica& my_store = store.replica(site);
+  auto serve_store = [&my_store](const wire::StoreRequest& m) {
+    return my_store.serve_store(m);
+  };
+  uint16_t sp = tcp.listen_for(my_store.node(), store_ports[site], nullptr,
+                               serve_store);
+  uint16_t mp = tcp.listen_for(reps[site]->node(), music_ports[site],
+                               core::serve_request_fn(*reps[site]), nullptr);
+  if (sp == 0 || mp == 0) {
+    fprintf(stderr, "musicd[%d]: bind failed (store=%u music=%u)\n", site, sp,
+            mp);
+    return 1;
+  }
+  for (int s = 0; s < kSites; ++s) {
+    if (s == site) continue;
+    tcp.route(store.replica(s).node(), host, store_ports[s]);
+  }
+  reps[site]->start_failure_detector();
+
+  signal(SIGINT, on_signal);
+  signal(SIGTERM, on_signal);
+  g_loop = &loop;
+  fprintf(stderr, "musicd[%d]: store node %d on %s:%u, music node %d on %s:%u\n",
+          site, static_cast<int>(my_store.node()), host.c_str(), sp,
+          static_cast<int>(reps[site]->node()), host.c_str(), mp);
+  fflush(stderr);
+  loop.run();
+  g_loop = nullptr;
+  fprintf(stderr, "musicd[%d]: clean shutdown\n", site);
+  return 0;
+}
