@@ -161,11 +161,10 @@ void MusicClient::note_result(size_t idx, bool responsive) {
 
 sim::Duration decorrelated_backoff(const ClientConfig& cfg, sim::Rng& rng,
                                    sim::Duration prev) {
-  double lo = static_cast<double>(cfg.retry_backoff_base);
-  double hi = std::min(static_cast<double>(cfg.retry_backoff_cap),
-                       3.0 * static_cast<double>(prev));
-  if (hi <= lo) return cfg.retry_backoff_base;
-  return static_cast<sim::Duration>(rng.uniform_real(lo, hi));
+  // The jitter math lives at the sim layer (sim/rng.h) so the TCP reconnect
+  // loop — which sits below src/core — shares the exact same scheme.
+  return sim::decorrelated_backoff(cfg.retry_backoff_base, cfg.retry_backoff_cap,
+                                   prev, rng);
 }
 
 sim::Duration MusicClient::next_backoff(sim::Duration prev) {

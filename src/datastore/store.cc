@@ -171,6 +171,12 @@ void StoreReplica::wipe_state() {
   ballot_round_ = 0;
 }
 
+void StoreReplica::reset_volatile() {
+  acceptors_.clear();
+  hints_.clear();
+  ballot_round_ = 0;
+}
+
 sim::Task<Status> StoreReplica::put(Key key, Cell cell, Consistency level) {
   sim::OpSpan span(sim(), "store.put", site_, node_, key);
   auto targets = cluster_.placement(key);
@@ -443,6 +449,22 @@ sim::Task<Result<LwtOutcome>> StoreReplica::lwt(Key key,
     if (!d.apply) {
       co_return Result<LwtOutcome>::Ok(LwtOutcome{false, current});
     }
+
+    // When no explicit timestamp is supplied the commit's LWW timestamp is
+    // our ballot, and ballot_round_ is volatile: a coordinator restarted
+    // from a table snapshot mints ballots below the ballot-stamped rows it
+    // reloaded (a freshly restarted quorum has no acceptor promises left
+    // to refuse them either — promises are volatile too).  Committing with
+    // b <= current->ts would clear every Paxos phase yet lose LWW at apply
+    // time on all replicas: an acked update that never becomes visible.
+    // Outrun the row and retry.  With acceptor state intact this never
+    // fires — accepts raise promised ballots at every reachable node, so
+    // prepare refusal already keeps lagging coordinators out.
+    if (current && !d.ts && static_cast<ScalarTs>(b) <= current->ts) {
+      advance_ballot_past(current->ts);
+      continue;
+    }
+
     Cell cell{d.new_value, d.ts.value_or(static_cast<ScalarTs>(b))};
 
     // ---- Round 3: propose / accept.

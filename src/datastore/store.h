@@ -289,6 +289,14 @@ class StoreReplica {
   /// of the fault, not a bug in it.  Pair with set_down via the nemesis.
   void wipe_state();
 
+  /// Process restart from a table snapshot: keeps the table, discards what
+  /// a real restart discards — Paxos acceptor promises, queued hints and
+  /// the ballot counter (musicd's --state-file persists only table rows).
+  /// Models the restart-onto-new-binary fault against the in-process
+  /// world; lwt() must stay correct with ballots reset under a reloaded
+  /// ballot-stamped table.
+  void reset_volatile();
+
   /// Raw table size (diagnostics).
   size_t table_size() const { return table_.size(); }
 

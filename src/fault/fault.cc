@@ -237,6 +237,29 @@ bool parse_clause(std::string_view clause, FaultSpec* spec, ClauseError* err) {
     }
     return true;
   }
+  if (verb == "restart") {
+    if (n < 4 || !parse_int(toks[3], &spec->site) || spec->site < 0) {
+      return fail(err, "restart wants \"SITE [version INT] [amnesia]\"", verb);
+    }
+    spec->kind = FaultKind::Restart;
+    size_t i = 4;
+    if (i < n && toks[i] == "version") {
+      if (i + 1 >= n || !parse_int(toks[i + 1], &spec->version) ||
+          spec->version < 1) {
+        return fail(err, "restart version wants a positive INT",
+                    i + 1 < n ? toks[i + 1] : verb);
+      }
+      i += 2;
+    }
+    if (i < n && toks[i] == "amnesia") {
+      spec->amnesia = true;
+      ++i;
+    }
+    if (i != n) {
+      return fail(err, "trailing tokens after restart spec", toks[i]);
+    }
+    return true;
+  }
   return fail(err, "unknown fault \"" + std::string(verb) + "\"", verb);
 }
 
@@ -265,6 +288,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::Duplication: return "duplication";
     case FaultKind::CrashStore: return "crash_store";
     case FaultKind::CrashMusic: return "crash_music";
+    case FaultKind::Restart: return "restart";
   }
   return "unknown";
 }
@@ -294,6 +318,11 @@ std::string FaultSpec::describe() const {
     case FaultKind::CrashMusic:
       out = kind == FaultKind::CrashStore ? "crash store " : "crash music ";
       out += std::to_string(replica);
+      if (amnesia) out += " (amnesia)";
+      break;
+    case FaultKind::Restart:
+      out = "restart site " + std::to_string(site);
+      if (version > 0) out += " version=" + std::to_string(version);
       if (amnesia) out += " (amnesia)";
       break;
   }
@@ -446,6 +475,18 @@ Schedule& Schedule::crash_music_at(sim::Time at, int replica,
   s.at = at;
   s.duration = dur;
   s.replica = replica;
+  s.amnesia = amnesia;
+  return add(std::move(s));
+}
+
+Schedule& Schedule::restart_at(sim::Time at, int site, sim::Duration dur,
+                               int version, bool amnesia) {
+  FaultSpec s;
+  s.kind = FaultKind::Restart;
+  s.at = at;
+  s.duration = dur;
+  s.site = site;
+  s.version = version;
   s.amnesia = amnesia;
   return add(std::move(s));
 }

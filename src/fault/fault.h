@@ -40,6 +40,12 @@ enum class FaultKind : uint8_t {
   CrashStore,
   /// Crash (and later restart) a MUSIC replica.
   CrashMusic,
+  /// Bounce a whole site (its store + MUSIC replicas, or the musicd
+  /// process): graceful drain, down for `duration`, then back — optionally
+  /// onto a binary pinned to a different max wire version (`version`), and
+  /// optionally with volatile state wiped (`amnesia`).  This is the
+  /// rolling-upgrade step as a first-class fault.
+  Restart,
 };
 
 /// Stable lowercase name ("partition", "gray_link", "crash_store", ...).
@@ -72,6 +78,13 @@ struct FaultSpec {
   /// Restart with volatile state wiped (amnesia) instead of durable state.
   bool amnesia = false;
 
+  // Restart (rolling upgrade).
+  /// Which site to bounce.
+  int site = -1;
+  /// Max wire version the restarted process advertises; 0 = keep whatever
+  /// it was running (a plain restart, not an up/downgrade).
+  int version = 0;
+
   /// Human/trace-readable one-liner: "partition {0}|{1,2}", "gray 0>1
   /// loss=0.3 delay=50ms", "crash store 1 (amnesia)".
   std::string describe() const;
@@ -102,8 +115,13 @@ class Schedule {
   ///            | "spike" LINK "delay" TIME
   ///            | "dup" LINK "prob" FLOAT
   ///            | "crash" ("store"|"music") INT ["amnesia"]
+  ///            | "restart" INT ["version" INT] ["amnesia"]
   ///   LINK    := INT ">" INT  (directed)  |  INT "<>" INT  (both ways)
   ///   TIME    := NUMBER ("us"|"ms"|"s")
+  ///
+  /// "restart" bounces a whole site; its "for TIME" is the downtime before
+  /// the site comes back (0 = back immediately).  "version K" restarts it
+  /// onto a binary whose max wire version is K (the rolling-upgrade step).
   ///
   /// Returns nullopt on a malformed script; if `error` is non-null it
   /// receives a description of the first problem (with its line/column).
@@ -133,6 +151,8 @@ class Schedule {
                            bool amnesia = false);
   Schedule& crash_music_at(sim::Time at, int replica, sim::Duration dur = 0,
                            bool amnesia = false);
+  Schedule& restart_at(sim::Time at, int site, sim::Duration dur = 0,
+                       int version = 0, bool amnesia = false);
 
   const std::vector<FaultSpec>& specs() const { return specs_; }
   bool empty() const { return specs_.empty(); }

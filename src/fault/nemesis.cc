@@ -19,6 +19,7 @@ const char* span_name(FaultKind k) {
     case FaultKind::Duplication: return "fault.duplication";
     case FaultKind::CrashStore: return "fault.crash_store";
     case FaultKind::CrashMusic: return "fault.crash_music";
+    case FaultKind::Restart: return "fault.restart";
   }
   return "fault.unknown";
 }
@@ -91,6 +92,13 @@ void Nemesis::inject(const FaultSpec& spec) {
       }
       ++counters_.music_crashes;
       break;
+    case FaultKind::Restart:
+      if (hooks_.restart_site) {
+        hooks_.restart_site(spec.site, /*down=*/true, spec.amnesia,
+                            spec.version);
+      }
+      ++counters_.restarts;
+      break;
   }
   if (obs::Tracer* t = sim_.tracer()) {
     f.span = t->begin(span_name(spec.kind), sim_.now(), /*parent=*/0,
@@ -127,6 +135,12 @@ void Nemesis::heal(uint64_t id) {
         hooks_.crash_music(f.spec.replica, /*down=*/false, f.spec.amnesia);
       }
       break;
+    case FaultKind::Restart:
+      if (hooks_.restart_site) {
+        hooks_.restart_site(f.spec.site, /*down=*/false, f.spec.amnesia,
+                            f.spec.version);
+      }
+      break;
   }
   if (obs::Tracer* t = sim_.tracer()) t->end(f.span, sim_.now());
   ++counters_.heals;
@@ -142,6 +156,7 @@ void Nemesis::export_metrics(obs::MetricsRegistry& reg) const {
   reg.set("nemesis.link_faults", counters_.link_faults);
   reg.set("nemesis.crashes.store", counters_.store_crashes);
   reg.set("nemesis.crashes.music", counters_.music_crashes);
+  reg.set("nemesis.restarts", counters_.restarts);
   reg.set("nemesis.heals", counters_.heals);
   reg.set("nemesis.open", open_.size());
 }

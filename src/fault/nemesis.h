@@ -34,6 +34,12 @@ namespace music::fault {
 struct NemesisHooks {
   std::function<void(int replica, bool down, bool amnesia)> crash_store;
   std::function<void(int replica, bool down, bool amnesia)> crash_music;
+  /// Bounce a whole site (rolling-upgrade step).  `down` is true when the
+  /// site drains and stops, false when it comes back.  `version` is the max
+  /// wire version the restarted process should advertise (0 = unchanged);
+  /// it is only meaningful on the `down=false` call.
+  std::function<void(int site, bool down, bool amnesia, int version)>
+      restart_site;
 };
 
 /// Executes FaultSpecs: immediately (inject), or on the sim clock (arm).
@@ -44,6 +50,7 @@ class Nemesis {
     uint64_t link_faults = 0;   // link fault specs begun
     uint64_t store_crashes = 0;
     uint64_t music_crashes = 0;
+    uint64_t restarts = 0;      // site bounces begun (rolling-upgrade steps)
     uint64_t heals = 0;         // faults ended (timed or heal_all)
   };
 

@@ -197,7 +197,8 @@ void HttpServer::finish(uint64_t conn_id, HttpResponse resp) {
 
 void HttpServer::flush(Conn& c) {
   while (!c.outbuf.empty()) {
-    ssize_t n = write(c.fd, c.outbuf.data(), c.outbuf.size());
+    // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the server.
+    ssize_t n = send(c.fd, c.outbuf.data(), c.outbuf.size(), MSG_NOSIGNAL);
     if (n > 0) {
       c.outbuf.erase(0, static_cast<size_t>(n));
       continue;

@@ -9,14 +9,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
 namespace music::net {
 
 namespace {
-
-constexpr sim::Duration kReconnectBackoff = sim::ms(200);
 
 bool set_nonblocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
@@ -28,10 +27,28 @@ void set_nodelay(int fd) {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/// The retryable store-seam result synthesized for an in-flight call whose
+/// connection died: a nack with no ballot promise and no cell.  Every
+/// consumer treats it exactly like a replica-side rejection — it counts as
+/// a (failed) response toward quorum waits and never toward success, so
+/// failing fast is safe for both the replication and the Paxos paths.
+wire::StoreReply store_nack(PeerId from) {
+  wire::StoreReply nack;
+  nack.ok = false;
+  nack.ballot = -1;
+  nack.has_cell = false;
+  nack.cell_ballot = -1;
+  nack.from = static_cast<int32_t>(from);
+  return nack;
+}
+
 }  // namespace
 
-TcpTransport::TcpTransport(EventLoop& loop)
-    : loop_(loop), sim_(loop.simulation()) {}
+TcpTransport::TcpTransport(EventLoop& loop, TcpOptions options)
+    : loop_(loop),
+      sim_(loop.simulation()),
+      options_(options),
+      backoff_rng_(options.backoff_seed) {}
 
 TcpTransport::~TcpTransport() {
   for (auto& l : listeners_) {
@@ -50,6 +67,32 @@ TcpTransport::~TcpTransport() {
     loop_.del_fd(c->fd);
     close(c->fd);
   }
+}
+
+// ---- Handshake helpers -----------------------------------------------------
+
+wire::PeelLimits TcpTransport::peel_limits(bool hello_ok, uint8_t version) const {
+  wire::PeelLimits lim;
+  lim.min_version = wire::kWireVersionMin;
+  // Before the handshake only the Hello (always v1-layout) is expected, but
+  // the peel window stays open to our full range so a peer's first frame is
+  // judged by TYPE at dispatch, not mis-reported as a version error.  After
+  // the handshake nothing above the pinned version may appear.
+  lim.max_version = hello_ok ? version : options_.wire_version_max;
+  if (lim.max_version < wire::kWireVersionMin) lim.max_version = wire::kWireVersionMin;
+  lim.max_frame_bytes = options_.max_frame_bytes;
+  return lim;
+}
+
+bool TcpTransport::accept_hello(const wire::FrameView& fv, uint8_t& version_out) {
+  if (fv.type != wire::FrameType::Hello) return false;
+  auto hello = wire::parse_hello(fv.payload);
+  if (!hello) return false;
+  auto v = wire::negotiate(options_.wire_version_min, options_.wire_version_max,
+                           hello->min, hello->max);
+  if (!v) return false;  // disjoint ranges: incompatible peer
+  version_out = *v;
+  return true;
 }
 
 // ---- Local endpoints -------------------------------------------------------
@@ -117,6 +160,13 @@ void TcpTransport::on_accept(size_t listener_idx) {
     inconns_[cid] = std::move(conn);
     loop_.add_fd(cfd, EPOLLIN,
                  [this, cid](uint32_t ev) { on_inconn_io(cid, ev); });
+    // Advertise our version range immediately; the peer does the same, and
+    // both sides pin the connection version on receipt.
+    wire::Hello hello;
+    hello.min = options_.wire_version_min;
+    hello.max = options_.wire_version_max;
+    hello.node = static_cast<uint32_t>(l.serves);
+    send_on_inconn(cid, wire::encode_hello(hello));
   }
 }
 
@@ -149,7 +199,7 @@ void TcpTransport::on_inconn_io(uint64_t conn_id, uint32_t events) {
       return;
     }
     if (!drain_serving(c)) {
-      close_inconn(conn_id);  // malformed frame: kill the connection
+      close_inconn(conn_id);  // malformed frame or drain: kill the connection
       return;
     }
     // drain_serving may have dispatched handlers that closed this conn.
@@ -161,9 +211,18 @@ void TcpTransport::on_inconn_io(uint64_t conn_id, uint32_t events) {
 bool TcpTransport::drain_serving(InConn& c) {
   while (true) {
     wire::FrameView fv;
-    wire::FrameStatus st = wire::peel_frame(c.inbuf.data(), c.inbuf.size(), fv);
+    wire::FrameStatus st = wire::peel_frame(c.inbuf.data(), c.inbuf.size(), fv,
+                                            peel_limits(c.hello_ok, c.version));
     if (st == wire::FrameStatus::NeedMore) return true;
-    if (st == wire::FrameStatus::Bad) return false;
+    if (st != wire::FrameStatus::Ok) return false;  // Bad or TooLarge
+    if (!c.hello_ok) {
+      // The handshake gate: nothing is served until the peer's Hello pins a
+      // version.  A request-before-Hello is a protocol violation.
+      if (!accept_hello(fv, c.version)) return false;
+      c.hello_ok = true;
+      c.inbuf.erase(0, fv.frame_bytes);
+      continue;
+    }
     auto lit = local_.find(c.serves);
     const LocalEndpoint* ep = lit == local_.end() ? nullptr : &lit->second;
     switch (fv.type) {
@@ -174,7 +233,7 @@ bool TcpTransport::drain_serving(InConn& c) {
           uint64_t cid = c.id;
           uint64_t rid = fv.req_id;
           RespondFn respond = [this, cid, rid](wire::Response resp) {
-            send_on_inconn(cid, wire::encode_response(rid, resp));
+            respond_on_inconn(cid, rid, resp);
           };
           ep->serve_request(std::move(*req), std::move(respond));
         }
@@ -185,15 +244,29 @@ bool TcpTransport::drain_serving(InConn& c) {
         if (!msg) return false;
         if (ep != nullptr && ep->serve_store) {
           wire::StoreReply reply = ep->serve_store(*msg);
-          send_on_inconn(c.id, wire::encode_store_reply(fv.req_id, reply));
+          send_on_inconn(c.id, wire::encode_store_reply(fv.req_id, reply, c.version));
         }
         break;
       }
+      case wire::FrameType::Goodbye:
+        // The peer is draining; it will not send more requests and no reply
+        // we still owe it can matter.  Clean close.
+        return false;
       default:
-        return false;  // responses never arrive on a serving connection
+        return false;  // responses / second Hellos never arrive here
     }
     c.inbuf.erase(0, fv.frame_bytes);
   }
+}
+
+void TcpTransport::respond_on_inconn(uint64_t conn_id, uint64_t req_id,
+                                     const wire::Response& resp) {
+  // Encoding is deferred to send time so the reply is stamped with the
+  // version the connection negotiated (and silently dropped if the
+  // requester is already gone).
+  auto it = inconns_.find(conn_id);
+  if (it == inconns_.end()) return;
+  send_on_inconn(conn_id, wire::encode_response(req_id, resp, it->second->version));
 }
 
 void TcpTransport::send_on_inconn(uint64_t conn_id, std::string frame) {
@@ -206,7 +279,9 @@ void TcpTransport::send_on_inconn(uint64_t conn_id, std::string frame) {
 
 void TcpTransport::flush_inconn(InConn& c) {
   while (!c.outbuf.empty()) {
-    ssize_t n = write(c.fd, c.outbuf.data(), c.outbuf.size());
+    // MSG_NOSIGNAL: a peer that closed first (e.g. mid rolling restart)
+    // must surface as EPIPE here, not kill the process with SIGPIPE.
+    ssize_t n = send(c.fd, c.outbuf.data(), c.outbuf.size(), MSG_NOSIGNAL);
     if (n > 0) {
       c.outbuf.erase(0, static_cast<size_t>(n));
       continue;
@@ -256,24 +331,74 @@ void TcpTransport::start_connect(PeerId id) {
     return;
   }
   p.fd = fd;
-  p.connected = (rc == 0);
+  p.connected = false;
   p.connecting = (rc != 0);
   uint32_t mask = p.connecting ? (EPOLLIN | EPOLLOUT)
                                : static_cast<uint32_t>(EPOLLIN);
   loop_.add_fd(fd, mask, [this, id](uint32_t ev) { on_peer_io(id, ev); });
+  if (rc == 0) on_peer_connected(id);
+}
+
+void TcpTransport::on_peer_connected(PeerId id) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return;
+  Peer& p = *it->second;
+  p.connecting = false;
+  p.connected = true;
+  // First bytes on the wire in each direction: our version advertisement.
+  // No payload frame is sent until the peer's Hello arrives (hello_ok), so
+  // the peer never sees a frame above the version it ends up pinning.
+  wire::Hello hello;
+  hello.min = options_.wire_version_min;
+  hello.max = options_.wire_version_max;
+  hello.node = options_.hello_node;
+  send_to_peer(p, wire::encode_hello(hello));
 }
 
 void TcpTransport::schedule_reconnect(PeerId id) {
   auto it = peers_.find(id);
   if (it == peers_.end() || it->second->reconnect_pending) return;
-  it->second->reconnect_pending = true;
-  sim_.schedule(kReconnectBackoff, [this, id] { start_connect(id); });
+  Peer& p = *it->second;
+  p.reconnect_pending = true;
+  // Decorrelated jitter, same scheme as client retries: spread out the
+  // reconnect stampede a restarted musicd would otherwise see from every
+  // peer at once, growing toward the cap while the peer stays down.
+  sim::Duration prev = p.backoff > 0 ? p.backoff : options_.reconnect_backoff_base;
+  p.backoff = sim::decorrelated_backoff(options_.reconnect_backoff_base,
+                                        options_.reconnect_backoff_cap, prev,
+                                        backoff_rng_);
+  // The generation token resolves the reconnect/handshake race: if anything
+  // re-established or re-failed this route before the timer fires, the gen
+  // moved on and this (stale) attempt must not touch the live connection.
+  uint64_t gen = p.gen;
+  sim_.schedule(p.backoff, [this, id, gen] {
+    auto pit = peers_.find(id);
+    if (pit == peers_.end() || pit->second->gen != gen) return;
+    if (pit->second->connected || pit->second->connecting) return;
+    start_connect(id);
+  });
+}
+
+void TcpTransport::fail_inflight(Peer& p) {
+  // Requests that were on the wire when the connection died fail FAST with
+  // a retryable result — not silently dropped (callers would burn a full
+  // timeout) and not resent here (redelivery is the retry layer's decision,
+  // so nothing can be duplicated by the transport).
+  for (auto& [rid, promise] : p.pending_invoke) {
+    promise.set_value(wire::Response(OpStatus::Timeout));
+  }
+  p.pending_invoke.clear();
+  for (auto& [rid, promise] : p.pending_store) {
+    promise.set_value(store_nack(-1));
+  }
+  p.pending_store.clear();
 }
 
 void TcpTransport::fail_peer(PeerId id) {
   auto it = peers_.find(id);
   if (it == peers_.end()) return;
   Peer& p = *it->second;
+  ++p.gen;  // invalidate any timer scheduled against the old connection
   if (p.fd >= 0) {
     loop_.del_fd(p.fd);
     close(p.fd);
@@ -281,12 +406,11 @@ void TcpTransport::fail_peer(PeerId id) {
   }
   p.connected = false;
   p.connecting = false;
+  p.hello_ok = false;
+  p.version = 0;
   p.inbuf.clear();
   p.outbuf.clear();
-  // Dropping the promises leaves their futures unfulfilled: exactly the
-  // sim's loss semantics — the callers' awaits time out and they retry.
-  p.pending_invoke.clear();
-  p.pending_store.clear();
+  fail_inflight(p);
   schedule_reconnect(id);
 }
 
@@ -302,9 +426,7 @@ void TcpTransport::on_peer_io(PeerId id, uint32_t events) {
       fail_peer(id);
       return;
     }
-    p.connecting = false;
-    p.connected = true;
-    loop_.mod_fd(p.fd, EPOLLIN | (p.outbuf.empty() ? 0u : uint32_t{EPOLLOUT}));
+    on_peer_connected(id);
   }
   if (events & (EPOLLHUP | EPOLLERR)) {
     fail_peer(id);
@@ -322,7 +444,15 @@ void TcpTransport::on_peer_io(PeerId id, uint32_t events) {
       fail_peer(id);
       return;
     }
-    if (!drain_peer(p)) {
+    bool drained = false;
+    if (!drain_peer(p, drained)) {
+      // Either a protocol violation or a Goodbye.  A Goodbye is the clean
+      // case: the peer is restarting/exiting, so tear down now — in-flight
+      // requests fail retryable immediately instead of waiting for the FIN
+      // — and let the backoff loop re-establish when the peer is back.  A
+      // violation before the handshake completed counts against the route's
+      // handshake diagnostics (incompatible or malformed Hello).
+      if (!drained && !p.hello_ok) ++p.handshake_failures;
       fail_peer(id);
       return;
     }
@@ -330,12 +460,22 @@ void TcpTransport::on_peer_io(PeerId id, uint32_t events) {
   if ((events & EPOLLOUT) && p.connected) flush_peer(id);
 }
 
-bool TcpTransport::drain_peer(Peer& p) {
+bool TcpTransport::drain_peer(Peer& p, bool& drained) {
+  drained = false;
   while (true) {
     wire::FrameView fv;
-    wire::FrameStatus st = wire::peel_frame(p.inbuf.data(), p.inbuf.size(), fv);
+    wire::FrameStatus st = wire::peel_frame(p.inbuf.data(), p.inbuf.size(), fv,
+                                            peel_limits(p.hello_ok, p.version));
     if (st == wire::FrameStatus::NeedMore) return true;
-    if (st == wire::FrameStatus::Bad) return false;
+    if (st != wire::FrameStatus::Ok) return false;  // Bad or TooLarge
+    if (!p.hello_ok) {
+      if (!accept_hello(fv, p.version)) return false;
+      p.hello_ok = true;
+      ++p.established_count;
+      p.backoff = 0;  // healthy again: next outage starts from the base pause
+      p.inbuf.erase(0, fv.frame_bytes);
+      continue;
+    }
     switch (fv.type) {
       case wire::FrameType::ClientResponse: {
         auto resp = wire::parse_response(fv.payload);
@@ -357,8 +497,15 @@ bool TcpTransport::drain_peer(Peer& p) {
         }
         break;
       }
+      case wire::FrameType::Goodbye: {
+        if (p.version < 2) return false;  // v1 connections cannot carry it
+        if (!wire::parse_goodbye(fv.payload)) return false;
+        p.inbuf.erase(0, fv.frame_bytes);
+        drained = true;
+        return false;  // stop draining; caller tears the connection down
+      }
       default:
-        return false;  // requests never arrive on an outbound connection
+        return false;  // requests / second Hellos never arrive here
     }
     p.inbuf.erase(0, fv.frame_bytes);
   }
@@ -368,7 +515,7 @@ void TcpTransport::send_to_peer(Peer& p, std::string frame) {
   p.outbuf.append(frame);
   if (!p.connected) return;  // flushed on connect completion
   while (!p.outbuf.empty()) {
-    ssize_t n = write(p.fd, p.outbuf.data(), p.outbuf.size());
+    ssize_t n = send(p.fd, p.outbuf.data(), p.outbuf.size(), MSG_NOSIGNAL);
     if (n > 0) {
       p.outbuf.erase(0, static_cast<size_t>(n));
       continue;
@@ -387,6 +534,28 @@ void TcpTransport::flush_peer(PeerId id) {
   send_to_peer(*it->second, std::string());
 }
 
+// ---- Drain -----------------------------------------------------------------
+
+void TcpTransport::announce_drain(wire::GoodbyeReason reason) {
+  // Serving side: tell every connected client we are going away so its
+  // in-flight requests fail fast at its end (v2+ connections; v1 peers see
+  // the plain close that follows).
+  for (auto& [cid, c] : inconns_) {
+    if (c->hello_ok && c->version >= 2) {
+      send_on_inconn(cid, wire::encode_goodbye(reason, c->version));
+    }
+  }
+  // Outbound side: same notice to peers we call, then fail our own
+  // in-flight requests retryable — the process is about to exit and no
+  // reply can be delivered to the caller coroutines after that.
+  for (auto& [id, p] : peers_) {
+    if (p->connected && p->hello_ok && p->version >= 2) {
+      send_to_peer(*p, wire::encode_goodbye(reason, p->version));
+    }
+    fail_inflight(*p);
+  }
+}
+
 // ---- Transport -------------------------------------------------------------
 
 sim::Future<wire::Response> TcpTransport::invoke(PeerId self, PeerId peer,
@@ -403,12 +572,13 @@ sim::Future<wire::Response> TcpTransport::invoke(PeerId self, PeerId peer,
     return reply.future();
   }
   auto pit = peers_.find(peer);
-  if (pit == peers_.end() || !pit->second->connected) {
+  if (pit == peers_.end() || !pit->second->hello_ok) {
     return reply.future();  // no route / link down: lost, caller times out
   }
   uint64_t id = next_req_id_++;
   pit->second->pending_invoke.emplace(id, reply);
-  send_to_peer(*pit->second, wire::encode_request(id, req));
+  send_to_peer(*pit->second,
+               wire::encode_request(id, req, pit->second->version));
   return reply.future();
 }
 
@@ -433,19 +603,20 @@ sim::Future<wire::StoreReply> TcpTransport::store_call(
     return p.future();
   }
   auto pit = peers_.find(peer);
-  if (pit == peers_.end() || !pit->second->connected) {
+  if (pit == peers_.end() || !pit->second->hello_ok) {
     return p.future();
   }
   uint64_t id = next_req_id_++;
   pit->second->pending_store.emplace(id, p);
-  send_to_peer(*pit->second, wire::encode_store_request(id, msg));
+  send_to_peer(*pit->second,
+               wire::encode_store_request(id, msg, pit->second->version));
   return p.future();
 }
 
 bool TcpTransport::peer_up(PeerId peer) const {
   if (local_.find(peer) != local_.end()) return true;
   auto it = peers_.find(peer);
-  return it != peers_.end() && it->second->connected;
+  return it != peers_.end() && it->second->hello_ok;
 }
 
 bool TcpTransport::reachable(PeerId self, PeerId peer) const {
@@ -455,8 +626,26 @@ bool TcpTransport::reachable(PeerId self, PeerId peer) const {
 
 int TcpTransport::connected_peers() const {
   int n = 0;
-  for (const auto& [id, p] : peers_) n += p->connected ? 1 : 0;
+  for (const auto& [id, p] : peers_) n += p->hello_ok ? 1 : 0;
   return n;
+}
+
+std::vector<PeerInfo> TcpTransport::peer_info() const {
+  std::vector<PeerInfo> out;
+  out.reserve(peers_.size());
+  for (const auto& [id, p] : peers_) {
+    PeerInfo info;
+    info.id = id;
+    info.connected = p->hello_ok;
+    info.wire_version = p->hello_ok ? p->version : 0;
+    info.reconnects =
+        p->established_count > 0 ? p->established_count - 1 : 0;
+    info.handshake_failures = p->handshake_failures;
+    out.push_back(info);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PeerInfo& a, const PeerInfo& b) { return a.id < b.id; });
+  return out;
 }
 
 }  // namespace music::net

@@ -11,12 +11,26 @@
 //   * bind_local(id, ...)      — serve node `id` in-process only
 //     (self-calls and co-hosted nodes short-circuit, no socket);
 //   * route(id, host, port)    — reach remote node `id` at host:port over
-//     one outbound connection, auto-reconnecting with backoff.
+//     one outbound connection, auto-reconnecting with decorrelated-jitter
+//     backoff.
 //
-// Loss model matches the sim's: a request sent while the route is down, or
-// whose connection dies before the reply, leaves the future unfulfilled —
-// callers already bound every wait with await_with_timeout.  A malformed
-// frame kills its connection (never the process).
+// Version handshake (docs/TRANSPORT.md): both sides of every connection send
+// a Hello frame advertising their [min,max] wire-version range the moment
+// the connection is up; the highest common version is pinned for the
+// connection's lifetime and stamps every subsequent frame.  No payload frame
+// moves in either direction until the peer's Hello has arrived, so a v2 node
+// never shows a v2 frame to a v1 peer.  A malformed or incompatible Hello
+// kills only that connection (outbound routes keep retrying with backoff —
+// the peer may restart onto a compatible binary).
+//
+// Loss model matches the sim's for requests that never made it onto a
+// connection: sent while the route is down → future unfulfilled, caller's
+// await times out.  Requests that WERE in flight when their connection died
+// (peer crash, Goodbye drain, framing violation) are instead failed fast
+// with a retryable result — Response{Timeout} on the client seam, a
+// StoreReply nack on the store seam — never silently lost and never
+// resent by the transport (retry stays the caller's decision, so nothing is
+// duplicated).
 #pragma once
 
 #include <cstdint>
@@ -27,13 +41,46 @@
 
 #include "net/event_loop.h"
 #include "net/transport.h"
+#include "sim/rng.h"
 #include "wire/codec.h"
 
 namespace music::net {
 
+/// Tuning knobs for a TcpTransport.  Defaults match production; tests narrow
+/// them to provoke rejections (a tiny frame limit, a pinned version range).
+struct TcpOptions {
+  /// Wire-version range advertised in Hellos and accepted from peers.
+  /// Narrowing max to 1 makes this process a "v1 binary" for mixed-version
+  /// fleets (musicd --wire-max-version).
+  uint8_t wire_version_min = wire::kWireVersionMin;
+  uint8_t wire_version_max = wire::kWireVersionMax;
+  /// Per-connection inbound frame ceiling; larger length prefixes are
+  /// rejected with FrameStatus::TooLarge and the connection is dropped.
+  uint32_t max_frame_bytes = wire::kMaxFrameBytes;
+  /// Reconnect backoff window: decorrelated jitter in [base, cap]
+  /// (sim::decorrelated_backoff — the same scheme as client retries).
+  sim::Duration reconnect_backoff_base = sim::ms(50);
+  sim::Duration reconnect_backoff_cap = sim::ms(2000);
+  /// Seed for the backoff jitter stream (deterministic under the sim clock).
+  uint64_t backoff_seed = 0x7C93;
+  /// Node id stamped into outgoing Hellos, for the peer's diagnostics.
+  uint32_t hello_node = 0;
+};
+
+/// Per-route diagnostics surfaced in GET /v1/status and the metrics
+/// registry: which wire version each live connection negotiated and how
+/// churned the route has been.
+struct PeerInfo {
+  PeerId id = -1;
+  bool connected = false;     // handshake complete, requests flowing
+  uint8_t wire_version = 0;   // negotiated version; 0 until established
+  uint64_t reconnects = 0;    // successful re-establishments after the first
+  uint64_t handshake_failures = 0;  // Hellos rejected (malformed/incompatible)
+};
+
 class TcpTransport final : public Transport {
  public:
-  explicit TcpTransport(EventLoop& loop);
+  explicit TcpTransport(EventLoop& loop, TcpOptions options = {});
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
@@ -51,8 +98,15 @@ class TcpTransport final : public Transport {
                   ServeStoreFn serve_store);
 
   /// Routes calls for node `id` to the process listening at host:port.
-  /// Connects immediately and reconnects with backoff after any failure.
+  /// Connects immediately and reconnects with jittered backoff after any
+  /// failure.
   void route(PeerId id, std::string host, uint16_t port);
+
+  /// Graceful-drain notice: sends a Goodbye frame on every established
+  /// connection whose negotiated version carries it (v2+), then fails this
+  /// side's in-flight requests as retryable.  v1 peers see a plain close.
+  /// Call before exiting/re-execing (musicd's SIGTERM path).
+  void announce_drain(wire::GoodbyeReason reason);
 
   // ---- Transport -----------------------------------------------------------
 
@@ -67,15 +121,19 @@ class TcpTransport final : public Transport {
                                            sim::MsgKind kind,
                                            sim::MsgKind reply_kind) override;
 
-  /// Local nodes are always up; remote nodes are up while their connection
-  /// is established.
+  /// Local nodes are always up; remote nodes are up once their connection
+  /// has completed the version handshake.
   bool peer_up(PeerId peer) const override;
   bool reachable(PeerId self, PeerId peer) const override;
 
   EventLoop& loop() { return loop_; }
+  const TcpOptions& options() const { return options_; }
 
-  /// Connections currently established to remote peers (diagnostics).
+  /// Connections currently established (handshake complete) to remote peers.
   int connected_peers() const;
+
+  /// Per-route handshake/churn diagnostics, sorted by peer id.
+  std::vector<PeerInfo> peer_info() const;
 
  private:
   struct LocalEndpoint {
@@ -90,7 +148,17 @@ class TcpTransport final : public Transport {
     int fd = -1;
     bool connected = false;      // TCP established
     bool connecting = false;     // nonblocking connect in flight
+    bool hello_ok = false;       // peer's Hello accepted, version pinned
+    uint8_t version = 0;         // negotiated wire version once hello_ok
     bool reconnect_pending = false;
+    /// Bumped on every connection teardown; timer callbacks carry the
+    /// generation they were scheduled under and no-op when stale, so a
+    /// reconnect racing a fresh handshake resolves deterministically in
+    /// favour of whichever connection attempt is current.
+    uint64_t gen = 0;
+    sim::Duration backoff = 0;   // previous jittered pause (0 = fresh)
+    uint64_t established_count = 0;
+    uint64_t handshake_failures = 0;
     std::string inbuf;
     std::string outbuf;
     std::unordered_map<uint64_t, sim::Promise<wire::Response>> pending_invoke;
@@ -102,6 +170,8 @@ class TcpTransport final : public Transport {
     uint64_t id = 0;
     int fd = -1;
     PeerId serves = -1;
+    bool hello_ok = false;
+    uint8_t version = 0;
     std::string inbuf;
     std::string outbuf;
   };
@@ -113,7 +183,11 @@ class TcpTransport final : public Transport {
 
   void start_connect(PeerId id);
   void on_peer_io(PeerId id, uint32_t events);
+  void on_peer_connected(PeerId id);
+  /// Tears the connection down.  In-flight requests are failed retryable
+  /// (see file comment); the route reconnects with backoff.
   void fail_peer(PeerId id);
+  void fail_inflight(Peer& p);
   void schedule_reconnect(PeerId id);
   void send_to_peer(Peer& p, std::string frame);
   void flush_peer(PeerId id);
@@ -121,20 +195,32 @@ class TcpTransport final : public Transport {
   void on_accept(size_t listener_idx);
   void on_inconn_io(uint64_t conn_id, uint32_t events);
   void close_inconn(uint64_t conn_id);
+  void respond_on_inconn(uint64_t conn_id, uint64_t req_id, const wire::Response& resp);
   void send_on_inconn(uint64_t conn_id, std::string frame);
   void flush_inconn(InConn& c);
+
+  /// The acceptance window for peel_frame on a connection: pre-handshake
+  /// only Hello-compatible frames, post-handshake everything up to the
+  /// pinned version; the frame ceiling applies throughout.
+  wire::PeelLimits peel_limits(bool hello_ok, uint8_t version) const;
+  /// Validates and applies a peer's Hello; false = kill the connection.
+  bool accept_hello(const wire::FrameView& fv, uint8_t& version_out);
 
   /// Peels and dispatches every complete frame in a serving connection's
   /// buffer; false = protocol violation, caller must kill the connection.
   bool drain_serving(InConn& c);
-  /// Same for an outbound connection (responses/replies).
-  bool drain_peer(Peer& p);
+  /// Same for an outbound connection (responses/replies).  Sets
+  /// `drained` when the peer announced a Goodbye (clean teardown, not a
+  /// protocol violation).
+  bool drain_peer(Peer& p, bool& drained);
 
   void dispatch_local_invoke(const LocalEndpoint& ep, wire::Request req,
                              sim::Promise<wire::Response> reply);
 
   EventLoop& loop_;
   sim::Simulation& sim_;
+  TcpOptions options_;
+  sim::Rng backoff_rng_;
   std::unordered_map<PeerId, LocalEndpoint> local_;
   std::unordered_map<PeerId, std::unique_ptr<Peer>> peers_;
   std::vector<Listener> listeners_;

@@ -1,5 +1,7 @@
 #include "scenario/run.h"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <exception>
@@ -19,6 +21,7 @@
 #include "raftkv/txkv.h"
 #include "sim/simulation.h"
 #include "verify/oracle.h"
+#include "wire/codec.h"
 #include "workload/driver.h"
 #include "workload/zipfian.h"
 #include "zab/zab.h"
@@ -108,6 +111,20 @@ std::vector<int> cell_placement(const Cell& cell) {
 std::vector<int> node_sites(int n) {
   std::vector<int> v;
   for (int i = 0; i < n; ++i) v.push_back(i % 3);
+  return v;
+}
+
+/// Per-site max wire versions for a cell ("" = the current binary's full
+/// range everywhere).  The versions axis is already grammar-validated
+/// (V:V:V, each 1..9).
+std::array<uint8_t, 3> cell_versions(const Cell& cell) {
+  std::array<uint8_t, 3> v{wire::kWireVersionMax, wire::kWireVersionMax,
+                           wire::kWireVersionMax};
+  const std::string& s = cell.versions();
+  if (s.size() == 5) {
+    v = {static_cast<uint8_t>(s[0] - '0'), static_cast<uint8_t>(s[2] - '0'),
+         static_cast<uint8_t>(s[4] - '0')};
+  }
   return v;
 }
 
@@ -301,6 +318,21 @@ void collect_net(sim::Simulation& sim, sim::Network& net, CellOutcome* out) {
   out->events = sim.events_run();
 }
 
+/// The fleet's negotiated wire-version floor given per-site max versions:
+/// the lowest version any site pair pins, or 0 if some pair shares none.
+int fleet_floor(const std::array<uint8_t, 3>& site_versions) {
+  int floor = 255;
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = i + 1; j < 3; ++j) {
+      auto v = wire::negotiate(wire::kWireVersionMin, site_versions[i],
+                               wire::kWireVersionMin, site_versions[j]);
+      if (!v.has_value()) return 0;
+      floor = std::min(floor, static_cast<int>(*v));
+    }
+  }
+  return floor;
+}
+
 /// Arms the nemesis with the cell's fault schedule (already validated at
 /// spec level; a parse failure here is an internal error).
 bool arm_faults(const Cell& cell, fault::Nemesis& nemesis, CellOutcome* out) {
@@ -353,6 +385,24 @@ CellOutcome run_music_cell(const Cell& cell, core::PutMode mode) {
   hooks.crash_music = [&replicas](int replica, bool down, bool amnesia) {
     replicas.at(static_cast<size_t>(replica))->set_down(down, amnesia);
   };
+  // Rolling-upgrade step: bounce every replica the site hosts (store nodes
+  // are interleaved site = node % 3, plus the site's MUSIC replica); when
+  // the site comes back "onto the new binary", record its new max wire
+  // version so the fleet's negotiated floor tracks the upgrade.
+  std::array<uint8_t, 3> site_versions = cell_versions(cell);
+  int store_nodes = cell.point.topology.store_nodes;
+  hooks.restart_site = [&store, &replicas, &site_versions, store_nodes](
+                           int site, bool down, bool amnesia, int version) {
+    for (int r = site; r < store_nodes; r += 3) {
+      if (down && amnesia) store.replica(r).wipe_state();
+      store.replica(r).set_down(down);
+    }
+    replicas.at(static_cast<size_t>(site))->set_down(down, amnesia);
+    if (!down && version > 0) {
+      site_versions[static_cast<size_t>(site)] =
+          static_cast<uint8_t>(version);
+    }
+  };
   fault::Nemesis nemesis(sim, net, hooks);
   if (!arm_faults(cell, nemesis, &out)) return out;
 
@@ -386,6 +436,7 @@ CellOutcome run_music_cell(const Cell& cell, core::PutMode mode) {
   nemesis.heal_all();  // close any open-ended faults before inspection
 
   collect_net(sim, net, &out);
+  out.fleet_version = fleet_floor(site_versions);
   out.violations = checker.violations().size();
   out.ok = checker.ok();
   if (!out.ok) out.error = checker.report();
@@ -428,6 +479,20 @@ CellOutcome run_cluster_cell(const Cell& cell, core::PutMode mode) {
       cluster.set_down_music(g, replica, down, amnesia);
     }
   };
+  // Site bounce = that site's store and MUSIC replica in every group (each
+  // group hosts one of each per site), plus the upgrade bookkeeping.
+  std::array<uint8_t, 3> site_versions = cell_versions(cell);
+  hooks.restart_site = [&cluster, &site_versions](int site, bool down,
+                                                  bool amnesia, int version) {
+    for (int g = 0; g < cluster.num_groups(); ++g) {
+      cluster.set_down_store(g, site, down, amnesia);
+      cluster.set_down_music(g, site, down, amnesia);
+    }
+    if (!down && version > 0) {
+      site_versions[static_cast<size_t>(site)] =
+          static_cast<uint8_t>(version);
+    }
+  };
   fault::Nemesis nemesis(sim, net, hooks);
   if (!arm_faults(cell, nemesis, &out)) return out;
 
@@ -450,6 +515,7 @@ CellOutcome run_cluster_cell(const Cell& cell, core::PutMode mode) {
   nemesis.heal_all();
 
   collect_net(sim, net, &out);
+  out.fleet_version = fleet_floor(site_versions);
   out.violations = checker.violations().size();
   out.ok = checker.ok();
   if (!out.ok) out.error = checker.report();
@@ -571,6 +637,26 @@ std::string validate(const ScenarioSpec& spec) {
              "shard ring)";
     }
   }
+  for (const std::string& v : spec.topology.versions) {
+    if (v.empty()) continue;
+    if (!music_only) {
+      return "a versions axis needs a music/mscp-only protocol list "
+             "(zab/raftkv cells have no MUSIC wire protocol)";
+    }
+    // Every site pair must share a wire version or the fleet can never
+    // form quorums (with today's min of 1 this only fires if the floor is
+    // ever raised — exactly when we want the spec rejected loudly).
+    std::array<uint8_t, 3> sv{static_cast<uint8_t>(v[0] - '0'),
+                              static_cast<uint8_t>(v[2] - '0'),
+                              static_cast<uint8_t>(v[4] - '0')};
+    for (uint8_t site_max : sv) {
+      if (site_max < wire::kWireVersionMin) {
+        return "fleet versions " + v + ": a site's max wire version is " +
+               "below the supported minimum " +
+               std::to_string(wire::kWireVersionMin);
+      }
+    }
+  }
   if (spec.faults.empty()) return "";
   std::string err;
   auto sched = fault::Schedule::parse(spec.faults, &err);
@@ -594,6 +680,21 @@ std::string validate(const ScenarioSpec& spec) {
       if (f.replica < 0 || f.replica >= 3) {
         return "crash music " + std::to_string(f.replica) +
                ": no such replica";
+      }
+    }
+    if (f.kind == fault::FaultKind::Restart) {
+      if (!music_only) {
+        return "restart faults need a music/mscp-only protocol list (the "
+               "nemesis bounces a site's store + MUSIC replicas)";
+      }
+      if (f.site < 0 || f.site >= 3) {
+        return "restart site " + std::to_string(f.site) +
+               ": no such site (sites are 0..2)";
+      }
+      if (f.version > static_cast<int>(wire::kWireVersionMax)) {
+        return "restart version " + std::to_string(f.version) +
+               ": this binary speaks at most wire version " +
+               std::to_string(wire::kWireVersionMax);
       }
     }
     for (int site : f.side_a) {

@@ -30,6 +30,12 @@ struct CellOutcome {
   uint64_t bytes = 0;      // net.bytes.sent
   uint64_t violations = 0; // oracle violations (0 when ok)
   double wall_sec = 0.0;   // host time (NOT in checksum)
+  /// Lowest pairwise-negotiated wire version across the fleet at the end of
+  /// the run (after any "restart ... version K" faults applied their
+  /// upgrade); 0 for cells without wire versions (zab/raftkv) or when some
+  /// pair shares no version.  NOT in checksum, so pre-upgrade goldens are
+  /// unchanged.
+  int fleet_version = 0;
 
   /// WAN messages per completed operation (the §X-B4 cost metric).
   double wan_per_op() const {

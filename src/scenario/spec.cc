@@ -99,6 +99,16 @@ bool known_profile(std::string_view name) {
   return name == "11" || name == "lUs" || name == "lUsEu" || name == "local";
 }
 
+/// "1:2:2" — exactly three colon-separated per-site max wire versions,
+/// each a single digit 1..9.
+bool valid_versions(std::string_view s) {
+  if (s.size() != 5 || s[1] != ':' || s[3] != ':') return false;
+  for (size_t i : {size_t{0}, size_t{2}, size_t{4}}) {
+    if (s[i] < '1' || s[i] > '9') return false;
+  }
+  return true;
+}
+
 // ---- Parser ----------------------------------------------------------------
 
 /// Parser state: current position for diagnostics plus one-shot failure.
@@ -204,6 +214,23 @@ bool apply_topology(Parser& p, const Line& l, TopologyBlock* t) {
                               "\" (want 1..1024)");
       }
       t->shards.push_back(static_cast<int>(v));
+    }
+    return true;
+  }
+  if (key == "versions") {
+    if (!want_values(p, l, 1)) return false;
+    std::vector<std::string_view> parts;
+    if (!split_list(l.val().text, &parts)) {
+      return p.fail_tok(l.number, l.val(), "bad version list");
+    }
+    t->versions.clear();
+    for (auto part : parts) {
+      if (!valid_versions(part)) {
+        return p.fail_tok(l.number, l.val(),
+                          "bad fleet versions \"" + std::string(part) +
+                              "\" (want V:V:V, each 1..9)");
+      }
+      t->versions.emplace_back(part);
     }
     return true;
   }
@@ -605,6 +632,14 @@ std::string ScenarioSpec::format() const {
     out += std::to_string(topology.shards[i]);
   }
   out += "\n";
+  if (topology.versions != std::vector<std::string>{""}) {
+    out += "  versions ";
+    for (size_t i = 0; i < topology.versions.size(); ++i) {
+      if (i > 0) out += ',';
+      out += topology.versions[i];
+    }
+    out += "\n";
+  }
   out += "}\n\nworkload {\n";
   out += "  mixes ";
   for (size_t i = 0; i < workload.mixes.size(); ++i) {
@@ -673,8 +708,9 @@ std::string ScenarioSpec::format() const {
 
 size_t ScenarioSpec::num_cells() const {
   return protocols.size() * topology.profiles.size() *
-         topology.shards.size() * workload.mixes.size() *
-         workload.clients.size() * static_cast<size_t>(seeds);
+         topology.shards.size() * topology.versions.size() *
+         workload.mixes.size() * workload.clients.size() *
+         static_cast<size_t>(seeds);
 }
 
 std::string Cell::label() const {
@@ -691,6 +727,12 @@ std::string Cell::label() const {
     out += "/sh";
     out += std::to_string(shards());
   }
+  if (!versions().empty()) {
+    // Likewise only mixed-version cells: default fleets keep their
+    // pre-upgrade labels.
+    out += "/v";
+    out += versions();
+  }
   out += "/s";
   out += std::to_string(seed);
   return out;
@@ -702,20 +744,23 @@ std::vector<Cell> expand(const ScenarioSpec& spec) {
   for (Protocol proto : spec.protocols) {
     for (const std::string& profile : spec.topology.profiles) {
       for (int shards : spec.topology.shards) {
-        for (double mix : spec.workload.mixes) {
-          for (int clients : spec.workload.clients) {
-            for (int s = 0; s < spec.seeds; ++s) {
-              Cell cell;
-              cell.point = spec;
-              cell.point.protocols = {proto};
-              cell.point.topology.profiles = {profile};
-              cell.point.topology.shards = {shards};
-              cell.point.workload.mixes = {mix};
-              cell.point.workload.clients = {clients};
-              cell.point.seeds = 1;
-              cell.seed = spec.base_seed + static_cast<uint64_t>(s);
-              cell.point.base_seed = cell.seed;
-              cells.push_back(std::move(cell));
+        for (const std::string& versions : spec.topology.versions) {
+          for (double mix : spec.workload.mixes) {
+            for (int clients : spec.workload.clients) {
+              for (int s = 0; s < spec.seeds; ++s) {
+                Cell cell;
+                cell.point = spec;
+                cell.point.protocols = {proto};
+                cell.point.topology.profiles = {profile};
+                cell.point.topology.shards = {shards};
+                cell.point.topology.versions = {versions};
+                cell.point.workload.mixes = {mix};
+                cell.point.workload.clients = {clients};
+                cell.point.seeds = 1;
+                cell.seed = spec.base_seed + static_cast<uint64_t>(s);
+                cell.point.base_seed = cell.seed;
+                cells.push_back(std::move(cell));
+              }
             }
           }
         }

@@ -14,6 +14,7 @@
 //     profiles lUs,lUsEu            # sweep axis (Table II names, or "local")
 //     holder_site 0                 # -1 = client-local replica preference
 //     store_nodes 3
+//     versions 1:2:2                # sweep axis: per-site max wire version
 //   }
 //
 //   workload {
@@ -97,6 +98,11 @@ struct TopologyBlock {
   /// classic single-group world; > 1 builds a cluster::Cluster with one
   /// MUSIC group per shard (music/mscp only).
   std::vector<int> shards{1};
+  /// Mixed-version fleets (rolling upgrades); sweep axis.  Each entry is a
+  /// colon-separated per-site max wire version, e.g. "1:2:2" = site 0 runs
+  /// a v1-pinned binary while sites 1-2 run v2.  "" (the default) means
+  /// every site runs the current binary's full range.
+  std::vector<std::string> versions{""};
 
   bool operator==(const TopologyBlock&) const = default;
 };
@@ -148,8 +154,8 @@ struct ScenarioSpec {
   /// Canonical text form; parse(format()) reproduces *this exactly.
   std::string format() const;
 
-  /// Grid size: |protocols| x |profiles| x |shards| x |mixes| x |clients|
-  /// x seeds.
+  /// Grid size: |protocols| x |profiles| x |shards| x |versions| x |mixes|
+  /// x |clients| x seeds.
   size_t num_cells() const;
 };
 
@@ -165,16 +171,19 @@ struct Cell {
   double mix() const { return point.workload.mixes.at(0); }
   int clients() const { return point.workload.clients.at(0); }
   int shards() const { return point.topology.shards.at(0); }
+  const std::string& versions() const { return point.topology.versions.at(0); }
 
   /// "music/lUs/mix0.5/c4/s1" — stable row id for CSV and test output.
-  /// Sharded cells insert a "/sh<N>" segment before the seed (only when
-  /// shards != 1, so pre-cluster labels are unchanged).
+  /// Sharded cells insert a "/sh<N>" segment before the seed, and
+  /// mixed-version cells a "/v<spec>" segment (each only when non-default,
+  /// so pre-existing labels and their golden checksums are unchanged).
   std::string label() const;
 };
 
 /// Expands a spec into its cell grid, protocols-major, seeds-minor.  The
 /// order is deterministic and documented (docs/SCENARIOS.md): protocol,
-/// then profile, then shards, then mix, then clients, then seed.
+/// then profile, then shards, then versions, then mix, then clients, then
+/// seed.
 std::vector<Cell> expand(const ScenarioSpec& spec);
 
 /// Splits `total` clients across 3 sites by `weights` (empty = {1,1,1}):

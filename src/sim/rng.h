@@ -5,6 +5,7 @@
 // sweep seeds; benchmark runs fix them.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
 
@@ -59,5 +60,20 @@ class Rng {
  private:
   std::mt19937_64 engine_;
 };
+
+/// Decorrelated-jitter exponential backoff (the "decorrelated jitter" scheme
+/// from the AWS architecture blog): the next pause is uniform in
+/// [base, min(cap, 3 * prev)], so concurrent retriers spread out instead of
+/// thundering in lockstep while the expected pause still grows geometrically
+/// until the cap.  Durations are in simulator ticks (microseconds); both the
+/// client retry discipline (src/core) and the TCP reconnect loop (src/net)
+/// share this one implementation.  Requires base <= cap; returns base
+/// whenever the window is degenerate (prev below base/3).
+inline int64_t decorrelated_backoff(int64_t base, int64_t cap, int64_t prev, Rng& rng) {
+  double lo = static_cast<double>(base);
+  double hi = std::min(static_cast<double>(cap), 3.0 * static_cast<double>(prev));
+  if (hi <= lo) return base;
+  return static_cast<int64_t>(rng.uniform_real(lo, hi));
+}
 
 }  // namespace music::sim

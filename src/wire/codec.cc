@@ -123,14 +123,20 @@ struct Reader {
 // ---------------------------------------------------------------------------
 // Frame header.
 
-std::string make_frame(FrameType type, uint64_t req_id, const std::string& payload) {
+// Hello payload leads with a magic word so a peer that is not speaking this
+// protocol at all (an HTTP client, a port scanner) is rejected on byte 17,
+// not mis-parsed as a version range.  "HELO" little-endian.
+constexpr uint32_t kHelloMagic = 0x4f4c4548;
+
+std::string make_frame(FrameType type, uint64_t req_id, const std::string& payload,
+                       uint8_t version, uint16_t flags) {
   std::string out;
   out.reserve(kFrameHeaderBytes + payload.size());
   // len = version + type + flags + req_id + payload.
   put_u32(out, static_cast<uint32_t>(kFrameHeaderBytes - 4 + payload.size()));
-  put_u8(out, kWireVersion);
+  put_u8(out, version);
   put_u8(out, static_cast<uint8_t>(type));
-  put_u16(out, 0);  // flags
+  put_u16(out, flags & known_flags(version));
   put_u64(out, req_id);
   out += payload;
   return out;
@@ -144,24 +150,41 @@ bool valid_status(uint8_t v) { return v <= static_cast<uint8_t>(OpStatus::WrongS
 
 }  // namespace
 
-FrameStatus peel_frame(const char* data, size_t size, FrameView& out) {
+std::optional<uint8_t> negotiate(uint8_t local_min, uint8_t local_max,
+                                 uint8_t remote_min, uint8_t remote_max) {
+  if (local_min > local_max || remote_min > remote_max) return std::nullopt;
+  uint8_t lo = local_min > remote_min ? local_min : remote_min;
+  uint8_t hi = local_max < remote_max ? local_max : remote_max;
+  if (lo > hi) return std::nullopt;  // disjoint ranges — no common version
+  return hi;
+}
+
+FrameStatus peel_frame(const char* data, size_t size, FrameView& out,
+                       const PeelLimits& limits) {
   if (size < 4) return FrameStatus::NeedMore;
   Reader r(std::string_view(data, size));
   uint32_t len = 0;
   r.get_u32(len);
-  if (len < kFrameHeaderBytes - 4 || len > kMaxFrameBytes) return FrameStatus::Bad;
+  if (len < kFrameHeaderBytes - 4) return FrameStatus::Bad;
+  if (len > limits.max_frame_bytes) return FrameStatus::TooLarge;
   // Validate whatever header bytes have already arrived before asking for
   // more, so a hostile length prefix on a garbage frame is rejected without
-  // buffering megabytes first.
+  // buffering megabytes first.  Hello frames are exempt from the version
+  // floor check: they always arrive at the v1 layout, including from a peer
+  // whose range starts above ours (the handshake, not the framing layer,
+  // decides whether the ranges are compatible).
   uint8_t version = 0, type = 0;
   if (r.left >= 1) {
     r.get_u8(version);
-    if (version != kWireVersion) return FrameStatus::Bad;
+    if (version < kWireVersionMin || version > limits.max_version) return FrameStatus::Bad;
   }
   if (r.left >= 1) {
     r.get_u8(type);
     if (type < static_cast<uint8_t>(FrameType::ClientRequest) ||
-        type > static_cast<uint8_t>(FrameType::StoreReply)) {
+        type > static_cast<uint8_t>(FrameType::Goodbye)) {
+      return FrameStatus::Bad;
+    }
+    if (version < limits.min_version && type != static_cast<uint8_t>(FrameType::Hello)) {
       return FrameStatus::Bad;
     }
   }
@@ -170,9 +193,12 @@ FrameStatus peel_frame(const char* data, size_t size, FrameView& out) {
   uint64_t req_id = 0;
   r.get_u8(flags_a);
   r.get_u8(flags_b);
-  if (flags_a != 0 || flags_b != 0) return FrameStatus::Bad;
+  uint16_t flags = static_cast<uint16_t>(flags_a) | (static_cast<uint16_t>(flags_b) << 8);
+  if ((flags & ~known_flags(version)) != 0) return FrameStatus::Bad;
   r.get_u64(req_id);
   out.type = static_cast<FrameType>(type);
+  out.version = version;
+  out.flags = flags;
   out.req_id = req_id;
   out.frame_bytes = 4 + static_cast<size_t>(len);
   out.payload = std::string_view(data + kFrameHeaderBytes, out.frame_bytes - kFrameHeaderBytes);
@@ -182,7 +208,8 @@ FrameStatus peel_frame(const char* data, size_t size, FrameView& out) {
 // ---------------------------------------------------------------------------
 // Client request / response.
 
-std::string encode_request(uint64_t req_id, const Request& req) {
+std::string encode_request(uint64_t req_id, const Request& req, uint8_t version,
+                           uint16_t flags) {
   std::string p;
   put_u8(p, static_cast<uint8_t>(req.op));
   put_bytes(p, req.key);
@@ -194,7 +221,7 @@ std::string encode_request(uint64_t req_id, const Request& req) {
     put_bytes(p, b.key);
     put_value(p, b.value);
   }
-  return make_frame(FrameType::ClientRequest, req_id, p);
+  return make_frame(FrameType::ClientRequest, req_id, p, version, flags);
 }
 
 std::optional<Request> parse_request(std::string_view payload) {
@@ -223,7 +250,8 @@ std::optional<Request> parse_request(std::string_view payload) {
   return req;
 }
 
-std::string encode_response(uint64_t req_id, const Response& resp) {
+std::string encode_response(uint64_t req_id, const Response& resp, uint8_t version,
+                            uint16_t flags) {
   std::string p;
   put_u8(p, static_cast<uint8_t>(resp.status));
   put_i64(p, resp.ref);
@@ -235,7 +263,7 @@ std::string encode_response(uint64_t req_id, const Response& resp) {
     put_u8(p, static_cast<uint8_t>(b.status));
     put_value(p, b.value);
   }
-  return make_frame(FrameType::ClientResponse, req_id, p);
+  return make_frame(FrameType::ClientResponse, req_id, p, version, flags);
 }
 
 std::optional<Response> parse_response(std::string_view payload) {
@@ -271,13 +299,14 @@ std::optional<Response> parse_response(std::string_view payload) {
 // ---------------------------------------------------------------------------
 // Store request / reply.
 
-std::string encode_store_request(uint64_t req_id, const StoreRequest& msg) {
+std::string encode_store_request(uint64_t req_id, const StoreRequest& msg, uint8_t version,
+                                 uint16_t flags) {
   std::string p;
   put_u8(p, static_cast<uint8_t>(msg.op));
   put_bytes(p, msg.key);
   put_cell(p, msg.cell);
   put_i64(p, msg.ballot);
-  return make_frame(FrameType::StoreRequest, req_id, p);
+  return make_frame(FrameType::StoreRequest, req_id, p, version, flags);
 }
 
 std::optional<StoreRequest> parse_store_request(std::string_view payload) {
@@ -293,7 +322,8 @@ std::optional<StoreRequest> parse_store_request(std::string_view payload) {
   return msg;
 }
 
-std::string encode_store_reply(uint64_t req_id, const StoreReply& msg) {
+std::string encode_store_reply(uint64_t req_id, const StoreReply& msg, uint8_t version,
+                               uint16_t flags) {
   std::string p;
   put_u8(p, msg.ok ? 1 : 0);
   put_i64(p, msg.ballot);
@@ -301,7 +331,7 @@ std::string encode_store_reply(uint64_t req_id, const StoreReply& msg) {
   put_cell(p, msg.cell);
   put_i64(p, msg.cell_ballot);
   put_u32(p, static_cast<uint32_t>(msg.from));
-  return make_frame(FrameType::StoreReply, req_id, p);
+  return make_frame(FrameType::StoreReply, req_id, p, version, flags);
 }
 
 std::optional<StoreReply> parse_store_reply(std::string_view payload) {
@@ -315,6 +345,53 @@ std::optional<StoreReply> parse_store_reply(std::string_view payload) {
   msg.from = static_cast<int32_t>(from);
   if (!r.done()) return std::nullopt;
   return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Handshake frames.
+
+std::string encode_hello(const Hello& hello) {
+  std::string p;
+  put_u32(p, kHelloMagic);
+  put_u8(p, hello.min);
+  put_u8(p, hello.max);
+  put_u32(p, hello.features);
+  put_u32(p, hello.node);
+  // Always the v1 layout: any implementation must be able to read the
+  // advertisement before a version is agreed (codec.h file comment).
+  return make_frame(FrameType::Hello, 0, p, kWireVersionMin, 0);
+}
+
+std::optional<Hello> parse_hello(std::string_view payload) {
+  Reader r(payload);
+  Hello h;
+  uint32_t magic;
+  if (!r.get_u32(magic) || magic != kHelloMagic) return std::nullopt;
+  if (!r.get_u8(h.min) || !r.get_u8(h.max) || !r.get_u32(h.features) || !r.get_u32(h.node)) {
+    return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;
+  // An inverted range is malformed on its face (a disjoint-but-valid range
+  // is a negotiation failure, not a parse failure).
+  if (h.min > h.max) return std::nullopt;
+  return h;
+}
+
+std::string encode_goodbye(GoodbyeReason reason, uint8_t version) {
+  std::string p;
+  put_u32(p, static_cast<uint32_t>(reason));
+  return make_frame(FrameType::Goodbye, 0, p, version, 0);
+}
+
+std::optional<GoodbyeReason> parse_goodbye(std::string_view payload) {
+  Reader r(payload);
+  uint32_t reason;
+  if (!r.get_u32(reason) || !r.done()) return std::nullopt;
+  if (reason < static_cast<uint32_t>(GoodbyeReason::Shutdown) ||
+      reason > static_cast<uint32_t>(GoodbyeReason::Restart)) {
+    return std::nullopt;
+  }
+  return static_cast<GoodbyeReason>(reason);
 }
 
 }  // namespace music::wire

@@ -5,10 +5,13 @@
 //   offset  size  field
 //   ------  ----  -----------------------------------------------------------
 //        0     4  len      — bytes that FOLLOW the length field (header rest
-//                            + payload); bounded by kMaxFrameBytes
-//        4     1  version  — kWireVersion; unknown versions are rejected
+//                            + payload); bounded by the reader's frame limit
+//        4     1  version  — a negotiated wire version in
+//                            [kWireVersionMin, kWireVersionMax]; frames
+//                            outside the reader's accepted range are rejected
 //        5     1  type     — FrameType discriminator for the payload
-//        6     2  flags    — reserved, must be 0 (room for compression etc.)
+//        6     2  flags    — v1: reserved, must be 0.
+//                            v2+: feature bitmap; unknown bits are rejected
 //        8     8  req_id   — correlates a response frame to its request on a
 //                            multiplexed connection
 //       16   len-12 payload — type-specific body
@@ -18,10 +21,27 @@
 // length followed by raw bytes, Value is blob + u64 logical_size, vectors
 // are a u32 count followed by elements.
 //
-// Parsing is strict: truncated frames, trailing payload garbage, out-of-range
-// enum values, non-zero flags and oversized length prefixes are all rejected
-// by returning nullopt / FrameStatus::Bad — never by crashing.  A reader
-// that gets Bad must drop the connection (framing is lost).
+// Versioning (docs/TRANSPORT.md has the full playbook):
+//
+//  * Every implementation supports the contiguous range
+//    [kWireVersionMin, kWireVersionMax].  A connection opens with a Hello
+//    frame in each direction advertising the sender's range; negotiate()
+//    pins the highest common version for the rest of the connection.
+//  * Hello frames are ALWAYS encoded at the v1 layout (version byte 1,
+//    flags 0) so that any implementation, past or future, can parse the
+//    other side's advertisement before a version is agreed.
+//  * encode_* default to version 1 — the pinned, golden-tested layout — and
+//    take an explicit version for connections negotiated higher.  The v1
+//    byte stream never changes; new versions only ADD meaning (v2 turns the
+//    flags field into a feature bitmap and adds the Goodbye drain frame).
+//
+// Parsing is strict: truncated frames, trailing payload garbage,
+// out-of-range enum values, unknown flag bits and out-of-range versions are
+// all rejected by returning nullopt / FrameStatus::Bad — never by crashing.
+// A reader that gets Bad must drop the connection (framing is lost).
+// Oversized length prefixes get the distinct FrameStatus::TooLarge so
+// transports can report a resource rejection apart from corruption; the
+// connection must still be dropped.
 #pragma once
 
 #include <cstddef>
@@ -34,17 +54,37 @@
 
 namespace music::wire {
 
-/// Codec version stamped into every frame.  Bump on any incompatible layout
-/// change; parsers reject frames from versions they do not speak.
-inline constexpr uint8_t kWireVersion = 1;
+/// Inclusive range of wire versions this build speaks.  Bump kWireVersionMax
+/// on any layout addition; kWireVersionMin only ever rises once every
+/// deployed peer is known to speak a newer floor.
+inline constexpr uint8_t kWireVersionMin = 1;
+inline constexpr uint8_t kWireVersionMax = 2;
 
-/// Hard ceiling on `len` (bytes after the length field).  Anything larger is
-/// a corrupt or hostile frame — reject before buffering.
+/// The pinned baseline version: the layout every encoder emits by default
+/// and the one the cross-version goldens freeze forever.  Connections only
+/// speak a higher version after both sides advertised it in their Hellos.
+inline constexpr uint8_t kWireVersion = kWireVersionMin;
+
+/// Default ceiling on `len` (bytes after the length field).  Anything larger
+/// is a corrupt or hostile frame — reject before buffering.  Transports may
+/// configure a lower per-connection limit (net::TransportLimits).
 inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
 
 /// Bytes before the payload: len(4) + version(1) + type(1) + flags(2) +
 /// req_id(8).
 inline constexpr size_t kFrameHeaderBytes = 16;
+
+/// v2+ feature bits carried in the frame `flags` field.  v1 frames must
+/// carry flags == 0; v2 frames may set any subset of known_flags(2).
+/// Unknown bits reject the frame — a future v3 bit reaching a v2 parser is
+/// a negotiation bug, not something to silently ignore.
+inline constexpr uint16_t kFlagRetry = 1u << 0;     // retransmit of an earlier attempt
+inline constexpr uint16_t kFlagDraining = 1u << 1;  // sender is draining; expect Goodbye
+
+/// The flag bits a given frame version is allowed to carry.
+constexpr uint16_t known_flags(uint8_t version) {
+  return version >= 2 ? static_cast<uint16_t>(kFlagRetry | kFlagDraining) : 0;
+}
 
 /// Payload discriminator.
 enum class FrameType : uint8_t {
@@ -52,12 +92,38 @@ enum class FrameType : uint8_t {
   ClientResponse = 2,  // wire::Response
   StoreRequest = 3,    // wire::StoreRequest
   StoreReply = 4,      // wire::StoreReply
+  Hello = 5,           // wire::Hello — version advertisement, first frame
+  Goodbye = 6,         // graceful drain notice (v2+); u32 reason payload
 };
+
+/// Version advertisement exchanged as the first frame in each direction of a
+/// connection.  Always encoded at the v1 layout (see file comment).
+struct Hello {
+  uint8_t min = kWireVersionMin;  // lowest version the sender speaks
+  uint8_t max = kWireVersionMax;  // highest version the sender speaks
+  uint32_t features = 0;          // advertised feature bitmap (v2+ semantics)
+  uint32_t node = 0;              // sender's node id, for diagnostics
+};
+
+/// Drain reasons carried in a Goodbye payload (v2+ connections only).
+enum class GoodbyeReason : uint32_t {
+  Shutdown = 1,  // process is exiting (SIGTERM drain)
+  Restart = 2,   // process is restarting, possibly onto a new binary
+};
+
+/// Highest version both ranges support: min(lmax, rmax) when the ranges are
+/// each well-formed (min <= max) and overlap; nullopt otherwise (inverted or
+/// disjoint ranges — including an unknown all-future peer like [5,9] against
+/// our [1,2]).
+std::optional<uint8_t> negotiate(uint8_t local_min, uint8_t local_max,
+                                 uint8_t remote_min, uint8_t remote_max);
 
 /// One complete frame as seen by a reader, pointing into the reader's
 /// buffer.  Valid only until the buffer is consumed.
 struct FrameView {
   FrameType type = FrameType::ClientRequest;
+  uint8_t version = kWireVersion;
+  uint16_t flags = 0;
   uint64_t req_id = 0;
   std::string_view payload;
   /// Total bytes this frame occupies in the buffer (4 + len): how much the
@@ -72,20 +138,49 @@ enum class FrameStatus {
   Ok,
   /// Not enough buffered bytes yet — read more and retry.
   NeedMore,
-  /// Unrecoverable framing error (bad version, bad type, oversized or
-  /// undersized length, non-zero flags).  Drop the connection.
+  /// Unrecoverable framing error (out-of-range version, bad type,
+  /// undersized length, unknown flag bits).  Drop the connection.
   Bad,
+  /// Length prefix exceeds the reader's frame limit.  Distinct from Bad so
+  /// the rejection is attributable to a resource bound rather than
+  /// corruption; the connection must still be dropped.
+  TooLarge,
+};
+
+/// Per-reader acceptance bounds for peel_frame.  The defaults accept the
+/// full version range this build speaks and the default frame ceiling; a
+/// transport narrows `max_version` to the connection's negotiated version
+/// after the handshake and may lower `max_frame_bytes` by configuration.
+struct PeelLimits {
+  uint8_t min_version = kWireVersionMin;
+  uint8_t max_version = kWireVersionMax;
+  uint32_t max_frame_bytes = kMaxFrameBytes;
 };
 
 /// Examines the front of [data, data+size) for one frame.  Does not consume;
 /// on Ok the caller advances by out.frame_bytes.
-FrameStatus peel_frame(const char* data, size_t size, FrameView& out);
+FrameStatus peel_frame(const char* data, size_t size, FrameView& out,
+                       const PeelLimits& limits = {});
 
 /// Encoders: one full frame (header + payload) ready to write to a socket.
-std::string encode_request(uint64_t req_id, const Request& req);
-std::string encode_response(uint64_t req_id, const Response& resp);
-std::string encode_store_request(uint64_t req_id, const StoreRequest& msg);
-std::string encode_store_reply(uint64_t req_id, const StoreReply& msg);
+/// `version` stamps the frame header; payload layouts are identical across
+/// v1 and v2 (v2 changes header semantics only), so encoders just refuse
+/// flag bits the version cannot carry by masking against known_flags().
+std::string encode_request(uint64_t req_id, const Request& req,
+                           uint8_t version = kWireVersion, uint16_t flags = 0);
+std::string encode_response(uint64_t req_id, const Response& resp,
+                            uint8_t version = kWireVersion, uint16_t flags = 0);
+std::string encode_store_request(uint64_t req_id, const StoreRequest& msg,
+                                 uint8_t version = kWireVersion, uint16_t flags = 0);
+std::string encode_store_reply(uint64_t req_id, const StoreReply& msg,
+                               uint8_t version = kWireVersion, uint16_t flags = 0);
+
+/// Hello is always a v1-layout frame with req_id 0 (see file comment).
+std::string encode_hello(const Hello& hello);
+
+/// Goodbye exists only on v2+ connections; encoding at a lower version is a
+/// caller bug (senders must gate on the negotiated version).
+std::string encode_goodbye(GoodbyeReason reason, uint8_t version = 2);
 
 /// Payload parsers, fed FrameView::payload.  nullopt on any malformation:
 /// truncation, trailing bytes, out-of-range enums.
@@ -93,5 +188,7 @@ std::optional<Request> parse_request(std::string_view payload);
 std::optional<Response> parse_response(std::string_view payload);
 std::optional<StoreRequest> parse_store_request(std::string_view payload);
 std::optional<StoreReply> parse_store_reply(std::string_view payload);
+std::optional<Hello> parse_hello(std::string_view payload);
+std::optional<GoodbyeReason> parse_goodbye(std::string_view payload);
 
 }  // namespace music::wire

@@ -192,6 +192,49 @@ TEST(Lwt, FailsWithoutQuorum) {
   ASSERT_TRUE(ok);
 }
 
+TEST(Lwt, SurvivesFullFleetRestartFromTableSnapshot) {
+  // Regression: LWT commits stamp the cell with the coordinator's ballot,
+  // and the ballot counter is volatile while the table is snapshotted
+  // (musicd --state-file).  After every node restarts from its snapshot —
+  // acceptor promises and ballot counters gone, ballot-stamped rows
+  // reloaded — a fresh coordinator's first ballots are far below the
+  // reloaded row's timestamp.  Every Paxos phase still succeeds (nothing
+  // is left to refuse the small ballot), but the commit must NOT lose LWW
+  // against the row it read: that would be an acked update that never
+  // becomes visible (a lock queue wedged forever, in lockstore terms).
+  StoreWorld w;
+  bool ok = w.runner.run([&]() -> sim::Task<void> {
+    // A long-lived fleet: the row's commit timestamp is a large ballot.
+    w.store.replica(0).advance_ballot_past(ScalarTs{1} << 40);
+    ds::LwtUpdate inc = make_increment();
+    auto r1 = co_await w.store.replica(0).lwt("cnt", inc);
+    CO_ASSERT_TRUE(r1.ok());
+
+    // Rolling restart of the whole fleet from table snapshots.
+    for (int i = 0; i < 3; ++i) w.store.replica(i).reset_volatile();
+
+    auto r2 = co_await w.store.replica(1).lwt("cnt", inc);
+    CO_ASSERT_TRUE(r2.ok());
+    EXPECT_TRUE(r2.value().applied);
+    CO_ASSERT_TRUE(r2.value().prior.has_value());
+    EXPECT_EQ(r2.value().prior->value.data, "1");  // read the reloaded row
+
+    // The acked update is visible — on a quorum read and on every replica
+    // the commit reached (LWW must not have discarded it).
+    auto g = co_await w.store.replica(2).get("cnt", Consistency::Quorum);
+    CO_ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g.value().value.data, "2");
+
+    // And the fleet keeps making progress from there.
+    auto r3 = co_await w.store.replica(2).lwt("cnt", inc);
+    CO_ASSERT_TRUE(r3.ok());
+    auto g2 = co_await w.store.replica(0).get("cnt", Consistency::Quorum);
+    CO_ASSERT_TRUE(g2.ok());
+    EXPECT_EQ(g2.value().value.data, "3");
+  });
+  ASSERT_TRUE(ok);
+}
+
 TEST(Lwt, CommitTimestampOverrideIsUsed) {
   StoreWorld w;
   bool ok = w.runner.run([&]() -> sim::Task<void> {

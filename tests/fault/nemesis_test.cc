@@ -252,6 +252,86 @@ TEST_F(NemesisTest, EveryFaultIsBracketedByAnObsSpan) {
   for (const auto* sp : fault_spans) EXPECT_TRUE(sp->finished());
 }
 
+TEST(ScheduleParse, RestartClauseVariants) {
+  auto s = Schedule::parse(
+      "at 1s restart 2\n"
+      "at 2s restart 0 version 1 for 500ms\n"
+      "at 3s restart 1 version 2 amnesia for 1s\n"
+      "at 4s restart 1 amnesia");
+  ASSERT_TRUE(s.has_value());
+  ASSERT_EQ(s->size(), 4u);
+  EXPECT_EQ(s->specs()[0].kind, FaultKind::Restart);
+  EXPECT_EQ(s->specs()[0].site, 2);
+  EXPECT_EQ(s->specs()[0].version, 0);  // plain bounce, no version change
+  EXPECT_FALSE(s->specs()[0].amnesia);
+  EXPECT_EQ(s->specs()[1].site, 0);
+  EXPECT_EQ(s->specs()[1].version, 1);  // downgrade step
+  EXPECT_EQ(s->specs()[1].duration, sim::ms(500));
+  EXPECT_EQ(s->specs()[2].version, 2);
+  EXPECT_TRUE(s->specs()[2].amnesia);
+  EXPECT_TRUE(s->specs()[3].amnesia);
+
+  std::string d = s->describe();
+  EXPECT_NE(d.find("restart site 0 version=1"), std::string::npos);
+  EXPECT_NE(d.find("(amnesia)"), std::string::npos);
+}
+
+TEST(ScheduleParse, RejectsMalformedRestartClauses) {
+  std::string err;
+  EXPECT_FALSE(Schedule::parse("at 1s restart", &err));
+  EXPECT_FALSE(Schedule::parse("at 1s restart -1", &err));
+  EXPECT_FALSE(Schedule::parse("at 1s restart 0 version", &err));
+  EXPECT_FALSE(Schedule::parse("at 1s restart 0 version 0", &err));
+  EXPECT_FALSE(Schedule::parse("at 1s restart 0 version x", &err));
+  EXPECT_FALSE(Schedule::parse("at 1s restart 0 amnesia version 2", &err));
+  EXPECT_FALSE(Schedule::parse("at 1s restart 0 loudly", &err));
+}
+
+TEST_F(NemesisTest, RestartFaultDrivesTheSiteHook) {
+  struct RestartEvent {
+    int site;
+    bool down;
+    bool amnesia;
+    int version;
+  };
+  std::vector<RestartEvent> events;
+  hooks_.restart_site = [&events](int site, bool down, bool amnesia,
+                                  int version) {
+    events.push_back({site, down, amnesia, version});
+  };
+  Nemesis nem(sim_, net_, hooks_);
+  auto s = Schedule::parse("at 1s restart 1 version 2 for 500ms");
+  ASSERT_TRUE(s.has_value());
+  nem.arm(*s);
+  sim_.run_until(sim::sec(3));
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].site, 1);
+  EXPECT_TRUE(events[0].down);
+  EXPECT_EQ(events[1].site, 1);
+  EXPECT_FALSE(events[1].down);      // back after the 500ms downtime
+  EXPECT_EQ(events[1].version, 2);   // restarted onto the v2 binary
+  EXPECT_EQ(nem.counters().restarts, 1u);
+  EXPECT_EQ(nem.open_faults(), 0u);
+}
+
+TEST_F(NemesisTest, OpenEndedRestartHealsViaHealAll) {
+  int backs = 0;
+  hooks_.restart_site = [&backs](int, bool down, bool, int) {
+    if (!down) ++backs;
+  };
+  Nemesis nem(sim_, net_, hooks_);
+  Schedule s;
+  s.restart_at(0, /*site=*/2, /*dur=*/0, /*version=*/1, /*amnesia=*/true);
+  nem.arm(s);
+  sim_.run_until(sim::ms(10));
+  EXPECT_EQ(nem.open_faults(), 1u);
+  EXPECT_EQ(backs, 0);
+  nem.heal_all();
+  EXPECT_EQ(backs, 1);
+  EXPECT_EQ(nem.open_faults(), 0u);
+}
+
 TEST_F(NemesisTest, MetricsExportCoversCounters) {
   obs::MetricsRegistry reg;
   Nemesis nem(sim_, net_, hooks_);

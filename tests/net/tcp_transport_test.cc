@@ -210,11 +210,15 @@ TEST(TcpTransport, CorruptFrameKillsConnectionNotServer) {
   ASSERT_EQ(write(fd, bad, sizeof(bad)), static_cast<ssize_t>(sizeof(bad)));
   pump_for(loop, 100);
 
-  // The server must have dropped only that connection: EOF here...
+  // The server must have dropped only that connection: after draining its
+  // Hello advertisement, EOF here...
   timeval tv{1, 0};
   setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  char c;
-  EXPECT_EQ(recv(fd, &c, 1, 0), 0);
+  char drainbuf[256];
+  ssize_t n;
+  while ((n = recv(fd, drainbuf, sizeof(drainbuf), 0)) > 0) {
+  }
+  EXPECT_EQ(n, 0);
   close(fd);
 
   // ...while a well-behaved client still gets served.
@@ -251,6 +255,243 @@ TEST(TcpTransport, ReconnectsAfterPeerComesUp) {
   auto resp = drive(loop, client.invoke(100, 1, wire::Request(), 96), 3000);
   ASSERT_TRUE(resp.has_value());
   EXPECT_EQ(resp->status, OpStatus::Ok);
+
+  // Per-route diagnostics: the route came up once (no reconnects yet
+  // counted — the first establishment is not a reconnect) at the highest
+  // common version.
+  auto info = client.peer_info();
+  ASSERT_EQ(info.size(), 1u);
+  EXPECT_EQ(info[0].id, 1);
+  EXPECT_TRUE(info[0].connected);
+  EXPECT_EQ(info[0].wire_version, wire::kWireVersionMax);
+}
+
+// ---- Version handshake -----------------------------------------------------
+
+TEST(TcpTransport, HandshakePinsHighestCommonVersion) {
+  sim::Simulation sim(1);
+  EventLoop loop(sim);
+  TcpTransport server(loop);  // speaks [1, kWireVersionMax]
+  TcpTransport client(loop);
+
+  uint16_t port = server.listen_for(1, 0, echo_server(), nullptr);
+  ASSERT_NE(port, 0);
+  client.route(1, "127.0.0.1", port);
+  ASSERT_TRUE(wait_peer_up(loop, client, 1, 3000));
+
+  auto info = client.peer_info();
+  ASSERT_EQ(info.size(), 1u);
+  EXPECT_EQ(info[0].wire_version, wire::kWireVersionMax);
+  EXPECT_EQ(info[0].handshake_failures, 0u);
+}
+
+TEST(TcpTransport, MixedVersionPeerSpeaksV1) {
+  // A "v1 binary" server (mixed-version fleet mid-upgrade): the connection
+  // pins v1, and the v2 client serves traffic over it regardless.
+  sim::Simulation sim(1);
+  EventLoop loop(sim);
+  TcpOptions v1_only;
+  v1_only.wire_version_max = 1;
+  TcpTransport server(loop, v1_only);
+  TcpTransport client(loop);
+
+  uint16_t port = server.listen_for(1, 0, echo_server(), nullptr);
+  ASSERT_NE(port, 0);
+  client.route(1, "127.0.0.1", port);
+  ASSERT_TRUE(wait_peer_up(loop, client, 1, 3000));
+
+  auto info = client.peer_info();
+  ASSERT_EQ(info.size(), 1u);
+  EXPECT_EQ(info[0].wire_version, 1);
+
+  wire::Request req(wire::Request::Op::CriticalGet, "k", 7, Value("ping"));
+  auto resp = drive(loop, client.invoke(100, 1, req, 96), 3000);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, OpStatus::Ok);
+  EXPECT_EQ(resp->value.data, "ping");
+}
+
+TEST(TcpTransport, IncompatibleVersionRangesNeverEstablish) {
+  // An all-future peer ([5,9]): Hellos exchange, negotiation fails on both
+  // sides, the connection dies — and ONLY the connection; the processes
+  // stay healthy and the client keeps retrying with backoff.
+  sim::Simulation sim(1);
+  EventLoop loop(sim);
+  TcpOptions future;
+  future.wire_version_min = 5;
+  future.wire_version_max = 9;
+  TcpTransport server(loop, future);
+  TcpTransport client(loop);
+
+  uint16_t port = server.listen_for(1, 0, echo_server(), nullptr);
+  ASSERT_NE(port, 0);
+  client.route(1, "127.0.0.1", port);
+  EXPECT_FALSE(wait_peer_up(loop, client, 1, 400));
+
+  auto info = client.peer_info();
+  ASSERT_EQ(info.size(), 1u);
+  EXPECT_FALSE(info[0].connected);
+  EXPECT_EQ(info[0].wire_version, 0);
+  EXPECT_GE(info[0].handshake_failures, 1u);
+
+  auto lost = drive(loop, client.invoke(100, 1, wire::Request(), 96), 100);
+  EXPECT_FALSE(lost.has_value());  // un-established route: sim-style loss
+}
+
+TEST(TcpTransport, GarbageBeforeHelloKillsConnection) {
+  // A peer that speaks frames before its Hello violates the handshake: the
+  // serving side must refuse to dispatch anything pre-negotiation.
+  sim::Simulation sim(1);
+  EventLoop loop(sim);
+  int served = 0;
+  TcpTransport server(loop);
+  uint16_t port = server.listen_for(
+      1, 0,
+      [&served](wire::Request req, RespondFn respond) {
+        ++served;
+        respond(wire::Response(OpStatus::Ok));
+        (void)req;
+      },
+      nullptr);
+  ASSERT_NE(port, 0);
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  // A perfectly well-formed request frame — but no Hello first.
+  std::string frame = wire::encode_request(1, wire::Request());
+  ASSERT_EQ(write(fd, frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  pump_for(loop, 100);
+  timeval tv{1, 0};
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char drainbuf[256];
+  ssize_t n;
+  while ((n = recv(fd, drainbuf, sizeof(drainbuf), 0)) > 0) {
+  }
+  EXPECT_EQ(n, 0);  // connection killed
+  EXPECT_EQ(served, 0);  // and the request was never dispatched
+  close(fd);
+}
+
+// ---- Churn hardening -------------------------------------------------------
+
+TEST(TcpTransport, InflightRequestsFailRetryableWhenConnectionDrops) {
+  sim::Simulation sim(1);
+  EventLoop loop(sim);
+  // A server that accepts requests and never answers them (holds the
+  // RespondFns), then dies with requests in flight.
+  std::vector<RespondFn> held;
+  auto server = std::make_unique<TcpTransport>(loop);
+  uint16_t port = server->listen_for(
+      1, 0,
+      [&held](wire::Request, RespondFn respond) {
+        held.push_back(std::move(respond));
+      },
+      [](const wire::StoreRequest&) { return wire::StoreReply(true, -1); });
+  ASSERT_NE(port, 0);
+
+  TcpTransport client(loop);
+  client.route(1, "127.0.0.1", port);
+  ASSERT_TRUE(wait_peer_up(loop, client, 1, 3000));
+
+  auto f_invoke = client.invoke(100, 1, wire::Request(), 96);
+  wire::StoreRequest msg = wire::StoreRequest::read("k");
+  auto f_store = client.store_call(0, 1, msg, 64, 32, 16,
+                                   sim::MsgKind::StoreRead,
+                                   sim::MsgKind::StoreAck);
+  // Both requests reach the server's hold queue...
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(3);
+  while (held.empty() && std::chrono::steady_clock::now() < deadline) {
+    loop.poll_once(5);
+  }
+  ASSERT_FALSE(held.empty());
+
+  // ...then the server process dies.  The in-flight requests must surface
+  // as retryable results FAST (transport-synthesized), not hang until some
+  // distant caller timeout.
+  held.clear();
+  server.reset();
+  auto invoke_result = drive(loop, f_invoke, 2000);
+  ASSERT_TRUE(invoke_result.has_value()) << "in-flight invoke silently lost";
+  EXPECT_EQ(invoke_result->status, OpStatus::Timeout);
+  EXPECT_TRUE(is_retryable(invoke_result->status));
+  auto store_result = drive(loop, f_store, 2000);
+  ASSERT_TRUE(store_result.has_value()) << "in-flight store call silently lost";
+  EXPECT_FALSE(store_result->ok);  // a nack: never counted as success
+  EXPECT_EQ(store_result->ballot, -1);
+}
+
+TEST(TcpTransport, GoodbyeDrainFailsInflightAndReconnects) {
+  sim::Simulation sim(1);
+  EventLoop loop(sim);
+  std::vector<RespondFn> held;
+  TcpTransport server(loop);
+  uint16_t port = server.listen_for(
+      1, 0,
+      [&held](wire::Request, RespondFn respond) {
+        held.push_back(std::move(respond));
+      },
+      nullptr);
+  ASSERT_NE(port, 0);
+
+  TcpTransport client(loop);
+  client.route(1, "127.0.0.1", port);
+  ASSERT_TRUE(wait_peer_up(loop, client, 1, 3000));
+
+  auto f = client.invoke(100, 1, wire::Request(), 96);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(3);
+  while (held.empty() && std::chrono::steady_clock::now() < deadline) {
+    loop.poll_once(5);
+  }
+  ASSERT_FALSE(held.empty());
+
+  // The server announces a drain (v2 Goodbye).  The client must fail the
+  // in-flight request retryable immediately — before any FIN arrives.
+  server.announce_drain(wire::GoodbyeReason::Restart);
+  auto result = drive(loop, f, 2000);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, OpStatus::Timeout);
+
+  // The server in this test never actually exits, so the client's backoff
+  // loop re-establishes — and the churn shows up in the route diagnostics.
+  ASSERT_TRUE(wait_peer_up(loop, client, 1, 5000));
+  auto info = client.peer_info();
+  ASSERT_EQ(info.size(), 1u);
+  EXPECT_GE(info[0].reconnects, 1u);
+  EXPECT_EQ(info[0].wire_version, wire::kWireVersionMax);
+}
+
+TEST(TcpTransport, OversizedFrameLimitIsConfigurable) {
+  sim::Simulation sim(1);
+  EventLoop loop(sim);
+  TcpOptions tight;
+  tight.max_frame_bytes = 256;  // tiny per-connection ceiling
+  TcpTransport server(loop, tight);
+  TcpTransport client(loop);
+
+  uint16_t port = server.listen_for(1, 0, echo_server(), nullptr);
+  ASSERT_NE(port, 0);
+  client.route(1, "127.0.0.1", port);
+  ASSERT_TRUE(wait_peer_up(loop, client, 1, 3000));
+
+  // A small request round-trips under the ceiling...
+  wire::Request small(wire::Request::Op::CriticalGet, "k", 1, Value("v"));
+  auto ok = drive(loop, client.invoke(100, 1, small, 96), 3000);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, OpStatus::Ok);
+
+  // ...an oversized one trips TooLarge on the server, which kills the
+  // connection; the client sees its in-flight request fail retryable.
+  wire::Request fat(wire::Request::Op::CriticalPut, "k", 1,
+                    Value(std::string(1024, 'x'), 1024));
+  auto dropped = drive(loop, client.invoke(100, 1, fat, 96), 3000);
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_EQ(dropped->status, OpStatus::Timeout);
 }
 
 }  // namespace

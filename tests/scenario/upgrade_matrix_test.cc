@@ -1,0 +1,204 @@
+// The rolling-upgrade matrix in the sim world: a mixed-version 3-site
+// fleet (versions axis) restarted one site at a time onto the new binary
+// via `restart ... version 2` faults, with a partition and a store crash
+// overlaid mid-roll, ECF oracle armed.  Runs across MUSIC_FAULT_SEEDS
+// seeds (default 2 for the fast tier-1 run; CI's upgrade job sets 8).
+//
+// The ECF-clean roll uses durable restarts: a binary swap keeps the data
+// directory.  The amnesia variant (disk lost with the old binary) gets its
+// own test that deliberately does NOT assert zero violations — wiping a
+// store replica breaks quorum intersection for every earlier write whose
+// quorum included it, and without a repair/bootstrap step before rejoining
+// that is real data loss the oracle exists to surface.
+//
+// Also pins the spec-level surface of the upgrade axis: parse/format
+// round trip, the /v label segment, grid expansion, and the validate()
+// rejections for fleets the nemesis cannot drive.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "scenario/run.h"
+#include "scenario/spec.h"
+#include "wire/codec.h"
+
+namespace music::scn {
+namespace {
+
+int env_seeds() {
+  if (const char* env = std::getenv("MUSIC_FAULT_SEEDS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 2;
+}
+
+constexpr char kRollingUpgradeSpec[] = R"(scenario rolling-upgrade
+seeds 1
+protocols music,mscp
+
+topology {
+  profiles local
+  store_nodes 3
+  versions 1:2:2
+}
+
+workload {
+  mixes 0.5
+  clients 6
+  keys 16
+  value 10
+  warmup 1s
+  measure 4s
+}
+
+faults {
+  at 1s restart 0 version 2 for 300ms
+  at 2s restart 1 version 2 for 300ms
+  at 2500ms partition 0|1,2 for 400ms
+  at 3200ms restart 2 version 2 for 300ms
+  at 4s crash store 1 for 300ms
+}
+)";
+
+TEST(UpgradeSpec, VersionsAxisRoundTripsAndExpands) {
+  Diag diag;
+  auto spec = ScenarioSpec::parse(
+      "scenario vs\nprotocols music\n"
+      "topology {\n  versions 1:2:2,2:2:2\n}\n",
+      &diag);
+  ASSERT_TRUE(spec.has_value()) << diag.str();
+  ASSERT_EQ(spec->topology.versions.size(), 2u);
+  EXPECT_EQ(spec->topology.versions[0], "1:2:2");
+
+  // format() prints the axis and parse() reads it back verbatim.
+  auto again = ScenarioSpec::parse(spec->format(), &diag);
+  ASSERT_TRUE(again.has_value()) << diag.str();
+  EXPECT_EQ(*again, *spec);
+
+  // The axis multiplies the grid and stamps only non-default labels.
+  auto cells = expand(*spec);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_NE(cells[0].label().find("/v1:2:2/"), std::string::npos);
+  EXPECT_NE(cells[1].label().find("/v2:2:2/"), std::string::npos);
+
+  // Default fleets keep their pre-upgrade labels (golden stability).
+  auto plain = ScenarioSpec::parse("scenario p\nprotocols music\n", &diag);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(expand(*plain).at(0).label().find("/v"), std::string::npos);
+}
+
+TEST(UpgradeSpec, RejectsMalformedVersionLists) {
+  Diag diag;
+  for (const char* bad : {"1:2", "1:2:2:2", "0:2:2", "a:2:2", "10:2:2"}) {
+    std::string text = "scenario vs\ntopology {\n  versions ";
+    text += bad;
+    text += "\n}\n";
+    EXPECT_FALSE(ScenarioSpec::parse(text, &diag).has_value()) << bad;
+  }
+}
+
+TEST(UpgradeSpec, ValidateGatesRestartAndVersions) {
+  Diag diag;
+  // Restart faults and the versions axis need MUSIC replicas to drive.
+  auto zab = ScenarioSpec::parse(
+      "scenario z\nprotocols zab\nfaults {\n  at 1s restart 0\n}\n", &diag);
+  ASSERT_TRUE(zab.has_value()) << diag.str();
+  EXPECT_NE(validate(*zab).find("restart"), std::string::npos);
+
+  auto zabv = ScenarioSpec::parse(
+      "scenario z\nprotocols zab\ntopology {\n  versions 1:2:2\n}\n", &diag);
+  ASSERT_TRUE(zabv.has_value()) << diag.str();
+  EXPECT_NE(validate(*zabv).find("versions"), std::string::npos);
+
+  // Sites are 0..2, and a restart can't name a wire version this binary
+  // doesn't speak.
+  auto far = ScenarioSpec::parse(
+      "scenario f\nprotocols music\nfaults {\n  at 1s restart 7\n}\n", &diag);
+  ASSERT_TRUE(far.has_value());
+  EXPECT_FALSE(validate(*far).empty());
+
+  auto future = ScenarioSpec::parse(
+      "scenario f\nprotocols music\nfaults {\n  at 1s restart 0 version 9\n}\n",
+      &diag);
+  ASSERT_TRUE(future.has_value());
+  EXPECT_NE(validate(*future).find("version"), std::string::npos);
+
+  // The rolling-upgrade spec itself is valid.
+  auto roll = ScenarioSpec::parse(kRollingUpgradeSpec, &diag);
+  ASSERT_TRUE(roll.has_value()) << diag.str();
+  EXPECT_EQ(validate(*roll), "") << validate(*roll);
+}
+
+TEST(UpgradeMatrix, RollingRestartOntoNewBinaryKeepsEcfClean) {
+  Diag diag;
+  auto spec = ScenarioSpec::parse(kRollingUpgradeSpec, &diag);
+  ASSERT_TRUE(spec.has_value()) << diag.str();
+  spec->seeds = env_seeds();
+
+  auto outcomes = run_sweep(*spec);
+  ASSERT_EQ(outcomes.size(),
+            2u * static_cast<size_t>(spec->seeds));  // music,mscp x seeds
+  for (const CellOutcome& out : outcomes) {
+    EXPECT_TRUE(out.ok) << out.label << ": " << out.error;
+    EXPECT_EQ(out.violations, 0u) << out.label;
+    EXPECT_GT(out.run.completed, 0u) << out.label;
+    // Every site was restarted onto the v2 binary mid-roll, so the fleet's
+    // negotiated floor ends at 2 even though it started mixed (1:2:2).
+    EXPECT_EQ(out.fleet_version, static_cast<int>(wire::kWireVersionMax))
+        << out.label;
+  }
+}
+
+TEST(UpgradeMatrix, AmnesiaRestartStillRollsTheFleetForward) {
+  // Site 2 comes back onto the new binary with its disk lost.  The fleet
+  // must stay live and finish the upgrade, but ECF-clean is NOT asserted:
+  // the wiped replica rejoins read quorums holding nothing, so any write
+  // whose quorum included it may now be visible on a single live replica
+  // only — the oracle reports those as Latest-State violations, and that
+  // is the correct verdict for an amnesia rejoin without repair.
+  Diag diag;
+  std::string text = kRollingUpgradeSpec;
+  size_t pos = text.find("restart 2 version 2");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos + std::string("restart 2 version 2").size(), " amnesia");
+  auto spec = ScenarioSpec::parse(text, &diag);
+  ASSERT_TRUE(spec.has_value()) << diag.str();
+  spec->seeds = env_seeds();
+
+  auto outcomes = run_sweep(*spec);
+  ASSERT_EQ(outcomes.size(), 2u * static_cast<size_t>(spec->seeds));
+  for (const CellOutcome& out : outcomes) {
+    // `error` may carry an oracle report (expected here: the lost writes
+    // surface as Latest-State, and a wiped lock-queue cell can surface as
+    // Exclusivity).  Anything not shaped like an oracle report — a spec
+    // rejection or an exception — is a real failure.
+    if (!out.ok) {
+      EXPECT_EQ(out.error.rfind("[", 0), 0u)
+          << out.label << ": " << out.error;
+    }
+    EXPECT_GT(out.run.completed, 0u) << out.label;
+    EXPECT_EQ(out.fleet_version, static_cast<int>(wire::kWireVersionMax))
+        << out.label;
+  }
+}
+
+TEST(UpgradeMatrix, MixedFleetWithoutUpgradeStaysAtTheV1Floor) {
+  Diag diag;
+  auto spec = ScenarioSpec::parse(
+      "scenario mixed\nprotocols music\nseeds 1\n"
+      "topology {\n  profiles local\n  versions 1:2:2\n}\n"
+      "workload {\n  clients 3\n  keys 8\n  warmup 500ms\n  measure 1s\n}\n",
+      &diag);
+  ASSERT_TRUE(spec.has_value()) << diag.str();
+  auto outcomes = run_sweep(*spec);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  // Site 0 still runs the v1-pinned binary: every connection it is part of
+  // pins v1, so the fleet floor is 1.
+  EXPECT_EQ(outcomes[0].fleet_version, 1);
+}
+
+}  // namespace
+}  // namespace music::scn

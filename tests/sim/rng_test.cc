@@ -88,5 +88,35 @@ TEST(Rng, UniformRealHalfOpen) {
   }
 }
 
+TEST(Backoff, DecorrelatedJitterStaysInWindowAndCaps) {
+  // The shared reconnect/retry jitter scheme: every draw lands in
+  // [base, min(cap, 3*prev)], never exceeds the cap no matter how long the
+  // outage, and actually jitters (draws differ).
+  Rng r(0xBACC0FF);
+  const int64_t base = 50, cap = 2000;
+  int64_t prev = base;
+  bool saw_distinct = false;
+  int64_t last = -1;
+  for (int i = 0; i < 500; ++i) {
+    int64_t next = decorrelated_backoff(base, cap, prev, r);
+    EXPECT_GE(next, base);
+    EXPECT_LE(next, cap);
+    EXPECT_LE(next, std::max(base, 3 * prev));
+    if (last >= 0 && next != last) saw_distinct = true;
+    last = next;
+    prev = next;
+  }
+  EXPECT_TRUE(saw_distinct) << "no jitter: every backoff identical";
+}
+
+TEST(Backoff, DegenerateWindowsReturnBase) {
+  Rng r(7);
+  // prev so small that 3*prev <= base: the window is empty, take base.
+  EXPECT_EQ(decorrelated_backoff(300, 1000, 0, r), 300);
+  EXPECT_EQ(decorrelated_backoff(300, 1000, 100, r), 300);
+  // cap == base pins the schedule flat.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(decorrelated_backoff(64, 64, 64, r), 64);
+}
+
 }  // namespace
 }  // namespace music::sim

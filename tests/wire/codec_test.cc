@@ -190,14 +190,18 @@ TEST(Codec, TruncatedFramesNeedMore) {
 
 TEST(Codec, WrongVersionRejected) {
   std::string buf = encode_request(1, Request());
-  buf[4] = static_cast<char>(kWireVersion + 1);
-  FrameView fv;
-  EXPECT_EQ(peel_frame(buf.data(), buf.size(), fv), FrameStatus::Bad);
+  for (int v : {0, kWireVersionMax + 1, 200}) {
+    std::string b = buf;
+    b[4] = static_cast<char>(v);
+    FrameView fv;
+    EXPECT_EQ(peel_frame(b.data(), b.size(), fv), FrameStatus::Bad)
+        << "version " << v;
+  }
 }
 
 TEST(Codec, UnknownFrameTypeRejected) {
   std::string buf = encode_request(1, Request());
-  for (int t : {0, 5, 17, 255}) {
+  for (int t : {0, 7, 17, 255}) {
     std::string b = buf;
     b[5] = static_cast<char>(t);
     FrameView fv;
@@ -218,8 +222,26 @@ TEST(Codec, OversizedLengthRejected) {
   uint32_t len = kMaxFrameBytes + 1;
   std::memcpy(buf.data(), &len, sizeof(len));
   FrameView fv;
-  // Must reject from the header alone, before demanding 16MB of buffer.
-  EXPECT_EQ(peel_frame(buf.data(), buf.size(), fv), FrameStatus::Bad);
+  // Must reject from the header alone, before demanding 16MB of buffer —
+  // and with the distinct TooLarge status, so transports can attribute the
+  // drop to a resource bound rather than corruption.
+  EXPECT_EQ(peel_frame(buf.data(), buf.size(), fv), FrameStatus::TooLarge);
+}
+
+TEST(Codec, ConfigurableFrameLimitBoundary) {
+  // The limit is a PeelLimits knob, exercised at the exact boundary: a
+  // frame whose len == max_frame_bytes passes, len == max + 1 is TooLarge.
+  Request r(Request::Op::CriticalPut, "k", LockRef{1}, Value("0123456789", 10));
+  std::string buf = encode_request(1, r);
+  uint32_t len = static_cast<uint32_t>(buf.size() - 4);
+  PeelLimits at{kWireVersionMin, kWireVersionMax, len};
+  PeelLimits below{kWireVersionMin, kWireVersionMax, len - 1};
+  FrameView fv;
+  EXPECT_EQ(peel_frame(buf.data(), buf.size(), fv, at), FrameStatus::Ok);
+  EXPECT_EQ(peel_frame(buf.data(), buf.size(), fv, below), FrameStatus::TooLarge);
+  // The rejection must come from the length prefix alone: four bytes of a
+  // giant frame are enough to refuse it.
+  EXPECT_EQ(peel_frame(buf.data(), 4, fv, below), FrameStatus::TooLarge);
 }
 
 TEST(Codec, UndersizedLengthRejected) {

@@ -1,0 +1,310 @@
+// Wire-version negotiation and cross-version codec tests.
+//
+// Three layers of protection for rolling upgrades:
+//   1. negotiate() property tests over [min,max] range pairs — overlap,
+//      disjoint, inverted, and unknown all-future peers;
+//   2. the Hello/Goodbye handshake frames parse strictly and Hello stays at
+//      the v1 layout forever (any implementation can read it pre-agreement);
+//   3. byte-for-byte goldens pinning the v1 frame layout — if any of these
+//      change, old binaries can no longer talk to new ones and the change
+//      must instead ship as a NEW version (docs/TRANSPORT.md playbook).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "wire/codec.h"
+#include "wire/messages.h"
+
+namespace music::wire {
+namespace {
+
+std::string to_hex(const std::string& s) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (unsigned char c : s) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+// ---- negotiate(): the state machine that pins a connection version. --------
+
+TEST(Negotiate, PicksHighestCommonVersion) {
+  // Identical ranges.
+  EXPECT_EQ(negotiate(1, 2, 1, 2), std::optional<uint8_t>(2));
+  // Old peer caps the connection.
+  EXPECT_EQ(negotiate(1, 2, 1, 1), std::optional<uint8_t>(1));
+  EXPECT_EQ(negotiate(1, 1, 1, 2), std::optional<uint8_t>(1));
+  // Future peer with overlap: we top out at our own max.
+  EXPECT_EQ(negotiate(1, 2, 2, 9), std::optional<uint8_t>(2));
+  // Single-point overlap at the bottom.
+  EXPECT_EQ(negotiate(1, 1, 1, 9), std::optional<uint8_t>(1));
+  // Degenerate single-version ranges.
+  EXPECT_EQ(negotiate(2, 2, 2, 2), std::optional<uint8_t>(2));
+}
+
+TEST(Negotiate, RejectsDisjointRanges) {
+  // An all-future peer ([5,9] against [1,2]): no common version.  This is
+  // the "unknown future versions" case — the handshake must fail cleanly,
+  // not guess.
+  EXPECT_EQ(negotiate(1, 2, 5, 9), std::nullopt);
+  EXPECT_EQ(negotiate(5, 9, 1, 2), std::nullopt);
+  // Adjacent but non-overlapping.
+  EXPECT_EQ(negotiate(1, 1, 2, 2), std::nullopt);
+}
+
+TEST(Negotiate, RejectsInvertedRanges) {
+  EXPECT_EQ(negotiate(2, 1, 1, 2), std::nullopt);
+  EXPECT_EQ(negotiate(1, 2, 9, 5), std::nullopt);
+  EXPECT_EQ(negotiate(3, 1, 9, 5), std::nullopt);
+}
+
+TEST(Negotiate, FuzzProperties) {
+  // Property sweep over random range pairs: when negotiate succeeds the
+  // result lies inside BOTH ranges and equals min(local_max, remote_max);
+  // it succeeds exactly when both ranges are well-formed and overlap; and
+  // it is symmetric (both ends of a connection pin the same version).
+  std::mt19937_64 rng(0x5EED9);
+  for (int iter = 0; iter < 20000; ++iter) {
+    uint8_t lmin = static_cast<uint8_t>(rng() % 12);
+    uint8_t lmax = static_cast<uint8_t>(rng() % 12);
+    uint8_t rmin = static_cast<uint8_t>(rng() % 12);
+    uint8_t rmax = static_cast<uint8_t>(rng() % 12);
+    auto got = negotiate(lmin, lmax, rmin, rmax);
+    auto mirrored = negotiate(rmin, rmax, lmin, lmax);
+    EXPECT_EQ(got, mirrored) << "asymmetric negotiation";
+    bool valid = lmin <= lmax && rmin <= rmax;
+    bool overlap = valid && std::max(lmin, rmin) <= std::min(lmax, rmax);
+    if (!overlap) {
+      EXPECT_EQ(got, std::nullopt);
+      continue;
+    }
+    ASSERT_TRUE(got.has_value());
+    EXPECT_GE(*got, lmin);
+    EXPECT_LE(*got, lmax);
+    EXPECT_GE(*got, rmin);
+    EXPECT_LE(*got, rmax);
+    EXPECT_EQ(*got, std::min(lmax, rmax)) << "not the highest common version";
+  }
+}
+
+// ---- Hello: the advertisement frame. ---------------------------------------
+
+TEST(Hello, RoundTripsAndStaysAtV1Layout) {
+  Hello h;
+  h.min = 1;
+  h.max = 7;
+  h.features = 0xDEADBEEF;
+  h.node = 42;
+  std::string buf = encode_hello(h);
+  // The forever-rule: Hello is version-1 framed with zero flags and req_id
+  // 0, whatever range it advertises, so ANY implementation can parse it
+  // before a version is agreed.
+  EXPECT_EQ(static_cast<uint8_t>(buf[4]), 1);
+  EXPECT_EQ(buf[6], 0);
+  EXPECT_EQ(buf[7], 0);
+  FrameView fv;
+  ASSERT_EQ(peel_frame(buf.data(), buf.size(), fv), FrameStatus::Ok);
+  EXPECT_EQ(fv.type, FrameType::Hello);
+  EXPECT_EQ(fv.req_id, 0u);
+  auto parsed = parse_hello(fv.payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->min, h.min);
+  EXPECT_EQ(parsed->max, h.max);
+  EXPECT_EQ(parsed->features, h.features);
+  EXPECT_EQ(parsed->node, h.node);
+}
+
+TEST(Hello, ParsesUnderAReaderPinnedToAnyVersion) {
+  // A reader that has already pinned v2 (min_version raised) must still
+  // peel a v1 Hello: reconnect handshakes race with version pinning and
+  // the Hello is the one frame that may always arrive below the floor.
+  std::string buf = encode_hello(Hello{});
+  PeelLimits pinned{2, 2, kMaxFrameBytes};
+  FrameView fv;
+  ASSERT_EQ(peel_frame(buf.data(), buf.size(), fv, pinned), FrameStatus::Ok);
+  EXPECT_EQ(fv.type, FrameType::Hello);
+}
+
+TEST(Hello, RejectsMalformedAdvertisements) {
+  std::string buf = encode_hello(Hello{});
+  FrameView fv;
+  ASSERT_EQ(peel_frame(buf.data(), buf.size(), fv), FrameStatus::Ok);
+  std::string payload(fv.payload);
+
+  {  // Wrong magic: not our protocol at all.
+    std::string p = payload;
+    p[0] = 'X';
+    EXPECT_FALSE(parse_hello(p).has_value());
+  }
+  for (size_t n = 0; n < payload.size(); ++n) {  // Truncation.
+    EXPECT_FALSE(parse_hello(payload.substr(0, n)).has_value()) << "prefix " << n;
+  }
+  {  // Trailing garbage.
+    std::string p = payload + "Z";
+    EXPECT_FALSE(parse_hello(p).has_value());
+  }
+  {  // Inverted range is malformed on its face.
+    std::string p = payload;
+    p[4] = 5;  // min
+    p[5] = 2;  // max
+    EXPECT_FALSE(parse_hello(p).has_value());
+  }
+}
+
+// ---- Goodbye: the graceful-drain frame (v2+). ------------------------------
+
+TEST(Goodbye, RoundTripsBothReasons) {
+  for (GoodbyeReason reason : {GoodbyeReason::Shutdown, GoodbyeReason::Restart}) {
+    std::string buf = encode_goodbye(reason);
+    EXPECT_EQ(static_cast<uint8_t>(buf[4]), 2);  // a v2 frame
+    FrameView fv;
+    ASSERT_EQ(peel_frame(buf.data(), buf.size(), fv), FrameStatus::Ok);
+    EXPECT_EQ(fv.type, FrameType::Goodbye);
+    auto parsed = parse_goodbye(fv.payload);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, reason);
+  }
+}
+
+TEST(Goodbye, RejectedByAV1OnlyReader) {
+  // A v1-pinned connection can never see a Goodbye: the frame is stamped
+  // v2 and the reader's window stops at 1.
+  std::string buf = encode_goodbye(GoodbyeReason::Shutdown);
+  PeelLimits v1_only{1, 1, kMaxFrameBytes};
+  FrameView fv;
+  EXPECT_EQ(peel_frame(buf.data(), buf.size(), fv, v1_only), FrameStatus::Bad);
+}
+
+TEST(Goodbye, RejectsUnknownReasonsAndGarbage) {
+  std::string buf = encode_goodbye(GoodbyeReason::Shutdown);
+  FrameView fv;
+  ASSERT_EQ(peel_frame(buf.data(), buf.size(), fv), FrameStatus::Ok);
+  std::string payload(fv.payload);
+  payload[0] = 99;
+  EXPECT_FALSE(parse_goodbye(payload).has_value());
+  EXPECT_FALSE(parse_goodbye("").has_value());
+  EXPECT_FALSE(parse_goodbye(std::string(fv.payload) + "x").has_value());
+}
+
+// ---- v2 semantics: the flags field becomes a feature bitmap. ---------------
+
+TEST(CrossVersion, V2CarriesFlagBitmapV1CannotContainIt) {
+  Request r(Request::Op::CriticalPut, "k", LockRef{1}, Value("v", 1));
+  // v2 frame with known feature bits: peels, and the bits survive.
+  std::string v2 = encode_request(7, r, 2, kFlagRetry | kFlagDraining);
+  FrameView fv;
+  ASSERT_EQ(peel_frame(v2.data(), v2.size(), fv), FrameStatus::Ok);
+  EXPECT_EQ(fv.version, 2);
+  EXPECT_EQ(fv.flags, kFlagRetry | kFlagDraining);
+  // The payload layout is identical across versions: same parser, same
+  // message (this is what lets one serve path handle both).
+  auto parsed = parse_request(fv.payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->key, r.key);
+
+  // The v1 encoder masks the bits away — a v1 frame cannot carry them...
+  std::string v1 = encode_request(7, r, 1, kFlagRetry);
+  ASSERT_EQ(peel_frame(v1.data(), v1.size(), fv), FrameStatus::Ok);
+  EXPECT_EQ(fv.flags, 0);
+  // ...and a hand-forged v1 frame with the bit set is rejected outright.
+  std::string forged = v1;
+  forged[6] = static_cast<char>(kFlagRetry);
+  EXPECT_EQ(peel_frame(forged.data(), forged.size(), fv), FrameStatus::Bad);
+}
+
+TEST(CrossVersion, UnknownFlagBitsRejectedEvenAtV2) {
+  Request r(Request::Op::CriticalGet, "k", LockRef{1}, Value());
+  std::string buf = encode_request(3, r, 2, 0);
+  buf[6] = 0x04;  // a bit v2 does not define — a v3 leak or corruption
+  FrameView fv;
+  EXPECT_EQ(peel_frame(buf.data(), buf.size(), fv), FrameStatus::Bad);
+}
+
+TEST(CrossVersion, AllMessageKindsRoundTripAtEveryVersion) {
+  for (uint8_t v = kWireVersionMin; v <= kWireVersionMax; ++v) {
+    Request req(Request::Op::AcquireLock, "key", LockRef{5}, Value("x", 1));
+    FrameView fv;
+    std::string b1 = encode_request(1, req, v);
+    ASSERT_EQ(peel_frame(b1.data(), b1.size(), fv), FrameStatus::Ok);
+    EXPECT_EQ(fv.version, v);
+    ASSERT_TRUE(parse_request(fv.payload).has_value());
+
+    std::string b2 = encode_response(2, Response(OpStatus::Ok), v);
+    ASSERT_EQ(peel_frame(b2.data(), b2.size(), fv), FrameStatus::Ok);
+    ASSERT_TRUE(parse_response(fv.payload).has_value());
+
+    std::string b3 = encode_store_request(3, StoreRequest::read("k"), v);
+    ASSERT_EQ(peel_frame(b3.data(), b3.size(), fv), FrameStatus::Ok);
+    ASSERT_TRUE(parse_store_request(fv.payload).has_value());
+
+    std::string b4 = encode_store_reply(4, StoreReply(true, -1), v);
+    ASSERT_EQ(peel_frame(b4.data(), b4.size(), fv), FrameStatus::Ok);
+    ASSERT_TRUE(parse_store_reply(fv.payload).has_value());
+  }
+}
+
+// ---- The v1 byte-layout goldens. -------------------------------------------
+//
+// These bytes are the compatibility contract with every binary ever shipped
+// at v1.  A failure here means the change breaks rolling upgrades: revert
+// it, or ship it as a new version with its own negotiation path.
+
+TEST(Golden, V1RequestBytes) {
+  Request req(Request::Op::CriticalPut, "golden.key", LockRef{42},
+              Value("golden-value", 12));
+  req.batch.emplace_back(BatchOp::Kind::Put, "bk", Value("bv", 2));
+  EXPECT_EQ(to_hex(encode_request(0x1122334455667788ull, req)),
+            "54000000010100008877665544332211020a000000676f6c64656e2e6b65792a"
+            "000000000000000c000000676f6c64656e2d76616c75650c0000000000000001"
+            "0000000002000000626b0200000062760200000000000000");
+}
+
+TEST(Golden, V1ResponseBytes) {
+  Response resp(OpStatus::Ok, LockRef{7}, Value("rv", 2), {"k1", "k2"});
+  resp.batch.emplace_back(OpStatus::NotFound, Value());
+  EXPECT_EQ(to_hex(encode_response(9, resp)),
+            "4400000001020000090000000000000000070000000000000002000000727602"
+            "0000000000000002000000020000006b31020000006b32010000000600000000"
+            "0000000000000000");
+}
+
+TEST(Golden, V1StoreRequestBytes) {
+  EXPECT_EQ(to_hex(encode_store_request(
+                5, StoreRequest::accept("sk", WireCell(Value("cv", 2), 33), 4))),
+            "310000000103000005000000000000000302000000736b0200000063760200000000"
+            "00000021000000000000000400000000000000");
+}
+
+TEST(Golden, V1StoreReplyBytes) {
+  StoreReply reply(true, 6);
+  reply.has_cell = true;
+  reply.cell = WireCell(Value("rc", 2), 21);
+  reply.cell_ballot = 3;
+  reply.from = 2;
+  EXPECT_EQ(to_hex(encode_store_reply(11, reply)),
+            "38000000010400000b0000000000000001060000000000000001020000007263"
+            "02000000000000001500000000000000030000000000000002000000");
+}
+
+TEST(Golden, HelloBytes) {
+  Hello h;
+  h.min = 1;
+  h.max = 2;
+  h.features = 0;
+  h.node = 4;
+  EXPECT_EQ(to_hex(encode_hello(h)),
+            "1a00000001050000000000000000000048454c4f01020000000004000000");
+}
+
+TEST(Golden, GoodbyeBytes) {
+  EXPECT_EQ(to_hex(encode_goodbye(GoodbyeReason::Restart)),
+            "1000000002060000000000000000000002000000");
+}
+
+}  // namespace
+}  // namespace music::wire

@@ -69,6 +69,46 @@ music::sim::Task<void> serve_music(music::rest::RestGateway* gw,
   respond(std::move(r));
 }
 
+/// The transport's per-route handshake/churn diagnostics as a JSON array:
+/// which wire version each musicd connection negotiated, and how many
+/// times the route has re-established (rolling restarts show up here).
+music::rest::Json peers_json(const music::net::TcpTransport& tcp) {
+  music::rest::Json arr;
+  for (const music::net::PeerInfo& p : tcp.peer_info()) {
+    music::rest::Json entry;
+    entry.set("node", static_cast<int64_t>(p.id));
+    entry.set("connected", p.connected);
+    entry.set("wire_version", static_cast<int64_t>(p.wire_version));
+    entry.set("reconnects", static_cast<int64_t>(p.reconnects));
+    entry.set("handshake_failures",
+              static_cast<int64_t>(p.handshake_failures));
+    arr.push(std::move(entry));
+  }
+  return arr;
+}
+
+/// GET /v1/status: the keyless "status" verb, with the live transport
+/// peer table merged in (the verb reply describes the deployment shape;
+/// "peers" describes what this gateway is actually connected to).
+music::sim::Task<void> serve_status(music::rest::RestGateway* gw,
+                                    music::net::TcpTransport* tcp,
+                                    music::net::HttpServer::Respond respond) {
+  std::string reply = co_await gw->handle(R"({"op":"status"})");
+  music::net::HttpResponse r;
+  auto parsed = music::rest::Json::parse(reply);
+  if (parsed) {
+    if ((*parsed)["code"].is_string()) {
+      r.status =
+          music::rest::http_status_for_code((*parsed)["code"].as_string());
+    }
+    parsed->set("peers", peers_json(*tcp));
+    r.body = parsed->dump();
+  } else {
+    r.body = std::move(reply);
+  }
+  respond(std::move(r));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,6 +175,13 @@ int main(int argc, char** argv) {
           reg.set("client.demotions", st.demotions);
           reg.set("transport.connected_peers",
                   static_cast<uint64_t>(tcp.connected_peers()));
+          for (const net::PeerInfo& p : tcp.peer_info()) {
+            std::string pre = "transport.peer." + std::to_string(p.id);
+            reg.set(pre + ".connected", p.connected ? 1u : 0u);
+            reg.set(pre + ".wire_version", p.wire_version);
+            reg.set(pre + ".reconnects", p.reconnects);
+            reg.set(pre + ".handshake_failures", p.handshake_failures);
+          }
           reg.set("loop.now_us", static_cast<uint64_t>(sim.now()));
           net::HttpResponse r;
           r.body = obs::metrics_json(reg);
@@ -142,8 +189,7 @@ int main(int argc, char** argv) {
           return;
         }
         if (req.path == "/v1/status") {
-          sim::spawn(sim, serve_music(&gw, R"({"op":"status"})",
-                                      std::move(respond)));
+          sim::spawn(sim, serve_status(&gw, &tcp, std::move(respond)));
           return;
         }
         if (req.path == "/v1/music" && req.method == "POST") {
@@ -163,6 +209,7 @@ int main(int argc, char** argv) {
 
   signal(SIGINT, on_signal);
   signal(SIGTERM, on_signal);
+  signal(SIGPIPE, SIG_IGN);  // peer hangups surface as EPIPE, not death
   g_loop = &loop;
   fprintf(stderr, "music_gateway: http://127.0.0.1:%u (site %d)\n", bound,
           site);

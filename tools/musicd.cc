@@ -16,9 +16,24 @@
 //
 // serves store node 1 on 7002 and MUSIC replica (site 1) on 7102, and
 // routes store nodes 0 and 2 to 127.0.0.1:7001 / 127.0.0.1:7003.
-// SIGINT/SIGTERM stop the loop and exit cleanly (the demo asserts this).
+//
+// Rolling-upgrade knobs (docs/TRANSPORT.md):
+//   --wire-max-version K   pin the advertised wire-version ceiling to K —
+//                          running with K=1 makes this process the "old
+//                          binary" of a mixed-version fleet.  The
+//                          MUSIC_WIRE_MAX_VERSION env var does the same
+//                          (flag wins).
+//   --state-file PATH      durable store snapshot: loaded before serving,
+//                          written on clean shutdown.  Without it a restart
+//                          is an amnesia restart (empty table, as if the
+//                          disk was lost).
+//
+// SIGINT/SIGTERM stop the loop and exit cleanly; on the way out the
+// process sends a Goodbye drain notice on every v2+ connection so peers
+// fail their in-flight requests fast instead of waiting out a timeout.
 #include <signal.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +48,7 @@
 #include "net/tcp.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
+#include "wire/codec.h"
 
 namespace {
 
@@ -59,8 +75,82 @@ std::vector<uint16_t> parse_ports(const char* arg) {
 int usage() {
   fprintf(stderr,
           "usage: musicd --site N --store-ports p0,p1,p2 "
-          "--music-ports m0,m1,m2 [--host H]\n");
+          "--music-ports m0,m1,m2 [--host H] [--wire-max-version K] "
+          "[--state-file PATH]\n");
   return 2;
+}
+
+// ---- Durable store snapshot -------------------------------------------------
+//
+// Line-oriented, length-prefixed (keys/values may hold anything but \n is
+// avoided by the length prefixes):
+//
+//   musicd-state v1
+//   <ts> <keylen> <vallen>
+//   <key bytes><value bytes>
+//
+// Written to PATH.tmp then renamed, so a crash mid-write leaves the
+// previous snapshot intact.
+
+bool save_state(music::ds::StoreReplica& rep, const std::string& path) {
+  std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  fprintf(f, "musicd-state v1\n");
+  for (const music::Key& key : rep.local_keys_with_prefix("")) {
+    auto cell = rep.local_read(key);
+    if (!cell.has_value()) continue;
+    fprintf(f, "%lld %zu %zu\n", static_cast<long long>(cell->ts), key.size(),
+            cell->value.data.size());
+    fwrite(key.data(), 1, key.size(), f);
+    fwrite(cell->value.data.data(), 1, cell->value.data.size(), f);
+    fputc('\n', f);
+  }
+  bool ok = fclose(f) == 0;
+  if (ok) ok = rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) remove(tmp.c_str());
+  return ok;
+}
+
+bool load_state(music::ds::StoreReplica& rep, const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return true;  // no snapshot yet: cold start, not an error
+  char header[32] = {0};
+  if (fgets(header, sizeof header, f) == nullptr ||
+      strcmp(header, "musicd-state v1\n") != 0) {
+    fclose(f);
+    return false;
+  }
+  long long ts;
+  long long max_ts = 0;
+  size_t klen, vlen;
+  while (fscanf(f, "%lld %zu %zu", &ts, &klen, &vlen) == 3) {
+    fgetc(f);  // the newline after the lengths
+    if (klen > (1u << 20) || vlen > (16u << 20)) {
+      fclose(f);
+      return false;
+    }
+    std::string key(klen, '\0');
+    std::string val(vlen, '\0');
+    if (fread(key.data(), 1, klen, f) != klen ||
+        fread(val.data(), 1, vlen, f) != vlen) {
+      fclose(f);
+      return false;
+    }
+    fgetc(f);  // trailing newline
+    music::ds::Cell cell;
+    cell.value = music::Value(std::move(val));
+    cell.ts = static_cast<music::ScalarTs>(ts);
+    rep.apply_write(key, cell);
+    max_ts = std::max(max_ts, ts);
+  }
+  fclose(f);
+  // Ballot counters are volatile: without this, the restarted coordinator
+  // would mint ballots below the ballot-stamped rows it just reloaded and
+  // its first LWT commits would lose LWW against them (the lwt() loop also
+  // guards against this; advancing here skips the wasted round).
+  rep.advance_ballot_past(static_cast<music::ScalarTs>(max_ts));
+  return true;
 }
 
 }  // namespace
@@ -69,6 +159,11 @@ int main(int argc, char** argv) {
   int site = -1;
   std::vector<uint16_t> store_ports, music_ports;
   std::string host = "127.0.0.1";
+  std::string state_file;
+  int wire_max = music::wire::kWireVersionMax;
+  if (const char* env = getenv("MUSIC_WIRE_MAX_VERSION")) {
+    wire_max = atoi(env);
+  }
   for (int i = 1; i < argc - 1; ++i) {
     if (strcmp(argv[i], "--site") == 0) site = atoi(argv[++i]);
     else if (strcmp(argv[i], "--store-ports") == 0)
@@ -76,11 +171,23 @@ int main(int argc, char** argv) {
     else if (strcmp(argv[i], "--music-ports") == 0)
       music_ports = parse_ports(argv[++i]);
     else if (strcmp(argv[i], "--host") == 0) host = argv[++i];
+    else if (strcmp(argv[i], "--wire-max-version") == 0)
+      wire_max = atoi(argv[++i]);
+    else if (strcmp(argv[i], "--state-file") == 0) state_file = argv[++i];
   }
   constexpr int kSites = 3;
   if (site < 0 || site >= kSites ||
       store_ports.size() != kSites || music_ports.size() != kSites) {
     return usage();
+  }
+  if (wire_max < music::wire::kWireVersionMin ||
+      wire_max > music::wire::kWireVersionMax) {
+    fprintf(stderr,
+            "musicd[%d]: --wire-max-version %d out of range (this binary "
+            "speaks %u..%u)\n",
+            site, wire_max, music::wire::kWireVersionMin,
+            music::wire::kWireVersionMax);
+    return 2;
   }
 
   using namespace music;
@@ -90,7 +197,10 @@ int main(int argc, char** argv) {
   // processes, so a node id names the same role everywhere.
   sim::Simulation sim(1);
   net::EventLoop loop(sim);
-  net::TcpTransport tcp(loop);
+  net::TcpOptions topt;
+  topt.wire_version_max = static_cast<uint8_t>(wire_max);
+  topt.hello_node = static_cast<uint32_t>(site);
+  net::TcpTransport tcp(loop, topt);
   sim::Network net(sim, sim::NetworkConfig{});  // id registry only; the
                                                 // fabric is the TcpTransport
   ds::StoreCluster store(sim, net, ds::StoreConfig{},
@@ -104,6 +214,11 @@ int main(int argc, char** argv) {
 
   // Serve this site's two roles; everything else is reached by route.
   ds::StoreReplica& my_store = store.replica(site);
+  if (!state_file.empty() && !load_state(my_store, state_file)) {
+    fprintf(stderr, "musicd[%d]: corrupt state file %s\n", site,
+            state_file.c_str());
+    return 1;
+  }
   auto serve_store = [&my_store](const wire::StoreRequest& m) {
     return my_store.serve_store(m);
   };
@@ -124,13 +239,27 @@ int main(int argc, char** argv) {
 
   signal(SIGINT, on_signal);
   signal(SIGTERM, on_signal);
+  signal(SIGPIPE, SIG_IGN);  // peer hangups surface as EPIPE, not death
   g_loop = &loop;
-  fprintf(stderr, "musicd[%d]: store node %d on %s:%u, music node %d on %s:%u\n",
+  fprintf(stderr,
+          "musicd[%d]: store node %d on %s:%u, music node %d on %s:%u, "
+          "wire v%u..v%d%s%s\n",
           site, static_cast<int>(my_store.node()), host.c_str(), sp,
-          static_cast<int>(reps[site]->node()), host.c_str(), mp);
+          static_cast<int>(reps[site]->node()), host.c_str(), mp,
+          wire::kWireVersionMin, wire_max,
+          state_file.empty() ? "" : ", state ", state_file.c_str());
   fflush(stderr);
   loop.run();
   g_loop = nullptr;
+
+  // Graceful drain: tell every v2+ peer we are going away (they fail their
+  // in-flight requests as retryable instead of timing out), then snapshot.
+  tcp.announce_drain(wire::GoodbyeReason::Shutdown);
+  if (!state_file.empty() && !save_state(my_store, state_file)) {
+    fprintf(stderr, "musicd[%d]: state save failed: %s\n", site,
+            state_file.c_str());
+    return 1;
+  }
   fprintf(stderr, "musicd[%d]: clean shutdown\n", site);
   return 0;
 }
