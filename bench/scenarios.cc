@@ -12,6 +12,9 @@
 //     --warmup-sec S     cap warmup (fractional ok)
 //     --measure-sec S    cap the measurement window
 //     --max-cells N      truncate the expanded grid
+//     --par-sites N      run music/mscp cells under PDES with N site-lane
+//                        workers (opt-in; changes checksums vs classic but
+//                        is worker-count invariant)
 //     --out-dir D        where <scenario>.csv / <scenario>.html land
 //
 // MUSIC_SCENARIO_SEEDS overrides the seed cap (like MUSIC_FAULT_SEEDS for
@@ -43,6 +46,7 @@ struct Args {
   double warmup_sec = -1.0;
   double measure_sec = -1.0;
   size_t max_cells = 0;
+  size_t par_sites = 0;
   std::string out_dir = ".";
   std::vector<std::string> inputs;
 };
@@ -53,7 +57,8 @@ void usage() {
                "[--base-seed N]\n"
                "                       [--warmup-sec S] [--measure-sec S] "
                "[--max-cells N]\n"
-               "                       [--out-dir D] FILE.scn|DIR ...\n");
+               "                       [--par-sites N] [--out-dir D] "
+               "FILE.scn|DIR ...\n");
 }
 
 bool parse_args(int argc, char** argv, Args* a) {
@@ -79,6 +84,8 @@ bool parse_args(int argc, char** argv, Args* a) {
       a->measure_sec = v;
     } else if (arg == "--max-cells" && next(&v)) {
       a->max_cells = static_cast<size_t>(v);
+    } else if (arg == "--par-sites" && next(&v)) {
+      a->par_sites = static_cast<size_t>(v);
     } else if (arg == "--out-dir") {
       if (i + 1 >= argc) return false;
       a->out_dir = argv[++i];
@@ -123,6 +130,7 @@ scn::RunOptions make_options(const Args& a) {
     opt.max_measure = static_cast<sim::Duration>(a.measure_sec * 1e6);
   }
   opt.max_cells = a.max_cells;
+  opt.par_sites = a.par_sites;
   if (a.ctest) {
     // Reduced grid for the tier-1 ctest family; explicit flags still win.
     if (opt.max_seeds == 0) opt.max_seeds = 1;

@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <cassert>
 #include <string>
 #include <utility>
 
@@ -10,12 +11,7 @@
 namespace music::cluster {
 namespace {
 
-/// Store replicas interleaved across the 3 sites (as every group world is).
-std::vector<int> node_sites(int n) {
-  std::vector<int> v;
-  for (int i = 0; i < n; ++i) v.push_back(i % 3);
-  return v;
-}
+constexpr auto kRelaxed = std::memory_order_relaxed;
 
 /// The MUSIC key behind a data-store row key ("!d:k7" -> "k7").  Every
 /// MUSIC row prefix ends with ':'.
@@ -29,6 +25,9 @@ std::string_view music_key_of(std::string_view row) {
 Cluster::Cluster(sim::Simulation& sim, sim::Network& net, ClusterConfig cfg)
     : sim_(sim), net_(net), cfg_(std::move(cfg)) {
   if (cfg_.shards < 1) cfg_.shards = 1;
+  if (cfg_.sites < 3) cfg_.sites = 3;
+  assert(net_.num_sites() >= cfg_.sites &&
+         "network profile must cover every cluster site");
   int ngroups = cfg_.groups > 0 ? cfg_.groups : cfg_.shards;
   if (ngroups > cfg_.shards) ngroups = cfg_.shards;
   ring_ = Ring(cfg_.shards, cfg_.vnodes);
@@ -38,26 +37,33 @@ Cluster::Cluster(sim::Simulation& sim, sim::Network& net, ClusterConfig cfg)
   }
   shard_epoch_.assign(static_cast<size_t>(cfg_.shards), 0);
   frozen_.assign(static_cast<size_t>(cfg_.shards), 0);
-  inflight_.assign(static_cast<size_t>(cfg_.shards), 0);
+  inflight_ =
+      std::make_unique<std::atomic<int64_t>[]>(static_cast<size_t>(cfg_.shards));
 
   groups_.resize(static_cast<size_t>(ngroups));
   for (int g = 0; g < ngroups; ++g) {
     Group& grp = groups_[static_cast<size_t>(g)];
-    grp.store = std::make_unique<ds::StoreCluster>(
-        sim_, net_, cfg_.store, node_sites(cfg_.store_nodes_per_group));
+    // Store replicas interleaved across the group's 3 home sites (identity
+    // sites {0,1,2} in the classic layout).
+    std::vector<int> store_sites;
+    for (int i = 0; i < cfg_.store_nodes_per_group; ++i) {
+      store_sites.push_back(home_site(g, i % 3));
+    }
+    grp.store = std::make_unique<ds::StoreCluster>(sim_, net_, cfg_.store,
+                                                   store_sites);
     grp.locks = std::make_unique<ls::LockStore>(*grp.store);
-    for (int site = 0; site < 3; ++site) {
+    for (int k = 0; k < 3; ++k) {
       grp.replicas.push_back(std::make_unique<core::MusicReplica>(
-          *grp.store, *grp.locks, cfg_.music, site));
+          *grp.store, *grp.locks, cfg_.music, home_site(g, k)));
       if (cfg_.failure_detector) {
         grp.replicas.back()->start_failure_detector();
       }
     }
-    // One shared core client per site, eagerly (routing fans all logical
-    // clients into these; eager construction keeps node ids — and thus
-    // seeded client rng streams — independent of traffic order).
-    for (int site = 0; site < 3; ++site) {
-      int first = cfg_.holder_site >= 0 ? cfg_.holder_site : site;
+    // One shared core client per home site, eagerly (routing fans all
+    // logical clients into these; eager construction keeps node ids — and
+    // thus seeded client rng streams — independent of traffic order).
+    for (int k = 0; k < 3; ++k) {
+      int first = cfg_.holder_site >= 0 ? cfg_.holder_site : k;
       std::vector<core::MusicReplica*> prefs{
           grp.replicas[static_cast<size_t>(first)].get()};
       for (int j = 0; j < 3; ++j) {
@@ -66,7 +72,7 @@ Cluster::Cluster(sim::Simulation& sim, sim::Network& net, ClusterConfig cfg)
         }
       }
       grp.clients.push_back(std::make_unique<core::MusicClient>(
-          sim_, net_, prefs, cfg_.client, site));
+          sim_, net_, prefs, cfg_.client, home_site(g, k)));
     }
   }
   rebuild_snapshot();
@@ -82,16 +88,16 @@ Status Cluster::admit(int shard, uint64_t cached_epoch) {
   }
   auto s = static_cast<size_t>(shard);
   if (frozen_[s] != 0 || cached_epoch < shard_epoch_[s]) {
-    stats_.wrong_shard_rejects += 1;
+    stats_.wrong_shard_rejects.fetch_add(1, kRelaxed);
     return Status::Err(OpStatus::WrongShard);
   }
-  inflight_[s] += 1;
-  stats_.admitted += 1;
+  inflight_[s].fetch_add(1, kRelaxed);
+  stats_.admitted.fetch_add(1, kRelaxed);
   return Status::Ok();
 }
 
 void Cluster::complete(int shard) {
-  inflight_.at(static_cast<size_t>(shard)) -= 1;
+  inflight_[static_cast<size_t>(shard)].fetch_sub(1, kRelaxed);
 }
 
 std::vector<Key> Cluster::shard_rows(int g, int shard) const {
@@ -160,7 +166,7 @@ sim::Task<Status> Cluster::copy_rows(int from, int to, std::vector<Key> rows) {
           for (const ds::WriteCell& w : writes) {
             max_ts = std::max(max_ts, w.cell.ts);
           }
-          stats_.moved_rows += writes.size();
+          stats_.moved_rows.fetch_add(writes.size(), kRelaxed);
           break;
         }
       }
@@ -181,6 +187,11 @@ sim::Task<Status> Cluster::move_shard(int shard, int to_group) {
       to_group >= num_groups()) {
     co_return Status::Err(OpStatus::Nack);
   }
+  // Routing state (frozen_, group_of_shard_, the snapshot) is only ever
+  // touched from the main lane, which under PDES runs alone between
+  // windows — so site lanes admit() against it race-free.  Hop before the
+  // first read; classic mode makes this a no-op.
+  co_await sim::on_main_lane(sim_);
   auto s = static_cast<size_t>(shard);
   if (frozen_[s] != 0) co_return Status::Err(OpStatus::Conflict);
   int from = group_of_shard_[s];
@@ -198,12 +209,17 @@ sim::Task<Status> Cluster::move_shard(int shard, int to_group) {
   // 1. Freeze: new ops on the shard bounce with WrongShard.
   frozen_[s] = 1;
   // 2. Drain: admitted ops run to completion against the source group.
-  while (inflight_[s] > 0) co_await sim::sleep_for(sim_, sim::ms(1));
+  while (inflight_[s].load(kRelaxed) > 0) {
+    co_await sim::sleep_for(sim_, sim::ms(1));
+  }
   // 3. Copy: quorum-read at the source, quorum-write at the destination,
   //    timestamps preserved.  The !lq row carries the guard counter and the
   //    live queue, so holders keep holding across the flip.
   std::vector<Key> rows = shard_rows(from, shard);
   Status copied = co_await copy_rows(from, to_group, std::move(rows));
+  // copy_rows' awaits migrate the coroutine onto site lanes; hop back
+  // before touching routing state again.
+  co_await sim::on_main_lane(sim_);
   if (!copied.ok()) {
     frozen_[s] = 0;  // abort: the shard stays at the source group
     co_return copied;
@@ -214,7 +230,7 @@ sim::Task<Status> Cluster::move_shard(int shard, int to_group) {
   shard_epoch_[s] = epoch_;
   rebuild_snapshot();
   frozen_[s] = 0;
-  stats_.moves += 1;
+  stats_.moves.fetch_add(1, kRelaxed);
   co_return Status::Ok();
 }
 

@@ -34,6 +34,7 @@
 // harmless; its failure detector only ever touches its own store).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -59,9 +60,17 @@ struct ClusterConfig {
   int groups = 0;
   /// Virtual nodes per shard on the ring.
   int vnodes = 64;
-  /// Store replicas per group, interleaved across the 3 sites.
+  /// Sites the cluster spreads over (clamped to >= 3).  At the default 3
+  /// every group lives on sites {0,1,2} exactly as before the knob existed.
+  /// More sites stagger each group's three home sites round-robin
+  /// (home_site(g, k) = (g + k) % sites) so group traffic spreads across
+  /// every site — under PDES (--par-sites) that is what puts work on more
+  /// than three site lanes.  The network profile must have >= `sites` sites.
+  int sites = 3;
+  /// Store replicas per group, interleaved across the group's 3 home sites.
   int store_nodes_per_group = 3;
-  /// Replica every shared client prefers first; -1 = site-local.
+  /// Index (into the group's 3 home sites) of the replica every shared
+  /// client prefers first; -1 = site-local.
   int holder_site = -1;
   /// Start each group's failure detector (as production MUSIC runs).
   bool failure_detector = true;
@@ -70,12 +79,15 @@ struct ClusterConfig {
   core::ClientConfig client;
 };
 
-/// Cluster-level counters (tests and the bench read these).
+/// Cluster-level counters (tests and the bench read these).  Atomic because
+/// the admission gate runs on concurrent site lanes under PDES; relaxed
+/// increments of commutative sums keep totals thread-count invariant, and
+/// the implicit load lets readers keep writing `stats().moves`.
 struct ClusterStats {
-  uint64_t moves = 0;               // completed shard moves
-  uint64_t moved_rows = 0;          // data-store rows copied by those moves
-  uint64_t admitted = 0;            // ops admitted through the epoch gate
-  uint64_t wrong_shard_rejects = 0; // ops bounced (frozen or stale epoch)
+  std::atomic<uint64_t> moves{0};               // completed shard moves
+  std::atomic<uint64_t> moved_rows{0};          // rows copied by those moves
+  std::atomic<uint64_t> admitted{0};            // ops through the epoch gate
+  std::atomic<uint64_t> wrong_shard_rejects{0}; // bounced (frozen or stale)
 };
 
 /// One MUSIC group: store + lock store + per-site replicas, plus one shared
@@ -98,6 +110,13 @@ class Cluster {
   const ClusterConfig& config() const { return cfg_; }
   int num_shards() const { return cfg_.shards; }
   int num_groups() const { return static_cast<int>(groups_.size()); }
+  int num_sites() const { return cfg_.sites; }
+
+  /// Global site of group `g`'s k-th replica (k in [0, 3)): k itself in the
+  /// classic 3-site layout, round-robin staggered otherwise.
+  int home_site(int g, int k) const {
+    return cfg_.sites <= 3 ? k : (g + k) % cfg_.sites;
+  }
 
   /// The current routing snapshot.  Clients cache the shared_ptr and
   /// refresh on WrongShard; the Ring inside never changes, only the
@@ -112,9 +131,16 @@ class Cluster {
   void complete(int shard);
 
   Group& group(int g) { return groups_.at(static_cast<size_t>(g)); }
-  /// The shared core client for `group` at `site`.
+  /// The shared core client of group `g` serving global `site`: the group's
+  /// own client there when `site` is one of its home sites, otherwise a
+  /// deterministic fallback home (site % 3).  Identity mapping in the
+  /// classic 3-site layout.
   core::MusicClient& client_at(int g, int site) {
-    return *group(g).clients.at(static_cast<size_t>(site));
+    Group& grp = group(g);
+    for (size_t k = 0; k < grp.clients.size(); ++k) {
+      if (home_site(g, static_cast<int>(k)) == site) return *grp.clients[k];
+    }
+    return *grp.clients.at(static_cast<size_t>(site % 3));
   }
 
   /// Moves `shard` to `to_group` (freeze / drain / copy / flip; see the
@@ -125,6 +151,8 @@ class Cluster {
   sim::Task<Status> move_shard(int shard, int to_group);
 
   // ---- Nemesis targeting (per-group fault hooks). ---------------------------
+  // `replica`/`site` index the group's own replica array (the k of
+  // home_site(g, k)), not global sites.
 
   void set_down_store(int g, int replica, bool down, bool amnesia);
   void set_down_music(int g, int site, bool down, bool amnesia);
@@ -155,9 +183,15 @@ class Cluster {
   Ring ring_;
   uint64_t epoch_ = 0;
   std::vector<int> group_of_shard_;
+  // Routing state (group_of_shard_, shard_epoch_, frozen_, the snapshot) is
+  // only ever WRITTEN by move_shard, which under PDES runs as main-lane
+  // events — alone, between windows — so site lanes read it race-free
+  // through the barrier.  inflight_ is the one cell mutated BY site lanes
+  // (admit/complete) and read by the main-lane drain loop, hence atomic
+  // (array: atomics are not movable).
   std::vector<uint64_t> shard_epoch_;  // map epoch at the shard's last move
   std::vector<uint8_t> frozen_;
-  std::vector<int64_t> inflight_;
+  std::unique_ptr<std::atomic<int64_t>[]> inflight_;
   std::shared_ptr<const ShardMap> snapshot_;
   ClusterStats stats_;
 };

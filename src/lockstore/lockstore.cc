@@ -62,7 +62,8 @@ sim::Task<Result<LockRef>> LockStore::generate_and_enqueue(
   // entry carries a unique op tag so a retry whose first proposal was
   // completed by a competitor's replay adopts the already-enqueued ref
   // instead of enqueueing an orphan duplicate.
-  uint64_t tag = (static_cast<uint64_t>(coord.node()) << 40) ^ next_op_tag_++;
+  uint64_t tag = (static_cast<uint64_t>(coord.node()) << 40) ^
+                 next_op_tag_.fetch_add(1, std::memory_order_relaxed);
   auto chosen = std::make_shared<LockRef>(kNoLockRef);
   ds::LwtUpdate update = [chosen, tag](const std::optional<ds::Cell>& cur) {
     LockQueue q = queue_of(cur);
@@ -125,8 +126,9 @@ sim::Task<Result<PeekResult>> LockStore::peek_quorum(ds::StoreReplica& coord,
 
 ds::StoreReplica& LockStore::coord_at(int site) {
   int n = store_.num_replicas();
+  size_t& rr = coord_rr_[static_cast<size_t>(site) % coord_rr_.size()];
   for (int attempt = 0; attempt < n; ++attempt) {
-    auto& r = store_.replica(static_cast<int>(coord_rr_++ % static_cast<size_t>(n)));
+    auto& r = store_.replica(static_cast<int>(rr++ % static_cast<size_t>(n)));
     if (r.site() == site && !r.down()) return r;
   }
   return store_.replica_at_site(site);

@@ -12,6 +12,8 @@
 // why polling acquireLock is nearly free.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
@@ -129,8 +131,15 @@ class LockStore : public LockBackend {
   ds::StoreReplica& coord_at(int site);
 
   ds::StoreCluster& store_;
-  uint64_t next_op_tag_ = 1;
-  size_t coord_rr_ = 0;
+  /// Relaxed atomic: tags are compared only for equality and carry the
+  /// coordinator node in their high bits, so cross-lane increment order is
+  /// unobservable — but the counter itself is bumped from every site lane.
+  std::atomic<uint64_t> next_op_tag_{1};
+  /// Round-robin position per site, not one shared counter: coord_at(s) only
+  /// ever runs on site s's lane, so per-site counters stay single-threaded
+  /// under PDES and the replica choice is independent of how other sites'
+  /// calls interleave.  Fixed-size so no lane ever grows the storage.
+  std::array<size_t, 64> coord_rr_{};
 };
 
 }  // namespace music::ls

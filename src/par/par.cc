@@ -1,15 +1,80 @@
 #include "par/par.h"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
-#include <thread>
 
 namespace music::par {
 
 size_t default_threads() {
   unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+Pool::Pool(size_t extra_threads) {
+  threads_.reserve(extra_threads);
+  for (size_t t = 0; t < extra_threads; ++t) {
+    threads_.emplace_back([this] {
+      uint64_t seen = 0;
+      for (;;) {
+        gen_.wait(seen, std::memory_order_acquire);
+        seen = gen_.load(std::memory_order_acquire);
+        if (stop_.load(std::memory_order_acquire)) return;
+        claim_loop(*batch_);
+        // Last worker out releases the owner waiting in run().
+        if (idle_.fetch_sub(1, std::memory_order_release) == 1) {
+          idle_.notify_all();
+        }
+      }
+    });
+  }
+}
+
+Pool::~Pool() {
+  stop_.store(true, std::memory_order_release);
+  gen_.fetch_add(1, std::memory_order_release);
+  gen_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+void Pool::claim_loop(Batch& b) {
+  for (;;) {
+    size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.n) return;
+    try {
+      (*b.fn)(i);
+    } catch (...) {
+      (*b.errors)[i] = std::current_exception();
+    }
+  }
+}
+
+void Pool::run(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  std::vector<std::exception_ptr> errors(n);
+  Batch b;
+  b.n = n;
+  b.fn = &fn;
+  b.errors = &errors;
+  if (threads_.empty() || n == 1) {
+    claim_loop(b);
+  } else {
+    batch_ = &b;
+    idle_.store(threads_.size(), std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+    gen_.notify_all();
+    claim_loop(b);
+    // Wait for every worker to leave the claim loop: their writes (results,
+    // captured exceptions, per-lane queues in the PDES case) are published
+    // by the release decrement in the worker and acquired here.
+    size_t live;
+    while ((live = idle_.load(std::memory_order_acquire)) != 0) {
+      idle_.wait(live, std::memory_order_acquire);
+    }
+    batch_ = nullptr;
+  }
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
 }
 
 namespace detail {
@@ -19,40 +84,10 @@ void run_indexed(size_t n, size_t threads,
   if (n == 0) return;
   if (threads == 0) threads = default_threads();
   threads = std::min(threads, n);
-
-  std::vector<std::exception_ptr> errors(n);
-  auto run_one = [&](size_t i) {
-    try {
-      body(i);
-    } catch (...) {
-      errors[i] = std::current_exception();
-    }
-  };
-
-  if (threads <= 1) {
-    for (size_t i = 0; i < n; ++i) run_one(i);
-  } else {
-    // Work-stealing by atomic index: workers pull the next unclaimed world.
-    // Which thread runs which world varies run to run — that is fine, the
-    // result slot is fixed by index and worlds share no state.
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        for (;;) {
-          size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) return;
-          run_one(i);
-        }
-      });
-    }
-    for (auto& th : pool) th.join();
-  }
-
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  // The calling thread participates in Pool::run, so `threads` total
+  // concurrency means threads - 1 extra workers.
+  Pool pool(threads > 1 ? threads - 1 : 0);
+  pool.run(n, body);
 }
 
 }  // namespace detail

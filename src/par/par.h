@@ -1,10 +1,9 @@
-// Deterministic multi-world parallel runner.
+// Deterministic parallel runners: across worlds and within one world.
 //
-// The simulation kernel is strictly single-threaded: one Simulation, one
-// virtual clock, one rng stream per world.  Benches and soak tests, however,
-// run MANY independent worlds — one per (seed, config) cell of a sweep — and
-// those are embarrassingly parallel.  run_worlds() fans a vector of world
-// configs across a thread pool with the two properties the determinism story
+// The simulation kernel runs one virtual clock per world.  Benches and soak
+// tests run MANY independent worlds — one per (seed, config) cell of a sweep
+// — and those are embarrassingly parallel.  run_worlds() fans a vector of
+// world configs across a Pool with the two properties the determinism story
 // needs:
 //
 //   * Each world runs START-TO-FINISH on exactly one worker thread.  The
@@ -16,13 +15,23 @@
 //     a shared rng), the output vector is bit-identical whether the sweep
 //     runs on 1 thread or N — scheduling only changes wall-clock time.
 //
-// Exceptions thrown by a world are captured per-index and the lowest-index
-// one is rethrown after every world finished, so error behaviour is also
+// Pool is the shared substrate: a persistent fork/join worker group that
+// run_worlds uses once per sweep and that the conservative PDES engine
+// inside sim::Simulation reuses once per lookahead window (sim/simulation.h
+// — there the indices are per-site event lanes instead of worlds, but the
+// contract is the same: each index runs entirely on one thread, and run()
+// does not return until every index completed).
+//
+// Exceptions thrown by an index are captured per-index and the lowest-index
+// one is rethrown after every index finished, so error behaviour is
 // thread-count invariant (no torn sweeps: the pool always drains).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -31,6 +40,49 @@ namespace music::par {
 /// Worker threads used when run_worlds' `threads` argument is 0: the
 /// hardware concurrency, at least 1.
 size_t default_threads();
+
+/// A persistent fork/join worker group.  Construction spawns `extra_threads`
+/// workers that sleep between batches; run(n, fn) executes fn(0..n-1) across
+/// the workers PLUS the calling thread and returns once all n completed
+/// (rethrowing the lowest-index exception, if any).  Total concurrency is
+/// therefore extra_threads + 1.  Indices are claimed by atomic counter, so
+/// which thread runs which index varies run to run — callers must key
+/// results by index, never by completion order.
+///
+/// run() itself must only be called from one thread at a time (the owner);
+/// the pool is not a general task queue.
+class Pool {
+ public:
+  explicit Pool(size_t extra_threads);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Runs fn(i) for every i in [0, n), blocking until all completed.
+  void run(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t extra_threads() const { return threads_.size(); }
+
+ private:
+  struct Batch {
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::vector<std::exception_ptr>* errors = nullptr;
+    std::atomic<size_t> next{0};
+  };
+
+  void claim_loop(Batch& b);
+
+  // Workers sleep in gen_.wait(); each run() publishes the batch pointer and
+  // bumps the generation (release) to wake them, then waits on the idle_
+  // latch for all of them to finish the claim loop (acquire).
+  std::atomic<uint64_t> gen_{0};
+  std::atomic<size_t> idle_{0};
+  std::atomic<bool> stop_{false};
+  Batch* batch_ = nullptr;
+  std::vector<std::thread> threads_;
+};
 
 namespace detail {
 

@@ -128,6 +128,28 @@ std::array<uint8_t, 3> cell_versions(const Cell& cell) {
   return v;
 }
 
+/// Per-logical-client rng + value sequence, used in place of the shared
+/// workload stream when a cell runs under PDES: run_once executes on
+/// concurrent site lanes there, so a shared stream would race — and even a
+/// locked one would draw in a worker-count-dependent order.  Per-cid
+/// streams keep the draw sequence (and so the cell checksum) invariant at
+/// any worker count.  Classic cells keep the original shared stream so
+/// their goldens stay bit-identical.
+struct ClientStream {
+  sim::Rng rng;
+  uint64_t seq = 0;
+};
+
+std::vector<ClientStream> make_streams(int n, uint64_t seed) {
+  std::vector<ClientStream> v;
+  v.reserve(static_cast<size_t>(n));
+  sim::Rng base(seed);
+  for (int i = 0; i < n; ++i) {
+    v.push_back(ClientStream{base.fork(static_cast<uint64_t>(i)), 0});
+  }
+  return v;
+}
+
 // ---- Protocol workloads ----------------------------------------------------
 
 /// MUSIC/MSCP cell op: one critical section around a single criticalGet
@@ -135,18 +157,27 @@ std::array<uint8_t, 3> cell_versions(const Cell& cell) {
 /// to the armed oracle via CheckedClient.
 class MusicMixWorkload : public wl::Workload {
  public:
+  /// `pdes_clients` > 0 switches to that many per-cid streams (PDES cells).
   MusicMixWorkload(std::vector<verify::CheckedClient> clients, double read_frac,
-                   KeyPick pick, size_t value_size, uint64_t seed)
+                   KeyPick pick, size_t value_size, uint64_t seed,
+                   int pdes_clients = 0)
       : clients_(std::move(clients)),
         read_frac_(read_frac),
         pick_(std::move(pick)),
         value_size_(value_size),
-        rng_(seed) {}
+        rng_(seed),
+        streams_(make_streams(pdes_clients, seed)) {}
 
   sim::Task<bool> run_once(int cid) override {
     auto& c = clients_[static_cast<size_t>(cid) % clients_.size()];
-    Key key = pick_.next(rng_);
-    bool read = rng_.chance(read_frac_);
+    sim::Rng& rng =
+        streams_.empty() ? rng_
+                         : streams_[static_cast<size_t>(cid) % streams_.size()].rng;
+    uint64_t& seq =
+        streams_.empty() ? seq_
+                         : streams_[static_cast<size_t>(cid) % streams_.size()].seq;
+    Key key = pick_.next(rng);
+    bool read = rng.chance(read_frac_);
     auto ref = co_await c.create_lock_ref(key);
     if (!ref.ok()) co_return false;
     auto acq = co_await c.acquire_lock_blocking(key, ref.value());
@@ -161,7 +192,7 @@ class MusicMixWorkload : public wl::Workload {
       ok = g.ok() || g.status() == OpStatus::NotFound;
     } else {
       ok = (co_await c.critical_put(key, ref.value(),
-                                    make_value(cid, seq_++, value_size_)))
+                                    make_value(cid, seq++, value_size_)))
                .ok();
     }
     co_await c.release_lock(key, ref.value());
@@ -175,6 +206,7 @@ class MusicMixWorkload : public wl::Workload {
   size_t value_size_;
   sim::Rng rng_;
   uint64_t seq_ = 0;
+  std::vector<ClientStream> streams_;
 };
 
 /// Sharded MUSIC/MSCP cell op: the same critical section as
@@ -183,19 +215,27 @@ class MusicMixWorkload : public wl::Workload {
 /// the client, so the workload body is protocol-identical.
 class ClusterMixWorkload : public wl::Workload {
  public:
+  /// `pdes_clients` > 0 switches to that many per-cid streams (PDES cells).
   ClusterMixWorkload(std::vector<std::unique_ptr<cluster::Client>> clients,
                      double read_frac, KeyPick pick, size_t value_size,
-                     uint64_t seed)
+                     uint64_t seed, int pdes_clients = 0)
       : clients_(std::move(clients)),
         read_frac_(read_frac),
         pick_(std::move(pick)),
         value_size_(value_size),
-        rng_(seed) {}
+        rng_(seed),
+        streams_(make_streams(pdes_clients, seed)) {}
 
   sim::Task<bool> run_once(int cid) override {
     auto& c = *clients_[static_cast<size_t>(cid) % clients_.size()];
-    Key key = pick_.next(rng_);
-    bool read = rng_.chance(read_frac_);
+    sim::Rng& rng =
+        streams_.empty() ? rng_
+                         : streams_[static_cast<size_t>(cid) % streams_.size()].rng;
+    uint64_t& seq =
+        streams_.empty() ? seq_
+                         : streams_[static_cast<size_t>(cid) % streams_.size()].seq;
+    Key key = pick_.next(rng);
+    bool read = rng.chance(read_frac_);
     auto ref = co_await c.create_lock_ref(key);
     if (!ref.ok()) co_return false;
     auto acq = co_await c.acquire_lock_blocking(key, ref.value());
@@ -209,7 +249,7 @@ class ClusterMixWorkload : public wl::Workload {
       ok = g.ok() || g.status() == OpStatus::NotFound;
     } else {
       ok = (co_await c.critical_put(key, ref.value(),
-                                    make_value(cid, seq_++, value_size_)))
+                                    make_value(cid, seq++, value_size_)))
                .ok();
     }
     co_await c.release_lock(key, ref.value());
@@ -223,6 +263,7 @@ class ClusterMixWorkload : public wl::Workload {
   size_t value_size_;
   sim::Rng rng_;
   uint64_t seq_ = 0;
+  std::vector<ClientStream> streams_;
 };
 
 /// Zookeeper cell op: one sequentially-consistent getData / setData.
@@ -347,13 +388,27 @@ bool arm_faults(const Cell& cell, fault::Nemesis& nemesis, CellOutcome* out) {
   return true;
 }
 
-CellOutcome run_music_cell(const Cell& cell, core::PutMode mode) {
+/// Arms the conservative PDES engine on `sim` (before any Network or node
+/// exists) when the caller opted in with par_sites > 0.
+void maybe_enable_pdes(sim::Simulation& sim, const sim::NetworkConfig& nc,
+                       size_t par_sites) {
+  if (par_sites == 0) return;
+  sim::Simulation::PdesOptions po;
+  po.sites = nc.profile.num_sites();
+  po.workers = par_sites;
+  po.lookahead = sim::Network::conservative_lookahead(nc);
+  sim.enable_pdes(po);
+}
+
+CellOutcome run_music_cell(const Cell& cell, core::PutMode mode,
+                           size_t par_sites) {
   CellOutcome out;
   out.label = cell.label();
 
   sim::Simulation sim(cell.seed);
   sim::NetworkConfig nc;
   nc.profile = profile_by_name(cell.profile());
+  maybe_enable_pdes(sim, nc, par_sites);
   sim::Network net(sim, nc);
   ds::StoreConfig sc;
   sc.expected_keys = 4096;
@@ -431,7 +486,8 @@ CellOutcome run_music_cell(const Cell& cell, core::PutMode mode) {
   KeyPick pick = cell_keypick(cell);
   auto w = std::make_shared<MusicMixWorkload>(
       std::move(checked), cell.mix(), std::move(pick),
-      cell.point.workload.value_size, cell.seed ^ 0x5CE7A810ull);
+      cell.point.workload.value_size, cell.seed ^ 0x5CE7A810ull,
+      par_sites > 0 ? cell.clients() : 0);
   out.run = wl::run_closed_loop(sim, w, cell_driver(cell));
   nemesis.heal_all();  // close any open-ended faults before inspection
 
@@ -443,13 +499,15 @@ CellOutcome run_music_cell(const Cell& cell, core::PutMode mode) {
   return out;
 }
 
-CellOutcome run_cluster_cell(const Cell& cell, core::PutMode mode) {
+CellOutcome run_cluster_cell(const Cell& cell, core::PutMode mode,
+                             size_t par_sites) {
   CellOutcome out;
   out.label = cell.label();
 
   sim::Simulation sim(cell.seed);
   sim::NetworkConfig nc;
   nc.profile = profile_by_name(cell.profile());
+  maybe_enable_pdes(sim, nc, par_sites);
   sim::Network net(sim, nc);
 
   cluster::ClusterConfig cc;
@@ -510,7 +568,8 @@ CellOutcome run_cluster_cell(const Cell& cell, core::PutMode mode) {
   KeyPick pick = cell_keypick(cell);
   auto w = std::make_shared<ClusterMixWorkload>(
       std::move(clients), cell.mix(), std::move(pick),
-      cell.point.workload.value_size, cell.seed ^ 0x5CE7A810ull);
+      cell.point.workload.value_size, cell.seed ^ 0x5CE7A810ull,
+      par_sites > 0 ? cell.clients() : 0);
   out.run = wl::run_closed_loop(sim, w, cell_driver(cell));
   nemesis.heal_all();
 
@@ -726,7 +785,7 @@ sim::LatencyProfile profile_by_name(const std::string& name) {
   return sim::LatencyProfile::profile_lus();
 }
 
-CellOutcome run_cell(const Cell& cell) {
+CellOutcome run_cell(const Cell& cell, size_t par_sites) {
   auto t0 = std::chrono::steady_clock::now();
   CellOutcome out;
   try {
@@ -738,14 +797,17 @@ CellOutcome run_cell(const Cell& cell) {
       bool sharded = cell.shards() != 1;
       switch (cell.protocol()) {
         case Protocol::Music:
-          out = sharded ? run_cluster_cell(cell, core::PutMode::Quorum)
-                        : run_music_cell(cell, core::PutMode::Quorum);
+          out = sharded
+                    ? run_cluster_cell(cell, core::PutMode::Quorum, par_sites)
+                    : run_music_cell(cell, core::PutMode::Quorum, par_sites);
           break;
         case Protocol::Mscp:
-          out = sharded ? run_cluster_cell(cell, core::PutMode::Lwt)
-                        : run_music_cell(cell, core::PutMode::Lwt);
+          out = sharded ? run_cluster_cell(cell, core::PutMode::Lwt, par_sites)
+                        : run_music_cell(cell, core::PutMode::Lwt, par_sites);
           break;
         case Protocol::Zab:
+          // The zab/raftkv substitutes are not lane-safe; they always run
+          // on the classic kernel regardless of par_sites.
           out = run_zab_cell(cell);
           break;
         case Protocol::RaftKv:
@@ -783,8 +845,10 @@ std::vector<CellOutcome> run_sweep(const ScenarioSpec& spec,
   if (opt.max_cells > 0 && cells.size() > opt.max_cells) {
     cells.resize(opt.max_cells);
   }
+  size_t par_sites = opt.par_sites;
   return par::run_worlds(
-      cells, [](const Cell& c) { return run_cell(c); }, opt.threads);
+      cells, [par_sites](const Cell& c) { return run_cell(c, par_sites); },
+      opt.threads);
 }
 
 }  // namespace music::scn

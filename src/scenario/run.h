@@ -59,6 +59,12 @@ struct RunOptions {
   sim::Duration max_warmup = 0;  // clamp workload.warmup
   sim::Duration max_measure = 0; // clamp workload.measure
   size_t max_cells = 0;          // truncate the expanded grid (logged)
+  /// Opt-in intra-world parallelism: run each music/mscp cell's world under
+  /// the conservative PDES engine with this many site-lane workers (0 =
+  /// classic kernel).  Zab/raftkv cells always run classic.  PDES cells
+  /// produce checksums that differ from classic ones (per-lane rng streams)
+  /// but are bit-identical at any worker count.
+  size_t par_sites = 0;
 };
 
 /// Spec-level checks beyond the grammar: crash faults name replicas that
@@ -71,8 +77,9 @@ std::string validate(const ScenarioSpec& spec);
 sim::LatencyProfile profile_by_name(const std::string& name);
 
 /// Builds and runs one cell's world, oracle armed.  Never throws: setup
-/// problems come back as ok=false with the error filled.
-CellOutcome run_cell(const Cell& cell);
+/// problems come back as ok=false with the error filled.  `par_sites` > 0
+/// runs music/mscp cells under PDES (see RunOptions::par_sites).
+CellOutcome run_cell(const Cell& cell, size_t par_sites = 0);
 
 /// Applies `opt`'s caps to a copy of the spec (reduced grids for ctest).
 ScenarioSpec reduced(ScenarioSpec spec, const RunOptions& opt);

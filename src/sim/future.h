@@ -158,6 +158,25 @@ inline SleepAwaiter sleep_for(Simulation& sim, Duration d) {
   return SleepAwaiter{sim, d};
 }
 
+/// Awaitable lane hop: `co_await on_main_lane(sim)` continues the coroutine
+/// on the MAIN event lane — which under PDES runs alone between lookahead
+/// windows, making it the safe (and deterministic) place to mutate state
+/// that concurrent site lanes read.  No-op when already on the main lane,
+/// and in classic mode always a no-op: awaiting it never suspends, costs no
+/// event, and leaves classic goldens bit-identical.
+struct MainLaneAwaiter {
+  Simulation& sim;
+  bool await_ready() const noexcept { return sim.on_main_lane(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim.schedule_main_at(sim.now(), [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+inline MainLaneAwaiter on_main_lane(Simulation& sim) {
+  return MainLaneAwaiter{sim};
+}
+
 /// Awaits `f`, giving up after `timeout`.  Returns the value, or nullopt on
 /// timeout.  A late fulfilment after timeout is ignored safely.
 template <typename T>

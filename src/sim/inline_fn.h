@@ -14,11 +14,17 @@
 // (asserted).  Construction from any callable F with a compatible signature
 // is implicit, so `schedule(d, [..]{..})` call sites read as before.
 //
-// THREADING: the pool is thread-local and blocks must be freed on the thread
-// that allocated them.  That is exactly the simulator's confinement rule —
-// a Simulation and everything scheduled on it lives on one OS thread
-// (par::run_worlds pins each world to a single worker) — so no callable
-// migrates across threads.
+// THREADING: the pool is thread-local and never shared — alloc() takes from
+// the CALLING thread's freelist and dealloc() recycles into the CALLING
+// thread's freelist.  Blocks are plain class-sized malloc chunks, so a
+// block allocated on thread A and freed on thread B simply migrates into
+// B's pool; nothing is ever touched by two threads at once.  Classic-mode
+// worlds are single-threaded anyway (par::run_worlds pins each world to
+// one worker); under PDES a callable may hop lanes — and therefore
+// workers — via the cross-lane mailbox, which is safe for exactly this
+// reason.  The only effect of migration is that cached blocks drift
+// between per-thread pools, bounded by the number of in-flight cross-lane
+// messages.
 #pragma once
 
 #include <cassert>

@@ -83,8 +83,17 @@ LatencyProfile LatencyProfile::uniform(int sites, double rtt_ms_val,
 Network::Network(Simulation& sim, NetworkConfig cfg)
     : sim_(sim), cfg_(std::move(cfg)), rng_(sim.rng().fork(0x6e657477ull)) {
   auto n = static_cast<size_t>(num_sites());
-  pair_sent_.assign(n * n, 0);
-  pair_bytes_.assign(n * n, 0);
+  pair_sent_ = std::make_unique<Counter[]>(n * n);
+  pair_bytes_ = std::make_unique<Counter[]>(n * n);
+  if (sim.pdes()) {
+    assert(sim.pdes_sites() >= num_sites() &&
+           "enable_pdes needs one lane per profile site");
+    pdes_ = true;
+    site_rngs_.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      site_rngs_.push_back(rng_.fork(0x6c616e65ull + s));
+    }
+  }
 }
 
 NodeId Network::add_node(int site) {
@@ -101,16 +110,42 @@ Duration Network::base_rtt(NodeId from, NodeId to) const {
 }
 
 Duration Network::sample_delay(NodeId from, NodeId to, size_t bytes) {
+  return sample_delay_with(delay_rng(site_of(from)), from, to, bytes);
+}
+
+Duration Network::sample_delay_with(Rng& rng, NodeId from, NodeId to,
+                                    size_t bytes) {
   Duration one_way = base_rtt(from, to) / 2;
   bool same_site = site_of(from) == site_of(to);
   double bps = same_site ? cfg_.lan_bandwidth_bps : cfg_.wan_bandwidth_bps;
   auto xfer = static_cast<Duration>(static_cast<double>(bytes) * 8.0 / bps * 1e6);
   Duration base = one_way + xfer;
   if (cfg_.jitter_frac > 0.0) {
-    double j = rng_.uniform_real(-cfg_.jitter_frac, cfg_.jitter_frac);
+    double j = rng.uniform_real(-cfg_.jitter_frac, cfg_.jitter_frac);
     base += static_cast<Duration>(static_cast<double>(base) * j);
   }
   return std::max<Duration>(base, 1);
+}
+
+Duration Network::conservative_lookahead(const NetworkConfig& cfg) {
+  const auto& p = cfg.profile;
+  int n = p.num_sites();
+  double min_rtt = -1.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double r = p.rtt_ms[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      if (min_rtt < 0.0 || r < min_rtt) min_rtt = r;
+    }
+  }
+  if (min_rtt < 0.0) return sec(1);  // single site: no cross-site messages
+  // sample_delay computes one_way = ms_f(rtt)/2 in integer µs, then scales
+  // by at worst (1 - jitter_frac) with truncation toward zero; the -1 here
+  // absorbs that truncation, making the bound strict.
+  Duration one_way = ms_f(min_rtt) / 2;
+  auto l = static_cast<Duration>(static_cast<double>(one_way) *
+                                 (1.0 - cfg.jitter_frac)) -
+           1;
+  return std::max<Duration>(l, 1);
 }
 
 void Network::send(NodeId from, NodeId to, size_t bytes, InlineFn deliver,
@@ -118,19 +153,23 @@ void Network::send(NodeId from, NodeId to, size_t bytes, InlineFn deliver,
   int sa = site_of(from);
   int sb = site_of(to);
   bool cross_site = sa != sb;
-  ++sent_;
-  bytes_sent_ += bytes;
-  ++sent_by_kind_[static_cast<size_t>(kind)];
+  add(sent_, 1);
+  add(bytes_sent_, bytes);
+  add(sent_by_kind_[static_cast<size_t>(kind)], 1);
   size_t pi = pair_index(sa, sb);
-  ++pair_sent_[pi];
-  pair_bytes_[pi] += bytes;
-  if (cross_site) ++wan_sent_;
+  add(pair_sent_[pi], 1);
+  add(pair_bytes_[pi], bytes);
+  if (cross_site) add(wan_sent_, 1);
   if (obs::Tracer* t = sim_.tracer()) {
     t->add_message(sim_.trace_ctx(), cross_site);
   }
-  if (!deliverable(from, to) || rng_.chance(cfg_.drop_prob)) {
-    ++dropped_;
-    ++dropped_by_kind_[static_cast<size_t>(kind)];
+  // All randomness for a message is drawn from its SOURCE site's stream:
+  // sends from one site execute in deterministic lane order under PDES,
+  // so the stream consumption is worker-count invariant.
+  Rng& rng = delay_rng(sa);
+  if (!deliverable(from, to) || rng.chance(cfg_.drop_prob)) {
+    add(dropped_, 1);
+    add(dropped_by_kind_[static_cast<size_t>(kind)], 1);
     return;
   }
   // Link faults degrade (but don't block — blackholes are handled inside
@@ -141,16 +180,16 @@ void Network::send(NodeId from, NodeId to, size_t bytes, InlineFn deliver,
   bool duplicate = false;
   if (!link_faults_.empty()) {
     EffectiveFault f = effective_fault(sa, sb);
-    if (f.keep_prob < 1.0 && !rng_.chance(f.keep_prob)) {
-      ++dropped_;
-      ++dropped_by_kind_[static_cast<size_t>(kind)];
-      ++link_fault_drops_;
+    if (f.keep_prob < 1.0 && !rng.chance(f.keep_prob)) {
+      add(dropped_, 1);
+      add(dropped_by_kind_[static_cast<size_t>(kind)], 1);
+      add(link_fault_drops_, 1);
       return;
     }
     if (f.extra_delay_ms > 0.0) extra = ms_f(f.extra_delay_ms);
-    if (f.dup_prob > 0.0 && rng_.chance(f.dup_prob)) duplicate = true;
+    if (f.dup_prob > 0.0 && rng.chance(f.dup_prob)) duplicate = true;
   }
-  Duration d = sample_delay(from, to, bytes) + extra;
+  Duration d = sample_delay_with(rng, from, to, bytes) + extra;
   NodeId dest = to;
   if (duplicate) {
     // Both copies traverse the wire, but the endpoint continuations here are
@@ -158,8 +197,8 @@ void Network::send(NodeId from, NodeId to, size_t bytes, InlineFn deliver,
     // the payload takes effect at whichever copy arrives first.  The
     // observable effect of duplication is early/reordered delivery plus the
     // wire-level accounting.
-    ++duplicates_delivered_;
-    Duration d2 = sample_delay(from, to, bytes) + extra;
+    add(duplicates_delivered_, 1);
+    Duration d2 = sample_delay_with(rng, from, to, bytes) + extra;
     auto shared = std::make_shared<InlineFn>(std::move(deliver));
     auto once = [this, dest, kind, shared] {
       if (!*shared) return;                  // the other copy fired first
@@ -167,26 +206,41 @@ void Network::send(NodeId from, NodeId to, size_t bytes, InlineFn deliver,
       // The destination may have crashed while the message was in flight;
       // re-check on delivery.
       if (down_.at(static_cast<size_t>(dest))) {
-        ++dropped_;
-        ++dropped_by_kind_[static_cast<size_t>(kind)];
+        add(dropped_, 1);
+        add(dropped_by_kind_[static_cast<size_t>(kind)], 1);
         return;
       }
       fn();
     };
-    sim_.schedule(d, once);
-    sim_.schedule(d2, once);
+    deliver_at(sb, d, InlineFn(once));
+    deliver_at(sb, d2, InlineFn(std::move(once)));
     return;
   }
-  sim_.schedule(d, [this, dest, kind, deliver = std::move(deliver)]() mutable {
-    // The destination may have crashed (or been partitioned away) while the
-    // message was in flight; re-check on delivery.
-    if (down_.at(static_cast<size_t>(dest))) {
-      ++dropped_;
-      ++dropped_by_kind_[static_cast<size_t>(kind)];
-      return;
-    }
-    deliver();
-  });
+  deliver_at(
+      sb, d,
+      InlineFn([this, dest, kind, deliver = std::move(deliver)]() mutable {
+        // The destination may have crashed (or been partitioned away) while
+        // the message was in flight; re-check on delivery.
+        if (down_.at(static_cast<size_t>(dest))) {
+          add(dropped_, 1);
+          add(dropped_by_kind_[static_cast<size_t>(kind)], 1);
+          return;
+        }
+        deliver();
+      }));
+}
+
+void Network::deliver_at(int dest_site, Duration delay, InlineFn fn) {
+  // Delivery runs on the destination's site lane under PDES, so the RPC
+  // handler (and the promise fulfilment it eventually triggers at the
+  // requester) executes with that site's clock and random stream.  The
+  // conservative lookahead guarantees cross-site `delay`s clear the
+  // current window; same-site deliveries stay on the executing lane.
+  if (pdes_) {
+    sim_.schedule_site_at(dest_site, sim_.now() + delay, std::move(fn));
+  } else {
+    sim_.schedule(delay, std::move(fn));
+  }
 }
 
 void Network::set_node_down(NodeId n, bool down) {
@@ -236,32 +290,34 @@ Network::EffectiveFault Network::effective_fault(int from_site,
 }
 
 void Network::export_metrics(obs::MetricsRegistry& reg) const {
-  reg.set("net.msgs.sent", sent_);
-  reg.set("net.msgs.dropped", dropped_);
-  reg.set("net.msgs.wan", wan_sent_);
-  reg.set("net.bytes.sent", bytes_sent_);
-  if (link_fault_drops_ != 0) {
-    reg.set("net.msgs.link_fault_drops", link_fault_drops_);
+  reg.set("net.msgs.sent", ld(sent_));
+  reg.set("net.msgs.dropped", ld(dropped_));
+  reg.set("net.msgs.wan", ld(wan_sent_));
+  reg.set("net.bytes.sent", ld(bytes_sent_));
+  if (ld(link_fault_drops_) != 0) {
+    reg.set("net.msgs.link_fault_drops", ld(link_fault_drops_));
   }
-  if (duplicates_delivered_ != 0) {
-    reg.set("net.msgs.duplicates", duplicates_delivered_);
+  if (ld(duplicates_delivered_) != 0) {
+    reg.set("net.msgs.duplicates", ld(duplicates_delivered_));
   }
   for (size_t k = 0; k < static_cast<size_t>(MsgKind::kCount); ++k) {
-    if (sent_by_kind_[k] == 0 && dropped_by_kind_[k] == 0) continue;
+    if (ld(sent_by_kind_[k]) == 0 && ld(dropped_by_kind_[k]) == 0) continue;
     std::string base = "net.msgs.";
     base += to_string(static_cast<MsgKind>(k));
-    reg.set(base, sent_by_kind_[k]);
-    if (dropped_by_kind_[k] != 0) reg.set(base + ".dropped", dropped_by_kind_[k]);
+    reg.set(base, ld(sent_by_kind_[k]));
+    if (ld(dropped_by_kind_[k]) != 0) {
+      reg.set(base + ".dropped", ld(dropped_by_kind_[k]));
+    }
   }
   int n = num_sites();
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       size_t pi = pair_index(i, j);
-      if (pair_sent_[pi] == 0) continue;
+      if (ld(pair_sent_[pi]) == 0) continue;
       std::string base = "net.pair.s" + std::to_string(i) + ".s" +
                          std::to_string(j);
-      reg.set(base + ".msgs", pair_sent_[pi]);
-      reg.set(base + ".bytes", pair_bytes_[pi]);
+      reg.set(base + ".msgs", ld(pair_sent_[pi]));
+      reg.set(base + ".bytes", ld(pair_bytes_[pi]));
     }
   }
 }

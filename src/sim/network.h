@@ -7,8 +7,10 @@
 // are blocked entirely by partitions or node crashes.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -127,6 +129,15 @@ struct NetworkConfig {
 };
 
 /// The network: node registry, delay computation, delivery, partitions.
+///
+/// PDES: when the owning Simulation has enable_pdes() active at
+/// construction time, every delivery is scheduled onto the DESTINATION
+/// node's site lane (sim.schedule_site_at), jitter/drop randomness is
+/// drawn from a per-source-site fork (so lanes never share a stream), and
+/// all counters below are relaxed atomics (commutative sums — thread-count
+/// invariant).  Fault state (partitions, link faults, node crashes) is
+/// only ever mutated by main-lane events, which the PDES scheduler runs
+/// alone between windows, so site lanes read it race-free.
 class Network {
  public:
   Network(Simulation& sim, NetworkConfig cfg);
@@ -148,6 +159,17 @@ class Network {
 
   /// RTT between two nodes' sites, without jitter or bandwidth (µs).
   Duration base_rtt(NodeId from, NodeId to) const;
+
+  /// A strict lower bound (µs, >= 1) on every cross-site delivery delay
+  /// under `cfg` — the conservative PDES lookahead: min site-pair one-way
+  /// delay, shrunk by the worst-case negative jitter and a 1 µs rounding
+  /// guard.  Bandwidth terms and link-fault delays only ever add.  A
+  /// single-site profile has no cross-site messages; one simulated second
+  /// is returned (the window end is bounded by main-lane events anyway).
+  static Duration conservative_lookahead(const NetworkConfig& cfg);
+  Duration conservative_lookahead() const {
+    return conservative_lookahead(cfg_);
+  }
 
   /// Sends a message: if deliverable, schedules `deliver` at the destination
   /// after the sampled delay.  Otherwise the message vanishes (the caller's
@@ -203,38 +225,38 @@ class Network {
   bool deliverable(NodeId from, NodeId to) const;
 
   /// Messages sent / dropped so far, all kinds and site pairs combined.
-  uint64_t messages_sent() const { return sent_; }
-  uint64_t messages_dropped() const { return dropped_; }
+  uint64_t messages_sent() const { return ld(sent_); }
+  uint64_t messages_dropped() const { return ld(dropped_); }
 
   /// Messages dropped specifically by a link fault's blackhole or extra_drop
   /// (also counted in messages_dropped()).
-  uint64_t link_fault_drops() const { return link_fault_drops_; }
+  uint64_t link_fault_drops() const { return ld(link_fault_drops_); }
 
   /// Duplicate copies created by link-fault duplication (not counted in
   /// messages_sent(): the duplicate is a network artifact, not a send).
-  uint64_t duplicates_delivered() const { return duplicates_delivered_; }
+  uint64_t duplicates_delivered() const { return ld(duplicates_delivered_); }
   /// Total payload bytes handed to send() (diagnostics).
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_sent() const { return ld(bytes_sent_); }
 
   /// Per-message-type counts (sends of that kind; drops counted within).
   uint64_t messages_sent(MsgKind k) const {
-    return sent_by_kind_[static_cast<size_t>(k)];
+    return ld(sent_by_kind_[static_cast<size_t>(k)]);
   }
   uint64_t messages_dropped(MsgKind k) const {
-    return dropped_by_kind_[static_cast<size_t>(k)];
+    return ld(dropped_by_kind_[static_cast<size_t>(k)]);
   }
 
   /// Per-site-pair counts: messages whose source lives at `from_site` and
   /// destination at `to_site` (directed).
   uint64_t pair_messages(int from_site, int to_site) const {
-    return pair_sent_[pair_index(from_site, to_site)];
+    return ld(pair_sent_[pair_index(from_site, to_site)]);
   }
   uint64_t pair_bytes(int from_site, int to_site) const {
-    return pair_bytes_[pair_index(from_site, to_site)];
+    return ld(pair_bytes_[pair_index(from_site, to_site)]);
   }
 
   /// Messages that crossed sites (WAN traffic), all pairs combined.
-  uint64_t wan_messages_sent() const { return wan_sent_; }
+  uint64_t wan_messages_sent() const { return ld(wan_sent_); }
 
   /// Publishes all counters into `reg` under "net.*": totals, one counter
   /// per message kind with traffic, and per-site-pair message/byte counts.
@@ -244,11 +266,35 @@ class Network {
   const NetworkConfig& config() const { return cfg_; }
 
  private:
+  /// Counter cell: relaxed atomic increments from concurrent site lanes
+  /// sum commutatively, so totals stay deterministic at any worker count.
+  using Counter = std::atomic<uint64_t>;
+  static uint64_t ld(const Counter& c) {
+    return c.load(std::memory_order_relaxed);
+  }
+  static void add(Counter& c, uint64_t v) {
+    c.fetch_add(v, std::memory_order_relaxed);
+  }
+
   size_t pair_index(int from_site, int to_site) const {
     return static_cast<size_t>(from_site) *
                static_cast<size_t>(num_sites()) +
            static_cast<size_t>(to_site);
   }
+
+  /// The random stream for messages ORIGINATING at `from_site`: the shared
+  /// root stream in classic mode, a per-site fork under PDES (sends from
+  /// different sites execute concurrently).
+  Rng& delay_rng(int from_site) {
+    return site_rngs_.empty() ? rng_
+                              : site_rngs_[static_cast<size_t>(from_site)];
+  }
+
+  Duration sample_delay_with(Rng& rng, NodeId from, NodeId to, size_t bytes);
+
+  /// Schedules a delivery closure `delay` µs from now at `dest_site` (onto
+  /// its lane under PDES, onto the current lane in classic mode).
+  void deliver_at(int dest_site, Duration delay, InlineFn fn);
 
   struct ActivePartition {
     PartitionId id;
@@ -273,21 +319,27 @@ class Network {
   Simulation& sim_;
   NetworkConfig cfg_;
   Rng rng_;
+  /// Per-source-site rng forks, non-empty iff the sim was in PDES mode at
+  /// construction (enable_pdes must precede Network construction).
+  std::vector<Rng> site_rngs_;
+  bool pdes_ = false;
   std::vector<int> node_site_;
   std::vector<bool> down_;
   std::vector<ActivePartition> partitions_;
   std::vector<ActiveLinkFault> link_faults_;
   uint64_t next_fault_id_ = 1;
-  uint64_t sent_ = 0;
-  uint64_t dropped_ = 0;
-  uint64_t link_fault_drops_ = 0;
-  uint64_t duplicates_delivered_ = 0;
-  uint64_t bytes_sent_ = 0;
-  uint64_t wan_sent_ = 0;
-  uint64_t sent_by_kind_[static_cast<size_t>(MsgKind::kCount)] = {};
-  uint64_t dropped_by_kind_[static_cast<size_t>(MsgKind::kCount)] = {};
-  std::vector<uint64_t> pair_sent_;   // num_sites^2, row-major [from][to]
-  std::vector<uint64_t> pair_bytes_;  // num_sites^2
+  Counter sent_{0};
+  Counter dropped_{0};
+  Counter link_fault_drops_{0};
+  Counter duplicates_delivered_{0};
+  Counter bytes_sent_{0};
+  Counter wan_sent_{0};
+  Counter sent_by_kind_[static_cast<size_t>(MsgKind::kCount)] = {};
+  Counter dropped_by_kind_[static_cast<size_t>(MsgKind::kCount)] = {};
+  // num_sites^2 cells, row-major [from][to] (atomics are not movable, so
+  // these are arrays rather than vectors).
+  std::unique_ptr<Counter[]> pair_sent_;
+  std::unique_ptr<Counter[]> pair_bytes_;
 };
 
 }  // namespace music::sim

@@ -25,14 +25,34 @@
 // kernel and seeded runs are bit-identical, while removing the per-event
 // allocation, the const_cast move-out-of-top idiom, and the O(log n)
 // comparison cascade on the hot path.
+//
+// Conservative PDES (opt-in, enable_pdes): the event space is partitioned
+// into per-site lanes — each lane a full wheel + far-heap + arena kernel of
+// its own — plus the main lane (lane of record for setup, workload drivers
+// and nemesis faults).  Lanes run in parallel on a par::Pool inside
+// lookahead windows [T, B): B = min(T + L, next main-lane event, target),
+// where the lookahead L is a lower bound on every cross-site delivery
+// delay (Network::conservative_lookahead).  A cross-lane send at u in
+// [T, B) arrives at u + delay >= u + L >= B, i.e. never inside the window
+// being executed, so lanes cannot affect each other mid-window; such sends
+// are buffered in per-lane outboxes and merged at the barrier with a
+// deterministic rule (gather in lane order, stable-sort by timestamp,
+// enqueue assigning destination-lane seq).  Main-lane events run alone
+// between windows, after every site lane has drained up to their
+// timestamp — ties go to the main lane.  Because lane assignment, window
+// boundaries and the merge rule depend only on event content (never on
+// which worker ran a lane), results are bit-identical at any worker count.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "par/par.h"
 #include "sim/inline_fn.h"
 #include "sim/rng.h"
 #include "sim/time.h"
@@ -46,66 +66,137 @@ namespace music::sim {
 class Simulation;
 
 namespace detail {
-/// The simulation currently executing an event (or starting a spawned
-/// coroutine).  Task's final awaiter uses it to schedule continuation
-/// resumption as a fresh event instead of resuming synchronously, which
-/// keeps coroutine frames from being destroyed while still on the stack.
-inline thread_local Simulation* tl_current_sim = nullptr;
+/// The simulation (and event lane, under PDES) currently executing an
+/// event or starting a spawned coroutine.  Task's final awaiter uses the
+/// simulation to schedule continuation resumption as a fresh event instead
+/// of resuming synchronously; schedule()/now()/rng() route through the
+/// lane, so model code transparently stays on the lane that resumed it.
+struct ExecCtx {
+  Simulation* sim = nullptr;
+  void* lane = nullptr;
+};
+inline thread_local ExecCtx tl_exec;
 
-/// RAII save/restore of tl_current_sim around an entry into coroutine code.
+/// RAII save/restore of the execution context around an entry into
+/// coroutine/model code.
 class CurrentSimScope {
  public:
-  explicit CurrentSimScope(Simulation* s) : prev_(tl_current_sim) {
-    tl_current_sim = s;
+  /// Enters `s` on its main lane — unless the current thread is already
+  /// executing inside `s`, in which case the current lane is preserved
+  /// (spawn() from a site-lane event must keep the new task on that lane).
+  explicit CurrentSimScope(Simulation* s);
+
+  /// Enters `s` on a specific lane (kernel-internal).
+  CurrentSimScope(Simulation* s, void* lane) : prev_(tl_exec) {
+    tl_exec.sim = s;
+    tl_exec.lane = lane;
   }
-  ~CurrentSimScope() { tl_current_sim = prev_; }
+
+  ~CurrentSimScope() { tl_exec = prev_; }
   CurrentSimScope(const CurrentSimScope&) = delete;
   CurrentSimScope& operator=(const CurrentSimScope&) = delete;
 
  private:
-  Simulation* prev_;
+  ExecCtx prev_;
 };
 }  // namespace detail
 
 /// The simulation whose event is currently executing (null outside the
 /// event loop and spawn()).
-inline Simulation* current_simulation() { return detail::tl_current_sim; }
+inline Simulation* current_simulation() { return detail::tl_exec.sim; }
 
 /// Discrete-event simulator: a virtual clock plus an ordered event queue.
 ///
-/// Not thread-safe; an entire simulated cluster runs on one OS thread, which
-/// is what makes runs deterministic and property tests reproducible
-/// (par::run_worlds scales out by running independent Simulations on
-/// separate threads, never by sharing one).
+/// Classic mode is strictly single-threaded: an entire simulated cluster
+/// runs on one OS thread, which is what makes runs deterministic and
+/// property tests reproducible (par::run_worlds scales out by running
+/// independent Simulations on separate threads, never by sharing one).
+/// enable_pdes() additionally parallelizes WITHIN one world across per-site
+/// event lanes — still deterministic, but under a different (documented)
+/// merge order than classic mode, so PDES worlds pin their own goldens.
 class Simulation {
  public:
   /// Creates a simulation whose randomness derives from `seed`.
-  explicit Simulation(uint64_t seed = 1) : wheel_(kWheelTicks), rng_(seed) {
-    heap_.reserve(kInitialCapacity);
-    chunks_.reserve(kInitialCapacity / kChunkSlots);
-  }
+  explicit Simulation(uint64_t seed = 1) { main_.rng_ = Rng(seed); }
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  /// Current simulated time.
-  Time now() const { return now_; }
+  /// Near-window size in ticks (µs).  Events within [now, now+kWheelTicks)
+  /// go to the timer wheel; later ones to the far heap.  2048 µs covers
+  /// delay-0 continuations, service/disk completions and LAN-scale delivery
+  /// delays.  Public so boundary regression tests can aim events exactly at
+  /// the wheel/heap frontier.
+  static constexpr uint32_t kWheelTicks = 2048;
+
+  // -------------------------------------------------------------------
+  // Conservative PDES.
+
+  struct PdesOptions {
+    /// Number of site lanes (one per LatencyProfile site), >= 1.
+    int sites = 0;
+    /// Total worker threads for window execution including the caller
+    /// (0 = par::default_threads()).  Does not affect results.
+    size_t workers = 0;
+    /// Conservative lookahead in µs (>= 1): a lower bound on every
+    /// cross-site delivery delay.  Network::conservative_lookahead()
+    /// derives it from the active LatencyProfile.
+    Duration lookahead = 0;
+  };
+
+  /// Switches this world to conservative PDES.  Call once, before the
+  /// first run_until(); typically right after constructing the Simulation
+  /// (events already queued stay on the main lane and run at barriers).
+  /// Tracing is unsupported under PDES (a tracer records global execution
+  /// order, which parallel lanes do not have).
+  void enable_pdes(const PdesOptions& opt) {
+    assert(site_lanes_.empty() && "enable_pdes may only be called once");
+    assert(opt.sites >= 1);
+    assert(opt.lookahead >= 1);
+    assert(tracer_ == nullptr && "tracing is unsupported under PDES");
+    lookahead_ = opt.lookahead;
+    site_lanes_.reserve(static_cast<size_t>(opt.sites));
+    for (int s = 0; s < opt.sites; ++s) {
+      auto lane = std::make_unique<Lane>();
+      lane->now_ = main_.now_;
+      // Per-lane random streams, forked deterministically from the root so
+      // model code drawing from rng() on a lane never races or perturbs
+      // another lane's stream.
+      lane->rng_ = main_.rng_.fork(0x70646573ull + static_cast<uint64_t>(s));
+      site_lanes_.push_back(std::move(lane));
+    }
+    size_t w = opt.workers == 0 ? par::default_threads() : opt.workers;
+    if (w < 1) w = 1;
+    workers_ = std::min(w, site_lanes_.size());
+    if (workers_ > 1) {
+      pool_ = std::make_unique<par::Pool>(workers_ - 1);
+      drain_fn_ = [this](size_t i) { drain_lane(*site_lanes_[i]); };
+    }
+  }
+
+  bool pdes() const { return !site_lanes_.empty(); }
+  int pdes_sites() const { return static_cast<int>(site_lanes_.size()); }
+  size_t pdes_workers() const { return workers_; }
+  Duration pdes_lookahead() const { return lookahead_; }
+  /// Lookahead windows executed so far (diagnostics).
+  uint64_t pdes_windows_run() const { return windows_run_; }
+
+  /// Current simulated time: the executing lane's clock (the main-lane
+  /// clock outside the event loop; identical to classic behaviour when
+  /// PDES is off).
+  Time now() const { return exec_lane().now_; }
 
   /// Schedules `fn` to run `delay` microseconds from now (delay < 0 is
-  /// treated as 0).  Events scheduled for the same instant run in
-  /// scheduling order.
+  /// treated as 0) on the current lane.  Events scheduled for the same
+  /// instant run in scheduling order.
   void schedule(Duration delay, InlineFn fn) {
-    schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+    Lane& L = exec_lane();
+    schedule_lane_at(L, L.now_ + (delay > 0 ? delay : 0), std::move(fn));
   }
 
   /// Schedules `fn` at absolute simulated time `t` (clamped to >= now).
   void schedule_at(Time t, InlineFn fn) {
-    if (t < now_) t = now_;
-    uint32_t slot = acquire_slot();
-    EventSlot& s = slot_ref(slot);
-    s.fn = std::move(fn);
-    s.ctx = trace_ctx_;
-    enqueue(t, slot, s);
+    schedule_lane_at(exec_lane(), t, std::move(fn));
   }
 
   /// Lambda overloads: the callable is constructed directly in its arena
@@ -117,7 +208,9 @@ class Simulation {
                 !std::is_same_v<std::decay_t<F>, InlineFn> &&
                 std::is_invocable_v<std::decay_t<F>&>>>
   void schedule(Duration delay, F&& f) {
-    schedule_at(now_ + (delay > 0 ? delay : 0), std::forward<F>(f));
+    Lane& L = exec_lane();
+    schedule_lane_at_emplace(L, L.now_ + (delay > 0 ? delay : 0),
+                             std::forward<F>(f));
   }
 
   template <typename F,
@@ -125,45 +218,81 @@ class Simulation {
                 !std::is_same_v<std::decay_t<F>, InlineFn> &&
                 std::is_invocable_v<std::decay_t<F>&>>>
   void schedule_at(Time t, F&& f) {
-    if (t < now_) t = now_;
-    uint32_t slot = acquire_slot();
-    EventSlot& s = slot_ref(slot);
-    s.fn.emplace(std::forward<F>(f));
-    s.ctx = trace_ctx_;
-    enqueue(t, slot, s);
+    schedule_lane_at_emplace(exec_lane(), t, std::forward<F>(f));
   }
+
+  /// Schedules `fn` at absolute time `t` on site `site`'s lane (PDES only).
+  /// From another lane inside a window this buffers the event in the
+  /// sender's outbox — `t` must then be at or beyond the window end, which
+  /// the lookahead bound guarantees for network deliveries; between
+  /// windows (main-lane events, setup code, barrier callbacks) it enqueues
+  /// directly.
+  void schedule_site_at(int site, Time t, InlineFn fn) {
+    Lane& dest = *site_lanes_[static_cast<size_t>(site)];
+    Lane& cur = exec_lane();
+    if (in_window_ && &cur != &dest) {
+      assert(t >= window_end_ &&
+             "cross-lane event would land inside the executing window; "
+             "lookahead is not a lower bound on this delivery delay");
+      cur.outbox_.push_back(Mail{t, site, cur.trace_ctx_, std::move(fn)});
+      return;
+    }
+    if (t < dest.now_) t = dest.now_;
+    uint32_t slot = dest.acquire_slot();
+    EventSlot& s = dest.slot_ref(slot);
+    s.fn = std::move(fn);
+    s.ctx = cur.trace_ctx_;
+    dest.enqueue(t, slot, s);
+  }
+
+  /// Schedules `fn` at absolute time `t` on the MAIN lane.  Main-lane
+  /// events run alone between windows, so this is the PDES-safe way for
+  /// model code to mutate shared state that concurrent site lanes read
+  /// (shard maps, fault flags): hop the mutation to the main lane and every
+  /// site lane observes it through the window barrier.  From a site lane
+  /// inside a window the event is buffered as outbox mail with `t` clamped
+  /// to the window end — the earliest instant that is still deterministic;
+  /// elsewhere (classic mode, setup code, main-lane events) it enqueues
+  /// directly, exactly like schedule_at on the main lane.
+  void schedule_main_at(Time t, InlineFn fn) {
+    Lane& cur = exec_lane();
+    if (in_window_ && &cur != &main_) {
+      if (t < window_end_) t = window_end_;
+      cur.outbox_.push_back(Mail{t, kMainLane, cur.trace_ctx_, std::move(fn)});
+      return;
+    }
+    schedule_lane_at(main_, t, std::move(fn));
+  }
+
+  /// True when the calling context executes on the main lane (always true
+  /// in classic mode; false only inside a site-lane event under PDES).
+  bool on_main_lane() const { return &exec_lane() == &main_; }
 
   /// Runs a single event, if any; returns false when the queue is empty.
   /// The event is removed from its queue (wheel bucket or far heap) BEFORE
   /// the callback runs (so it is never re-compared), but the payload
   /// executes in place in its arena slot: chunks never move, and the slot
   /// joins the freelist only after the callback returns, so rescheduling
-  /// from inside the callback can never overwrite it.
+  /// from inside the callback can never overwrite it.  Classic mode only —
+  /// PDES worlds have no single "next event" (use run_until/run_for).
   bool step() {
-    uint32_t slot = pop_next_slot();
+    assert(!pdes());
+    uint32_t slot = main_.pop_next_slot();
     if (slot == kNoSlot) return false;
-    EventSlot& s = slot_ref(slot);
-    now_ = s.at;
-    ++events_run_;
-    // Restore the trace context that was active when this event was
-    // scheduled, so span attribution follows the causal chain through
-    // coroutine resumptions, future fulfilments and network deliveries.
-    trace_ctx_ = s.ctx;
-    ++run_depth_;
-    {
-      detail::CurrentSimScope scope(this);
-      s.fn();
-    }
-    s.fn.reset();
-    release_slot(slot);
-    --run_depth_;
-    if (run_depth_ == 0) trace_ctx_ = 0;
+    run_slot(main_, slot);
     return true;
   }
 
   /// Runs events until the queue is empty or `max_events` have run.
-  /// Returns the number of events executed.
+  /// Returns the number of events executed.  Under PDES, max_events is
+  /// unsupported (windows run whole) and must be left defaulted.
   size_t run_until_idle(size_t max_events = SIZE_MAX) {
+    if (pdes()) {
+      assert(max_events == SIZE_MAX);
+      uint64_t before = events_run();
+      while (!idle()) run_until_pdes(kTimeNever);
+      return static_cast<size_t>(events_run() - before);
+    }
     size_t n = 0;
     while (n < max_events && step()) ++n;
     return n;
@@ -172,47 +301,76 @@ class Simulation {
   /// Runs all events with timestamp <= t — including events scheduled by
   /// those events for times <= t — then advances the clock to t.
   void run_until(Time t) {
-    while (!idle() && next_event_at() <= t) step();
-    if (now_ < t) now_ = t;
+    if (pdes()) {
+      run_until_pdes(t);
+      return;
+    }
+    while (!main_.idle() && main_.next_event_at() <= t) step();
+    if (main_.now_ < t) main_.advance_clock(t);
   }
 
   /// Runs the simulation forward by `d` microseconds of virtual time.
-  void run_for(Duration d) { run_until(now_ + d); }
+  void run_for(Duration d) { run_until(now() + d); }
 
   /// True when no events are pending.
-  bool idle() const { return wheel_count_ == 0 && heap_.empty(); }
+  bool idle() const {
+    if (!main_.idle()) return false;
+    for (const auto& L : site_lanes_) {
+      if (!L->idle()) return false;
+    }
+    return true;
+  }
 
   /// Timestamp of the next pending event, or kTimeNever when idle.  Lets a
   /// real-time host (the TCP backend's event loop) sleep in epoll exactly
   /// until the simulation's next timer instead of polling.
   Time peek_next_event_at() {
-    return idle() ? kTimeNever : next_event_at();
+    Time t = main_.idle() ? kTimeNever : main_.next_event_at();
+    for (auto& L : site_lanes_) {
+      if (!L->idle()) t = std::min(t, L->next_event_at());
+    }
+    return t;
   }
 
   /// Number of pending events (diagnostics).
-  size_t pending() const { return wheel_count_ + heap_.size(); }
+  size_t pending() const {
+    size_t n = main_.pending();
+    for (const auto& L : site_lanes_) n += L->pending();
+    return n;
+  }
 
-  /// Total events executed so far (diagnostics).
-  uint64_t events_run() const { return events_run_; }
+  /// Total events executed so far (diagnostics), summed across lanes.
+  uint64_t events_run() const {
+    uint64_t n = main_.events_run_;
+    for (const auto& L : site_lanes_) n += L->events_run_;
+    return n;
+  }
 
-  /// The simulation's root random stream.
-  Rng& rng() { return rng_; }
+  /// The current lane's random stream (the root stream in classic mode and
+  /// on the main lane; a deterministic per-site fork on site lanes).
+  Rng& rng() { return exec_lane().rng_; }
 
   /// Observability hooks.  A tracer (obs::Tracer) may be attached for the
   /// run; null (the default) disables tracing entirely — instrumented code
   /// checks tracer() first, so the disabled hot path is two loads and a
-  /// branch with no allocations and no extra events.
-  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+  /// branch with no allocations and no extra events.  Unsupported under
+  /// PDES (traces record a global execution order).
+  void set_tracer(obs::Tracer* t) {
+    assert(t == nullptr || !pdes());
+    tracer_ = t;
+  }
   obs::Tracer* tracer() const { return tracer_; }
 
   /// The trace span currently attributed with work (an obs::SpanId; 0 means
   /// none).  Every scheduled event captures the context active at schedule
   /// time and restores it when it runs, so the context rides the causal
   /// chain for free.  sim::OpSpan (sim/span.h) is the usual way to set it.
-  uint64_t trace_ctx() const { return trace_ctx_; }
-  void set_trace_ctx(uint64_t ctx) { trace_ctx_ = ctx; }
+  uint64_t trace_ctx() const { return exec_lane().trace_ctx_; }
+  void set_trace_ctx(uint64_t ctx) { exec_lane().trace_ctx_ = ctx; }
 
  private:
+  friend class detail::CurrentSimScope;
+
   /// Heap order key + arena index.  24 bytes: sifting touches only these.
   struct HeapEntry {
     Time at;
@@ -231,13 +389,22 @@ class Simulation {
     uint32_t next = kNoSlot;
   };
 
+  /// A cross-lane event buffered during a window, merged at the barrier.
+  /// `site` is the destination lane index, or kMainLane for the main lane
+  /// (schedule_main_at from inside a window).
+  struct Mail {
+    Time at;
+    int site;
+    uint64_t ctx;
+    InlineFn fn;
+  };
+
+  static constexpr int kMainLane = -1;
+
   static constexpr uint32_t kNoSlot = UINT32_MAX;
+  static constexpr uint32_t kNoTick = UINT32_MAX;
   static constexpr size_t kArity = 8;
   static constexpr size_t kInitialCapacity = 256;
-  /// Near-window size in ticks (µs).  Events within [now, now+kWheelTicks)
-  /// go to the wheel; later ones to the far heap.  2048 µs covers delay-0
-  /// continuations, service/disk completions and LAN-scale delivery delays.
-  static constexpr uint32_t kWheelTicks = 2048;
   static constexpr uint32_t kWheelMask = kWheelTicks - 1;
   static constexpr uint32_t kWheelWords = kWheelTicks / 64;
 
@@ -253,10 +420,6 @@ class Simulation {
   static constexpr uint32_t kChunkShift = 8;
   static constexpr uint32_t kChunkSlots = 1u << kChunkShift;
 
-  EventSlot& slot_ref(uint32_t slot) {
-    return chunks_[slot >> kChunkShift][slot & (kChunkSlots - 1)];
-  }
-
   /// Min-heap on (at, seq): strict weak order, deterministic tie-break —
   /// identical to the previous kernel's ordering.
   static bool before(const HeapEntry& a, const HeapEntry& b) {
@@ -267,149 +430,352 @@ class Simulation {
     return a.at != b.at ? a.at < b.at : a.seq < b.seq;
   }
 
-  uint32_t acquire_slot() {
-    if (free_head_ != kNoSlot) {
-      uint32_t slot = free_head_;
-      free_head_ = slot_ref(slot).next;
-      return slot;
-    }
-    if ((slot_count_ & (kChunkSlots - 1)) == 0) {
-      chunks_.emplace_back(new EventSlot[kChunkSlots]);
-    }
-    return slot_count_++;
-  }
+  /// One event lane: a complete wheel + far-heap + arena kernel with its
+  /// own clock, seq counter and random stream.  Classic mode uses exactly
+  /// one (the main lane); PDES adds one per site.  A lane is only ever
+  /// touched by one thread at a time — the window scheduler hands each
+  /// lane to one worker per window, and the par::Pool barrier publishes
+  /// all lane state between windows.
+  struct Lane {
+    Time now_ = 0;
+    uint64_t next_seq_ = 0;
+    uint64_t events_run_ = 0;
+    std::vector<HeapEntry> heap_;
+    std::vector<Bucket> wheel_;
+    uint64_t occ_[kWheelWords] = {};
+    size_t wheel_count_ = 0;
+    std::vector<std::unique_ptr<EventSlot[]>> chunks_;
+    uint32_t slot_count_ = 0;
+    uint32_t free_head_ = kNoSlot;
+    Rng rng_{0};
+    uint64_t trace_ctx_ = 0;
+    int run_depth_ = 0;
+    /// Memoised find_next_bucket() result (kNoTick = unknown): run_until
+    /// would otherwise scan the occupancy bitmap twice per event — once in
+    /// next_event_at() to test against the horizon and again in the
+    /// pop_next_slot() that immediately follows.  Invalidated on wheel
+    /// enqueue (an earlier bucket may have filled), on emptying the cached
+    /// bucket, and on clock movement (the scan origin changes).
+    uint32_t cached_tick_ = kNoTick;
+    std::vector<Mail> outbox_;
 
-  void release_slot(uint32_t slot) {
-    slot_ref(slot).next = free_head_;
-    free_head_ = slot;
-  }
+    Lane() : wheel_(kWheelTicks) {
+      heap_.reserve(kInitialCapacity);
+      chunks_.reserve(kInitialCapacity / kChunkSlots);
+    }
 
-  /// Queues a filled slot at time t (slot's fn/ctx already set).
-  void enqueue(Time t, uint32_t slot, EventSlot& s) {
-    s.at = t;
-    s.seq = next_seq_++;
-    if (t - now_ < static_cast<Time>(kWheelTicks)) {
-      s.next = kNoSlot;
-      uint32_t b = static_cast<uint32_t>(t) & kWheelMask;
-      Bucket& bk = wheel_[b];
-      if (bk.tail == kNoSlot) {
-        bk.head = bk.tail = slot;
-        occ_[b >> 6] |= 1ull << (b & 63);
-      } else {
-        slot_ref(bk.tail).next = slot;
-        bk.tail = slot;
+    EventSlot& slot_ref(uint32_t slot) {
+      return chunks_[slot >> kChunkShift][slot & (kChunkSlots - 1)];
+    }
+
+    bool idle() const { return wheel_count_ == 0 && heap_.empty(); }
+    size_t pending() const { return wheel_count_ + heap_.size(); }
+
+    void advance_clock(Time t) {
+      if (now_ != t) {
+        now_ = t;
+        cached_tick_ = kNoTick;
       }
-      ++wheel_count_;
-    } else {
-      heap_.push_back(HeapEntry{t, s.seq, slot});
-      sift_up(heap_.size() - 1);
     }
-  }
 
-  /// Index of the first non-empty bucket at or after now_ (caller must
-  /// ensure wheel_count_ > 0).  Every queued wheel event is within
-  /// kWheelTicks of now_, so a circular scan from now_'s tick finds it
-  /// before wrapping around.
-  uint32_t find_next_bucket() const {
-    uint32_t start = static_cast<uint32_t>(now_) & kWheelMask;
-    uint32_t w = start >> 6;
-    uint64_t word = occ_[w] & (~0ull << (start & 63));
-    while (word == 0) {
-      w = (w + 1) & (kWheelWords - 1);
-      word = occ_[w];
+    uint32_t acquire_slot() {
+      if (free_head_ != kNoSlot) {
+        uint32_t slot = free_head_;
+        free_head_ = slot_ref(slot).next;
+        return slot;
+      }
+      if ((slot_count_ & (kChunkSlots - 1)) == 0) {
+        chunks_.emplace_back(new EventSlot[kChunkSlots]);
+      }
+      return slot_count_++;
     }
-    return (w << 6) + static_cast<uint32_t>(__builtin_ctzll(word));
-  }
 
-  /// Removes and returns the next slot in (at, seq) order across both the
-  /// wheel and the far heap; kNoSlot when nothing is pending.
-  uint32_t pop_next_slot() {
-    if (wheel_count_ == 0) {
-      if (heap_.empty()) return kNoSlot;
-      uint32_t slot = heap_.front().slot;
-      pop_root();
-      return slot;
+    void release_slot(uint32_t slot) {
+      slot_ref(slot).next = free_head_;
+      free_head_ = slot;
     }
-    uint32_t tick = find_next_bucket();
-    Bucket& bk = wheel_[tick];
-    uint32_t wslot = bk.head;
-    EventSlot& ws = slot_ref(wslot);
-    if (!heap_.empty()) {
-      const HeapEntry& f = heap_.front();
-      // A far event can precede the wheel head when the clock has advanced
-      // to within a window of it; equal timestamps fall back to seq.
-      if (f.at < ws.at || (f.at == ws.at && f.seq < ws.seq)) {
-        uint32_t slot = f.slot;
+
+    /// Queues a filled slot at time t (slot's fn/ctx already set).
+    void enqueue(Time t, uint32_t slot, EventSlot& s) {
+      s.at = t;
+      s.seq = next_seq_++;
+      if (t - now_ < static_cast<Time>(kWheelTicks)) {
+        s.next = kNoSlot;
+        uint32_t b = static_cast<uint32_t>(t) & kWheelMask;
+        Bucket& bk = wheel_[b];
+        if (bk.tail == kNoSlot) {
+          bk.head = bk.tail = slot;
+          occ_[b >> 6] |= 1ull << (b & 63);
+        } else {
+          slot_ref(bk.tail).next = slot;
+          bk.tail = slot;
+        }
+        ++wheel_count_;
+        cached_tick_ = kNoTick;
+      } else {
+        heap_.push_back(HeapEntry{t, s.seq, slot});
+        sift_up(heap_.size() - 1);
+      }
+    }
+
+    /// Index of the first non-empty bucket at or after now_ (caller must
+    /// ensure wheel_count_ > 0).  Every queued wheel event is within
+    /// kWheelTicks of now_, so a circular scan from now_'s tick finds it
+    /// before wrapping around.  Memoised in cached_tick_.
+    uint32_t find_next_bucket() {
+      if (cached_tick_ != kNoTick) return cached_tick_;
+      uint32_t start = static_cast<uint32_t>(now_) & kWheelMask;
+      uint32_t w = start >> 6;
+      uint64_t word = occ_[w] & (~0ull << (start & 63));
+      while (word == 0) {
+        w = (w + 1) & (kWheelWords - 1);
+        word = occ_[w];
+      }
+      cached_tick_ = (w << 6) + static_cast<uint32_t>(__builtin_ctzll(word));
+      return cached_tick_;
+    }
+
+    /// Removes and returns the next slot in (at, seq) order across both the
+    /// wheel and the far heap; kNoSlot when nothing is pending.
+    uint32_t pop_next_slot() {
+      if (wheel_count_ == 0) {
+        if (heap_.empty()) return kNoSlot;
+        uint32_t slot = heap_.front().slot;
         pop_root();
         return slot;
       }
-    }
-    bk.head = ws.next;
-    if (bk.head == kNoSlot) {
-      bk.tail = kNoSlot;
-      occ_[tick >> 6] &= ~(1ull << (tick & 63));
-    }
-    --wheel_count_;
-    return wslot;
-  }
-
-  /// Timestamp of the next pending event (caller must check !idle()).
-  Time next_event_at() {
-    Time t = heap_.empty() ? INT64_MAX : heap_.front().at;
-    if (wheel_count_ != 0) {
-      Time w = slot_ref(wheel_[find_next_bucket()].head).at;
-      if (w < t) t = w;
-    }
-    return t;
-  }
-
-  void sift_up(size_t i) {
-    HeapEntry e = heap_[i];
-    while (i > 0) {
-      size_t parent = (i - 1) / kArity;
-      if (!before(e, heap_[parent])) break;
-      heap_[i] = heap_[parent];
-      i = parent;
-    }
-    heap_[i] = e;
-  }
-
-  /// Removes the root: moves the last entry into the hole and sifts down.
-  void pop_root() {
-    HeapEntry last = heap_.back();
-    heap_.pop_back();
-    size_t n = heap_.size();
-    if (n == 0) return;
-    size_t i = 0;
-    while (true) {
-      size_t child = i * kArity + 1;
-      if (child >= n) break;
-      size_t best = child;
-      size_t end = child + kArity < n ? child + kArity : n;
-      for (size_t c = child + 1; c < end; ++c) {
-        if (before(heap_[c], heap_[best])) best = c;
+      uint32_t tick = find_next_bucket();
+      Bucket& bk = wheel_[tick];
+      uint32_t wslot = bk.head;
+      EventSlot& ws = slot_ref(wslot);
+      if (!heap_.empty()) {
+        const HeapEntry& f = heap_.front();
+        // A far event can precede the wheel head when the clock has
+        // advanced to within a window of it; equal timestamps fall back to
+        // seq.
+        if (f.at < ws.at || (f.at == ws.at && f.seq < ws.seq)) {
+          uint32_t slot = f.slot;
+          pop_root();
+          return slot;
+        }
       }
-      if (!before(heap_[best], last)) break;
-      heap_[i] = heap_[best];
-      i = best;
+      bk.head = ws.next;
+      if (bk.head == kNoSlot) {
+        bk.tail = kNoSlot;
+        occ_[tick >> 6] &= ~(1ull << (tick & 63));
+        cached_tick_ = kNoTick;
+      }
+      --wheel_count_;
+      return wslot;
     }
-    heap_[i] = last;
+
+    /// pop_next_slot(), but only if the next event is strictly before
+    /// `bound` — the per-window drain primitive.  The bucket scan done by
+    /// the bound check is reused by the pop through cached_tick_.
+    uint32_t pop_next_slot_below(Time bound) {
+      if (idle() || next_event_at() >= bound) return kNoSlot;
+      return pop_next_slot();
+    }
+
+    /// Timestamp of the next pending event (caller must check !idle()).
+    Time next_event_at() {
+      Time t = heap_.empty() ? INT64_MAX : heap_.front().at;
+      if (wheel_count_ != 0) {
+        Time w = slot_ref(wheel_[find_next_bucket()].head).at;
+        if (w < t) t = w;
+      }
+      return t;
+    }
+
+    void sift_up(size_t i) {
+      HeapEntry e = heap_[i];
+      while (i > 0) {
+        size_t parent = (i - 1) / kArity;
+        if (!before(e, heap_[parent])) break;
+        heap_[i] = heap_[parent];
+        i = parent;
+      }
+      heap_[i] = e;
+    }
+
+    /// Removes the root: moves the last entry into the hole and sifts down.
+    void pop_root() {
+      HeapEntry last = heap_.back();
+      heap_.pop_back();
+      size_t n = heap_.size();
+      if (n == 0) return;
+      size_t i = 0;
+      while (true) {
+        size_t child = i * kArity + 1;
+        if (child >= n) break;
+        size_t best = child;
+        size_t end = child + kArity < n ? child + kArity : n;
+        for (size_t c = child + 1; c < end; ++c) {
+          if (before(heap_[c], heap_[best])) best = c;
+        }
+        if (!before(heap_[best], last)) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = last;
+    }
+  };
+
+  /// The lane the current thread is executing in: the context lane while
+  /// inside an event of THIS simulation, the main lane otherwise (setup
+  /// code, other sims, test drivers).
+  Lane& exec_lane() {
+    detail::ExecCtx& e = detail::tl_exec;
+    return e.sim == this ? *static_cast<Lane*>(e.lane) : main_;
+  }
+  const Lane& exec_lane() const {
+    const detail::ExecCtx& e = detail::tl_exec;
+    return e.sim == this ? *static_cast<const Lane*>(e.lane) : main_;
   }
 
-  Time now_ = 0;
-  uint64_t next_seq_ = 0;
-  uint64_t events_run_ = 0;
-  std::vector<HeapEntry> heap_;
-  std::vector<Bucket> wheel_;
-  uint64_t occ_[kWheelWords] = {};
-  size_t wheel_count_ = 0;
-  std::vector<std::unique_ptr<EventSlot[]>> chunks_;
-  uint32_t slot_count_ = 0;
-  uint32_t free_head_ = kNoSlot;
-  Rng rng_;
+  void schedule_lane_at(Lane& L, Time t, InlineFn fn) {
+    if (t < L.now_) t = L.now_;
+    uint32_t slot = L.acquire_slot();
+    EventSlot& s = L.slot_ref(slot);
+    s.fn = std::move(fn);
+    s.ctx = L.trace_ctx_;
+    L.enqueue(t, slot, s);
+  }
+
+  template <typename F>
+  void schedule_lane_at_emplace(Lane& L, Time t, F&& f) {
+    if (t < L.now_) t = L.now_;
+    uint32_t slot = L.acquire_slot();
+    EventSlot& s = L.slot_ref(slot);
+    s.fn.emplace(std::forward<F>(f));
+    s.ctx = L.trace_ctx_;
+    L.enqueue(t, slot, s);
+  }
+
+  /// Executes one popped slot on lane L (clock jump, trace context,
+  /// in-place run, slot release).
+  void run_slot(Lane& L, uint32_t slot) {
+    EventSlot& s = L.slot_ref(slot);
+    L.advance_clock(s.at);
+    ++L.events_run_;
+    // Restore the trace context that was active when this event was
+    // scheduled, so span attribution follows the causal chain through
+    // coroutine resumptions, future fulfilments and network deliveries.
+    L.trace_ctx_ = s.ctx;
+    ++L.run_depth_;
+    {
+      detail::CurrentSimScope scope(this, &L);
+      s.fn();
+    }
+    s.fn.reset();
+    L.release_slot(slot);
+    --L.run_depth_;
+    if (L.run_depth_ == 0) L.trace_ctx_ = 0;
+  }
+
+  /// Drains one site lane up to the current window end.  Runs on a pool
+  /// worker (or the owner thread); only touches lane-local state and the
+  /// lane's outbox.
+  void drain_lane(Lane& L) {
+    for (;;) {
+      uint32_t slot = L.pop_next_slot_below(window_end_);
+      if (slot == kNoSlot) break;
+      run_slot(L, slot);
+    }
+  }
+
+  /// Barrier merge: gather every lane's outbox in lane-index order,
+  /// stable-sort by timestamp (so ties keep lane-then-emission order — an
+  /// ordering that depends only on event content and lane assignment,
+  /// never on worker scheduling) and enqueue into the destination lanes,
+  /// which assigns destination seq in merged order.
+  void merge_outboxes() {
+    for (auto& L : site_lanes_) {
+      for (Mail& m : L->outbox_) mail_scratch_.push_back(&m);
+    }
+    if (mail_scratch_.empty()) return;
+    std::stable_sort(mail_scratch_.begin(), mail_scratch_.end(),
+                     [](const Mail* a, const Mail* b) { return a->at < b->at; });
+    for (Mail* m : mail_scratch_) {
+      Lane& dest = m->site == kMainLane
+                       ? main_
+                       : *site_lanes_[static_cast<size_t>(m->site)];
+      Time t = m->at < dest.now_ ? dest.now_ : m->at;
+      uint32_t slot = dest.acquire_slot();
+      EventSlot& s = dest.slot_ref(slot);
+      s.fn = std::move(m->fn);
+      s.ctx = m->ctx;
+      dest.enqueue(t, slot, s);
+    }
+    for (auto& L : site_lanes_) L->outbox_.clear();
+    mail_scratch_.clear();
+  }
+
+  /// Executes one lookahead window [max lane fronts, we).
+  void run_window(Time we) {
+    ++windows_run_;
+    window_end_ = we;
+    in_window_ = true;
+    if (pool_) {
+      pool_->run(site_lanes_.size(), drain_fn_);
+    } else {
+      for (auto& L : site_lanes_) drain_lane(*L);
+    }
+    in_window_ = false;
+    merge_outboxes();
+  }
+
+  /// The PDES run loop: alternate lookahead windows (site lanes in
+  /// parallel) with solo main-lane events at the barriers.
+  void run_until_pdes(Time target) {
+    // Events run strictly below `cap`; run_until's contract is inclusive.
+    Time cap = target >= kTimeNever - 1 ? kTimeNever : target + 1;
+    for (;;) {
+      Time tg = main_.idle() ? kTimeNever : main_.next_event_at();
+      Time tl = kTimeNever;
+      for (auto& L : site_lanes_) {
+        if (!L->idle()) tl = std::min(tl, L->next_event_at());
+      }
+      if (std::min(tg, tl) >= cap) break;
+      if (tg <= tl) {
+        // Merge rule, part 2: a main-lane event at T runs only once every
+        // site lane has drained past T, and before any site event at the
+        // same instant.  Main-lane events run alone, so they may mutate
+        // cross-lane state (faults, shard moves, workload bookkeeping).
+        uint32_t slot = main_.pop_next_slot();
+        run_slot(main_, slot);
+        continue;
+      }
+      Time we = tl > kTimeNever - lookahead_ ? kTimeNever : tl + lookahead_;
+      if (tg < we) we = tg;
+      if (cap < we) we = cap;
+      run_window(we);
+    }
+    if (target != kTimeNever) {
+      if (main_.now_ < target) main_.advance_clock(target);
+      for (auto& L : site_lanes_) {
+        if (L->now_ < target) L->advance_clock(target);
+      }
+    }
+  }
+
+  Lane main_;
+  std::vector<std::unique_ptr<Lane>> site_lanes_;
+  std::vector<Mail*> mail_scratch_;
+  std::unique_ptr<par::Pool> pool_;
+  std::function<void(size_t)> drain_fn_;
+  size_t workers_ = 1;
+  Duration lookahead_ = 0;
+  Time window_end_ = 0;
+  bool in_window_ = false;
+  uint64_t windows_run_ = 0;
   obs::Tracer* tracer_ = nullptr;
-  uint64_t trace_ctx_ = 0;
-  int run_depth_ = 0;
 };
+
+inline detail::CurrentSimScope::CurrentSimScope(Simulation* s)
+    : prev_(tl_exec) {
+  tl_exec.sim = s;
+  if (prev_.sim != s) tl_exec.lane = &s->main_;
+}
 
 }  // namespace music::sim

@@ -9,11 +9,13 @@
 namespace music::verify {
 
 void EcfChecker::note_event(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   keys_[key].last_event = sim_.now();
 }
 
 std::optional<Value> EcfChecker::stable_truth(const Key& key,
                                               sim::Duration min_quiet) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = keys_.find(key);
   if (it == keys_.end()) return std::nullopt;
   const KeyState& ks = it->second;
@@ -83,6 +85,7 @@ void EcfChecker::open_candidates(KeyState& ks, LockRef ref) {
 }
 
 void EcfChecker::on_acquired(const Key& key, LockRef ref) {
+  std::lock_guard<std::mutex> lock(mu_);
   KeyState& ks = keys_[key];
   ks.last_event = sim_.now();
   if (ref < ks.max_granted) {
@@ -115,6 +118,7 @@ void EcfChecker::on_acquired(const Key& key, LockRef ref) {
 }
 
 void EcfChecker::on_put_attempt(const Key& key, LockRef ref, const Value& v) {
+  std::lock_guard<std::mutex> lock(mu_);
   KeyState& ks = keys_[key];
   ks.last_event = sim_.now();
   int64_t seq = ks.next_seq[ref]++;
@@ -122,6 +126,7 @@ void EcfChecker::on_put_attempt(const Key& key, LockRef ref, const Value& v) {
 }
 
 void EcfChecker::on_put_acked(const Key& key, LockRef ref, const Value& v) {
+  std::lock_guard<std::mutex> lock(mu_);
   KeyState& ks = keys_[key];
   ks.last_event = sim_.now();
   // Find the matching attempt (latest unacked with this ref+value).
@@ -153,6 +158,7 @@ void EcfChecker::on_put_acked(const Key& key, LockRef ref, const Value& v) {
 }
 
 void EcfChecker::on_get_ok(const Key& key, LockRef ref, const Value& v) {
+  std::lock_guard<std::mutex> lock(mu_);
   KeyState& ks = keys_[key];
   ks.last_event = sim_.now();
   if (ref < ks.max_granted) {
@@ -224,6 +230,7 @@ void EcfChecker::on_get_ok(const Key& key, LockRef ref, const Value& v) {
 }
 
 void EcfChecker::on_get_not_found(const Key& key, LockRef ref) {
+  std::lock_guard<std::mutex> lock(mu_);
   KeyState& ks = keys_[key];
   ks.last_event = sim_.now();
   if (ref < ks.max_granted) return;  // stale holder; no promise
@@ -241,12 +248,14 @@ void EcfChecker::on_get_not_found(const Key& key, LockRef ref) {
 }
 
 void EcfChecker::on_released(const Key& key, LockRef ref) {
+  std::lock_guard<std::mutex> lock(mu_);
   KeyState& ks = keys_[key];
   ks.last_event = sim_.now();
   if (ks.active_holder == ref) ks.active_holder = 0;
 }
 
 void EcfChecker::on_forced_release(const Key& key, LockRef ref) {
+  std::lock_guard<std::mutex> lock(mu_);
   KeyState& ks = keys_[key];
   ks.last_event = sim_.now();
   ks.preempted[ref] = true;
@@ -255,6 +264,7 @@ void EcfChecker::on_forced_release(const Key& key, LockRef ref) {
 }
 
 std::string EcfChecker::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   for (const auto& v : violations_) {
     os << "[" << v.invariant << "] key=" << v.key << ": " << v.detail << "\n";

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +48,13 @@ struct Violation {
 };
 
 /// History-variable checker for ECF semantics.
+///
+/// Thread-safe: one checker is typically shared by every client in a world,
+/// and under PDES those clients execute on concurrent site lanes, so each
+/// public method takes an internal mutex (uncontended — a handful of cycles
+/// — in classic single-threaded worlds).  The history itself stays
+/// deterministic because per-key event order is driven by the simulated
+/// timeline, not by which worker delivers the callback.
 class EcfChecker {
  public:
   explicit EcfChecker(sim::Simulation& sim) : sim_(sim) {}
@@ -74,8 +82,12 @@ class EcfChecker {
 
   // ---- Results. --------------------------------------------------------------
 
+  /// Post-run accessor (not synchronized: call after the world is drained).
   const std::vector<Violation>& violations() const { return violations_; }
-  bool ok() const { return violations_.empty(); }
+  bool ok() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return violations_.empty();
+  }
   /// Human-readable report of all violations (empty string if none).
   std::string report() const;
 
@@ -148,6 +160,7 @@ class EcfChecker {
   void open_candidates(KeyState& ks, LockRef ref);
 
   sim::Simulation& sim_;
+  mutable std::mutex mu_;
   std::map<Key, KeyState> keys_;
   std::vector<Violation> violations_;
   bool lenient_stale_grants_ = false;

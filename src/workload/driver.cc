@@ -1,5 +1,7 @@
 #include "workload/driver.h"
 
+#include <atomic>
+#include <mutex>
 #include <utility>
 
 #include "sim/future.h"
@@ -9,8 +11,14 @@ namespace music::wl {
 namespace {
 
 struct Accum {
-  uint64_t completed = 0;
-  uint64_t failed = 0;
+  // Client loops execute on concurrent site lanes under PDES, so the exact
+  // counts are relaxed atomics (commutative sums) and the sample sink takes
+  // a mutex per completed op — uncontended and invisible in classic
+  // single-threaded worlds, and amortized over a whole critical section
+  // (many events) under PDES.
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> failed{0};
+  std::mutex latency_mu;
   Samples latency;
   sim::Time warmup_end = 0;
   sim::Time end = 0;
@@ -36,10 +44,11 @@ sim::Task<void> client_loop(sim::Simulation& sim, std::shared_ptr<Workload> w,
     // Count only operations fully inside the measurement window.
     if (t0 >= acc->warmup_end && sim.now() <= acc->end) {
       if (ok) {
-        acc->completed += 1;
+        acc->completed.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(acc->latency_mu);
         acc->latency.add(sim.now() - t0);
       } else {
-        acc->failed += 1;
+        acc->failed.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -53,10 +62,10 @@ sim::Task<void> sequential_loop(sim::Simulation& sim,
     sim::Time t0 = sim.now();
     bool ok = co_await w->run_once(0);
     if (ok) {
-      acc->completed += 1;
+      acc->completed.fetch_add(1, std::memory_order_relaxed);
       acc->latency.add(sim.now() - t0);
     } else {
-      acc->failed += 1;
+      acc->failed.fetch_add(1, std::memory_order_relaxed);
     }
   }
   acc->end = sim.now();
@@ -83,8 +92,8 @@ RunResult run_closed_loop(sim::Simulation& sim, std::shared_ptr<Workload> w,
   }
   sim.run_until(acc->end + cfg.drain);
   RunResult r;
-  r.completed = acc->completed;
-  r.failed = acc->failed;
+  r.completed = acc->completed.load(std::memory_order_relaxed);
+  r.failed = acc->failed.load(std::memory_order_relaxed);
   r.measured = cfg.measure;
   r.latency = std::move(acc->latency);
   return r;
@@ -99,14 +108,16 @@ RunResult run_sequential(sim::Simulation& sim, std::shared_ptr<Workload> w,
   sim::spawn(sim, sequential_loop(sim, w, ops, deadline, acc));
   // Run until the loop reports completion (acc->end moves below deadline)
   // or the time limit passes.
-  while (sim.now() < deadline && acc->completed + acc->failed <
-                                     static_cast<uint64_t>(ops)) {
+  while (sim.now() < deadline &&
+         acc->completed.load(std::memory_order_relaxed) +
+                 acc->failed.load(std::memory_order_relaxed) <
+             static_cast<uint64_t>(ops)) {
     sim.run_for(sim::ms(100));
     if (sim.idle()) break;
   }
   RunResult r;
-  r.completed = acc->completed;
-  r.failed = acc->failed;
+  r.completed = acc->completed.load(std::memory_order_relaxed);
+  r.failed = acc->failed.load(std::memory_order_relaxed);
   r.measured = sim.now() - start;
   r.latency = std::move(acc->latency);
   return r;

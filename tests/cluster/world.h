@@ -18,6 +18,10 @@ namespace music::test {
 struct ClusterWorldOptions {
   uint64_t seed = 1;
   cluster::ClusterConfig cluster{};
+  /// > 0 switches the world to conservative PDES with this many site-lane
+  /// workers before the Network is built (lookahead derived from the
+  /// profile).  0 = classic kernel; existing tests and goldens unaffected.
+  size_t pdes_workers = 0;
 
   ClusterWorldOptions() {
     // The fast co-located profile: cluster tests exercise routing and
@@ -35,7 +39,18 @@ class ClusterWorld {
   explicit ClusterWorld(ClusterWorldOptions opt = ClusterWorldOptions())
       : options(std::move(opt)),
         sim(options.seed),
-        net(sim, options.net),
+        net(sim, [this] {
+          // enable_pdes must precede Network construction (the net arms
+          // per-lane delivery state).
+          if (options.pdes_workers > 0) {
+            sim::Simulation::PdesOptions po;
+            po.sites = options.net.profile.num_sites();
+            po.workers = options.pdes_workers;
+            po.lookahead = sim::Network::conservative_lookahead(options.net);
+            sim.enable_pdes(po);
+          }
+          return options.net;
+        }()),
         cluster(sim, net, options.cluster),
         checker(sim),
         runner(sim) {}

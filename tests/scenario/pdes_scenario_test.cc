@@ -1,0 +1,93 @@
+// The scenario runner's --par-sites seam: music/mscp cells run under the
+// conservative PDES engine, including cells with an armed nemesis
+// (partition + crash faults land as main-lane events, alone between
+// windows).  Checksums differ from classic runs by design (per-lane rng
+// streams) but must be bit-identical at ANY worker count — including under
+// faults, which is what the CI TSan job soaks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/run.h"
+#include "scenario/spec.h"
+
+namespace music::scn {
+namespace {
+
+const char kCleanSweep[] =
+    "scenario pdes-clean\n"
+    "seeds 2\n"
+    "protocols music,mscp\n"
+    "topology {\n"
+    "  profiles lUsEu\n"
+    "}\n"
+    "workload {\n"
+    "  mixes 0.5\n"
+    "  clients 3\n"
+    "  keys 8\n"
+    "  keying uniform\n"
+    "  arrival closed\n"
+    "  value 10\n"
+    "  warmup 500ms\n"
+    "  measure 2s\n"
+    "}\n";
+
+const char kFaultSweep[] =
+    "scenario pdes-faults\n"
+    "seeds 2\n"
+    "protocols music\n"
+    "topology {\n"
+    "  profiles lUs\n"
+    "  store_nodes 3\n"
+    "}\n"
+    "workload {\n"
+    "  mixes 0.5\n"
+    "  clients 4\n"
+    "  keys 8\n"
+    "  keying uniform\n"
+    "  arrival closed\n"
+    "  value 10\n"
+    "  warmup 2s\n"
+    "  measure 12s\n"
+    "}\n"
+    "faults {\n"
+    "  at 3s partition 0|1,2 for 2s\n"
+    "  at 8s crash store 1 for 2s\n"
+    "}\n";
+
+std::vector<CellOutcome> sweep(const char* spec_text, size_t par_sites) {
+  auto spec = ScenarioSpec::parse(spec_text);
+  EXPECT_TRUE(spec.has_value());
+  RunOptions opt;
+  opt.threads = 1;  // world-level parallelism off; PDES is the subject
+  opt.par_sites = par_sites;
+  return run_sweep(*spec, opt);
+}
+
+void expect_invariant(const char* spec_text, const char* what) {
+  std::vector<CellOutcome> w1 = sweep(spec_text, 1);
+  std::vector<CellOutcome> w2 = sweep(spec_text, 2);
+  std::vector<CellOutcome> w4 = sweep(spec_text, 4);
+  ASSERT_FALSE(w1.empty());
+  ASSERT_EQ(w2.size(), w1.size());
+  ASSERT_EQ(w4.size(), w1.size());
+  for (size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_TRUE(w1[i].ok) << what << " " << w1[i].label << ": " << w1[i].error;
+    EXPECT_EQ(w1[i].checksum(), w2[i].checksum()) << what << " " << w1[i].label;
+    EXPECT_EQ(w1[i].checksum(), w4[i].checksum()) << what << " " << w1[i].label;
+    EXPECT_GT(w1[i].run.completed, 0u) << what << " " << w1[i].label;
+  }
+}
+
+TEST(PdesScenario, CleanCellsAreWorkerCountInvariant) {
+  expect_invariant(kCleanSweep, "clean");
+}
+
+TEST(PdesScenario, FaultedCellsAreWorkerCountInvariantAndEcfClean) {
+  expect_invariant(kFaultSweep, "faults");
+}
+
+}  // namespace
+}  // namespace music::scn

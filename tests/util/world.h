@@ -50,6 +50,12 @@ struct WorldOptions {
   sim::NetworkConfig net{};
   core::ClientConfig client{};
   int clients_per_site = 1;
+  /// > 0 switches the world to conservative PDES with this many site-lane
+  /// workers (lookahead derived from the profile) before the Network is
+  /// built.  0 = classic kernel; existing tests and goldens are unaffected.
+  /// PDES worlds draw from per-lane rng streams, so their results differ
+  /// from classic runs but are bit-identical at any worker count.
+  size_t pdes_workers = 0;
 
   WorldOptions() { net.profile = profile; }
 };
@@ -64,6 +70,16 @@ class MusicWorld {
         net(sim, [this] {
           auto n = options.net;
           n.profile = options.profile;
+          // enable_pdes must precede Network construction (the net arms
+          // per-lane delivery state); this init-list lambda is the one spot
+          // between the two members.
+          if (options.pdes_workers > 0) {
+            sim::Simulation::PdesOptions po;
+            po.sites = n.profile.num_sites();
+            po.workers = options.pdes_workers;
+            po.lookahead = sim::Network::conservative_lookahead(n);
+            sim.enable_pdes(po);
+          }
           return n;
         }()),
         store(sim, net, options.store, node_sites(options.store_nodes)),
